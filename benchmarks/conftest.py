@@ -1,0 +1,94 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once under ``benchmark.pedantic`` (wall-clock recorded by
+pytest-benchmark), prints the same rows/series the paper reports, writes
+them to ``benchmarks/results/``, and asserts the paper's qualitative
+shape (who wins, roughly by how much, where crossovers fall).
+"""
+
+import os
+
+import pytest
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.baselines.octomap_rt import OctoMapRTPipeline
+from repro.core.octocache import OctoCacheMap, OctoCacheRTMap
+from repro.core.parallel import ParallelOctoCacheMap
+from repro.datasets.generator import make_dataset
+
+#: Octree depth used across benchmarks: deep enough for realistic
+#: traversal cost, shallow enough for pure-Python throughput.
+BENCH_DEPTH = 12
+
+#: Dataset shape for construction benchmarks: full-density poses keep the
+#: paper's inter-batch overlap regime (Fig. 8); ray density and batch
+#: truncation control cost.
+BENCH_POSE_SCALE = 1.0
+BENCH_RAY_SCALE = 0.8
+
+#: Batches fed to each construction run (the dense trajectory prefix).
+BENCH_MAX_BATCHES = 10
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a titled block and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        block = f"\n===== {name} =====\n{text}\n"
+        print(block)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as handle:
+            handle.write(block)
+
+    return _emit
+
+
+def _bench_dataset(name):
+    return make_dataset(
+        name, pose_scale=BENCH_POSE_SCALE, ray_scale=BENCH_RAY_SCALE
+    )
+
+
+@pytest.fixture(scope="session")
+def corridor():
+    return _bench_dataset("fr079_corridor")
+
+
+@pytest.fixture(scope="session")
+def campus():
+    return _bench_dataset("freiburg_campus")
+
+
+@pytest.fixture(scope="session")
+def college():
+    return _bench_dataset("new_college")
+
+
+@pytest.fixture(scope="session")
+def all_datasets(corridor, campus, college):
+    return [corridor, campus, college]
+
+
+def pipeline_factory(kind, dataset, depth=BENCH_DEPTH, cache_config=None):
+    """Factories for the four evaluated mapping systems (+parallel)."""
+    classes = {
+        "octomap": OctoMapPipeline,
+        "octomap_rt": OctoMapRTPipeline,
+        "octocache": OctoCacheMap,
+        "octocache_rt": OctoCacheRTMap,
+        "octocache_parallel": ParallelOctoCacheMap,
+    }
+    cls = classes[kind]
+    kwargs = {"depth": depth, "max_range": dataset.sensor.max_range}
+    if cache_config is not None and kind.startswith("octocache"):
+        kwargs["cache_config"] = cache_config
+    return lambda res: cls(resolution=res, **kwargs)

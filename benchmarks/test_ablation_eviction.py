@@ -1,0 +1,75 @@
+"""Ablation: τ-threshold sequential eviction vs flush-everything.
+
+OctoCache keeps up to τ cells per bucket across batches (§4.2.2), which is
+what converts *inter-batch* overlap (Figure 8) into cache hits.  The
+ablation replaces eviction with a full flush after every batch: intra-batch
+duplication still hits, but every revisited voxel misses again next batch.
+
+Expected: retention wins on hit ratio and on octree write traffic.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.cache import VoxelCache
+from repro.core.config import CacheConfig
+from repro.octree.tree import OccupancyOctree
+from repro.sensor.scaninsert import trace_scan
+
+from .conftest import BENCH_DEPTH, BENCH_MAX_BATCHES
+
+RESOLUTION = 0.2
+NUM_BUCKETS = 4096
+TAU = 4
+
+
+def drive(dataset, flush_every_batch):
+    config = CacheConfig(num_buckets=NUM_BUCKETS, bucket_threshold=TAU)
+    backend = OccupancyOctree(resolution=RESOLUTION, depth=BENCH_DEPTH)
+    cache = VoxelCache(config, backend=backend)
+    octree_writes = 0
+    for index, cloud in enumerate(dataset.scans()):
+        if index >= BENCH_MAX_BATCHES:
+            break
+        batch = trace_scan(
+            cloud, RESOLUTION, BENCH_DEPTH, max_range=dataset.sensor.max_range
+        )
+        cache.insert_batch(batch.observations)
+        evicted = cache.flush() if flush_every_batch else cache.evict()
+        for key, value in evicted:
+            backend.set_leaf(key, value)
+        octree_writes += len(evicted)
+    # End-of-run flush so both policies account for the full map.
+    final = cache.flush()
+    for key, value in final:
+        backend.set_leaf(key, value)
+    octree_writes += len(final)
+    return cache.stats.hit_ratio, octree_writes
+
+
+def test_ablation_eviction_policy(benchmark, corridor, college, emit):
+    def run():
+        results = {}
+        for dataset in (corridor, college):
+            retain = drive(dataset, flush_every_batch=False)
+            flush = drive(dataset, flush_every_batch=True)
+            results[dataset.name] = {"retain": retain, "flush": flush}
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, data in results.items():
+        for policy in ("retain", "flush"):
+            hit_ratio, writes = data[policy]
+            rows.append([name, policy, f"{hit_ratio:.3f}", writes])
+    emit(
+        "ablation_eviction_policy",
+        format_table(["dataset", "policy", "hit ratio", "octree writes"], rows),
+    )
+
+    for name, data in results.items():
+        retain_hits, retain_writes = data["retain"]
+        flush_hits, flush_writes = data["flush"]
+        # Retention converts inter-batch overlap into hits...
+        assert retain_hits > flush_hits, name
+        # ...and spares the octree the re-written voxels.
+        assert retain_writes < flush_writes, name

@@ -1,0 +1,125 @@
+"""Ablation: shared-L2 contention cost of the two-thread design (§4.4).
+
+The paper claims the parallel design costs "only one extra CPU core".
+On the TX2 that core shares the L2, so thread 2's octree updates compete
+with thread 1's cache insertions for L2 capacity.  This ablation replays
+thread-1-style traffic (cache-table probes) interleaved with thread-2
+octree-update traffic through the dual-core model and reports how much
+the sharing inflates thread 1's memory cost — quantifying the claim.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.morton import morton_encode3
+from repro.octree.tree import OccupancyOctree
+from repro.simcache.cache_sim import CacheLevel
+from repro.simcache.cost_model import AccessCosts
+from repro.simcache.multicore import DualCoreHierarchy, interleave_traces
+from repro.simcache.trace import TraceRecorder
+
+from .conftest import BENCH_DEPTH
+
+NUM_KEYS = 15_000
+
+
+def octree_trace(keys):
+    recorder = TraceRecorder()
+    tree = OccupancyOctree(resolution=0.1, depth=BENCH_DEPTH, visit_hook=recorder.record)
+    for key in keys:
+        tree.update_node(key, True)
+    return recorder.trace
+
+
+def cache_table_trace(keys, num_buckets=512, bucket_bytes=64):
+    """Thread-1-style accesses: one bucket probe per insertion.
+
+    The flat cache's accesses are just bucket-array touches — model each
+    insertion as an access to its bucket's address.  Buckets are spaced a
+    cache line apart (τ=4 cells ≈ 28 bytes + vector header), and the
+    table lives at a disjoint heap offset from the octree nodes.
+    """
+    base = 1 << 30
+    return [
+        base + (morton_encode3(*key) % num_buckets) * bucket_bytes
+        for key in keys
+    ]
+
+
+def make_dual():
+    return DualCoreHierarchy(
+        l1=CacheLevel("L1", 4 * 1024, 64, 2),
+        l2=CacheLevel("L2", 64 * 1024, 64, 16),
+        costs=AccessCosts(level_cycles=(4.0, 21.0), dram_cycles=180.0),
+    )
+
+
+def test_ablation_shared_l2_contention(benchmark, emit):
+    rng = np.random.default_rng(9)
+    x = rng.integers(0, 512, NUM_KEYS)
+    y = rng.integers(0, 512, NUM_KEYS)
+    z = (128 + 10 * np.sin(x / 25.0) + rng.integers(0, 2, NUM_KEYS)).astype(int)
+    keys = sorted(
+        zip(x.tolist(), y.tolist(), z.tolist()), key=lambda k: morton_encode3(*k)
+    )
+
+    shuffled = list(keys)
+    np.random.default_rng(1).shuffle(shuffled)
+
+    def run():
+        thread1 = cache_table_trace(keys)
+        thread2_morton = octree_trace(keys)  # Morton-ordered evictions
+        thread2_random = octree_trace(shuffled)  # hostile ordering
+
+        # Solo: thread 1 runs alone on core 0.
+        solo = make_dual()
+        for address in thread1:
+            solo.access(0, address)
+        results = {"solo": solo.mean_cycles(0)}
+
+        for label, thread2 in (
+            ("morton", thread2_morton),
+            ("random", thread2_random),
+        ):
+            shared = make_dual()
+            # Thread 2 is memory-bound: one octree insertion issues ~2x
+            # depth node visits, against thread 1's single bucket probe.
+            for core, address in interleave_traces(
+                thread1, thread2, chunk=8, chunk_b=8 * 24
+            ):
+                shared.access(core, address)
+            results[label] = shared.mean_cycles(0)
+            results[f"{label}_t2"] = shared.mean_cycles(1)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    inflation_morton = results["morton"] / results["solo"]
+    inflation_random = results["random"] / results["solo"]
+    emit(
+        "ablation_l2_contention",
+        format_table(
+            ["metric", "cycles/access"],
+            [
+                ["thread 1 solo", f"{results['solo']:.1f}"],
+                [
+                    "thread 1 beside Morton-ordered octree updates",
+                    f"{results['morton']:.1f} ({inflation_morton:.2f}x)",
+                ],
+                [
+                    "thread 1 beside random-ordered octree updates",
+                    f"{results['random']:.1f} ({inflation_random:.2f}x)",
+                ],
+                ["thread 2 (morton)", f"{results['morton_t2']:.1f}"],
+                ["thread 2 (random)", f"{results['random_t2']:.1f}"],
+            ],
+        ),
+    )
+
+    # Contention exists but stays moderate — the paper's "one extra core
+    # is cheap" claim...
+    assert 1.0 <= inflation_morton < 2.0
+    # ...and Morton eviction ordering is *also* the polite neighbour: its
+    # L1-local octree traffic pressures the shared L2 no more than the
+    # hostile ordering does.
+    assert inflation_morton <= inflation_random + 0.02

@@ -1,0 +1,48 @@
+"""Figure 13: serial vs parallel OctoCache workflow timelines.
+
+The paper's Figure 13 is a schematic of where time goes; this benchmark
+renders the same picture from *measured* stage times of a real corridor
+run — the serial bar, the two-thread bars with the waiting gap — and
+asserts the relationships the schematic encodes.
+"""
+
+from repro.analysis.sweeps import run_construction, suggest_cache_config
+from repro.analysis.timeline import (
+    render_parallel_timeline,
+    render_serial_timeline,
+)
+from repro.core.pipeline_model import PipelineModel
+
+from .conftest import BENCH_DEPTH, BENCH_MAX_BATCHES, pipeline_factory
+
+RESOLUTION = 0.15
+
+
+def test_fig13_workflow_timeline(benchmark, corridor, emit):
+    config = suggest_cache_config(corridor, RESOLUTION, BENCH_DEPTH)
+
+    def run():
+        return run_construction(
+            corridor,
+            RESOLUTION,
+            pipeline_factory("octocache", corridor, cache_config=config),
+            depth=BENCH_DEPTH,
+            max_batches=BENCH_MAX_BATCHES,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Render from the run's actual per-batch stage times.
+    model = PipelineModel(result.batch_stage_times)
+    serial_art = render_serial_timeline(model.batches)
+    parallel_art = render_parallel_timeline(model.batches)
+    emit("fig13_workflow_timeline", serial_art + "\n\n" + parallel_art)
+
+    timeline = model.simulate()
+    # The schematic's claims: parallel is never slower, and the critical
+    # thread spends no time in 'O' (octree update moved to thread 2).
+    assert timeline.parallel_seconds <= timeline.serial_seconds + 1e-9
+    thread1_line = parallel_art.splitlines()[0]
+    assert "O" not in thread1_line
+    serial_line = serial_art.splitlines()[0]
+    assert "O" in serial_line

@@ -1,0 +1,120 @@
+"""Figure 16: UAV navigation, OctoMap- vs OctoCache-based systems.
+
+The paper flies both systems through the four MAVBench environments at
+the per-environment baseline ⟨sensing range, resolution⟩ and reports
+end-to-end runtime speedups of 1.78–3.02× and task-completion-time
+reductions of 13–28% (AscTec Pelican).  Regenerated with the closed-loop
+simulator; asserted shape: every mission completes without collision,
+OctoCache cuts per-cycle response latency in every environment, and cuts
+completion time wherever compute (not rotor power) is the binding
+constraint.
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.octocache import OctoCacheMap
+from repro.uav.environments import ENVIRONMENT_NAMES, make_environment
+from repro.uav.mission import MissionConfig, run_mission
+from repro.uav.vehicle import ASCTEC_PELICAN
+
+DEPTH = 12
+MAX_CYCLES = 900
+
+PIPELINES = {"octomap": OctoMapPipeline, "octocache": OctoCacheMap}
+
+
+def fly(env, kind, resolution=None, sensing_range=None, uav=ASCTEC_PELICAN):
+    config = MissionConfig(
+        environment=env,
+        uav=uav,
+        resolution=resolution,
+        sensing_range=sensing_range,
+        max_cycles=MAX_CYCLES,
+        model_octree_offload=True,
+    )
+    cls = PIPELINES[kind]
+
+    def attempt():
+        return run_mission(
+            config,
+            lambda res: cls(
+                resolution=res, depth=DEPTH, max_range=config.sensing_range
+            ),
+        )
+
+    result = attempt()
+    if not result.success and not result.crashed:
+        # Trajectories are wall-clock driven; a rare hover-loop timeout is
+        # stochastic, so one retry keeps the benchmark deterministic in
+        # practice without masking crashes or systematic failures.
+        result = attempt()
+    return result
+
+
+def test_fig16_uav_navigation(benchmark, emit):
+    def run():
+        results = {}
+        for name in ENVIRONMENT_NAMES:
+            env = make_environment(name)
+            results[name] = (fly(env, "octomap"), fly(env, "octocache"))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (octomap, octocache) in results.items():
+        runtime_speedup = (
+            octomap.mean_response_latency / octocache.mean_response_latency
+        )
+        completion_saving = 1.0 - (
+            octocache.completion_time / octomap.completion_time
+        )
+        rows.append(
+            [
+                name,
+                f"{octomap.mean_response_latency * 1000:.0f}ms",
+                f"{octocache.mean_response_latency * 1000:.0f}ms",
+                f"{runtime_speedup:.2f}x",
+                f"{octomap.completion_time:.1f}s",
+                f"{octocache.completion_time:.1f}s",
+                f"{completion_saving * 100:.0f}%",
+                f"{octomap.mean_velocity:.1f}",
+                f"{octocache.mean_velocity:.1f}",
+            ]
+        )
+    emit(
+        "fig16_uav_octomap_vs_octocache",
+        format_table(
+            [
+                "environment",
+                "OctoMap resp",
+                "OctoCache resp",
+                "runtime speedup",
+                "OctoMap T",
+                "OctoCache T",
+                "T saved",
+                "v OctoMap",
+                "v OctoCache",
+            ],
+            rows,
+        ),
+    )
+
+    savings = []
+    for name, (octomap, octocache) in results.items():
+        # Every mission lands safely.
+        assert octomap.success and not octomap.crashed, name
+        assert octocache.success and not octocache.crashed, name
+        # Universal response-latency win (paper: 1.78-3.02x end-to-end).
+        speedup = octomap.mean_response_latency / octocache.mean_response_latency
+        assert speedup > 1.3, (name, speedup)
+        # Completion time: no per-environment regression beyond trajectory
+        # jitter (runs are wall-clock driven)...
+        assert octocache.completion_time < octomap.completion_time * 1.1, name
+        savings.append(
+            1.0 - octocache.completion_time / octomap.completion_time
+        )
+        # Velocity never degrades.
+        assert octocache.mean_velocity >= octomap.mean_velocity * 0.95, name
+    # ...and a clear aggregate saving (paper: 13-28% on the Pelican).
+    assert sum(savings) / len(savings) > 0.10, savings

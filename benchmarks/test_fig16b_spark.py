@@ -1,0 +1,96 @@
+"""Figure 16 (DJI Spark): the bottleneck shifts to rotor power.
+
+The paper's §6.1.2 observation: on the weak DJI Spark, OctoCache buys *no*
+completion-time improvement in Openland and Factory — the rotor-limited
+top speed, not compute, binds there — while the compute-bound Room still
+benefits.  This is the experiment that separates "mapping is faster"
+from "the mission gets faster": the second needs compute to be the
+binding constraint.
+"""
+
+from repro.analysis.report import format_table
+from repro.uav.environments import make_environment
+from repro.uav.vehicle import DJI_SPARK
+from repro.uav.velocity import max_safe_velocity
+
+from .test_fig16_uav_octomap import fly
+
+ENVIRONMENTS = ("openland", "room")
+
+
+def test_fig16_spark_rotor_bottleneck(benchmark, emit):
+    def run():
+        results = {}
+        for name in ENVIRONMENTS:
+            env = make_environment(name)
+            results[name] = (
+                fly(env, "octomap", uav=DJI_SPARK),
+                fly(env, "octocache", uav=DJI_SPARK),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (octomap, octocache) in results.items():
+        rows.append(
+            [
+                name,
+                f"{octomap.mean_response_latency * 1000:.0f}ms",
+                f"{octocache.mean_response_latency * 1000:.0f}ms",
+                f"{octomap.mean_velocity:.2f}",
+                f"{octocache.mean_velocity:.2f}",
+                f"{octomap.completion_time:.1f}s",
+                f"{octocache.completion_time:.1f}s",
+            ]
+        )
+    emit(
+        "fig16b_spark_rotor_bottleneck",
+        format_table(
+            [
+                "environment",
+                "OctoMap resp",
+                "OctoCache resp",
+                "v OctoMap",
+                "v OctoCache",
+                "T OctoMap",
+                "T OctoCache",
+            ],
+            rows,
+        ),
+    )
+
+    openland_octomap, openland_octocache = results["openland"]
+    room_octomap, room_octocache = results["room"]
+
+    # Mapping still speeds up everywhere...
+    assert (
+        openland_octocache.mean_response_latency
+        < openland_octomap.mean_response_latency
+    )
+
+    # ...but in openland the Spark runs against its rotor ceiling: with
+    # OctoCache's latency the velocity bound saturates the cap, so the
+    # compute speedup buys almost no velocity (the paper's "no
+    # improvement ... as the bottleneck shifts to UAV rotor power").
+    openland = make_environment("openland")
+    v_fast = max_safe_velocity(
+        DJI_SPARK,
+        openland.sensing_range,
+        openland_octocache.mean_response_latency,
+    )
+    assert v_fast >= 0.95 * DJI_SPARK.max_velocity
+    velocity_gain_openland = (
+        openland_octocache.mean_velocity / openland_octomap.mean_velocity
+    )
+    assert velocity_gain_openland < 1.25
+
+    # In the room, compute binds even for the Spark: a large velocity and
+    # completion-time win remains — the contrast that demonstrates the
+    # bottleneck shift.
+    velocity_gain_room = (
+        room_octocache.mean_velocity / room_octomap.mean_velocity
+    )
+    assert velocity_gain_room > 1.5
+    assert velocity_gain_room > 2.0 * velocity_gain_openland
+    assert room_octocache.completion_time < room_octomap.completion_time

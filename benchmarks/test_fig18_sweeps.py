@@ -1,0 +1,112 @@
+"""Figure 18: sensitivity sweeps, OctoMap vs OctoCache (Room, AscTec).
+
+(a)/(b): fixed sensing range 3 m, resolution swept 0.1–0.2 m.
+(c)/(d): fixed resolution 0.15 m, sensing range swept 2–4 m.
+
+Paper's findings: OctoCache's advantage grows with resolution and with
+sensing range (up to 2.46× / 3.66× end-to-end, 1.65–1.72× flight
+velocity), and even the cheapest settings never favour OctoMap.
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.octocache import OctoCacheMap
+from repro.uav.environments import make_environment
+from repro.uav.sweeps import resolution_sweep, sensing_range_sweep
+from repro.uav.vehicle import ASCTEC_PELICAN
+
+DEPTH = 12
+RESOLUTIONS = (0.2, 0.15, 0.1)
+RANGES = (2.0, 3.0, 4.0)
+
+
+def factories():
+    def octomap(res, srange):
+        return OctoMapPipeline(resolution=res, depth=DEPTH, max_range=srange)
+
+    def octocache(res, srange):
+        return OctoCacheMap(resolution=res, depth=DEPTH, max_range=srange)
+
+    return octomap, octocache
+
+
+def test_fig18_room_sweeps(benchmark, emit):
+    env = make_environment("room")
+    octomap, octocache = factories()
+
+    def run():
+        return {
+            "res_octomap": resolution_sweep(
+                env, RESOLUTIONS, octomap, uav=ASCTEC_PELICAN, model_octree_offload=True
+            ),
+            "res_octocache": resolution_sweep(
+                env, RESOLUTIONS, octocache, uav=ASCTEC_PELICAN, model_octree_offload=True
+            ),
+            "range_octomap": sensing_range_sweep(
+                env, RANGES, octomap, uav=ASCTEC_PELICAN, model_octree_offload=True
+            ),
+            "range_octocache": sensing_range_sweep(
+                env, RANGES, octocache, uav=ASCTEC_PELICAN, model_octree_offload=True
+            ),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for axis, label in (("res", "resolution"), ("range", "sensing range")):
+        base = sweeps[f"{axis}_octomap"]
+        cached = sweeps[f"{axis}_octocache"]
+        for b, c in zip(base, cached):
+            knob = b.resolution if axis == "res" else b.sensing_range
+            rows.append(
+                [
+                    label,
+                    knob,
+                    f"{b.result.mean_response_latency * 1000:.0f}ms",
+                    f"{c.result.mean_response_latency * 1000:.0f}ms",
+                    f"{b.result.mean_response_latency / c.result.mean_response_latency:.2f}x",
+                    f"{b.result.mean_velocity:.2f}",
+                    f"{c.result.mean_velocity:.2f}",
+                    f"{b.result.completion_time:.1f}s",
+                    f"{c.result.completion_time:.1f}s",
+                ]
+            )
+    emit(
+        "fig18_room_sweeps",
+        format_table(
+            [
+                "sweep",
+                "value",
+                "OctoMap resp",
+                "OctoCache resp",
+                "speedup",
+                "v OctoMap",
+                "v OctoCache",
+                "T OctoMap",
+                "T OctoCache",
+            ],
+            rows,
+        ),
+    )
+
+    for axis in ("res", "range"):
+        base = sweeps[f"{axis}_octomap"]
+        cached = sweeps[f"{axis}_octocache"]
+        speedups = []
+        for b, c in zip(base, cached):
+            assert b.result.success and c.result.success, axis
+            assert not b.result.crashed and not c.result.crashed, axis
+            speedups.append(
+                b.result.mean_response_latency
+                / c.result.mean_response_latency
+            )
+            # OctoCache flies at least as fast at every point (Fig 18 b/d).
+            assert (
+                c.result.mean_velocity >= b.result.mean_velocity * 0.95
+            ), axis
+        # The decisive, jitter-proof claim: a >2x win at *every* sweep
+        # point (paper: up to 2.46x/3.66x at the expensive ends).  Trend
+        # comparisons between single-mission points are not asserted —
+        # per-run speedups at one point vary by tens of percent (the
+        # table shows the shape; EXPERIMENTS.md discusses it).
+        assert min(speedups) > 2.0, (axis, speedups)

@@ -1,0 +1,107 @@
+"""Figure 19: sensitivity sweeps for the -RT systems (Room, AscTec).
+
+(a)/(b): fixed sensing range 3 m, resolution swept over the RT-class fine
+end.  (c)/(d): fixed RT resolution, sensing range swept 2–4 m.  Paper:
+OctoCache-RT 25% / 17% faster in the two headline scenarios, advantage
+growing toward fine resolutions.
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.octomap_rt import OctoMapRTPipeline
+from repro.core.octocache import OctoCacheRTMap
+from repro.uav.environments import make_environment
+from repro.uav.sweeps import resolution_sweep, sensing_range_sweep
+from repro.uav.vehicle import ASCTEC_PELICAN
+
+DEPTH = 12
+RESOLUTIONS = (0.15, 0.1)
+RANGES = (2.0, 3.0)
+FIXED_RT_RESOLUTION = 0.1
+
+
+def factories():
+    def octomap_rt(res, srange):
+        return OctoMapRTPipeline(resolution=res, depth=DEPTH, max_range=srange)
+
+    def octocache_rt(res, srange):
+        return OctoCacheRTMap(resolution=res, depth=DEPTH, max_range=srange)
+
+    return octomap_rt, octocache_rt
+
+
+def test_fig19_room_sweeps_rt(benchmark, emit):
+    env = make_environment("room")
+    octomap_rt, octocache_rt = factories()
+
+    def run():
+        return {
+            "res_octomap": resolution_sweep(
+                env, RESOLUTIONS, octomap_rt, uav=ASCTEC_PELICAN, model_octree_offload=True
+            ),
+            "res_octocache": resolution_sweep(
+                env, RESOLUTIONS, octocache_rt, uav=ASCTEC_PELICAN, model_octree_offload=True
+            ),
+            "range_octomap": sensing_range_sweep(
+                env,
+                RANGES,
+                octomap_rt,
+                resolution=FIXED_RT_RESOLUTION,
+                uav=ASCTEC_PELICAN,
+                model_octree_offload=True,
+            ),
+            "range_octocache": sensing_range_sweep(
+                env,
+                RANGES,
+                octocache_rt,
+                resolution=FIXED_RT_RESOLUTION,
+                uav=ASCTEC_PELICAN,
+                model_octree_offload=True,
+            ),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for axis, label in (("res", "resolution"), ("range", "sensing range")):
+        for b, c in zip(sweeps[f"{axis}_octomap"], sweeps[f"{axis}_octocache"]):
+            knob = b.resolution if axis == "res" else b.sensing_range
+            rows.append(
+                [
+                    label,
+                    knob,
+                    f"{b.result.mean_response_latency * 1000:.0f}ms",
+                    f"{c.result.mean_response_latency * 1000:.0f}ms",
+                    f"{b.result.mean_response_latency / c.result.mean_response_latency:.2f}x",
+                    f"{b.result.completion_time:.1f}s",
+                    f"{c.result.completion_time:.1f}s",
+                ]
+            )
+    emit(
+        "fig19_room_sweeps_rt",
+        format_table(
+            [
+                "sweep",
+                "value",
+                "OctoMap-RT resp",
+                "OctoCache-RT resp",
+                "speedup",
+                "T OctoMap-RT",
+                "T OctoCache-RT",
+            ],
+            rows,
+        ),
+    )
+
+    for axis in ("res", "range"):
+        speedups = []
+        for b, c in zip(sweeps[f"{axis}_octomap"], sweeps[f"{axis}_octocache"]):
+            assert b.result.success and c.result.success, axis
+            assert not b.result.crashed and not c.result.crashed, axis
+            speedups.append(
+                b.result.mean_response_latency
+                / c.result.mean_response_latency
+            )
+        # OctoCache-RT never loses meaningfully (single-mission jitter
+        # allows a hair below parity), and wins clearly on each sweep.
+        assert min(speedups) > 0.85, (axis, speedups)
+        assert max(speedups) > 1.1, (axis, speedups)

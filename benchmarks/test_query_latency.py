@@ -1,0 +1,91 @@
+"""Query wait latency: the paper's core motivation (§2.2, Figure 4).
+
+"If there is an ongoing OctoMap generation process, the query must wait
+until it finishes" — a planner issuing a query right after a scan arrives
+waits for the whole octree update under OctoMap, but only for cache
+insertion under OctoCache (Figure 13).  This benchmark measures that
+time-to-first-query per batch directly, plus the post-readiness cost of
+the queries themselves.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import suggest_cache_config
+
+from .conftest import BENCH_DEPTH, BENCH_MAX_BATCHES, pipeline_factory
+
+RESOLUTION = 0.15
+QUERIES_PER_BATCH = 200
+
+
+def run_pipeline(kind, dataset, cache_config=None, rng_seed=0):
+    mapping = pipeline_factory(kind, dataset, cache_config=cache_config)(
+        RESOLUTION
+    )
+    rng = np.random.default_rng(rng_seed)
+    wait_latencies = []
+    query_costs = []
+    for index, cloud in enumerate(dataset.scans()):
+        if index >= BENCH_MAX_BATCHES:
+            break
+        record = mapping.insert_point_cloud(cloud)
+        # Time-to-first-query: how long this batch blocked the planner.
+        wait_latencies.append(mapping.record_response_seconds(record))
+        # Cost of the queries themselves once the map is serveable.
+        probes = rng.uniform(-4.5, 4.5, size=(QUERIES_PER_BATCH, 3))
+        probes[:, 2] = rng.uniform(0.0, 2.5, QUERIES_PER_BATCH)
+        start = time.perf_counter()
+        for probe in probes:
+            mapping.is_occupied(tuple(probe))
+        query_costs.append(time.perf_counter() - start)
+    mapping.finalize()
+    return mapping, wait_latencies, query_costs
+
+
+def test_query_wait_latency(benchmark, corridor, emit):
+    config = suggest_cache_config(corridor, RESOLUTION, BENCH_DEPTH)
+
+    def run():
+        results = {}
+        for kind in ("octomap", "octocache"):
+            results[kind] = run_pipeline(
+                kind, corridor, cache_config=config
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for kind, (mapping, waits, queries) in results.items():
+        rows.append(
+            [
+                mapping.name,
+                f"{np.mean(waits) * 1000:.1f}ms",
+                f"{np.max(waits) * 1000:.1f}ms",
+                f"{np.mean(queries) * 1e6 / QUERIES_PER_BATCH:.1f}us",
+            ]
+        )
+    emit(
+        "query_wait_latency",
+        format_table(
+            [
+                "system",
+                "mean wait per batch",
+                "worst wait",
+                "per-query cost",
+            ],
+            rows,
+        ),
+    )
+
+    _octomap, octomap_waits, octomap_queries = results["octomap"]
+    _octocache, cache_waits, cache_queries = results["octocache"]
+    # The headline: queries stop waiting for the octree.
+    assert np.mean(cache_waits) < 0.5 * np.mean(octomap_waits)
+    assert np.max(cache_waits) < np.max(octomap_waits)
+    # Query consistency costs little: per-query overhead stays within 4x
+    # of a pure octree lookup (one bucket scan before the fallthrough).
+    assert np.mean(cache_queries) < 4.0 * np.mean(octomap_queries)

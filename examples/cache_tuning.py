@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Cache tuning: size and shape of the OctoCache voxel cache (Figs 23–24).
+
+Sweeps the bucket count (hit ratio saturates once all duplication is
+captured) and the bucket depth τ at fixed total capacity (the paper's
+"best cache shape" question; optimum τ between 2 and 4).
+
+Run:  python examples/cache_tuning.py
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import cache_size_sweep, tau_sweep
+from repro.core.config import CELL_BYTES
+from repro.datasets import make_dataset
+
+RESOLUTION = 0.1
+DEPTH = 12
+MAX_BATCHES = 10
+
+
+def main() -> None:
+    dataset = make_dataset("fr079_corridor", pose_scale=1.0, ray_scale=0.8)
+
+    print("=== cache size sweep (Figure 23) ===")
+    buckets_list = (64, 256, 1024, 4096)
+    results = cache_size_sweep(
+        dataset,
+        RESOLUTION,
+        num_buckets_list=buckets_list,
+        depth=DEPTH,
+        max_batches=MAX_BATCHES,
+    )
+    rows = [
+        [
+            buckets,
+            f"{buckets * 4 * CELL_BYTES / 1024:.0f}KB",
+            f"{result.cache_hit_ratio:.3f}",
+            f"{result.total_seconds:.2f}s",
+        ]
+        for buckets, result in zip(buckets_list, results)
+    ]
+    print(format_table(["buckets", "size (tau=4)", "hit ratio", "build time"], rows))
+    print("hit ratio rises, then saturates: all duplication captured.\n")
+
+    print("=== cache shape sweep (Figure 24) ===")
+    taus = (1, 2, 4, 8, 16)
+    results = tau_sweep(
+        dataset,
+        RESOLUTION,
+        taus=taus,
+        total_capacity=2048,
+        depth=DEPTH,
+        max_batches=MAX_BATCHES,
+    )
+    rows = [
+        [
+            tau,
+            f"{result.cache_hit_ratio:.3f}",
+            f"{result.total_seconds:.2f}s",
+        ]
+        for tau, result in zip(taus, results)
+    ]
+    print(format_table(["tau", "hit ratio", "build time"], rows))
+    print(
+        "small tau: collision evictions cost hits; large tau: long bucket "
+        "scans cost insertion time.  The sweet spot sits at tau 2-4, as in "
+        "the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-session mapping: merge two independently built maps.
+
+Two UAVs (or two flights) each scan half of the corridor with their own
+OctoCache pipeline; the maps are then merged — accumulating log-odds
+evidence where both saw the same voxels — serialised, reloaded, and
+checked for agreement against a single-session reference map.
+
+Run:  python examples/multi_session_merge.py
+"""
+
+from repro import OctoCacheMap, OctoMapPipeline
+from repro.datasets import make_dataset
+from repro.octree.merge import map_agreement, merge_tree
+from repro.octree.serialize import tree_from_bytes, tree_to_bytes
+
+RESOLUTION = 0.2
+DEPTH = 11
+
+
+def main() -> None:
+    dataset = make_dataset("fr079_corridor", pose_scale=0.8, ray_scale=0.5)
+    scans = list(dataset.scans())
+    half = len(scans) // 2
+    print(f"{len(scans)} scans: session A gets {half}, session B the rest")
+
+    def build(session_scans):
+        mapping = OctoCacheMap(
+            resolution=RESOLUTION, depth=DEPTH, max_range=dataset.sensor.max_range
+        )
+        for cloud in session_scans:
+            mapping.insert_point_cloud(cloud)
+        mapping.finalize()
+        return mapping
+
+    session_a = build(scans[:half])
+    session_b = build(scans[half:])
+    print(
+        f"session A: {session_a.octree.num_nodes} nodes; "
+        f"session B: {session_b.octree.num_nodes} nodes"
+    )
+
+    # Merge B into A (independent evidence accumulates).
+    transferred = merge_tree(session_a.octree, session_b.octree, "accumulate")
+    print(f"merged: {transferred} voxels folded in, "
+          f"{session_a.octree.num_nodes} nodes total")
+
+    # Serialise the merged map and reload it.
+    blob = tree_to_bytes(session_a.octree)
+    reloaded = tree_from_bytes(blob)
+    print(f"serialised merged map: {len(blob)} bytes")
+
+    # Compare decisions against a single continuous session.
+    reference = OctoMapPipeline(
+        resolution=RESOLUTION, depth=DEPTH, max_range=dataset.sensor.max_range
+    )
+    for cloud in scans:
+        reference.insert_point_cloud(cloud)
+    report = map_agreement(reference.octree, reloaded)
+    print(
+        f"\nagreement with the single-session reference: "
+        f"{report.decision_agreement * 100:.1f}% of {report.compared} voxels "
+        f"({report.missing} unknown to the merged map)"
+    )
+
+
+if __name__ == "__main__":
+    main()

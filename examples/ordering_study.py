@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Voxel-ordering study: why Morton order wins (paper §3.2, §4.3, Fig. 10).
+
+Inserts one batch of corridor-scan voxels into an empty octree under six
+orderings and reports, per ordering, the paper's locality functional
+``F(S)`` and the modeled per-voxel memory cost from the simulated cache
+hierarchy.  Also verifies the §4.3 theorem on a small instance by brute
+force.
+
+Run:  python examples/ordering_study.py
+"""
+
+import random
+
+from repro.analysis.orderings import run_ordering_experiment
+from repro.analysis.report import format_table
+from repro.core.locality import brute_force_min_cost, morton_order_cost
+from repro.datasets import make_dataset
+from repro.sensor.scaninsert import trace_scan
+
+RESOLUTION = 0.1
+DEPTH = 12
+TARGET_KEYS = 20_000
+
+
+def main() -> None:
+    # 1. The theorem, checked exactly on a small random instance.
+    levels = 3
+    codes = random.Random(7).sample(range(8**levels), 7)
+    exact = brute_force_min_cost(codes, levels)
+    morton = morton_order_cost(codes, levels)
+    print(
+        f"theorem check on {len(codes)} random leaves: "
+        f"brute-force min F = {exact}, Morton-order F = {morton} "
+        f"({'OPTIMAL' if exact == morton else 'MISMATCH!'})"
+    )
+
+    # 2. The experiment at scale, on real scan data.
+    dataset = make_dataset("fr079_corridor", pose_scale=1.0, ray_scale=0.6)
+    keys = []
+    for cloud in dataset.scans():
+        batch = trace_scan(
+            cloud, RESOLUTION, DEPTH, max_range=dataset.sensor.max_range
+        )
+        keys.extend(key for key, _occ in batch.observations)
+        if len(keys) >= TARGET_KEYS:
+            break
+    keys = keys[:TARGET_KEYS]
+    print(f"\ninserting {len(keys)} voxel observations under 6 orderings...")
+
+    results = run_ordering_experiment(keys, resolution=RESOLUTION, depth=DEPTH)
+    morton_cost = next(
+        r.modeled_cycles_per_voxel for r in results if r.name == "morton"
+    )
+    rows = [
+        [
+            r.name,
+            r.locality,
+            f"{r.modeled_cycles_per_voxel:.1f}",
+            f"{r.modeled_cycles_per_voxel / morton_cost:.2f}x",
+            f"{r.l1_hit_ratio:.3f}",
+        ]
+        for r in sorted(results, key=lambda r: r.locality)
+    ]
+    print()
+    print(
+        format_table(
+            ["ordering", "F(S)", "modeled cycles/voxel", "vs morton", "L1 hits"],
+            rows,
+        )
+    )
+    print(
+        "\nModeled cost tracks F: orderings that share more octree "
+        "ancestors between consecutive insertions hit the (simulated) CPU "
+        "caches more — the mechanism behind Figure 10."
+    )
+
+
+if __name__ == "__main__":
+    main()

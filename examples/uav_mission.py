@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Closed-loop UAV navigation: OctoMap vs OctoCache (paper §6.1).
+
+Flies the AscTec Pelican through the Room environment (the paper's
+hardest scenario) with both mapping systems and prints the Figure-16-style
+metrics: per-cycle response latency, safe flight velocity, and mission
+completion time.
+
+Run:  python examples/uav_mission.py [environment]
+      environment ∈ {openland, farm, room, factory}, default room
+"""
+
+import sys
+
+from repro import OctoMapPipeline, OctoCacheMap
+from repro.analysis.report import format_table
+from repro.uav import ASCTEC_PELICAN, MissionConfig, make_environment, run_mission
+
+
+def main() -> None:
+    env_name = sys.argv[1] if len(sys.argv) > 1 else "room"
+    env = make_environment(env_name)
+    print(
+        f"environment: {env.name} — goal {env.goal_distance:.0f} m away, "
+        f"sensing range {env.sensing_range} m, resolution {env.resolution} m"
+    )
+
+    pipelines = {
+        "OctoMap": OctoMapPipeline,
+        "OctoCache": OctoCacheMap,
+    }
+    rows = []
+    results = {}
+    for name, cls in pipelines.items():
+        config = MissionConfig(
+            environment=env,
+            uav=ASCTEC_PELICAN,
+            max_cycles=900,
+            model_octree_offload=True,
+        )
+        result = run_mission(
+            config,
+            lambda res: cls(
+                resolution=res, depth=12, max_range=config.sensing_range
+            ),
+        )
+        results[name] = result
+        rows.append(
+            [
+                name,
+                "reached" if result.success else "timed out",
+                f"{result.mean_response_latency * 1000:.0f}ms",
+                f"{result.mean_velocity:.2f} m/s",
+                f"{result.completion_time:.1f}s",
+                result.cycles,
+                result.map_queries,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "mapping system",
+                "outcome",
+                "response latency",
+                "mean velocity",
+                "completion time",
+                "cycles",
+                "map queries",
+            ],
+            rows,
+        )
+    )
+
+    octomap = results["OctoMap"]
+    octocache = results["OctoCache"]
+    if octomap.success and octocache.success:
+        speedup = octomap.mean_response_latency / octocache.mean_response_latency
+        saving = 1.0 - octocache.completion_time / octomap.completion_time
+        print(
+            f"\nOctoCache: {speedup:.2f}x faster mapping response, "
+            f"{saving * 100:.0f}% shorter mission"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""OctoCache reproduction: caching voxels for accelerating 3D occupancy mapping.
+
+This package is a from-scratch Python reproduction of *OctoCache: Caching
+Voxels for Accelerating 3D Occupancy Mapping in Autonomous Systems*
+(ASPLOS '25), together with every substrate the paper depends on:
+
+- :mod:`repro.octree` — an OctoMap-style probabilistic occupancy octree.
+- :mod:`repro.sensor` — point clouds and ray tracing (scan insertion).
+- :mod:`repro.simcache` — a memory-hierarchy simulator standing in for the
+  Jetson TX2 CPU caches (see ``DESIGN.md`` for the substitution argument).
+- :mod:`repro.datasets` — procedural 3D-scan datasets mirroring the paper's
+  three public datasets.
+- :mod:`repro.core` — OctoCache itself: the bucketed voxel cache, Morton
+  ordering, and the serial/parallel mapping pipelines.
+- :mod:`repro.baselines` — the vanilla OctoMap and OctoMap-RT pipelines.
+- :mod:`repro.uav` — a MAVBench-like closed-loop UAV navigation simulator.
+- :mod:`repro.analysis` — experiment harnesses regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import OctoCacheMap
+    m = OctoCacheMap(resolution=0.1)
+    m.insert_point_cloud(points, origin=(0.0, 0.0, 0.0))
+    assert m.is_occupied((1.0, 2.0, 0.5)) in (True, False, None)
+"""
+
+from repro.core.config import CacheConfig, OccupancyConfig
+from repro.core.morton import morton_decode3, morton_encode3
+from repro.core.adaptive import AdaptiveOctoCacheMap
+from repro.core.octocache import OctoCacheMap, OctoCacheRTMap
+from repro.core.parallel import ParallelOctoCacheMap
+from repro.baselines.octomap import OctoMapPipeline
+from repro.baselines.octomap_rt import OctoMapRTPipeline
+from repro.octree.tree import OccupancyOctree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "OccupancyConfig",
+    "AdaptiveOctoCacheMap",
+    "OctoCacheMap",
+    "OctoCacheRTMap",
+    "ParallelOctoCacheMap",
+    "OctoMapPipeline",
+    "OctoMapRTPipeline",
+    "OccupancyOctree",
+    "morton_encode3",
+    "morton_decode3",
+    "__version__",
+]

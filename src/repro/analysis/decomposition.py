@@ -1,0 +1,102 @@
+"""Per-stage runtime accounting (Figures 6, 13, 22; Table 3).
+
+Every mapping pipeline owns a :class:`StageTimings` and wraps each workflow
+stage (ray tracing, cache insertion, cache eviction, octree update, buffer
+enqueue/dequeue, thread-1 wait) in a :class:`Stopwatch` block, so runtime
+decompositions fall out of any run for free.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["StageTimings", "Stopwatch", "STANDARD_STAGES"]
+
+#: Canonical stage names used across pipelines, in workflow order.
+STANDARD_STAGES = (
+    "ray_tracing",
+    "cache_insertion",
+    "cache_eviction",
+    "octree_update",
+    "enqueue",
+    "dequeue",
+    "thread1_wait",
+)
+
+
+class StageTimings:
+    """Accumulated wall-clock seconds and invocation counts per stage."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = defaultdict(float)
+        self.counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Record ``seconds`` of work under ``stage``."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for stage {stage!r}: {seconds}")
+        self.seconds[stage] += seconds
+        self.counts[stage] += 1
+
+    def stage(self, name: str) -> "Stopwatch":
+        """Context manager timing one block under ``name``."""
+        return Stopwatch(self, name)
+
+    def total(self, stages: Optional[Iterable[str]] = None) -> float:
+        """Sum of recorded seconds, optionally restricted to ``stages``."""
+        if stages is None:
+            return sum(self.seconds.values())
+        return sum(self.seconds.get(stage, 0.0) for stage in stages)
+
+    def fraction(self, stage: str) -> float:
+        """Share of total time spent in ``stage`` (0.0 when nothing ran)."""
+        total = self.total()
+        return self.seconds.get(stage, 0.0) / total if total else 0.0
+
+    def merge(self, other: "StageTimings") -> None:
+        """Fold another accumulator into this one."""
+        for stage, seconds in other.seconds.items():
+            self.seconds[stage] += seconds
+        for stage, count in other.counts.items():
+            self.counts[stage] += count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dict of stage → seconds (stable for reports)."""
+        return dict(self.seconds)
+
+    def rows(self) -> List[str]:
+        """Human-readable decomposition lines, standard stages first."""
+        total = self.total()
+        ordered = [s for s in STANDARD_STAGES if s in self.seconds]
+        ordered += [s for s in sorted(self.seconds) if s not in STANDARD_STAGES]
+        lines = []
+        for stage in ordered:
+            seconds = self.seconds[stage]
+            share = seconds / total * 100 if total else 0.0
+            lines.append(f"{stage:>16}: {seconds:9.4f}s  ({share:5.1f}%)")
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StageTimings({dict(self.seconds)!r})"
+
+
+class Stopwatch:
+    """Context manager adding its elapsed time to a :class:`StageTimings`."""
+
+    __slots__ = ("_timings", "_stage", "_start", "elapsed")
+
+    def __init__(self, timings: StageTimings, stage: str) -> None:
+        self._timings = timings
+        self._stage = stage
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._timings.add(self._stage, self.elapsed)

@@ -1,0 +1,179 @@
+"""One-shot experiment report: the paper's headline results in one run.
+
+``quick_report`` executes compact versions of the headline experiments —
+dataset duplication, the OctoMap bottleneck decomposition, the
+voxel-ordering study, the construction comparison, and query-wait
+latency — and renders a single markdown report.  The full benchmark
+harness (``pytest benchmarks/``) remains the authoritative reproduction;
+this is the two-minute tour (also exposed as ``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.orderings import (
+    locality_cost_correlation,
+    run_ordering_experiment,
+)
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import run_construction, suggest_cache_config
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.octocache import OctoCacheMap
+from repro.datasets.generator import make_dataset
+from repro.datasets.stats import dataset_statistics
+from repro.sensor.scaninsert import trace_scan
+
+__all__ = ["quick_report", "ReportSection"]
+
+
+@dataclass
+class ReportSection:
+    """One rendered block of the report."""
+
+    title: str
+    body: str
+    seconds: float
+
+
+def quick_report(
+    dataset_name: str = "fr079_corridor",
+    resolution: float = 0.2,
+    depth: int = 12,
+    max_batches: int = 8,
+    ray_scale: float = 0.6,
+) -> List[ReportSection]:
+    """Run the compact experiment tour; returns the rendered sections."""
+    dataset = make_dataset(dataset_name, pose_scale=1.0, ray_scale=ray_scale)
+    sections: List[ReportSection] = []
+
+    def add(title: str, body: str, start: float) -> None:
+        sections.append(
+            ReportSection(title=title, body=body, seconds=time.perf_counter() - start)
+        )
+
+    # 1. Duplication (Table 2 / §3.1).
+    start = time.perf_counter()
+    stats = dataset_statistics(dataset, resolution, depth)
+    body = format_table(
+        ["metric", "value"],
+        [
+            ["scans", stats.num_point_clouds],
+            ["distinct voxels", stats.distinct_voxels],
+            ["voxel observations", stats.total_observations],
+            ["duplication ratio", f"{stats.duplication_ratio:.2f}x"],
+            [
+                "per-batch duplication",
+                f"{stats.min_batch_duplication:.2f}-{stats.max_batch_duplication:.2f}x",
+            ],
+        ],
+    )
+    add("Workload duplication (Table 2, §3.1)", body, start)
+
+    # 2. The OctoMap bottleneck (Figure 6).
+    start = time.perf_counter()
+    vanilla = run_construction(
+        dataset,
+        resolution,
+        lambda res: OctoMapPipeline(
+            resolution=res, depth=depth, max_range=dataset.sensor.max_range
+        ),
+        depth=depth,
+        max_batches=max_batches,
+    )
+    octree_share = vanilla.stage_seconds.get("octree_update", 0.0) / max(
+        vanilla.total_seconds, 1e-12
+    )
+    body = format_table(
+        ["metric", "value"],
+        [
+            ["OctoMap generation", f"{vanilla.total_seconds:.2f}s"],
+            ["octree update share", f"{octree_share * 100:.1f}%"],
+            ["octree voxel writes", vanilla.octree_voxels_written],
+        ],
+    )
+    add("OctoMap bottleneck (Figure 6)", body, start)
+
+    # 3. OctoCache construction speedup (Figures 20/22).
+    start = time.perf_counter()
+    config = suggest_cache_config(dataset, resolution, depth)
+    cached = run_construction(
+        dataset,
+        resolution,
+        lambda res: OctoCacheMap(
+            resolution=res,
+            depth=depth,
+            max_range=dataset.sensor.max_range,
+            cache_config=config,
+        ),
+        depth=depth,
+        max_batches=max_batches,
+    )
+    body = format_table(
+        ["metric", "OctoMap", "OctoCache"],
+        [
+            ["generation time", f"{vanilla.total_seconds:.2f}s", f"{cached.total_seconds:.2f}s"],
+            [
+                "time to first query",
+                f"{vanilla.critical_seconds:.2f}s",
+                f"{cached.critical_seconds:.2f}s",
+            ],
+            ["octree voxel writes", vanilla.octree_voxels_written, cached.octree_voxels_written],
+            ["cache hit ratio", "-", f"{cached.cache_hit_ratio:.3f}"],
+            [
+                "modeled two-core time",
+                "-",
+                f"{cached.timeline.parallel_seconds:.2f}s",
+            ],
+        ],
+    )
+    speedup = vanilla.total_seconds / max(cached.total_seconds, 1e-12)
+    body += f"\n\nserial speedup: {speedup:.2f}x (paper: 1.03-2.06x at 0.1m)"
+    add("OctoCache vs OctoMap (Figures 20/22)", body, start)
+
+    # 4. Voxel ordering (Figure 10).
+    start = time.perf_counter()
+    keys = []
+    for cloud in dataset.scans():
+        batch = trace_scan(
+            cloud, resolution, depth, max_range=dataset.sensor.max_range
+        )
+        keys.extend(key for key, _occ in batch.observations)
+        if len(keys) >= 15_000:
+            break
+    results = run_ordering_experiment(keys[:15_000], resolution=resolution, depth=depth)
+    by_name = {r.name: r for r in results}
+    rows = [
+        [r.name, r.locality, f"{r.modeled_cycles_per_voxel:.1f}"]
+        for r in sorted(results, key=lambda r: r.locality)
+    ]
+    body = format_table(["ordering", "F(S)", "modeled cycles/voxel"], rows)
+    body += (
+        f"\n\nrandom/morton = "
+        f"{by_name['random'].modeled_cycles_per_voxel / by_name['morton'].modeled_cycles_per_voxel:.2f}x"
+        f" (paper: 1.97-3.32x); Spearman(F, cost) = "
+        f"{locality_cost_correlation(results):.2f}"
+    )
+    add("Morton ordering (Figure 10, §4.3)", body, start)
+
+    return sections
+
+
+def render_markdown(
+    sections: List[ReportSection], title: str = "OctoCache quick report"
+) -> str:
+    """Render sections as a standalone markdown document."""
+    lines = [f"# {title}", ""]
+    total = sum(section.seconds for section in sections)
+    lines.append(
+        f"_Compact tour of the headline experiments ({total:.0f}s; the full "
+        "reproduction is `pytest benchmarks/ --benchmark-only`)._"
+    )
+    for section in sections:
+        lines.extend(
+            ["", f"## {section.title}", "", "```", section.body, "```"]
+        )
+    lines.append("")
+    return "\n".join(lines)

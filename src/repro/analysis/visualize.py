@@ -1,0 +1,61 @@
+"""ASCII visualisation of occupancy maps.
+
+Horizontal slices rendered as text — the zero-dependency equivalent of
+the paper's map screenshots, handy in examples, debugging, and docs:
+``#`` occupied, ``.`` free, space unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.interface import MappingSystem
+
+__all__ = ["occupancy_slice", "print_slice"]
+
+
+def occupancy_slice(
+    mapping: MappingSystem,
+    z: float,
+    x_range: Tuple[float, float],
+    y_range: Tuple[float, float],
+    max_cells: int = 120,
+) -> str:
+    """Render the horizontal slice at height ``z`` as ASCII art.
+
+    One character per voxel at the map's resolution (subsampled if the
+    requested window exceeds ``max_cells`` across): ``#`` occupied,
+    ``.`` free, space unknown.  Rows run north (max y) to south.
+    """
+    if x_range[0] >= x_range[1] or y_range[0] >= y_range[1]:
+        raise ValueError("ranges must be increasing (min, max) pairs")
+    step = mapping.resolution
+    span_x = x_range[1] - x_range[0]
+    span_y = y_range[1] - y_range[0]
+    while span_x / step > max_cells or span_y / step > max_cells:
+        step *= 2.0
+    xs = np.arange(x_range[0] + step / 2, x_range[1], step)
+    ys = np.arange(y_range[0] + step / 2, y_range[1], step)
+    lines = []
+    for y in ys[::-1]:
+        row = []
+        for x in xs:
+            occupied = mapping.is_occupied((float(x), float(y), z))
+            row.append("#" if occupied else ("." if occupied is False else " "))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def print_slice(
+    mapping: MappingSystem,
+    z: float,
+    x_range: Tuple[float, float],
+    y_range: Tuple[float, float],
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`occupancy_slice` with an optional title line."""
+    if title:
+        print(title)
+    print(occupancy_slice(mapping, z, x_range, y_range))

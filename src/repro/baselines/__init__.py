@@ -1,0 +1,22 @@
+"""Baseline mapping pipelines the paper evaluates against.
+
+All pipelines (baselines and OctoCache variants) implement
+:class:`repro.baselines.interface.MappingSystem`, so harnesses and the UAV
+simulator swap them freely.
+"""
+
+from repro.baselines.interface import MappingSystem
+from repro.baselines.octomap import OctoMapPipeline
+from repro.baselines.octomap_rt import OctoMapRTPipeline
+from repro.baselines.skimap import SkiMapPipeline
+from repro.baselines.skiplist import SkipList
+from repro.baselines.voxelgrid import VoxelGridPipeline
+
+__all__ = [
+    "MappingSystem",
+    "OctoMapPipeline",
+    "OctoMapRTPipeline",
+    "SkiMapPipeline",
+    "SkipList",
+    "VoxelGridPipeline",
+]

@@ -1,0 +1,210 @@
+"""The mapping-system interface shared by all pipelines.
+
+The paper requires OctoCache to keep OctoMap's query API and results
+(query consistency, §4.1); encoding the API as an abstract base makes that
+a structural guarantee — the UAV simulator, harnesses, and examples are
+written once against :class:`MappingSystem`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+from repro.analysis.decomposition import StageTimings
+from repro.octree.key import VoxelKey
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.tree import OccupancyOctree
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.scaninsert import ScanBatch, trace_scan, trace_scan_rt
+
+__all__ = ["MappingSystem", "BatchRecord"]
+
+
+class BatchRecord:
+    """Per-batch stage durations, kept for pipeline modelling (Fig. 13).
+
+    Attributes mirror the workflow stages; absent stages stay 0.0.
+    """
+
+    __slots__ = (
+        "ray_tracing",
+        "cache_insertion",
+        "cache_eviction",
+        "octree_update",
+        "enqueue",
+        "dequeue",
+        "wait",
+        "observations",
+        "evicted",
+    )
+
+    def __init__(self) -> None:
+        self.ray_tracing = 0.0
+        self.cache_insertion = 0.0
+        self.cache_eviction = 0.0
+        self.octree_update = 0.0
+        self.enqueue = 0.0
+        self.dequeue = 0.0
+        self.wait = 0.0
+        self.observations = 0
+        self.evicted = 0
+
+
+class MappingSystem(abc.ABC):
+    """Abstract occupancy mapping pipeline (Figure 4 workflow).
+
+    Concrete pipelines differ in what happens between ray tracing and the
+    octree; the sensing front-end and the query API are common.
+
+    Args:
+        resolution: finest voxel edge length (metres).
+        depth: octree depth (mapping boundary = ``resolution * 2**depth``).
+        params: occupancy-update parameters.
+        max_range: sensor range clamp applied during ray tracing.
+        rt: use duplicate-free (OctoMap-RT style) ray tracing.
+    """
+
+    #: Human-readable pipeline name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 16,
+        params: Optional[OccupancyParams] = None,
+        max_range: float = float("inf"),
+        rt: bool = False,
+    ) -> None:
+        self.resolution = resolution
+        self.depth = depth
+        self.params = params or OccupancyParams()
+        self.max_range = max_range
+        self.rt = rt
+        self.timings = StageTimings()
+        self.batches: List[BatchRecord] = []
+        #: When true, :meth:`insert_point_cloud` keeps the traced
+        #: :class:`~repro.sensor.scaninsert.ScanBatch` in
+        #: :attr:`last_batch` — incremental consumers (frontier
+        #: exploration, change feeds) read the touched voxels from it
+        #: without re-tracing the cloud.
+        self.keep_last_batch = False
+        self.last_batch: Optional[ScanBatch] = None
+        self._tree = OccupancyOctree(
+            resolution=resolution, depth=depth, params=self.params
+        )
+
+    # ------------------------------------------------------------------
+    # Sensing front-end (shared).
+    # ------------------------------------------------------------------
+
+    def trace(self, cloud: PointCloud) -> ScanBatch:
+        """Ray-trace one point cloud into a voxel observation batch."""
+        tracer = trace_scan_rt if self.rt else trace_scan
+        return tracer(
+            cloud, self.resolution, self.depth, max_range=self.max_range
+        )
+
+    # ------------------------------------------------------------------
+    # Update path.
+    # ------------------------------------------------------------------
+
+    def insert_point_cloud(
+        self,
+        points,
+        origin: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> BatchRecord:
+        """Run the full per-batch workflow for one scan.
+
+        ``points`` may be a :class:`PointCloud` (its own origin is used) or
+        an ``(N, 3)`` array-like with ``origin`` supplied separately.
+        Returns the batch's stage-duration record.
+        """
+        if isinstance(points, PointCloud):
+            cloud = points
+        else:
+            cloud = PointCloud(points, origin)
+        record = BatchRecord()
+        with self.timings.stage("ray_tracing") as watch:
+            batch = self.trace(cloud)
+        record.ray_tracing = watch.elapsed
+        record.observations = len(batch)
+        if self.keep_last_batch:
+            self.last_batch = batch
+        self._process_batch(batch, record)
+        self.batches.append(record)
+        return record
+
+    @abc.abstractmethod
+    def _process_batch(self, batch: ScanBatch, record: BatchRecord) -> None:
+        """Apply one traced batch to the map (pipeline-specific)."""
+
+    def finalize(self) -> None:
+        """Flush any buffered state into the octree (no-op by default)."""
+
+    # ------------------------------------------------------------------
+    # Query path (OctoMap-compatible API, paper §4.1).
+    # ------------------------------------------------------------------
+
+    @property
+    def octree(self) -> OccupancyOctree:
+        """The backend octree (after :meth:`finalize`, the full map)."""
+        return self._tree
+
+    def query_key(self, key: VoxelKey) -> Optional[float]:
+        """Log-odds occupancy of the voxel at ``key`` (``None`` = unknown)."""
+        return self._tree.search(key)
+
+    def query(self, coord: Tuple[float, float, float]) -> Optional[float]:
+        """Log-odds occupancy at a metric coordinate (``None`` = unknown)."""
+        return self.query_key(self._tree.coord_to_key(coord))
+
+    def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
+        """Occupancy decision at a metric coordinate (``None`` = unknown)."""
+        value = self.query(coord)
+        if value is None:
+            return None
+        return self.params.is_occupied(value)
+
+    # ------------------------------------------------------------------
+    # Latency metrics.
+    # ------------------------------------------------------------------
+
+    def critical_path_seconds(self) -> float:
+        """Time queries had to wait for, summed over all batches.
+
+        For octree-backed baselines this is ray tracing + octree update;
+        cache-backed pipelines override the stage set (queries are served
+        right after cache insertion, Figure 13).
+        """
+        return self.timings.total(("ray_tracing", "octree_update"))
+
+    def record_response_seconds(self, record: BatchRecord) -> float:
+        """One batch's query-response latency (per-cycle critical path)."""
+        return record.ray_tracing + record.octree_update
+
+    def record_busy_seconds(self, record: BatchRecord) -> float:
+        """One batch's total compute on the critical thread.
+
+        Bounds the achievable cycle rate; for single-threaded pipelines it
+        is the whole batch, for the parallel design the octree update and
+        dequeue run on thread 2 and are excluded.
+        """
+        return (
+            record.ray_tracing
+            + record.cache_insertion
+            + record.cache_eviction
+            + record.octree_update
+            + record.enqueue
+            + record.wait
+        )
+
+    def total_seconds(self) -> float:
+        """Total mapping-system generation time across all stages."""
+        return self.timings.total()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(res={self.resolution}, depth={self.depth}, "
+            f"batches={len(self.batches)})"
+        )

@@ -1,0 +1,38 @@
+"""OctoMap-RT pipeline (Min et al., reimplemented as the paper does in §5).
+
+OctoMap-RT's distinguishing feature is duplicate-eliminating ray tracing;
+its octree insertion is identical to OctoMap.  The paper re-implemented it
+on the TX2 CPU since the original is not open source — this class is the
+same reimplementation in this codebase: :func:`repro.sensor.trace_scan_rt`
+front-end, vanilla octree back-end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.octree.occupancy import OccupancyParams
+
+__all__ = ["OctoMapRTPipeline"]
+
+
+class OctoMapRTPipeline(OctoMapPipeline):
+    """OctoMap with duplicate-free (RT-style) ray tracing."""
+
+    name = "OctoMap-RT"
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 16,
+        params: Optional[OccupancyParams] = None,
+        max_range: float = float("inf"),
+    ) -> None:
+        super().__init__(
+            resolution=resolution,
+            depth=depth,
+            params=params,
+            max_range=max_range,
+            rt=True,
+        )

@@ -1,0 +1,128 @@
+"""A from-scratch skip list (the substrate for the SkiMap-like baseline).
+
+SkiMap (De Gregorio & Di Stefano, ICRA'17) replaces the octree with a
+hierarchy of skip lists.  Table 1 of the OctoCache paper credits it with
+addressing the octree bottleneck at the price of memory overhead; to
+compare against it we need an honest skip list with the classic
+probabilistic-tower structure, not a dict in disguise.
+
+Deterministic by seed, O(log n) expected search/insert, and the node
+tower overhead is accounted for in :meth:`SkipList.memory_bytes`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["SkipList"]
+
+_MAX_LEVEL = 16
+_P = 0.5
+
+#: Accounting: per node, key + value + one pointer per tower level (8B
+#: each) — the memory-overhead story Table 1 tells about SkiMap.
+_NODE_BASE_BYTES = 16
+_POINTER_BYTES = 8
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key, value, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """An ordered map with probabilistic balancing.
+
+    Args:
+        seed: PRNG seed for tower heights (deterministic structures make
+            tests and benchmarks reproducible).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._tower_slots = _MAX_LEVEL  # head's tower
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_path(self, key) -> List[_Node]:
+        """Predecessor at every level (the classic update vector)."""
+        path = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+            path[level] = node
+        return path
+
+    def get(self, key, default=None):
+        """Value stored at ``key``, or ``default``."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        return default
+
+    def insert(self, key, value) -> None:
+        """Insert or overwrite ``key``."""
+        path = self._find_path(key)
+        candidate = path[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        self._tower_slots += level
+        for index in range(level):
+            node.forward[index] = path[index].forward[index]
+            path[index].forward[index] = node
+        self._size += 1
+
+    def remove(self, key) -> bool:
+        """Delete ``key``; returns whether it existed."""
+        path = self._find_path(key)
+        candidate = path[0].forward[0]
+        if candidate is None or candidate.key != key:
+            return False
+        for index in range(len(candidate.forward)):
+            if path[index].forward[index] is candidate:
+                path[index].forward[index] = candidate.forward[index]
+        self._tower_slots -= len(candidate.forward)
+        self._size -= 1
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        return True
+
+    def items(self) -> Iterator[Tuple[object, object]]:
+        """All (key, value) pairs in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def memory_bytes(self) -> int:
+        """Accounted footprint: node bases plus every tower pointer."""
+        return self._size * _NODE_BASE_BYTES + self._tower_slots * _POINTER_BYTES
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel

@@ -1,0 +1,253 @@
+"""Command-line interface: run the paper's experiments from the shell.
+
+Four subcommands mirror the main experiment families::
+
+    python -m repro construct --dataset fr079_corridor --pipeline octocache
+    python -m repro mission   --environment room --pipeline octomap
+    python -m repro ordering  --keys 20000
+    python -m repro stats     --dataset new_college --resolution 0.2
+
+Each prints the same style of table the benchmark harness writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.baselines.octomap import OctoMapPipeline
+from repro.baselines.octomap_rt import OctoMapRTPipeline
+from repro.core.octocache import OctoCacheMap, OctoCacheRTMap
+from repro.core.parallel import ParallelOctoCacheMap
+
+__all__ = ["main", "build_parser"]
+
+PIPELINES = {
+    "octomap": OctoMapPipeline,
+    "octomap-rt": OctoMapRTPipeline,
+    "octocache": OctoCacheMap,
+    "octocache-rt": OctoCacheRTMap,
+    "octocache-parallel": ParallelOctoCacheMap,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OctoCache reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    construct = sub.add_parser(
+        "construct", help="3-D environment construction (Figs 20-22)"
+    )
+    construct.add_argument(
+        "--dataset",
+        default="fr079_corridor",
+        choices=("fr079_corridor", "freiburg_campus", "new_college"),
+    )
+    construct.add_argument(
+        "--pipeline", default="octocache", choices=sorted(PIPELINES)
+    )
+    construct.add_argument("--resolution", type=float, default=0.2)
+    construct.add_argument("--depth", type=int, default=12)
+    construct.add_argument("--batches", type=int, default=None)
+    construct.add_argument("--ray-scale", type=float, default=0.8)
+
+    mission = sub.add_parser(
+        "mission", help="closed-loop UAV navigation (Figs 16-19)"
+    )
+    mission.add_argument(
+        "--environment",
+        default="room",
+        choices=("openland", "farm", "room", "factory"),
+    )
+    mission.add_argument(
+        "--pipeline", default="octocache", choices=sorted(PIPELINES)
+    )
+    mission.add_argument("--uav", default="pelican", choices=("pelican", "spark"))
+    mission.add_argument("--resolution", type=float, default=None)
+    mission.add_argument("--sensing-range", type=float, default=None)
+    mission.add_argument("--max-cycles", type=int, default=900)
+
+    ordering = sub.add_parser(
+        "ordering", help="voxel-ordering study (Fig 10)"
+    )
+    ordering.add_argument("--keys", type=int, default=20000)
+    ordering.add_argument("--resolution", type=float, default=0.1)
+    ordering.add_argument("--depth", type=int, default=12)
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table 2)")
+    stats.add_argument(
+        "--dataset",
+        default="fr079_corridor",
+        choices=("fr079_corridor", "freiburg_campus", "new_college"),
+    )
+    stats.add_argument("--resolution", type=float, default=0.2)
+    stats.add_argument("--depth", type=int, default=12)
+
+    report = sub.add_parser(
+        "report", help="compact tour of the headline experiments"
+    )
+    report.add_argument(
+        "--dataset",
+        default="fr079_corridor",
+        choices=("fr079_corridor", "freiburg_campus", "new_college"),
+    )
+    report.add_argument("--resolution", type=float, default=0.2)
+    report.add_argument("--output", default=None, help="write markdown here")
+
+    return parser
+
+
+def _cmd_construct(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import run_construction, suggest_cache_config
+    from repro.datasets import make_dataset
+
+    dataset = make_dataset(args.dataset, pose_scale=1.0, ray_scale=args.ray_scale)
+    cls = PIPELINES[args.pipeline]
+    kwargs = {"depth": args.depth, "max_range": dataset.sensor.max_range}
+    if issubclass(cls, OctoCacheMap):
+        kwargs["cache_config"] = suggest_cache_config(
+            dataset, args.resolution, args.depth
+        )
+    result = run_construction(
+        dataset,
+        args.resolution,
+        lambda res: cls(resolution=res, **kwargs),
+        depth=args.depth,
+        max_batches=args.batches,
+    )
+    rows = [
+        ["total generation time", f"{result.total_seconds:.3f}s"],
+        ["critical-path time", f"{result.critical_seconds:.3f}s"],
+        ["cache hit ratio", f"{result.cache_hit_ratio:.3f}"],
+        ["octree voxel writes", result.octree_voxels_written],
+        ["octree nodes", result.octree_nodes],
+        ["modeled 2-core time", f"{result.timeline.parallel_seconds:.3f}s"],
+    ]
+    print(f"{result.pipeline} on {result.dataset} @ {result.resolution}m")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_mission(args: argparse.Namespace) -> int:
+    from repro.uav import (
+        ASCTEC_PELICAN,
+        DJI_SPARK,
+        MissionConfig,
+        make_environment,
+        run_mission,
+    )
+
+    env = make_environment(args.environment)
+    uav = ASCTEC_PELICAN if args.uav == "pelican" else DJI_SPARK
+    config = MissionConfig(
+        environment=env,
+        uav=uav,
+        resolution=args.resolution,
+        sensing_range=args.sensing_range,
+        max_cycles=args.max_cycles,
+        model_octree_offload=True,
+    )
+    cls = PIPELINES[args.pipeline]
+    result = run_mission(
+        config,
+        lambda res: cls(resolution=res, depth=12, max_range=config.sensing_range),
+    )
+    rows = [
+        ["outcome", "reached goal" if result.success else
+         ("CRASHED" if result.crashed else "timed out")],
+        ["completion time", f"{result.completion_time:.1f}s"],
+        ["mean velocity", f"{result.mean_velocity:.2f} m/s"],
+        ["response latency", f"{result.mean_response_latency * 1000:.0f}ms"],
+        ["cycles", result.cycles],
+        ["map queries", result.map_queries],
+    ]
+    print(f"{args.pipeline} flying {uav.name} in {env.name}")
+    print(format_table(["metric", "value"], rows))
+    return 0 if result.success else 1
+
+
+def _cmd_ordering(args: argparse.Namespace) -> int:
+    from repro.analysis.orderings import run_ordering_experiment
+    from repro.datasets import make_dataset
+    from repro.sensor.scaninsert import trace_scan
+
+    dataset = make_dataset("fr079_corridor", pose_scale=1.0, ray_scale=0.6)
+    keys = []
+    for cloud in dataset.scans():
+        batch = trace_scan(
+            cloud, args.resolution, args.depth, max_range=dataset.sensor.max_range
+        )
+        keys.extend(key for key, _occ in batch.observations)
+        if len(keys) >= args.keys:
+            break
+    keys = keys[: args.keys]
+    results = run_ordering_experiment(
+        keys, resolution=args.resolution, depth=args.depth
+    )
+    rows = [
+        [r.name, r.locality, f"{r.modeled_cycles_per_voxel:.1f}", f"{r.l1_hit_ratio:.3f}"]
+        for r in sorted(results, key=lambda r: r.modeled_cycles_per_voxel)
+    ]
+    print(format_table(["ordering", "F(S)", "cycles/voxel", "L1 hits"], rows))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.datasets import dataset_statistics, make_dataset
+
+    dataset = make_dataset(args.dataset, pose_scale=1.0, ray_scale=0.8)
+    stats = dataset_statistics(dataset, args.resolution, args.depth)
+    rows = [
+        ["point clouds", stats.num_point_clouds],
+        ["non-duplicate voxels", stats.distinct_voxels],
+        ["duplicate voxels", stats.total_observations],
+        ["duplication ratio", f"{stats.duplication_ratio:.2f}"],
+        [
+            "per-batch duplication",
+            f"{stats.min_batch_duplication:.2f}-{stats.max_batch_duplication:.2f}",
+        ],
+    ]
+    print(f"{stats.name} @ {stats.resolution}m")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import quick_report, render_markdown
+
+    sections = quick_report(
+        dataset_name=args.dataset, resolution=args.resolution
+    )
+    document = render_markdown(sections)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"report written to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+_COMMANDS = {
+    "construct": _cmd_construct,
+    "mission": _cmd_mission,
+    "ordering": _cmd_ordering,
+    "stats": _cmd_stats,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

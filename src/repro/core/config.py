@@ -1,0 +1,89 @@
+"""Configuration objects shared across the OctoCache pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.octree.occupancy import OccupancyParams
+
+__all__ = ["CacheConfig", "OccupancyConfig", "CELL_BYTES"]
+
+#: Bytes per cache cell as accounted in the paper (§5.1): 3 one-byte
+#: discretised coordinates + one 4-byte float occupancy value.
+CELL_BYTES = 7
+
+
+# Re-export under the name the public API uses; the octree substrate owns
+# the actual occupancy arithmetic.
+OccupancyConfig = OccupancyParams
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Shape and policy of the OctoCache voxel cache.
+
+    Attributes:
+        num_buckets: ``w``, the width of the bucket array.  The paper keeps
+            ``w`` a power of two so the bucket-locating ``% w`` compiles to
+            a mask (§4.2.1); enforced here for fidelity.
+        bucket_threshold: ``τ``, the maximum number of voxel cells a bucket
+            retains *after* eviction (§4.2.2).  Buckets may grow beyond τ
+            within an update batch.
+        use_morton_indexing: locate buckets with ``Morton(v) % w`` instead
+            of a generic hash (§4.3).  With sequential bucket-order
+            eviction this makes evicted batches Morton-ordered, which is
+            the paper's optimal octree insertion order.
+    """
+
+    num_buckets: int = 4096
+    bucket_threshold: int = 4
+    use_morton_indexing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {self.num_buckets}")
+        if self.num_buckets & (self.num_buckets - 1):
+            raise ValueError(
+                f"num_buckets must be a power of two (paper §4.2.1), "
+                f"got {self.num_buckets}"
+            )
+        if self.bucket_threshold < 1:
+            raise ValueError(
+                f"bucket_threshold must be >= 1, got {self.bucket_threshold}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Maximum resident voxels after eviction: ``w * τ``."""
+        return self.num_buckets * self.bucket_threshold
+
+    @property
+    def memory_bytes(self) -> int:
+        """Post-eviction memory bound: ``7 * w * τ`` bytes (paper §6.2.4)."""
+        return CELL_BYTES * self.capacity
+
+    @classmethod
+    def for_batch_size(
+        cls,
+        nondup_voxels_per_batch: int,
+        bucket_threshold: int = 4,
+        size_factor: float = 3.5,
+        use_morton_indexing: bool = True,
+    ) -> "CacheConfig":
+        """Size the cache as the paper does for construction experiments.
+
+        §5.2: pick capacity 3–4× the average number of non-duplicate voxels
+        per update batch (``size_factor`` defaults to the midpoint), then
+        round the bucket count up to a power of two.
+        """
+        if nondup_voxels_per_batch <= 0:
+            raise ValueError("nondup_voxels_per_batch must be positive")
+        target_capacity = max(1, int(nondup_voxels_per_batch * size_factor))
+        buckets = 1
+        while buckets * bucket_threshold < target_capacity:
+            buckets *= 2
+        return cls(
+            num_buckets=buckets,
+            bucket_threshold=bucket_threshold,
+            use_morton_indexing=use_morton_indexing,
+        )

@@ -1,0 +1,147 @@
+"""Serial OctoCache mapping pipeline (paper §4.2–4.3, Figure 11).
+
+The per-batch workflow is: ray tracing → cache insertion → *(queries are
+now serveable)* → cache eviction → octree update of evicted voxels.  The
+cache holds accumulated occupancy values, so a cache hit answers queries
+exactly as vanilla OctoMap would, and eviction *overwrites* the octree's
+stale copy; a cache miss falls through to the octree (§4.2.1).
+
+``use_morton_indexing=True`` (the default) gives the Morton-code cache of
+§4.3: buckets are located by ``Morton(v) % w``, so sequential bucket-order
+eviction emits the octree update batch in (modular) Morton order — the
+insertion order the paper proves optimal.  Setting it ``False`` yields the
+strawman hash cache of §4.2 (an ablation knob).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.interface import BatchRecord, MappingSystem
+from repro.core.cache import EvictedCell, VoxelCache
+from repro.core.config import CacheConfig
+from repro.octree.key import VoxelKey
+from repro.octree.occupancy import OccupancyParams
+from repro.sensor.scaninsert import ScanBatch
+
+__all__ = ["OctoCacheMap", "OctoCacheRTMap"]
+
+
+class OctoCacheMap(MappingSystem):
+    """OctoMap accelerated by the OctoCache voxel cache (serial design)."""
+
+    name = "OctoCache"
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 16,
+        params: Optional[OccupancyParams] = None,
+        max_range: float = float("inf"),
+        cache_config: Optional[CacheConfig] = None,
+        rt: bool = False,
+    ) -> None:
+        super().__init__(
+            resolution=resolution,
+            depth=depth,
+            params=params,
+            max_range=max_range,
+            rt=rt,
+        )
+        self.cache = VoxelCache(
+            cache_config or CacheConfig(),
+            params=self.params,
+            backend=self._tree,
+        )
+
+    # ------------------------------------------------------------------
+    # Update path.
+    # ------------------------------------------------------------------
+
+    def _process_batch(self, batch: ScanBatch, record: BatchRecord) -> None:
+        cache = self.cache
+        with self.timings.stage("cache_insertion") as watch:
+            for key, occupied in batch.observations:
+                cache.insert(key, occupied)
+        record.cache_insertion = watch.elapsed
+
+        with self.timings.stage("cache_eviction") as watch:
+            evicted = cache.evict()
+        record.cache_eviction = watch.elapsed
+        record.evicted = len(evicted)
+
+        with self.timings.stage("octree_update") as watch:
+            self._apply_evicted(evicted)
+        record.octree_update = watch.elapsed
+
+    def _apply_evicted(self, evicted: List[EvictedCell]) -> None:
+        """Overwrite the octree with the accumulated values of a batch."""
+        tree = self._tree
+        for key, value in evicted:
+            tree.set_leaf(key, value)
+
+    def finalize(self) -> None:
+        """Flush every resident cache cell into the octree.
+
+        After this the backend octree alone answers every query (used at
+        the end of construction runs and before map serialisation).
+        """
+        flushed = self.cache.flush()
+        with self.timings.stage("octree_update") as watch:
+            self._apply_evicted(flushed)
+        if self.batches:
+            self.batches[-1].octree_update += watch.elapsed
+            self.batches[-1].evicted += len(flushed)
+
+    # ------------------------------------------------------------------
+    # Query path: cache first, octree on miss (query consistency, §4.2.1).
+    # ------------------------------------------------------------------
+
+    def query_key(self, key: VoxelKey) -> Optional[float]:
+        """Occupancy for ``key``: resident cache cell wins, else octree."""
+        return self.cache.query(key)
+
+    # ------------------------------------------------------------------
+    # Latency metrics.
+    # ------------------------------------------------------------------
+
+    def critical_path_seconds(self) -> float:
+        """Queries wait only for ray tracing + cache insertion (Fig. 13a)."""
+        return self.timings.total(("ray_tracing", "cache_insertion"))
+
+    def record_response_seconds(self, record) -> float:
+        """Per-cycle response latency: tracing + cache insertion only."""
+        return record.ray_tracing + record.cache_insertion
+
+    @property
+    def hit_ratio(self) -> float:
+        """Insert-path cache hit ratio (the paper's Fig. 23 metric)."""
+        return self.cache.stats.hit_ratio
+
+
+class OctoCacheRTMap(OctoCacheMap):
+    """OctoCache-RT: the cache behind duplicate-free ray tracing (§5).
+
+    Intra-batch duplicates are gone before the cache; the cache still
+    earns hits from *inter-batch* overlap and still reorders evictions
+    into Morton order.
+    """
+
+    name = "OctoCache-RT"
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 16,
+        params: Optional[OccupancyParams] = None,
+        max_range: float = float("inf"),
+        cache_config: Optional[CacheConfig] = None,
+    ) -> None:
+        super().__init__(
+            resolution=resolution,
+            depth=depth,
+            params=params,
+            max_range=max_range,
+            cache_config=cache_config,
+            rt=True,
+        )

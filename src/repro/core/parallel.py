@@ -1,0 +1,202 @@
+"""Parallel OctoCache: octree updates on a second thread (paper §4.4).
+
+Thread 1 (the critical path) runs ray tracing, cache insertion, queries,
+cache eviction, and enqueues evicted batches into a shared buffer.
+Thread 2 dequeues batches and applies them to the octree.  A single mutex
+makes octree reads (cache-insertion miss fills, query misses) and octree
+writes (thread-2 updates) mutually exclusive, and thread 1 additionally
+waits for all *pending* octree work before starting the next cache
+insertion — eliminating the data races of Figure 5 exactly as the paper
+prescribes (§4.1, §4.4).
+
+Cache *hits* — both insert-path and query-path — never touch the octree
+and therefore never wait: that is the design's latency win.
+
+Note on throughput: under CPython's GIL the two threads do not overlap
+pure-Python compute, so this class reproduces the *schedule, consistency,
+and synchronisation behaviour* (including Table 3's enqueue/dequeue and
+the thread-1 waiting gap), while projected two-core throughput comes from
+:class:`repro.core.pipeline_model.PipelineModel` fed with measured stage
+times — see DESIGN.md §1.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import List, Optional
+
+from repro.core.cache import EvictedCell
+from repro.core.octocache import OctoCacheMap
+from repro.baselines.interface import BatchRecord
+from repro.octree.key import VoxelKey
+from repro.sensor.scaninsert import ScanBatch
+
+__all__ = ["ParallelOctoCacheMap"]
+
+#: Sentinel telling the worker thread to exit.
+_STOP = object()
+
+
+class ParallelOctoCacheMap(OctoCacheMap):
+    """Two-threaded OctoCache (Figure 14 workflow)."""
+
+    name = "OctoCache (parallel)"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._buffer: "queue.Queue" = queue.Queue()
+        self._octree_lock = threading.Lock()
+        self._pending_cv = threading.Condition()
+        self._pending = 0
+        self._worker: Optional[threading.Thread] = None
+        self._worker_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Worker management.
+    # ------------------------------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="octocache-octree-updater", daemon=True
+        )
+        self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._buffer.get()
+            if item is _STOP:
+                return
+            evicted, record = item
+            try:
+                start = time.perf_counter()
+                with self._octree_lock:
+                    self._apply_evicted(evicted)
+                elapsed = time.perf_counter() - start
+                record.octree_update += elapsed
+                self.timings.add("octree_update", elapsed)
+            except BaseException as error:  # surfaced on thread 1
+                self._worker_error = error
+                return
+            finally:
+                with self._pending_cv:
+                    self._pending -= 1
+                    self._pending_cv.notify_all()
+
+    def _raise_worker_error(self) -> None:
+        if self._worker_error is not None:
+            error, self._worker_error = self._worker_error, None
+            raise RuntimeError("octree updater thread failed") from error
+
+    def _wait_octree_idle(self) -> float:
+        """Block until no octree updates are pending; returns wait seconds.
+
+        This is the paper's thread-1 "waiting gap" (Figure 13b).
+        """
+        start = time.perf_counter()
+        with self._pending_cv:
+            while self._pending > 0:
+                self._pending_cv.wait()
+        self._raise_worker_error()
+        return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Update path (thread 1).
+    # ------------------------------------------------------------------
+
+    def _process_batch(self, batch: ScanBatch, record: BatchRecord) -> None:
+        record.wait = self._wait_octree_idle()
+        self.timings.add("thread1_wait", record.wait)
+
+        cache = self.cache
+        with self.timings.stage("cache_insertion") as watch:
+            with self._octree_lock:  # insertion misses read the octree
+                for key, occupied in batch.observations:
+                    cache.insert(key, occupied)
+        record.cache_insertion = watch.elapsed
+
+        # Eviction streams per-bucket chunks into the shared buffer so the
+        # octree updater overlaps the rest of the eviction scan (§4.4).
+        with self.timings.stage("cache_eviction") as watch:
+            for chunk in cache.iter_evict():
+                record.evicted += len(chunk)
+                self._enqueue(chunk, record)
+        record.cache_eviction = watch.elapsed
+
+    def _enqueue(self, evicted: List[EvictedCell], record: BatchRecord) -> None:
+        self._ensure_worker()
+        with self._pending_cv:
+            self._pending += 1
+        with self.timings.stage("enqueue") as watch:
+            self._buffer.put((evicted, record))
+        record.enqueue += watch.elapsed
+
+    def finalize(self) -> None:
+        """Flush the cache, drain the octree updater, and stop the worker.
+
+        On return the octree holds the complete map and no worker thread is
+        running; inserting further point clouds restarts it transparently.
+        """
+        record = self.batches[-1] if self.batches else BatchRecord()
+        evicted = self.cache.flush()
+        if evicted:
+            record.evicted += len(evicted)
+            self._enqueue(evicted, record)
+        self._wait_octree_idle()
+        if self._worker is not None and self._worker.is_alive():
+            self._buffer.put(_STOP)
+            self._worker.join()
+        self._worker = None
+        self._raise_worker_error()
+
+    # ------------------------------------------------------------------
+    # Query path (thread 1).
+    # ------------------------------------------------------------------
+
+    def query_key(self, key: VoxelKey) -> Optional[float]:
+        """Cache hit: immediate.  Miss: wait for pending writes, then read.
+
+        Hits are the common case by design (the cache retains recently
+        updated voxels), so most queries never wait on thread 2.
+        """
+        value = self.cache.lookup(key)
+        if value is not None:
+            self.cache.stats.query_hits += 1
+            return value
+        self.cache.stats.query_misses += 1
+        self._wait_octree_idle()
+        with self._octree_lock:
+            return self._tree.search(key)
+
+    # ------------------------------------------------------------------
+    # Latency metrics.
+    # ------------------------------------------------------------------
+
+    def critical_path_seconds(self) -> float:
+        """Thread-1 time queries wait for: tracing + waiting gap + insert."""
+        return self.timings.total(
+            ("ray_tracing", "thread1_wait", "cache_insertion")
+        )
+
+    def record_response_seconds(self, record: BatchRecord) -> float:
+        """Per-cycle response latency on thread 1 (includes waiting gap)."""
+        return record.ray_tracing + record.wait + record.cache_insertion
+
+    def record_busy_seconds(self, record: BatchRecord) -> float:
+        """Thread-1 compute only; octree update runs on thread 2."""
+        return (
+            record.ray_tracing
+            + record.wait
+            + record.cache_insertion
+            + record.cache_eviction
+            + record.enqueue
+        )
+
+    def __enter__(self) -> "ParallelOctoCacheMap":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finalize()

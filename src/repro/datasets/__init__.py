@@ -1,0 +1,47 @@
+"""Procedural 3D-scan datasets mirroring the paper's three public datasets.
+
+The paper evaluates construction on the OctoMap project's FR-079 corridor,
+Freiburg campus, and New College scans (Table 2).  Those LiDAR files are
+not shippable here, so this package procedurally generates scenes with the
+same statistical character — an indoor corridor, a large sparse outdoor
+campus, and a medium outdoor quad loop — and scans them along continuous
+trajectories with an analytic ray-casting depth sensor.  The two
+properties OctoCache feeds on arise by construction, from the same causes
+as in the real data: intra-batch duplication (conical ray fans densely
+sampling nearby surfaces) and inter-batch overlap (consecutive poses see
+mostly the same volume).
+"""
+
+from repro.datasets.scenes import Box, Scene, corridor_scene, campus_scene, college_scene
+from repro.datasets.sensor_model import SensorModel
+from repro.datasets.trajectories import Pose, line_trajectory, loop_trajectory
+from repro.datasets.generator import ScanDataset, make_dataset, DATASET_NAMES
+from repro.datasets.io import load_scan_log, load_xyz, save_scan_log, save_xyz
+from repro.datasets.lidar import LidarModel
+from repro.datasets.stats import DatasetStats, dataset_statistics, batch_duplication_ratios
+from repro.datasets.overlap import overlap_ratios, overlap_cdf
+
+__all__ = [
+    "Box",
+    "DATASET_NAMES",
+    "DatasetStats",
+    "LidarModel",
+    "Pose",
+    "ScanDataset",
+    "Scene",
+    "SensorModel",
+    "batch_duplication_ratios",
+    "campus_scene",
+    "college_scene",
+    "corridor_scene",
+    "dataset_statistics",
+    "line_trajectory",
+    "loop_trajectory",
+    "make_dataset",
+    "load_scan_log",
+    "load_xyz",
+    "save_scan_log",
+    "save_xyz",
+    "overlap_cdf",
+    "overlap_ratios",
+]

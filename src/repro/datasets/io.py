@@ -1,0 +1,101 @@
+"""Point-cloud and scan-log file I/O.
+
+A minimal plain-text interchange so users can feed their own sensor data
+through the pipelines:
+
+- **.xyz** — one ``x y z`` triple per line (a common point-cloud dump).
+- **scan log** — a sequence of scans in one file: each scan starts with a
+  ``SCAN x y z`` line giving the sensor origin, followed by its points.
+  Structurally mirrors the OctoMap project's ``.graph``-style logs at the
+  fidelity this reproduction needs (origins + returns).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.sensor.pointcloud import PointCloud
+
+__all__ = ["save_xyz", "load_xyz", "save_scan_log", "load_scan_log"]
+
+
+def save_xyz(points: np.ndarray, path: str) -> None:
+    """Write an ``(N, 3)`` array as one ``x y z`` line per point."""
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise ValueError(f"points must have shape (N, 3), got {array.shape}")
+    with open(path, "w") as handle:
+        for x, y, z in array:
+            handle.write(f"{x:.6f} {y:.6f} {z:.6f}\n")
+
+
+def load_xyz(path: str) -> np.ndarray:
+    """Read a ``.xyz`` file back into an ``(N, 3)`` float array."""
+    points: List[Tuple[float, float, float]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            fields = stripped.split()
+            if len(fields) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 fields, got {len(fields)}"
+                )
+            points.append((float(fields[0]), float(fields[1]), float(fields[2])))
+    return np.asarray(points, dtype=np.float64).reshape(-1, 3)
+
+
+def save_scan_log(clouds: Iterable[PointCloud], path: str) -> int:
+    """Write scans to a log file; returns the number of scans written."""
+    count = 0
+    with open(path, "w") as handle:
+        for cloud in clouds:
+            ox, oy, oz = cloud.origin
+            handle.write(f"SCAN {ox:.6f} {oy:.6f} {oz:.6f}\n")
+            for x, y, z in cloud.points:
+                handle.write(f"{x:.6f} {y:.6f} {z:.6f}\n")
+            count += 1
+    return count
+
+
+def load_scan_log(path: str) -> List[PointCloud]:
+    """Read a scan log back into a list of point clouds."""
+    clouds: List[PointCloud] = []
+    origin = None
+    points: List[Tuple[float, float, float]] = []
+
+    def _flush():
+        if origin is not None:
+            clouds.append(PointCloud(np.asarray(points).reshape(-1, 3), origin))
+
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            fields = stripped.split()
+            if fields[0] == "SCAN":
+                if len(fields) != 4:
+                    raise ValueError(
+                        f"{path}:{line_number}: SCAN line needs 3 coordinates"
+                    )
+                _flush()
+                origin = (float(fields[1]), float(fields[2]), float(fields[3]))
+                points = []
+            else:
+                if origin is None:
+                    raise ValueError(
+                        f"{path}:{line_number}: point before any SCAN header"
+                    )
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"{path}:{line_number}: expected 3 fields, got {len(fields)}"
+                    )
+                points.append(
+                    (float(fields[0]), float(fields[1]), float(fields[2]))
+                )
+    _flush()
+    return clouds

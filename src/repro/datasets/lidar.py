@@ -1,0 +1,104 @@
+"""Spinning multi-beam LiDAR model (the sensor behind the paper's datasets).
+
+The FR-079 / Freiburg / New College scans come from rotating laser
+scanners, whose geometry differs from a depth camera's frustum: full 360°
+azimuth coverage in rings at fixed elevation angles.  Ring geometry
+changes the duplication structure — all azimuths converge at the sensor,
+so near-field voxels are traversed by *every* ring — making this the
+heaviest-duplication sensor shape, useful for stressing the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.scenes import Scene
+from repro.sensor.pointcloud import PointCloud
+
+__all__ = ["LidarModel"]
+
+
+@dataclass(frozen=True)
+class LidarModel:
+    """A rotating multi-beam laser scanner.
+
+    Attributes:
+        elevations_deg: elevation angle of each beam ring (degrees);
+            defaults to 8 rings spanning -15°..+10°, a VLP-style layout.
+        azimuth_steps: firings per revolution.
+        max_range: range limit (metres).
+        noise_sigma: Gaussian range noise as a fraction of hit distance.
+        emit_misses: emit a point just past ``max_range`` for rays that
+            hit nothing (OctoMap maxrange free-space semantics).
+    """
+
+    elevations_deg: Sequence[float] = (-15.0, -11.0, -7.0, -4.0, -1.0, 2.0, 6.0, 10.0)
+    azimuth_steps: int = 180
+    max_range: float = 20.0
+    noise_sigma: float = 0.0
+    emit_misses: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.elevations_deg:
+            raise ValueError("need at least one beam ring")
+        if self.azimuth_steps < 1:
+            raise ValueError(f"azimuth_steps must be >= 1, got {self.azimuth_steps}")
+        if self.max_range <= 0:
+            raise ValueError(f"max_range must be positive, got {self.max_range}")
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {self.noise_sigma}")
+
+    @property
+    def rays_per_scan(self) -> int:
+        """Total beams fired per revolution."""
+        return len(self.elevations_deg) * self.azimuth_steps
+
+    def ray_directions(self, yaw_offset: float = 0.0) -> np.ndarray:
+        """Unit directions of one full revolution, ring-major.
+
+        ``yaw_offset`` rotates the firing pattern (between consecutive
+        scans of a moving platform the pattern phase shifts).
+        """
+        azimuths = yaw_offset + np.linspace(
+            0.0, 2.0 * np.pi, self.azimuth_steps, endpoint=False
+        )
+        elevations = np.deg2rad(np.asarray(self.elevations_deg))
+        az_grid, el_grid = np.meshgrid(azimuths, elevations, indexing="ij")
+        cos_el = np.cos(el_grid)
+        directions = np.stack(
+            [
+                cos_el * np.cos(az_grid),
+                cos_el * np.sin(az_grid),
+                np.sin(el_grid),
+            ],
+            axis=-1,
+        )
+        return directions.reshape(-1, 3)
+
+    def scan(
+        self,
+        scene: Scene,
+        position: Tuple[float, float, float],
+        yaw_offset: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PointCloud:
+        """One full revolution of ``scene`` from ``position``."""
+        directions = self.ray_directions(yaw_offset)
+        hit, points = scene.cast(position, directions, self.max_range)
+        hits = points[hit]
+        if self.emit_misses and not hit.all():
+            miss_points = (
+                np.asarray(position)[None, :]
+                + directions[~hit] * (self.max_range * 1.05)
+            )
+            hits = np.vstack([hits, miss_points]) if len(hits) else miss_points
+        if self.noise_sigma > 0.0:
+            if rng is None:
+                raise ValueError("noise_sigma > 0 requires an rng")
+            offsets = hits - np.asarray(position)
+            scale = 1.0 + rng.normal(0.0, self.noise_sigma, size=(len(hits), 1))
+            hits = np.asarray(position) + offsets * scale
+        return PointCloud(hits, origin=position)

@@ -1,0 +1,119 @@
+"""Depth-sensor model: a pinhole-style ray grid with range limit and noise.
+
+Shared by the dataset generators and the UAV simulator.  The ray fan is
+conical — all rays leave one origin — which is precisely what produces the
+paper's intra-batch duplication: near the sensor, many rays traverse the
+same voxels (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.scenes import Scene
+from repro.sensor.pointcloud import PointCloud
+
+__all__ = ["SensorModel"]
+
+
+def _span(fov: float, rays: int) -> np.ndarray:
+    """Angular offsets across a field of view; a single ray looks centre."""
+    if rays == 1:
+        return np.zeros(1)
+    return np.linspace(-fov / 2, fov / 2, rays)
+
+
+@dataclass(frozen=True)
+class SensorModel:
+    """A depth sensor: FOV, angular resolution, range, and noise.
+
+    Attributes:
+        horizontal_fov: total horizontal field of view (radians).
+        vertical_fov: total vertical field of view (radians).
+        horizontal_rays: ray columns across the horizontal FOV.
+        vertical_rays: ray rows across the vertical FOV.
+        max_range: sensing range (metres); hits beyond it are dropped.
+        noise_sigma: Gaussian range noise, as a fraction of hit distance.
+        emit_misses: emit a point just past ``max_range`` for rays that hit
+            nothing.  Ray tracing with a matching ``max_range`` then
+            truncates those rays into pure free-space observations —
+            OctoMap's maxrange semantics, required for navigating open
+            space (otherwise empty air is never observed at all).
+    """
+
+    horizontal_fov: float = np.deg2rad(90.0)
+    vertical_fov: float = np.deg2rad(60.0)
+    horizontal_rays: int = 40
+    vertical_rays: int = 20
+    max_range: float = 8.0
+    noise_sigma: float = 0.0
+    emit_misses: bool = False
+
+    def __post_init__(self) -> None:
+        if self.horizontal_rays < 1 or self.vertical_rays < 1:
+            raise ValueError("ray counts must be positive")
+        if self.max_range <= 0:
+            raise ValueError(f"max_range must be positive, got {self.max_range}")
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {self.noise_sigma}")
+
+    @property
+    def rays_per_scan(self) -> int:
+        """Total rays in one scan."""
+        return self.horizontal_rays * self.vertical_rays
+
+    def ray_directions(self, yaw: float, pitch: float = 0.0) -> np.ndarray:
+        """Unit direction grid for a sensor looking along ``yaw``/``pitch``.
+
+        Returns an ``(H*V, 3)`` array.  Azimuth spans the horizontal FOV
+        around ``yaw``; elevation spans the vertical FOV around ``pitch``.
+        """
+        az = yaw + _span(self.horizontal_fov, self.horizontal_rays)
+        el = pitch + _span(self.vertical_fov, self.vertical_rays)
+        az_grid, el_grid = np.meshgrid(az, el, indexing="ij")
+        cos_el = np.cos(el_grid)
+        directions = np.stack(
+            [
+                cos_el * np.cos(az_grid),
+                cos_el * np.sin(az_grid),
+                np.sin(el_grid),
+            ],
+            axis=-1,
+        )
+        return directions.reshape(-1, 3)
+
+    def scan(
+        self,
+        scene: Scene,
+        position: Tuple[float, float, float],
+        yaw: float,
+        pitch: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PointCloud:
+        """Take one scan of ``scene`` from ``position`` looking along ``yaw``.
+
+        Returns the point cloud of surface hits within range (misses emit
+        no point, like a real depth sensor).  With ``noise_sigma > 0`` a
+        Gaussian perturbation proportional to range is applied along each
+        ray, for which ``rng`` must be supplied.
+        """
+        directions = self.ray_directions(yaw, pitch)
+        hit, points = scene.cast(position, directions, self.max_range)
+        hits = points[hit]
+        if self.emit_misses and not hit.all():
+            miss_points = (
+                np.asarray(position)[None, :]
+                + directions[~hit] * (self.max_range * 1.05)
+            )
+            hits = np.vstack([hits, miss_points]) if len(hits) else miss_points
+        if self.noise_sigma > 0.0:
+            if rng is None:
+                raise ValueError("noise_sigma > 0 requires an rng")
+            offsets = hits - np.asarray(position)
+            ranges = np.linalg.norm(offsets, axis=1, keepdims=True)
+            scale = 1.0 + rng.normal(0.0, self.noise_sigma, size=ranges.shape)
+            hits = np.asarray(position) + offsets * scale
+        return PointCloud(hits, origin=position)

@@ -1,0 +1,86 @@
+"""Scan trajectories: sequences of sensor poses through a scene.
+
+The paper's inter-batch overlap (Figures 7–8) comes from *continuous
+scanning along a trajectory*: consecutive poses are close, so consecutive
+scans see mostly the same volume.  Trajectories here are pose sequences
+with controllable step length — the knob that sets the overlap ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Pose", "line_trajectory", "loop_trajectory", "waypoint_trajectory"]
+
+
+@dataclass(frozen=True)
+class Pose:
+    """A sensor pose: position and heading."""
+
+    position: Tuple[float, float, float]
+    yaw: float
+    pitch: float = 0.0
+
+
+def line_trajectory(
+    start: Tuple[float, float, float],
+    end: Tuple[float, float, float],
+    num_poses: int,
+) -> List[Pose]:
+    """Poses evenly spaced on a straight segment, heading along it."""
+    if num_poses < 1:
+        raise ValueError(f"num_poses must be >= 1, got {num_poses}")
+    start_arr = np.asarray(start, dtype=np.float64)
+    end_arr = np.asarray(end, dtype=np.float64)
+    heading = float(np.arctan2(end_arr[1] - start_arr[1], end_arr[0] - start_arr[0]))
+    if num_poses == 1:
+        return [Pose(tuple(start_arr), heading)]
+    poses = []
+    for i in range(num_poses):
+        alpha = i / (num_poses - 1)
+        position = start_arr + alpha * (end_arr - start_arr)
+        poses.append(Pose(tuple(position), heading))
+    return poses
+
+
+def loop_trajectory(
+    center: Tuple[float, float],
+    radius: float,
+    height: float,
+    num_poses: int,
+    face_outward: bool = False,
+) -> List[Pose]:
+    """Poses on a circle at fixed height, heading tangentially (or outward)."""
+    if num_poses < 1:
+        raise ValueError(f"num_poses must be >= 1, got {num_poses}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    poses = []
+    for i in range(num_poses):
+        angle = 2.0 * np.pi * i / num_poses
+        position = (
+            center[0] + radius * np.cos(angle),
+            center[1] + radius * np.sin(angle),
+            height,
+        )
+        yaw = angle if face_outward else angle + np.pi / 2
+        poses.append(Pose(position, float(yaw)))
+    return poses
+
+
+def waypoint_trajectory(
+    waypoints: Sequence[Tuple[float, float, float]], poses_per_leg: int
+) -> List[Pose]:
+    """Concatenated line trajectories through a list of waypoints."""
+    if len(waypoints) < 2:
+        raise ValueError("need at least two waypoints")
+    poses: List[Pose] = []
+    for leg_start, leg_end in zip(waypoints[:-1], waypoints[1:]):
+        leg = line_trajectory(leg_start, leg_end, poses_per_leg)
+        if poses:
+            leg = leg[1:]  # avoid duplicating the shared waypoint pose
+        poses.extend(leg)
+    return poses

@@ -1,0 +1,267 @@
+"""Array-backed octree: pointer-free storage for the same semantics.
+
+The pointer octree allocates a Python object per node (~48 bytes in the
+C++ original).  A *linear* octree stores node payloads in one flat array
+and child links in 8-slot index blocks — denser (16 bytes/node payload),
+with each node's 8 children resolvable from one contiguous block.  §2.3
+of the paper surveys works that replace OctoMap's tree wholesale; this
+class makes that design point measurable inside this repository while
+keeping update/query semantics bit-identical to
+:class:`~repro.octree.tree.OccupancyOctree` (differential-tested).
+
+Node ids are array indices, so the memory simulator can model the dense
+layout directly: payload ``i`` lives at ``i * 16`` and child block ``b``
+at a disjoint region — four nodes per 64-byte line instead of 1.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.octree.key import VoxelKey, child_index, coord_to_key, key_to_coord
+from repro.octree.occupancy import OccupancyParams
+
+__all__ = ["ArrayOctree"]
+
+_NULL = -1
+
+#: Payload bytes per node in the dense layout (float value + block index).
+ARRAY_NODE_BYTES = 16
+
+
+class ArrayOctree:
+    """Occupancy octree over flat arrays (values + child-index blocks).
+
+    Mirrors :class:`OccupancyOctree`'s public update/query subset:
+    ``update_node``, ``set_leaf``, ``search``, ``query``, ``is_occupied``,
+    ``iter_finest_leaves``, ``num_nodes``, ``memory_bytes``, and the
+    ``visit_hook`` instrumentation (called with the node's array index).
+    """
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 16,
+        params: Optional[OccupancyParams] = None,
+        visit_hook: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        if not 1 <= depth <= 21:
+            raise ValueError(f"depth must be in [1, 21], got {depth}")
+        self.resolution = resolution
+        self.depth = depth
+        self.params = params or OccupancyParams()
+        self.visit_hook = visit_hook
+        self.node_visits = 0
+        self._values: List[float] = []
+        self._block_of: List[int] = []  # node -> child-block index or _NULL
+        self._blocks: List[int] = []  # flat, 8 node-indices per block
+        self._free_nodes: List[int] = []
+        self._free_blocks: List[int] = []
+        self._root = _NULL
+        self._num_nodes = 0
+
+    # ------------------------------------------------------------------
+    # Allocation.
+    # ------------------------------------------------------------------
+
+    def _alloc_node(self, value: float) -> int:
+        self._num_nodes += 1
+        if self._free_nodes:
+            index = self._free_nodes.pop()
+            self._values[index] = value
+            self._block_of[index] = _NULL
+            return index
+        self._values.append(value)
+        self._block_of.append(_NULL)
+        return len(self._values) - 1
+
+    def _alloc_block(self) -> int:
+        if self._free_blocks:
+            block = self._free_blocks.pop()
+            base = block * 8
+            for slot in range(8):
+                self._blocks[base + slot] = _NULL
+            return block
+        self._blocks.extend([_NULL] * 8)
+        return len(self._blocks) // 8 - 1
+
+    def _free_subblock(self, node: int) -> None:
+        """Release a node's children (all 8 exist; pruning contract)."""
+        block = self._block_of[node]
+        base = block * 8
+        for slot in range(8):
+            child = self._blocks[base + slot]
+            self._free_nodes.append(child)
+            self._num_nodes -= 1
+        self._free_blocks.append(block)
+        self._block_of[node] = _NULL
+
+    def _visit(self, node: int) -> None:
+        self.node_visits += 1
+        if self.visit_hook is not None:
+            self.visit_hook(node)
+
+    # ------------------------------------------------------------------
+    # Updates (same descent semantics as the pointer tree).
+    # ------------------------------------------------------------------
+
+    def update_node(self, key: VoxelKey, occupied: bool) -> float:
+        path = self._descend(key)
+        leaf = path[-1]
+        self._values[leaf] = self.params.update(self._values[leaf], occupied)
+        self._ascend(path)
+        return self._values[leaf]
+
+    def set_leaf(self, key: VoxelKey, value: float) -> None:
+        path = self._descend(key)
+        self._values[path[-1]] = value
+        self._ascend(path)
+
+    def _descend(self, key: VoxelKey) -> List[int]:
+        fresh = False
+        if self._root == _NULL:
+            self._root = self._alloc_node(self.params.threshold)
+            fresh = True
+        node = self._root
+        self._visit(node)
+        path = [node]
+        for level in range(self.depth - 1, -1, -1):
+            block = self._block_of[node]
+            if block == _NULL:
+                block = self._alloc_block()
+                self._block_of[node] = block
+                if not fresh:
+                    # Expansion: a pruned leaf's descendants inherit it.
+                    base = block * 8
+                    for slot in range(8):
+                        self._blocks[base + slot] = self._alloc_node(
+                            self._values[node]
+                        )
+            slot_index = block * 8 + child_index(key, level)
+            child = self._blocks[slot_index]
+            if child == _NULL:
+                child = self._alloc_node(self.params.threshold)
+                self._blocks[slot_index] = child
+                fresh = True
+            node = child
+            self._visit(node)
+            path.append(node)
+        return path
+
+    def _ascend(self, path: List[int]) -> None:
+        self._visit(path[-1])
+        for index in range(len(path) - 2, -1, -1):
+            parent = path[index]
+            self._visit(parent)
+            if self._try_prune(parent):
+                continue
+            base = self._block_of[parent] * 8
+            best = None
+            for slot in range(8):
+                child = self._blocks[base + slot]
+                if child != _NULL:
+                    value = self._values[child]
+                    if best is None or value > best:
+                        best = value
+            self._values[parent] = best
+
+    def _try_prune(self, parent: int) -> bool:
+        block = self._block_of[parent]
+        base = block * 8
+        first = self._blocks[base]
+        if first == _NULL or self._block_of[first] != _NULL:
+            return False
+        value = self._values[first]
+        for slot in range(1, 8):
+            child = self._blocks[base + slot]
+            if (
+                child == _NULL
+                or self._block_of[child] != _NULL
+                or self._values[child] != value
+            ):
+                return False
+        self._free_subblock(parent)
+        self._values[parent] = value
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def search(self, key: VoxelKey) -> Optional[float]:
+        node = self._root
+        if node == _NULL:
+            return None
+        self._visit(node)
+        for level in range(self.depth - 1, -1, -1):
+            block = self._block_of[node]
+            if block == _NULL:
+                return self._values[node]  # pruned subtree
+            child = self._blocks[block * 8 + child_index(key, level)]
+            if child == _NULL:
+                return None
+            node = child
+            self._visit(node)
+        return self._values[node]
+
+    def query(self, coord: Tuple[float, float, float]) -> Optional[float]:
+        return self.search(coord_to_key(coord, self.resolution, self.depth))
+
+    def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
+        value = self.query(coord)
+        if value is None:
+            return None
+        return self.params.is_occupied(value)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def memory_bytes(self) -> int:
+        """Dense accounting: payload slots plus child-block slots."""
+        return len(self._values) * ARRAY_NODE_BYTES + len(self._blocks) * 4
+
+    def iter_finest_leaves(self) -> Iterator[Tuple[VoxelKey, float]]:
+        if self._root == _NULL:
+            return
+        stack: List[Tuple[int, int, int, int, int]] = [
+            (self._root, self.depth, 0, 0, 0)
+        ]
+        while stack:
+            node, level, kx, ky, kz = stack.pop()
+            block = self._block_of[node]
+            if block == _NULL:
+                span = 1 << level
+                value = self._values[node]
+                for dx in range(span):
+                    for dy in range(span):
+                        for dz in range(span):
+                            yield ((kx + dx, ky + dy, kz + dz), value)
+                continue
+            half = 1 << (level - 1)
+            base = block * 8
+            for slot in range(8):
+                child = self._blocks[base + slot]
+                if child == _NULL:
+                    continue
+                stack.append(
+                    (
+                        child,
+                        level - 1,
+                        kx + (half if slot & 4 else 0),
+                        ky + (half if slot & 2 else 0),
+                        kz + (half if slot & 1 else 0),
+                    )
+                )
+
+    def key_to_coord(self, key: VoxelKey) -> Tuple[float, float, float]:
+        return key_to_coord(key, self.resolution, self.depth)
+
+    def __len__(self) -> int:
+        return self._num_nodes

@@ -1,0 +1,96 @@
+"""Map post-processing filters: denoising occupancy maps.
+
+Real scans leave speckle — isolated occupied voxels from range noise and
+partial-volume artefacts — that inflates collision checks.  These filters
+operate on the finest-level occupied set of a built map:
+
+- :func:`connected_components` — 6-connected components of the occupied
+  voxels;
+- :func:`remove_speckles` — drop components below a minimum voxel count
+  (set them free in the tree);
+- :func:`largest_component` — keep only the dominant structure.
+
+All operate in key space on any tree exposing ``iter_finest_leaves`` /
+``set_leaf`` (both octree backends qualify).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.octree.key import VoxelKey
+from repro.octree.tree import OccupancyOctree
+
+__all__ = ["connected_components", "remove_speckles", "largest_component"]
+
+_NEIGHBOUR_OFFSETS = (
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+)
+
+
+def _occupied_keys(tree: OccupancyOctree) -> Set[VoxelKey]:
+    threshold = tree.params.threshold
+    occupied: Set[VoxelKey] = set()
+    for (kx, ky, kz), level, value in tree.iter_leaves():
+        if value < threshold:
+            continue
+        span = 1 << level
+        for dx in range(span):
+            for dy in range(span):
+                for dz in range(span):
+                    occupied.add((kx + dx, ky + dy, kz + dz))
+    return occupied
+
+
+def connected_components(tree: OccupancyOctree) -> List[Set[VoxelKey]]:
+    """6-connected components of the occupied voxels, largest first."""
+    remaining = _occupied_keys(tree)
+    components: List[Set[VoxelKey]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component: Set[VoxelKey] = set()
+        frontier = deque([seed])
+        remaining.discard(seed)
+        while frontier:
+            key = frontier.popleft()
+            component.add(key)
+            for dx, dy, dz in _NEIGHBOUR_OFFSETS:
+                neighbour = (key[0] + dx, key[1] + dy, key[2] + dz)
+                if neighbour in remaining:
+                    remaining.discard(neighbour)
+                    frontier.append(neighbour)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def remove_speckles(tree: OccupancyOctree, min_voxels: int = 2) -> int:
+    """Free every occupied component smaller than ``min_voxels``.
+
+    Returns the number of voxels cleared.  Cleared voxels are set just
+    below the occupancy threshold (one free-observation step), so they
+    remain *known* — the filter removes structure, not information.
+    """
+    if min_voxels < 1:
+        raise ValueError(f"min_voxels must be >= 1, got {min_voxels}")
+    cleared = 0
+    free_value = tree.params.update(tree.params.threshold, False)
+    for component in connected_components(tree):
+        if len(component) >= min_voxels:
+            continue
+        for key in component:
+            tree.set_leaf(key, free_value)
+            cleared += 1
+    return cleared
+
+
+def largest_component(tree: OccupancyOctree) -> Set[VoxelKey]:
+    """The dominant occupied structure (empty set for an empty map)."""
+    components = connected_components(tree)
+    return components[0] if components else set()

@@ -1,0 +1,59 @@
+"""Convenience wiring between the octree and the memory simulator.
+
+Two instrumentation styles:
+
+- **Recorded**: attach a :class:`~repro.simcache.trace.TraceRecorder` so
+  the node-visit trace can be replayed later through different cache
+  geometries (used by the Figure-10 ordering study).
+- **Streaming**: attach a :class:`~repro.simcache.cost_model.MemoryHierarchy`
+  directly, costing accesses as they happen without storing the trace
+  (used when the trace would be too large to keep).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.tree import OccupancyOctree
+from repro.simcache.cost_model import MemoryHierarchy, jetson_tx2_hierarchy
+from repro.simcache.trace import TraceRecorder
+
+__all__ = ["recorded_octree", "streaming_octree"]
+
+
+def recorded_octree(
+    resolution: float,
+    depth: int = 16,
+    params: Optional[OccupancyParams] = None,
+) -> Tuple[OccupancyOctree, TraceRecorder]:
+    """An octree plus the recorder capturing its node-visit trace."""
+    recorder = TraceRecorder()
+    tree = OccupancyOctree(
+        resolution=resolution,
+        depth=depth,
+        params=params,
+        visit_hook=recorder.record,
+    )
+    return tree, recorder
+
+
+def streaming_octree(
+    resolution: float,
+    depth: int = 16,
+    params: Optional[OccupancyParams] = None,
+    hierarchy: Optional[MemoryHierarchy] = None,
+) -> Tuple[OccupancyOctree, MemoryHierarchy]:
+    """An octree whose every node visit is costed through ``hierarchy``.
+
+    A fresh Jetson-TX2-like hierarchy is created when none is given; read
+    ``hierarchy.total_cycles`` after the workload for the modeled cost.
+    """
+    hierarchy = hierarchy or jetson_tx2_hierarchy()
+    tree = OccupancyOctree(
+        resolution=resolution,
+        depth=depth,
+        params=params,
+        visit_hook=hierarchy.access_node,
+    )
+    return tree, hierarchy

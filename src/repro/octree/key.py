@@ -1,0 +1,114 @@
+"""Discrete voxel keys (OctoMap's ``OcTreeKey`` equivalent).
+
+A voxel at the finest resolution is addressed by a triple of unsigned
+integers.  Following OctoMap, a metric coordinate ``x`` maps to key
+``floor(x / resolution) + offset`` where ``offset = 2**(depth-1)`` centres
+the map on the origin: the mapping boundary is a cube of side
+``resolution * 2**depth`` centred at ``(0, 0, 0)`` (paper §2.2).
+
+At tree level *d* (root = level ``depth``), the child index along a
+root-to-leaf traversal is assembled from bit ``d-1`` of each key component —
+the same 3-bit group a Morton code stores for that level, which is why
+Morton order equals root-to-leaf path order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.morton import morton_encode3, morton_encode3_array
+
+__all__ = [
+    "VoxelKey",
+    "coord_to_key",
+    "key_to_coord",
+    "coords_to_keys",
+    "keys_to_coords",
+    "key_to_morton",
+    "keys_to_morton",
+    "child_index",
+]
+
+#: A discrete voxel address: three unsigned ints, one per axis.
+VoxelKey = Tuple[int, int, int]
+
+
+def coord_to_key(
+    coord: Tuple[float, float, float], resolution: float, depth: int
+) -> VoxelKey:
+    """Convert a metric coordinate to the voxel key at the finest level.
+
+    Raises :class:`ValueError` when the coordinate falls outside the map
+    boundary implied by ``resolution`` and ``depth``.
+    """
+    offset = 1 << (depth - 1)
+    limit = 1 << depth
+    key = []
+    for axis_value in coord:
+        component = int(np.floor(axis_value / resolution)) + offset
+        if not 0 <= component < limit:
+            raise ValueError(
+                f"coordinate {coord} outside map boundary "
+                f"(resolution={resolution}, depth={depth})"
+            )
+        key.append(component)
+    return (key[0], key[1], key[2])
+
+
+def key_to_coord(
+    key: VoxelKey, resolution: float, depth: int
+) -> Tuple[float, float, float]:
+    """Convert a voxel key back to the metric centre of its voxel."""
+    offset = 1 << (depth - 1)
+    return tuple((component - offset + 0.5) * resolution for component in key)
+
+
+def coords_to_keys(
+    coords: np.ndarray, resolution: float, depth: int
+) -> np.ndarray:
+    """Vectorised :func:`coord_to_key` over an ``(N, 3)`` float array.
+
+    Returns an ``(N, 3)`` int64 array.  Out-of-bounds coordinates raise.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    offset = 1 << (depth - 1)
+    limit = 1 << depth
+    keys = np.floor(coords / resolution).astype(np.int64) + offset
+    if np.any(keys < 0) or np.any(keys >= limit):
+        raise ValueError(
+            f"coordinates outside map boundary (resolution={resolution}, depth={depth})"
+        )
+    return keys
+
+
+def keys_to_coords(keys: np.ndarray, resolution: float, depth: int) -> np.ndarray:
+    """Vectorised :func:`key_to_coord` over an ``(N, 3)`` int array."""
+    offset = 1 << (depth - 1)
+    return (np.asarray(keys, dtype=np.float64) - offset + 0.5) * resolution
+
+
+def key_to_morton(key: VoxelKey) -> int:
+    """Morton code of a voxel key (used for cache indexing and ordering)."""
+    return morton_encode3(key[0], key[1], key[2])
+
+
+def keys_to_morton(keys: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`key_to_morton` over an ``(N, 3)`` int array."""
+    keys = np.asarray(keys)
+    return morton_encode3_array(keys[:, 0], keys[:, 1], keys[:, 2])
+
+
+def child_index(key: VoxelKey, level: int) -> int:
+    """Child slot (0–7) chosen at tree ``level`` on the path to ``key``.
+
+    ``level`` counts down from ``depth - 1`` (just below the root) to 0
+    (the leaf level); bit ``level`` of each key component selects the half
+    of the corresponding axis.
+    """
+    return (
+        (((key[0] >> level) & 1) << 2)
+        | (((key[1] >> level) & 1) << 1)
+        | ((key[2] >> level) & 1)
+    )

@@ -1,0 +1,50 @@
+"""Octree node type.
+
+Nodes are deliberately minimal: a log-odds ``value``, an optional list of 8
+children, and a ``node_id`` used by the memory-hierarchy simulator to give
+every node a stable simulated heap address (see
+:mod:`repro.simcache.address_space`).
+
+A node with ``children is None`` is a *leaf* at its level.  A leaf above the
+finest level represents a pruned subtree whose descendants all share the
+node's value — OctoMap's memory optimisation (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["OctreeNode"]
+
+
+class OctreeNode:
+    """One octree node holding a log-odds occupancy value.
+
+    Attributes:
+        value: accumulated log-odds occupancy.  For an inner node this is
+            the maximum over its children, maintained by the tree.
+        children: ``None`` for a leaf, else a list of 8 slots each holding
+            ``None`` or a child :class:`OctreeNode`.
+        node_id: unique id assigned by the owning tree's allocation counter.
+    """
+
+    __slots__ = ("value", "children", "node_id")
+
+    def __init__(self, value: float, node_id: int) -> None:
+        self.value = value
+        self.children: Optional[List[Optional["OctreeNode"]]] = None
+        self.node_id = node_id
+
+    def is_leaf(self) -> bool:
+        """Whether this node has no children (possibly a pruned subtree)."""
+        return self.children is None
+
+    def has_all_children(self) -> bool:
+        """Whether all 8 child slots are occupied."""
+        return self.children is not None and all(
+            child is not None for child in self.children
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf() else "inner"
+        return f"OctreeNode(id={self.node_id}, value={self.value:.3f}, {kind})"

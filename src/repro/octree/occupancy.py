@@ -1,0 +1,81 @@
+"""Log-odds occupancy arithmetic (OctoMap §III / paper §2.2).
+
+Occupancy is stored as a log-odds value clamped to
+``[min_occ, max_occ]``.  A *hit* (voxel observed occupied) adds
+``delta_occupied``; a *miss* (ray passed through) subtracts ``delta_free``.
+Clamping keeps the map responsive in dynamic environments.  A voxel is
+considered occupied when its log-odds value meets the threshold ``t``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["OccupancyParams", "logodds", "probability"]
+
+
+def logodds(p: float) -> float:
+    """Log-odds of a probability: ``log(p / (1 - p))``."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {p}")
+    return math.log(p / (1.0 - p))
+
+
+def probability(lo: float) -> float:
+    """Probability corresponding to a log-odds value."""
+    return 1.0 / (1.0 + math.exp(-lo))
+
+
+@dataclass(frozen=True)
+class OccupancyParams:
+    """Occupancy-update parameters, defaulting to OctoMap's standard values.
+
+    Attributes:
+        threshold: log-odds occupancy threshold ``t``; ``value >= t`` means
+            occupied.  OctoMap default 0.5 probability → 0.0 log-odds.
+        delta_occupied: log-odds increment per hit (default P=0.7).
+        delta_free: log-odds decrement per miss (default P=0.4 → 0.41...).
+        min_occ: lower clamp (default P=0.12).
+        max_occ: upper clamp (default P=0.97).
+    """
+
+    threshold: float = 0.0
+    delta_occupied: float = logodds(0.7)
+    delta_free: float = -logodds(0.4)  # positive magnitude, subtracted on miss
+    min_occ: float = logodds(0.12)
+    max_occ: float = logodds(0.97)
+
+    def __post_init__(self) -> None:
+        if self.delta_occupied <= 0:
+            raise ValueError("delta_occupied must be positive")
+        if self.delta_free <= 0:
+            raise ValueError("delta_free must be positive")
+        if self.min_occ >= self.max_occ:
+            raise ValueError("min_occ must be below max_occ")
+        if not self.min_occ <= self.threshold <= self.max_occ:
+            raise ValueError("threshold must lie within the clamp range")
+
+    def update(self, value: float, occupied: bool) -> float:
+        """Apply one observation to a log-odds ``value`` and clamp.
+
+        Implements the paper's update rule (§2.2):
+        ``min(value + delta_occupied, max_occ)`` on a hit,
+        ``max(value - delta_free, min_occ)`` on a miss.
+        """
+        if occupied:
+            return min(value + self.delta_occupied, self.max_occ)
+        return max(value - self.delta_free, self.min_occ)
+
+    def accumulate(self, value: float, delta: float) -> float:
+        """Fold an already-accumulated log-odds ``delta`` into ``value``.
+
+        Used when merging a cache cell (which holds the accumulated
+        occupancy of several observations) into the octree; the result is
+        clamped exactly as a sequence of individual updates would be.
+        """
+        return min(max(value + delta, self.min_occ), self.max_occ)
+
+    def is_occupied(self, value: float) -> bool:
+        """Whether a log-odds value counts as occupied."""
+        return value >= self.threshold

@@ -1,0 +1,88 @@
+"""Ray queries over a built map (OctoMap's ``castRay`` equivalent).
+
+Planners probe the map along candidate rays; ``cast_ray`` walks voxels
+from an origin along a direction until it meets an occupied voxel, an
+unknown voxel (optionally), the range limit, or the map boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.octree.key import VoxelKey
+from repro.octree.tree import OccupancyOctree
+from repro.sensor.raycast import compute_ray_keys
+
+__all__ = ["RayHit", "cast_ray"]
+
+
+@dataclass(frozen=True)
+class RayHit:
+    """Result of a map ray query.
+
+    Attributes:
+        hit: an occupied voxel was found.
+        key: the terminating voxel (occupied voxel on a hit; the last
+            visited voxel otherwise), ``None`` when the ray never left its
+            starting voxel.
+        endpoint: metric centre of ``key``.
+        blocked_by_unknown: the walk stopped at unknown space (only when
+            ``ignore_unknown`` is false).
+    """
+
+    hit: bool
+    key: Optional[VoxelKey]
+    endpoint: Optional[Tuple[float, float, float]]
+    blocked_by_unknown: bool = False
+
+
+def cast_ray(
+    tree: OccupancyOctree,
+    origin: Tuple[float, float, float],
+    direction: Tuple[float, float, float],
+    max_range: float,
+    ignore_unknown: bool = True,
+) -> RayHit:
+    """Walk the map from ``origin`` along ``direction`` up to ``max_range``.
+
+    Args:
+        tree: the occupancy octree to query.
+        origin: ray start, in metres.
+        direction: ray direction (normalised internally).
+        max_range: maximum travel distance, in metres.
+        ignore_unknown: treat unknown voxels as free (OctoMap's default);
+            when false the walk stops at the first unknown voxel and the
+            result's ``blocked_by_unknown`` is set.
+
+    Returns:
+        a :class:`RayHit`; ``hit`` is true iff an occupied voxel was met.
+    """
+    if max_range <= 0:
+        raise ValueError(f"max_range must be positive, got {max_range}")
+    norm = math.sqrt(sum(c * c for c in direction))
+    if norm == 0.0:
+        raise ValueError("direction must be non-zero")
+    endpoint = tuple(
+        origin[axis] + direction[axis] / norm * max_range for axis in range(3)
+    )
+    keys = compute_ray_keys(origin, endpoint, tree.resolution, tree.depth)
+    keys = keys[1:] if keys else []  # skip the origin's own voxel
+    last_key: Optional[VoxelKey] = None
+    for key in keys:
+        value = tree.search(key)
+        if value is None:
+            if not ignore_unknown:
+                return RayHit(
+                    hit=False,
+                    key=key,
+                    endpoint=tree.key_to_coord(key),
+                    blocked_by_unknown=True,
+                )
+        elif tree.params.is_occupied(value):
+            return RayHit(hit=True, key=key, endpoint=tree.key_to_coord(key))
+        last_key = key
+    if last_key is None:
+        return RayHit(hit=False, key=None, endpoint=None)
+    return RayHit(hit=False, key=last_key, endpoint=tree.key_to_coord(last_key))

@@ -1,0 +1,383 @@
+"""Probabilistic occupancy octree (the OctoMap substrate).
+
+The tree stores log-odds occupancy at the finest level and maintains
+max-of-children values on inner nodes, with OctoMap's pruning rule
+(8 equal-valued leaf children collapse into their parent).  Updates and
+queries perform the root-to-leaf traversal the paper identifies as the
+bottleneck (§2.2, Figure 5): an update visits up to ``2 * depth`` nodes
+(down and back up), a query up to ``depth``.
+
+Every node visit increments :attr:`OccupancyOctree.node_visits` and, when a
+visit hook is installed, reports the node's id — this trace is what the
+:mod:`repro.simcache` simulator replays to model CPU-cache behaviour that
+pure-Python timing cannot expose.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.octree.key import (
+    VoxelKey,
+    child_index,
+    coord_to_key,
+    key_to_coord,
+)
+from repro.octree.node import OctreeNode
+from repro.octree.occupancy import OccupancyParams
+
+__all__ = ["OccupancyOctree"]
+
+#: Approximate bytes per node, mirroring OctoMap's compact C++ node
+#: (float value + children pointer): used for memory-overhead reporting.
+NODE_BYTES = 16
+
+
+class OccupancyOctree:
+    """An OctoMap-style occupancy octree.
+
+    Args:
+        resolution: edge length of the finest voxel, in metres.
+        depth: number of tree levels below the root; the mapping boundary
+            is a cube of side ``resolution * 2**depth`` centred at the
+            origin.  OctoMap's default (and the paper's "standard") is 16.
+        params: occupancy-update parameters; defaults to OctoMap's.
+        visit_hook: optional callable invoked with ``node_id`` on every
+            node visit (used by the memory simulator).
+    """
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 16,
+        params: Optional[OccupancyParams] = None,
+        visit_hook: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        if not 1 <= depth <= 21:
+            raise ValueError(f"depth must be in [1, 21], got {depth}")
+        self.resolution = resolution
+        self.depth = depth
+        self.params = params or OccupancyParams()
+        self.visit_hook = visit_hook
+        self.node_visits = 0
+        self._root: Optional[OctreeNode] = None
+        self._next_node_id = 0
+        self._num_nodes = 0
+        self._changed_keys: Optional[set] = None
+        self._key_limit = 1 << depth
+
+    def _check_key(self, key: VoxelKey) -> None:
+        """Reject keys outside the map: bits above ``depth`` would be
+        silently ignored by the traversal (aliasing distinct voxels)."""
+        limit = self._key_limit
+        if (
+            not 0 <= key[0] < limit
+            or not 0 <= key[1] < limit
+            or not 0 <= key[2] < limit
+        ):
+            raise ValueError(
+                f"key {key} outside the map (components must be in [0, {limit}))"
+            )
+
+    # ------------------------------------------------------------------
+    # Node allocation and visit accounting.
+    # ------------------------------------------------------------------
+
+    def _alloc(self, value: float) -> OctreeNode:
+        node = OctreeNode(value, self._next_node_id)
+        self._next_node_id += 1
+        self._num_nodes += 1
+        return node
+
+    def _visit(self, node: OctreeNode) -> None:
+        self.node_visits += 1
+        if self.visit_hook is not None:
+            self.visit_hook(node.node_id)
+
+    # ------------------------------------------------------------------
+    # Coordinate helpers.
+    # ------------------------------------------------------------------
+
+    def coord_to_key(self, coord: Tuple[float, float, float]) -> VoxelKey:
+        """Discretise a metric coordinate to a finest-level voxel key."""
+        return coord_to_key(coord, self.resolution, self.depth)
+
+    def key_to_coord(self, key: VoxelKey) -> Tuple[float, float, float]:
+        """Metric centre of the voxel addressed by ``key``."""
+        return key_to_coord(key, self.resolution, self.depth)
+
+    # ------------------------------------------------------------------
+    # Updates.
+    # ------------------------------------------------------------------
+
+    def update_node(self, key: VoxelKey, occupied: bool) -> float:
+        """Apply one occupied/free observation to the voxel at ``key``.
+
+        Performs the full root-to-leaf round trip: traverse down (expanding
+        pruned subtrees as needed), apply the clamped log-odds update at the
+        leaf, then propagate max-of-children values back to the root,
+        pruning where possible.  Returns the leaf's new log-odds value.
+        """
+        self._check_key(key)
+        path = self._descend(key, create=True)
+        leaf = path[-1]
+        old_value = leaf.value
+        leaf.value = self.params.update(leaf.value, occupied)
+        self._ascend(path)
+        if self._changed_keys is not None and leaf.value != old_value:
+            self._changed_keys.add(key)
+        return leaf.value
+
+    def set_leaf(self, key: VoxelKey, value: float) -> None:
+        """Overwrite the voxel at ``key`` with an absolute log-odds value.
+
+        This is the operation cache eviction uses: the cache cell holds the
+        fully accumulated (already clamped) occupancy, which replaces the
+        octree's stale copy (paper §4.2.1).
+        """
+        self._check_key(key)
+        path = self._descend(key, create=True)
+        leaf = path[-1]
+        if self._changed_keys is not None and leaf.value != value:
+            self._changed_keys.add(key)
+        leaf.value = value
+        self._ascend(path)
+
+    # ------------------------------------------------------------------
+    # Change tracking (OctoMap's changedKeys: incremental consumers).
+    # ------------------------------------------------------------------
+
+    def enable_change_tracking(self) -> None:
+        """Start recording the finest-level keys whose value changes.
+
+        Incremental consumers (re-planners, map diff streaming) call
+        :meth:`pop_changed_keys` after each update batch instead of
+        re-scanning the whole map.
+        """
+        if self._changed_keys is None:
+            self._changed_keys = set()
+
+    def disable_change_tracking(self) -> None:
+        """Stop recording and drop any pending changed keys."""
+        self._changed_keys = None
+
+    def pop_changed_keys(self) -> "set[VoxelKey]":
+        """Return and clear the set of keys changed since the last pop.
+
+        Raises :class:`RuntimeError` when tracking was never enabled.
+        """
+        if self._changed_keys is None:
+            raise RuntimeError(
+                "change tracking is disabled; call enable_change_tracking()"
+            )
+        changed = self._changed_keys
+        self._changed_keys = set()
+        return changed
+
+    def update_batch(
+        self, items: List[Tuple[VoxelKey, bool]]
+    ) -> None:
+        """Apply a batch of (key, occupied) observations in sequence."""
+        for key, occupied in items:
+            self.update_node(key, occupied)
+
+    def _descend(self, key: VoxelKey, create: bool) -> List[OctreeNode]:
+        """Walk root→leaf along ``key``; return the visited node path.
+
+        With ``create=True`` the finest-level leaf is guaranteed to exist on
+        return.  Two distinct cases arise when a node has no children:
+
+        - The node *pre-existed* this call: it is a pruned leaf whose value
+          covers its whole subtree, so it is **expanded** — all 8 children
+          are created with the parent's value (OctoMap's ``expandNode``).
+        - The node was *created during this descent*: its siblings are
+          genuinely unknown, so only the on-path child is created,
+          initialised at the threshold (the paper's stated initial value).
+        """
+        fresh = False
+        if self._root is None:
+            if not create:
+                return []
+            self._root = self._alloc(self.params.threshold)
+            fresh = True
+        node = self._root
+        self._visit(node)
+        path = [node]
+        for level in range(self.depth - 1, -1, -1):
+            if node.children is None:
+                if not create:
+                    break
+                if fresh:
+                    node.children = [None] * 8
+                else:
+                    # Expand a pruned subtree: descendants inherit its value.
+                    node.children = [self._alloc(node.value) for _ in range(8)]
+            slot = child_index(key, level)
+            child = node.children[slot]
+            if child is None:
+                if not create:
+                    break
+                child = self._alloc(self.params.threshold)
+                node.children[slot] = child
+                fresh = True
+            node = child
+            self._visit(node)
+            path.append(node)
+        return path
+
+    def _ascend(self, path: List[OctreeNode]) -> None:
+        """Propagate max-of-children upward along ``path`` and prune.
+
+        Matches the paper's update path (Figure 5): the leaf and each
+        ancestor are visited again on the way back to the root.
+        """
+        self._visit(path[-1])
+        for index in range(len(path) - 2, -1, -1):
+            parent = path[index]
+            self._visit(parent)
+            if self._try_prune(parent):
+                continue
+            parent.value = max(
+                child.value for child in parent.children if child is not None
+            )
+
+    def _try_prune(self, node: OctreeNode) -> bool:
+        """Collapse ``node``'s children when all 8 are equal-valued leaves."""
+        if not node.has_all_children():
+            return False
+        children = node.children
+        first = children[0]
+        if first.children is not None:
+            return False
+        value = first.value
+        for child in children[1:]:
+            if child.children is not None or child.value != value:
+                return False
+        node.children = None
+        node.value = value
+        self._num_nodes -= 8
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def search(self, key: VoxelKey) -> Optional[float]:
+        """Log-odds occupancy of the voxel at ``key``, or ``None`` if unknown.
+
+        Traverses root-to-leaf; stops early at a pruned node, whose value
+        covers all its descendants.
+        """
+        self._check_key(key)
+        node = self._root
+        if node is None:
+            return None
+        self._visit(node)
+        for level in range(self.depth - 1, -1, -1):
+            if node.children is None:
+                return node.value  # pruned subtree: uniform occupancy
+            child = node.children[child_index(key, level)]
+            if child is None:
+                return None
+            node = child
+            self._visit(node)
+        return node.value
+
+    def search_at_level(self, key: VoxelKey, level: int) -> Optional[float]:
+        """Occupancy of the size-``2**level`` voxel containing ``key``.
+
+        Multi-resolution query (OctoMap's depth-limited ``search``):
+        stops the root-to-leaf descent ``level`` levels early and returns
+        that node's value — for an inner node the max over its subtree,
+        i.e. a conservative occupancy summary of the whole block.  Used by
+        hierarchical planners that clear large free regions in one query.
+        """
+        if not 0 <= level <= self.depth:
+            raise ValueError(f"level must be in [0, {self.depth}], got {level}")
+        node = self._root
+        if node is None:
+            return None
+        self._visit(node)
+        for current in range(self.depth - 1, level - 1, -1):
+            if node.children is None:
+                return node.value  # pruned subtree: uniform occupancy
+            child = node.children[child_index(key, current)]
+            if child is None:
+                return None
+            node = child
+            self._visit(node)
+        return node.value
+
+    def query(self, coord: Tuple[float, float, float]) -> Optional[float]:
+        """Log-odds occupancy at a metric coordinate (``None`` if unknown)."""
+        return self.search(self.coord_to_key(coord))
+
+    def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
+        """Occupancy decision at a metric coordinate; ``None`` if unknown."""
+        value = self.query(coord)
+        if value is None:
+            return None
+        return self.params.is_occupied(value)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of allocated nodes currently in the tree."""
+        return self._num_nodes
+
+    def memory_bytes(self) -> int:
+        """Estimated memory footprint using OctoMap's compact node size."""
+        return self._num_nodes * NODE_BYTES
+
+    def iter_leaves(self) -> Iterator[Tuple[VoxelKey, int, float]]:
+        """Yield ``(min_key, level, value)`` for every leaf node.
+
+        ``level`` is 0 for finest-resolution leaves; a pruned leaf at level
+        ``l`` covers a cube of ``2**l`` voxels per axis starting at
+        ``min_key``.
+        """
+        if self._root is None:
+            return
+        stack: List[Tuple[OctreeNode, int, int, int, int]] = [
+            (self._root, self.depth, 0, 0, 0)
+        ]
+        while stack:
+            node, level, kx, ky, kz = stack.pop()
+            if node.children is None:
+                yield ((kx, ky, kz), level, node.value)
+                continue
+            half = 1 << (level - 1)
+            for slot in range(8):
+                child = node.children[slot]
+                if child is None:
+                    continue
+                stack.append(
+                    (
+                        child,
+                        level - 1,
+                        kx + (half if slot & 4 else 0),
+                        ky + (half if slot & 2 else 0),
+                        kz + (half if slot & 1 else 0),
+                    )
+                )
+
+    def iter_finest_leaves(self) -> Iterator[Tuple[VoxelKey, float]]:
+        """Yield ``(key, value)`` for every finest-resolution voxel.
+
+        Pruned subtrees are expanded on the fly (can be large for coarse
+        pruned regions; intended for tests and small maps).
+        """
+        for (kx, ky, kz), level, value in self.iter_leaves():
+            span = 1 << level
+            for dx in range(span):
+                for dy in range(span):
+                    for dz in range(span):
+                        yield ((kx + dx, ky + dy, kz + dz), value)
+
+    def __len__(self) -> int:
+        return self._num_nodes

@@ -1,0 +1,20 @@
+"""Sensing substrate: point clouds, rigid transforms, and ray tracing.
+
+Converts sensor point clouds into the voxel observation batches that drive
+the mapping systems — including the duplication structure (conical ray
+fans, surface oversampling) that motivates OctoCache (paper §3.1).
+"""
+
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.raycast import compute_ray_keys
+from repro.sensor.transforms import RigidTransform
+from repro.sensor.scaninsert import ScanBatch, trace_scan, trace_scan_rt
+
+__all__ = [
+    "PointCloud",
+    "RigidTransform",
+    "ScanBatch",
+    "compute_ray_keys",
+    "trace_scan",
+    "trace_scan_rt",
+]

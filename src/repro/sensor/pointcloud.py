@@ -1,0 +1,75 @@
+"""Point clouds and rigid transforms.
+
+A point cloud is a set of 3-D samples on obstacle surfaces, delivered in
+the sensor frame together with the sensor origin (paper §2.2, footnote 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["PointCloud", "rotation_z", "rigid_transform"]
+
+
+class PointCloud:
+    """An immutable set of 3-D points with a sensor origin.
+
+    Args:
+        points: array-like of shape ``(N, 3)``.
+        origin: sensor position the rays emanate from.
+    """
+
+    __slots__ = ("points", "origin")
+
+    def __init__(
+        self,
+        points: Iterable[Iterable[float]],
+        origin: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> None:
+        array = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if array.size == 0:
+            array = array.reshape(0, 3)
+        if array.ndim != 2 or array.shape[1] != 3:
+            raise ValueError(f"points must have shape (N, 3), got {array.shape}")
+        self.points = array
+        self.points.setflags(write=False)
+        self.origin = (float(origin[0]), float(origin[1]), float(origin[2]))
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def transformed(self, rotation: np.ndarray, translation: np.ndarray) -> "PointCloud":
+        """Apply a rigid transform to points *and* origin."""
+        rotation = np.asarray(rotation, dtype=np.float64)
+        translation = np.asarray(translation, dtype=np.float64)
+        if rotation.shape != (3, 3):
+            raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+        if translation.shape != (3,):
+            raise ValueError(f"translation must be length 3, got {translation.shape}")
+        new_points = self.points @ rotation.T + translation
+        new_origin = rotation @ np.asarray(self.origin) + translation
+        return PointCloud(new_points, tuple(new_origin))
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(min, max)`` corners over all points (origin excluded)."""
+        if len(self) == 0:
+            raise ValueError("empty point cloud has no bounding box")
+        return self.points.min(axis=0), self.points.max(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PointCloud(n={len(self)}, origin={self.origin})"
+
+
+def rotation_z(angle: float) -> np.ndarray:
+    """Rotation matrix about the +z axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def rigid_transform(
+    cloud: PointCloud, yaw: float, translation: Tuple[float, float, float]
+) -> PointCloud:
+    """Convenience: rotate ``cloud`` about z by ``yaw`` then translate."""
+    return cloud.transformed(rotation_z(yaw), np.asarray(translation, dtype=np.float64))

@@ -1,0 +1,91 @@
+"""Voxel ray traversal (OctoMap's ``computeRayKeys`` equivalent).
+
+A ray is shot from the sensor origin to each point of the cloud; every
+voxel the ray passes through is observed *free* and the voxel containing
+the endpoint is observed *occupied* (paper §3.1).  Traversal uses the
+Amanatides–Woo stepping scheme: exact, never skips a voxel, and visits
+voxels in near-to-far order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.octree.key import VoxelKey, coord_to_key
+
+__all__ = ["compute_ray_keys", "ray_endpoint_key"]
+
+
+def ray_endpoint_key(
+    endpoint: Tuple[float, float, float], resolution: float, depth: int
+) -> VoxelKey:
+    """Key of the voxel containing a ray endpoint."""
+    return coord_to_key(endpoint, resolution, depth)
+
+
+def compute_ray_keys(
+    origin: Tuple[float, float, float],
+    endpoint: Tuple[float, float, float],
+    resolution: float,
+    depth: int,
+) -> List[VoxelKey]:
+    """Keys of all voxels a ray traverses, *excluding* the endpoint voxel.
+
+    The returned keys are the ray's free-space observations, ordered from
+    the origin outward; the endpoint voxel (the occupied observation) is
+    intentionally excluded, mirroring OctoMap's ``computeRayKeys``.
+    Degenerate rays whose origin and endpoint share a voxel return ``[]``.
+    """
+    start_key = coord_to_key(origin, resolution, depth)
+    end_key = coord_to_key(endpoint, resolution, depth)
+    if start_key == end_key:
+        return []
+
+    offset = 1 << (depth - 1)
+    current = [start_key[0], start_key[1], start_key[2]]
+    direction = [endpoint[i] - origin[i] for i in range(3)]
+    length = math.sqrt(sum(d * d for d in direction))
+    if length == 0.0:
+        return []
+
+    step: List[int] = [0, 0, 0]
+    t_max: List[float] = [math.inf, math.inf, math.inf]
+    t_delta: List[float] = [math.inf, math.inf, math.inf]
+    for axis in range(3):
+        d = direction[axis]
+        if d > 0.0:
+            step[axis] = 1
+        elif d < 0.0:
+            step[axis] = -1
+        else:
+            continue
+        # Distance (in ray-parameter t ∈ [0, 1]) to the first voxel border
+        # crossed on this axis, and between successive borders.
+        voxel_border = (current[axis] - offset + (1 if step[axis] > 0 else 0)) * resolution
+        t_max[axis] = (voxel_border - origin[axis]) / d
+        t_delta[axis] = resolution / abs(d)
+
+    keys: List[VoxelKey] = [start_key]
+    # The Manhattan key distance bounds the number of border crossings; the
+    # extra slack absorbs float ties at voxel corners.
+    max_steps = sum(abs(end_key[i] - start_key[i]) for i in range(3)) + 3
+    for _ in range(max_steps):
+        axis = 0
+        if t_max[1] < t_max[axis]:
+            axis = 1
+        if t_max[2] < t_max[axis]:
+            axis = 2
+        current[axis] += step[axis]
+        t_max[axis] += t_delta[axis]
+        key = (current[0], current[1], current[2])
+        if key == end_key:
+            break
+        if t_max[axis] > 1.0 and min(t_max) > 1.0:
+            # Passed the endpoint without landing exactly on end_key (a
+            # corner-crossing tie); the caller records end_key occupied
+            # regardless, so the free-space prefix collected so far is
+            # complete.
+            break
+        keys.append(key)
+    return keys

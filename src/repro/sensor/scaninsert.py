@@ -1,0 +1,129 @@
+"""Scan-to-voxel-batch conversion (the ray-tracing stage of Figure 4).
+
+Two conversions are provided, matching the paper's evaluated systems:
+
+- :func:`trace_scan` — vanilla OctoMap behaviour: every ray contributes all
+  its free voxels and its occupied endpoint, *with duplicates preserved*.
+  Rays form a cone, so voxels near the sensor are reported free many times,
+  and dense clouds put many endpoints in one voxel (§3.1's 2.78–31.3×
+  intra-batch duplication).
+- :func:`trace_scan_rt` — OctoMap-RT behaviour: duplicates are eliminated
+  during ray tracing and each voxel is observed at most once per batch,
+  occupied winning over free (§5's description of OctoMap-RT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.octree.key import VoxelKey
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.raycast import compute_ray_keys, ray_endpoint_key
+
+__all__ = ["ScanBatch", "trace_scan", "trace_scan_rt"]
+
+#: One voxel observation: the voxel's key and whether it was seen occupied.
+Observation = Tuple[VoxelKey, bool]
+
+
+@dataclass
+class ScanBatch:
+    """The voxel observations produced by ray tracing one point cloud.
+
+    Attributes:
+        observations: ``(key, occupied)`` pairs in ray-tracing order — the
+            paper's "original order in OctoMap".
+        num_rays: number of rays traced.
+    """
+
+    observations: List[Observation]
+    num_rays: int
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    @property
+    def num_occupied(self) -> int:
+        """Occupied observations (duplicates included)."""
+        return sum(1 for _key, occupied in self.observations if occupied)
+
+    @property
+    def num_free(self) -> int:
+        """Free observations (duplicates included)."""
+        return len(self.observations) - self.num_occupied
+
+    def unique_keys(self) -> Set[VoxelKey]:
+        """Distinct voxels touched by this batch."""
+        return {key for key, _occupied in self.observations}
+
+    @property
+    def duplication_ratio(self) -> float:
+        """Total observations per distinct voxel (paper §3.1)."""
+        unique = len(self.unique_keys())
+        return len(self.observations) / unique if unique else 0.0
+
+
+def trace_scan(
+    cloud: PointCloud,
+    resolution: float,
+    depth: int,
+    max_range: float = float("inf"),
+) -> ScanBatch:
+    """Vanilla ray tracing: duplicates preserved, per-ray order.
+
+    Each ray emits its free voxels from the sensor outward followed by the
+    occupied endpoint voxel.  Points beyond ``max_range`` are truncated to
+    the range limit and contribute only free space (OctoMap's maxrange
+    semantics).
+    """
+    observations: List[Observation] = []
+    origin = cloud.origin
+    for point in cloud.points:
+        endpoint = (float(point[0]), float(point[1]), float(point[2]))
+        truncated = False
+        if max_range != float("inf"):
+            dx = endpoint[0] - origin[0]
+            dy = endpoint[1] - origin[1]
+            dz = endpoint[2] - origin[2]
+            distance = (dx * dx + dy * dy + dz * dz) ** 0.5
+            if distance > max_range:
+                scale = max_range / distance
+                endpoint = (
+                    origin[0] + dx * scale,
+                    origin[1] + dy * scale,
+                    origin[2] + dz * scale,
+                )
+                truncated = True
+        for key in compute_ray_keys(origin, endpoint, resolution, depth):
+            observations.append((key, False))
+        end_key = ray_endpoint_key(endpoint, resolution, depth)
+        observations.append((end_key, not truncated))
+    return ScanBatch(observations=observations, num_rays=len(cloud))
+
+
+def trace_scan_rt(
+    cloud: PointCloud,
+    resolution: float,
+    depth: int,
+    max_range: float = float("inf"),
+) -> ScanBatch:
+    """Duplicate-free ray tracing (OctoMap-RT's method).
+
+    Each distinct voxel is observed at most once per batch; a voxel that is
+    both an endpoint for one ray and pass-through for another counts as
+    occupied (occupied wins, matching OctoMap's batch-insert discrete
+    semantics).  Observation order is first-touch order.
+    """
+    raw = trace_scan(cloud, resolution, depth, max_range=max_range)
+    occupied_keys: Set[VoxelKey] = {
+        key for key, occupied in raw.observations if occupied
+    }
+    emitted: Set[VoxelKey] = set()
+    observations: List[Observation] = []
+    for key, _occupied in raw.observations:
+        if key in emitted:
+            continue
+        emitted.add(key)
+        observations.append((key, key in occupied_keys))
+    return ScanBatch(observations=observations, num_rays=raw.num_rays)

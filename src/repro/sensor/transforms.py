@@ -1,0 +1,117 @@
+"""Rigid-body transforms (SE(3)) for sensor poses and point clouds.
+
+Scan alignment is the step upstream of mapping: a sensor pose carries the
+rotation and translation that place a scan in the world frame.  This
+module provides a minimal, well-tested SE(3) type — compose, invert,
+apply — plus axis-angle rotation constructors, enough to express every
+trajectory and mount-calibration transform the generators and examples
+need without pulling in a robotics framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.sensor.pointcloud import PointCloud
+
+__all__ = ["RigidTransform", "rotation_x", "rotation_y", "rotation_z_matrix"]
+
+
+def rotation_x(angle: float) -> np.ndarray:
+    """Rotation matrix about the +x axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+
+
+def rotation_y(angle: float) -> np.ndarray:
+    """Rotation matrix about the +y axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+
+
+def rotation_z_matrix(angle: float) -> np.ndarray:
+    """Rotation matrix about the +z axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+@dataclass(frozen=True)
+class RigidTransform:
+    """An SE(3) element: ``p_world = rotation @ p_local + translation``.
+
+    Attributes:
+        rotation: 3×3 orthonormal matrix.
+        translation: length-3 vector.
+    """
+
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        rotation = np.asarray(self.rotation, dtype=np.float64)
+        translation = np.asarray(self.translation, dtype=np.float64)
+        if rotation.shape != (3, 3):
+            raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+        if translation.shape != (3,):
+            raise ValueError(
+                f"translation must have shape (3,), got {translation.shape}"
+            )
+        if not np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-9):
+            raise ValueError("rotation matrix is not orthonormal")
+        if np.linalg.det(rotation) < 0:
+            raise ValueError("rotation matrix is a reflection (det < 0)")
+        object.__setattr__(self, "rotation", rotation)
+        object.__setattr__(self, "translation", translation)
+
+    @classmethod
+    def identity(cls) -> "RigidTransform":
+        """The identity transform."""
+        return cls()
+
+    @classmethod
+    def from_yaw(
+        cls, yaw: float, translation: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    ) -> "RigidTransform":
+        """Planar pose: rotation about +z plus a translation."""
+        return cls(rotation_z_matrix(yaw), np.asarray(translation, dtype=np.float64))
+
+    def compose(self, other: "RigidTransform") -> "RigidTransform":
+        """``self ∘ other``: apply ``other`` first, then ``self``."""
+        return RigidTransform(
+            self.rotation @ other.rotation,
+            self.rotation @ other.translation + self.translation,
+        )
+
+    def inverse(self) -> "RigidTransform":
+        """The transform mapping world coordinates back to this frame."""
+        inverse_rotation = self.rotation.T
+        return RigidTransform(
+            inverse_rotation, -(inverse_rotation @ self.translation)
+        )
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(N, 3)`` array (or a single point) of coordinates."""
+        array = np.asarray(points, dtype=np.float64)
+        single = array.ndim == 1
+        array = np.atleast_2d(array)
+        if array.shape[1] != 3:
+            raise ValueError(f"points must have 3 columns, got {array.shape}")
+        moved = array @ self.rotation.T + self.translation
+        return moved[0] if single else moved
+
+    def apply_cloud(self, cloud: PointCloud) -> PointCloud:
+        """Transform a point cloud (points and origin together)."""
+        return cloud.transformed(self.rotation, self.translation)
+
+    def __matmul__(self, other: "RigidTransform") -> "RigidTransform":
+        return self.compose(other)
+
+    def almost_equal(self, other: "RigidTransform", atol: float = 1e-9) -> bool:
+        """Element-wise comparison with tolerance."""
+        return bool(
+            np.allclose(self.rotation, other.rotation, atol=atol)
+            and np.allclose(self.translation, other.translation, atol=atol)
+        )

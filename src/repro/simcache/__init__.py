@@ -1,0 +1,35 @@
+"""Memory-hierarchy simulator: the stand-in for the Jetson TX2's CPU caches.
+
+The paper's Morton-ordering result (Figure 10) is a *hardware cache
+locality* effect: consecutive root-to-leaf insertions re-touch shared
+ancestor nodes, and orderings that maximise sharing hit in L1/L2 more
+often.  Pure-Python wall-clock cannot expose this (interpreter overhead
+dominates), so this package replays the octree's node-visit trace through
+a set-associative LRU cache model and converts hits/misses into a modeled
+access cost.  Orderings ranked by modeled cost rank the same way the
+paper's measured wall-clock does — see DESIGN.md §1.
+"""
+
+from repro.simcache.address_space import AddressSpace
+from repro.simcache.cache_sim import CacheLevel, CacheSimulator
+from repro.simcache.cost_model import (
+    AccessCosts,
+    MemoryHierarchy,
+    jetson_tx2_hierarchy,
+    jetson_tx2_hierarchy_with_prefetch,
+    scaled_tx2_hierarchy,
+)
+from repro.simcache.trace import TraceRecorder, replay_trace
+
+__all__ = [
+    "AccessCosts",
+    "AddressSpace",
+    "CacheLevel",
+    "CacheSimulator",
+    "MemoryHierarchy",
+    "TraceRecorder",
+    "jetson_tx2_hierarchy",
+    "jetson_tx2_hierarchy_with_prefetch",
+    "scaled_tx2_hierarchy",
+    "replay_trace",
+]

@@ -1,0 +1,63 @@
+"""Simulated heap placement of octree nodes.
+
+Every octree node carries a ``node_id`` from a monotonically increasing
+allocation counter.  The address space maps ids to simulated byte
+addresses.  Two placements are provided:
+
+- ``sequential`` — bump allocation, ids placed back to back (glibc-like
+  behaviour for steady same-size allocations).
+- ``shuffled`` — ids scattered pseudo-randomly over a larger arena,
+  modelling a fragmented heap.  Useful as an ablation: the Morton-order
+  benefit is *temporal* (re-touching the same ancestors), so it must
+  survive shuffled placement.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AddressSpace"]
+
+_PLACEMENTS = ("sequential", "shuffled")
+
+
+class AddressSpace:
+    """Maps node ids to simulated heap addresses.
+
+    Args:
+        node_bytes: simulated size of one octree node.  48 bytes
+            approximates OctoMap's C++ node (vtable + value + children
+            pointer array slot).
+        placement: ``"sequential"`` or ``"shuffled"``.
+        seed: PRNG seed for the shuffled placement.
+    """
+
+    def __init__(
+        self,
+        node_bytes: int = 48,
+        placement: str = "sequential",
+        seed: int = 0x5EED,
+    ) -> None:
+        if node_bytes <= 0:
+            raise ValueError(f"node_bytes must be positive, got {node_bytes}")
+        if placement not in _PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {_PLACEMENTS}, got {placement!r}"
+            )
+        self.node_bytes = node_bytes
+        self.placement = placement
+        self._seed = seed
+
+    def address_of(self, node_id: int) -> int:
+        """Simulated byte address of the node with ``node_id``."""
+        if node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {node_id}")
+        if self.placement == "sequential":
+            return node_id * self.node_bytes
+        # Shuffled: a cheap invertible mix (splitmix-style) spreads ids over
+        # a 2^40-byte arena while staying deterministic for a given seed.
+        mixed = (node_id + self._seed) & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 30
+        mixed = (mixed * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 27
+        mixed = (mixed * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 31
+        return (mixed & ((1 << 40) - 1)) // self.node_bytes * self.node_bytes

@@ -1,0 +1,132 @@
+"""Set-associative LRU cache simulator.
+
+Functional (hit/miss) simulation of one cache level; levels compose into a
+hierarchy via :class:`repro.simcache.cost_model.MemoryHierarchy`.  LRU
+state per set is kept in an ordered list — associativities are small (4–16
+ways), so list operations stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["CacheLevel", "CacheSimulator"]
+
+
+class CacheLevel:
+    """Geometry of one cache level.
+
+    Args:
+        name: label used in reports ("L1", "L2", ...).
+        size_bytes: total capacity.
+        line_bytes: cache-line size (power of two).
+        associativity: ways per set; must divide ``size_bytes / line_bytes``.
+    """
+
+    def __init__(
+        self, name: str, size_bytes: int, line_bytes: int = 64, associativity: int = 8
+    ) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        num_lines = size_bytes // line_bytes
+        if num_lines == 0 or num_lines % associativity:
+            raise ValueError(
+                f"{size_bytes} bytes / {line_bytes}B lines does not divide "
+                f"into {associativity}-way sets"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = num_lines // associativity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLevel({self.name}, {self.size_bytes}B, "
+            f"{self.associativity}-way, {self.num_sets} sets)"
+        )
+
+
+class CacheSimulator:
+    """LRU set-associative simulator for one :class:`CacheLevel`.
+
+    Args:
+        level: cache geometry.
+        next_line_prefetch: on every demand miss, also install the
+            following cache line (a classic next-line prefetcher).
+            Prefetch installs are free in the cost model — they model
+            hardware fill bandwidth hiding — and counted separately in
+            :attr:`prefetches`.
+    """
+
+    def __init__(self, level: CacheLevel, next_line_prefetch: bool = False) -> None:
+        self.level = level
+        self.hits = 0
+        self.misses = 0
+        self.prefetches = 0
+        self.next_line_prefetch = next_line_prefetch
+        # set index -> list of resident line tags, most recently used last.
+        self._sets: Dict[int, List[int]] = {}
+        self._set_mask = level.num_sets - 1
+        self._sets_are_pow2 = (level.num_sets & (level.num_sets - 1)) == 0
+
+    def _set_of(self, line: int) -> int:
+        if self._sets_are_pow2:
+            return line & self._set_mask
+        return line % self.level.num_sets
+
+    def _install(self, line: int) -> None:
+        resident = self._sets.setdefault(self._set_of(line), [])
+        if line in resident:
+            return
+        if len(resident) >= self.level.associativity:
+            resident.pop(0)
+        resident.append(line)
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns ``True`` on hit, ``False`` on miss.
+
+        A miss installs the line, evicting the set's LRU line if full.
+        """
+        line = address // self.level.line_bytes
+        resident = self._sets.get(self._set_of(line))
+        if resident is None:
+            resident = []
+            self._sets[self._set_of(line)] = resident
+        try:
+            resident.remove(line)
+        except ValueError:
+            self.misses += 1
+            if len(resident) >= self.level.associativity:
+                resident.pop(0)
+            resident.append(line)
+            if self.next_line_prefetch:
+                self.prefetches += 1
+                self._install(line + 1)
+            return False
+        resident.append(line)
+        self.hits += 1
+        return True
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses simulated so far."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hit ratio over all accesses (0.0 when none)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters, keeping cache contents warm."""
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Empty the cache and zero the counters."""
+        self._sets.clear()
+        self.reset_counters()

@@ -1,0 +1,191 @@
+"""Latency cost model over a multi-level cache hierarchy.
+
+Each simulated memory access descends the hierarchy until it hits; the
+access is charged the hit latency of the level that served it (or DRAM).
+Total modeled cost is the paper's stand-in for octree-update wall-clock:
+the *translation* from node-visit trace to time that real hardware
+performs and the Python interpreter hides (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.simcache.address_space import AddressSpace
+from repro.simcache.cache_sim import CacheLevel, CacheSimulator
+
+__all__ = [
+    "AccessCosts",
+    "MemoryHierarchy",
+    "jetson_tx2_hierarchy",
+    "jetson_tx2_hierarchy_with_prefetch",
+    "scaled_tx2_hierarchy",
+]
+
+
+@dataclass(frozen=True)
+class AccessCosts:
+    """Latency (in cycles) charged per access by serving level.
+
+    Defaults approximate a Cortex-A57 (the Jetson TX2's big cluster):
+    L1 ~4 cycles, L2 ~21 cycles, DRAM ~180 cycles.
+    """
+
+    level_cycles: Sequence[float] = (4.0, 21.0)
+    dram_cycles: float = 180.0
+
+
+class MemoryHierarchy:
+    """A stack of cache levels plus DRAM, with cost accounting.
+
+    Args:
+        levels: cache geometries from innermost (L1) outward.
+        costs: per-level latencies; must list one entry per level.
+        address_space: node-id → address mapping for octree-node accesses.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[CacheLevel],
+        costs: Optional[AccessCosts] = None,
+        address_space: Optional[AddressSpace] = None,
+        next_line_prefetch: bool = False,
+    ) -> None:
+        self.costs = costs or AccessCosts()
+        if len(self.costs.level_cycles) != len(levels):
+            raise ValueError(
+                f"{len(levels)} cache levels but "
+                f"{len(self.costs.level_cycles)} latency entries"
+            )
+        self.simulators: List[CacheSimulator] = [
+            CacheSimulator(level, next_line_prefetch=next_line_prefetch)
+            for level in levels
+        ]
+        self.address_space = address_space or AddressSpace()
+        self.total_cycles = 0.0
+        self.accesses = 0
+
+    def access(self, address: int) -> float:
+        """Simulate one access; returns and accumulates its cycle cost."""
+        self.accesses += 1
+        for simulator, latency in zip(self.simulators, self.costs.level_cycles):
+            if simulator.access(address):
+                self.total_cycles += latency
+                return latency
+        self.total_cycles += self.costs.dram_cycles
+        return self.costs.dram_cycles
+
+    def access_node(self, node_id: int) -> float:
+        """Simulate an access to the octree node with ``node_id``."""
+        return self.access(self.address_space.address_of(node_id))
+
+    @property
+    def mean_cycles_per_access(self) -> float:
+        """Average modeled latency per access (0.0 before any access)."""
+        return self.total_cycles / self.accesses if self.accesses else 0.0
+
+    def level_hit_ratios(self) -> List[float]:
+        """Hit ratio of each level, innermost first."""
+        return [simulator.hit_ratio for simulator in self.simulators]
+
+    def reset_counters(self) -> None:
+        """Zero all cost and hit/miss counters, keeping caches warm."""
+        self.total_cycles = 0.0
+        self.accesses = 0
+        for simulator in self.simulators:
+            simulator.reset_counters()
+
+    def flush(self) -> None:
+        """Empty all levels and zero all counters."""
+        self.total_cycles = 0.0
+        self.accesses = 0
+        for simulator in self.simulators:
+            simulator.flush()
+
+
+def jetson_tx2_hierarchy(
+    address_space: Optional[AddressSpace] = None,
+) -> MemoryHierarchy:
+    """Hierarchy approximating one Cortex-A57 core of the Jetson TX2.
+
+    32 KiB 2-way L1D and a 2 MiB 16-way shared L2, with latencies from
+    :class:`AccessCosts` defaults — the paper's evaluation platform (§5).
+    """
+    return MemoryHierarchy(
+        levels=[
+            CacheLevel("L1", size_bytes=32 * 1024, line_bytes=64, associativity=2),
+            CacheLevel("L2", size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16),
+        ],
+        costs=AccessCosts(level_cycles=(4.0, 21.0), dram_cycles=180.0),
+        address_space=address_space,
+    )
+
+
+def jetson_tx2_hierarchy_with_prefetch(
+    address_space: Optional[AddressSpace] = None,
+) -> MemoryHierarchy:
+    """TX2-like hierarchy with next-line prefetchers on both levels."""
+    return MemoryHierarchy(
+        levels=[
+            CacheLevel("L1", size_bytes=32 * 1024, line_bytes=64, associativity=2),
+            CacheLevel("L2", size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16),
+        ],
+        costs=AccessCosts(level_cycles=(4.0, 21.0), dram_cycles=180.0),
+        address_space=address_space,
+        next_line_prefetch=True,
+    )
+
+
+#: Octree working set of the paper's Figure-10 run: 5M voxels inserted into
+#: an empty tree, ≈1.14 nodes per leaf at 48 bytes each.
+_PAPER_FIG10_WORKING_SET_BYTES = int(5_000_000 * 1.14 * 48)
+
+
+def scaled_tx2_hierarchy(
+    expected_nodes: int,
+    node_bytes: int = 48,
+    address_space: Optional[AddressSpace] = None,
+    next_line_prefetch: bool = False,
+) -> MemoryHierarchy:
+    """TX2-like hierarchy scaled to a laptop-sized workload.
+
+    The paper's ordering effect (Figure 10) depends on the *ratio* between
+    the octree working set (5M voxels ≈ 270 MB) and the cache capacities;
+    a laptop-scale batch of tens of thousands of voxels fits inside the
+    real 2 MiB L2, which would compress the effect to nothing.  This
+    helper shrinks L1/L2 by the workload ratio (keeping line size,
+    associativity, and latencies), preserving the paper's cache-pressure
+    regime at any batch size.
+    """
+    if expected_nodes <= 0:
+        raise ValueError(f"expected_nodes must be positive, got {expected_nodes}")
+    working_set = expected_nodes * node_bytes
+    ratio = working_set / _PAPER_FIG10_WORKING_SET_BYTES
+
+    def _scaled(size: int, associativity: int) -> int:
+        scaled = size * ratio
+        # Round up to the next power of two with a floor that keeps the
+        # geometry valid (at least one full set of 64-byte lines).
+        floor = 64 * associativity
+        result = floor
+        while result < scaled:
+            result *= 2
+        return result
+
+    return MemoryHierarchy(
+        levels=[
+            CacheLevel(
+                "L1", size_bytes=_scaled(32 * 1024, 2), line_bytes=64, associativity=2
+            ),
+            CacheLevel(
+                "L2",
+                size_bytes=_scaled(2 * 1024 * 1024, 16),
+                line_bytes=64,
+                associativity=16,
+            ),
+        ],
+        costs=AccessCosts(level_cycles=(4.0, 21.0), dram_cycles=180.0),
+        address_space=address_space,
+        next_line_prefetch=next_line_prefetch,
+    )

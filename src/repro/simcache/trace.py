@@ -1,0 +1,89 @@
+"""Node-visit trace recording and replay.
+
+The octree reports every node visit through its ``visit_hook``.  A
+:class:`TraceRecorder` captures the visited node ids so the same workload
+can be replayed through differently configured memory hierarchies (e.g.
+to compare voxel orderings under identical cache geometry, Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.simcache.address_space import AddressSpace
+from repro.simcache.cost_model import MemoryHierarchy, jetson_tx2_hierarchy
+
+__all__ = ["TraceRecorder", "ReplayResult", "replay_trace"]
+
+
+class TraceRecorder:
+    """Collects node ids from an octree's visit hook.
+
+    Install with ``tree.visit_hook = recorder.record`` (or pass at tree
+    construction).  The recorder can be paused so setup work (e.g. building
+    an initial map) is excluded from the measured trace.
+    """
+
+    def __init__(self) -> None:
+        self.trace: List[int] = []
+        self.enabled = True
+
+    def record(self, node_id: int) -> None:
+        """Visit-hook entry point."""
+        if self.enabled:
+            self.trace.append(node_id)
+
+    def pause(self) -> None:
+        """Stop recording (hook stays installed)."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        """Resume recording."""
+        self.enabled = True
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self.trace.clear()
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a trace through a memory hierarchy.
+
+    Attributes:
+        accesses: number of simulated memory accesses.
+        total_cycles: modeled total latency.
+        mean_cycles: modeled latency per access.
+        level_hit_ratios: hit ratio per cache level, innermost first.
+    """
+
+    accesses: int
+    total_cycles: float
+    mean_cycles: float
+    level_hit_ratios: Sequence[float]
+
+
+def replay_trace(
+    trace: Sequence[int],
+    hierarchy: Optional[MemoryHierarchy] = None,
+    address_space: Optional[AddressSpace] = None,
+) -> ReplayResult:
+    """Replay a node-id trace; returns the modeled cost summary.
+
+    A fresh (cold) Jetson-TX2-like hierarchy is used unless one is given.
+    """
+    if hierarchy is None:
+        hierarchy = jetson_tx2_hierarchy(address_space=address_space)
+    access_node = hierarchy.access_node
+    for node_id in trace:
+        access_node(node_id)
+    return ReplayResult(
+        accesses=hierarchy.accesses,
+        total_cycles=hierarchy.total_cycles,
+        mean_cycles=hierarchy.mean_cycles_per_access,
+        level_hit_ratios=tuple(hierarchy.level_hit_ratios()),
+    )

@@ -1,0 +1,29 @@
+"""MAVBench-like closed-loop UAV autonomous navigation simulator.
+
+Reproduces the paper's §5.1/§6.1 evaluation loop: sense → update map →
+plan → move, with the mapping system swappable between OctoMap, OctoCache,
+and their -RT variants.  The UAV's maximum safe velocity follows the
+Krishnan et al. bound the paper uses (velocity limited by how far the UAV
+can see and how fast it can compute), so mapping-system speedups translate
+into flight velocity and mission completion time exactly as in Figure 16.
+"""
+
+from repro.uav.environments import Environment, make_environment, ENVIRONMENT_NAMES
+from repro.uav.vehicle import UAVModel, ASCTEC_PELICAN, DJI_SPARK
+from repro.uav.velocity import max_safe_velocity
+from repro.uav.planner import GreedyPlanner
+from repro.uav.mission import MissionConfig, MissionResult, run_mission
+
+__all__ = [
+    "ASCTEC_PELICAN",
+    "DJI_SPARK",
+    "ENVIRONMENT_NAMES",
+    "Environment",
+    "GreedyPlanner",
+    "MissionConfig",
+    "MissionResult",
+    "UAVModel",
+    "make_environment",
+    "max_safe_velocity",
+    "run_mission",
+]

@@ -1,0 +1,108 @@
+"""UAV parameter sweeps (Figures 18–19).
+
+Missions re-run over grids of mapping resolution (fixed sensing range) and
+sensing range (fixed resolution), comparing mapping pipelines — the
+paper's sensitivity study showing OctoCache's advantage growing with
+resolution and range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.baselines.interface import MappingSystem
+from repro.uav.environments import Environment
+from repro.uav.mission import MissionConfig, MissionResult, run_mission
+from repro.uav.vehicle import UAVModel, ASCTEC_PELICAN
+
+__all__ = ["SweepPoint", "resolution_sweep", "sensing_range_sweep"]
+
+#: Builds a fresh pipeline for (resolution, max_range).
+PipelineFactory = Callable[[float, float], MappingSystem]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One mission outcome at one parameter setting."""
+
+    resolution: float
+    sensing_range: float
+    result: MissionResult
+
+
+def _run(
+    environment: Environment,
+    uav: UAVModel,
+    resolution: float,
+    sensing_range: float,
+    factory: PipelineFactory,
+    max_cycles: int,
+    model_octree_offload: bool = False,
+) -> SweepPoint:
+    config = MissionConfig(
+        environment=environment,
+        uav=uav,
+        resolution=resolution,
+        sensing_range=sensing_range,
+        max_cycles=max_cycles,
+        model_octree_offload=model_octree_offload,
+    )
+    result = run_mission(
+        config, lambda res: factory(res, sensing_range)
+    )
+    if not result.success and not result.crashed:
+        # Trajectories are wall-clock driven; a rare hover-loop timeout is
+        # stochastic — retry once rather than fail the whole sweep.
+        result = run_mission(config, lambda res: factory(res, sensing_range))
+    return SweepPoint(resolution=resolution, sensing_range=sensing_range, result=result)
+
+
+def resolution_sweep(
+    environment: Environment,
+    resolutions: Sequence[float],
+    factory: PipelineFactory,
+    sensing_range: Optional[float] = None,
+    uav: UAVModel = ASCTEC_PELICAN,
+    max_cycles: int = 800,
+    model_octree_offload: bool = False,
+) -> List[SweepPoint]:
+    """Figure 18(a)/(b): fixed sensing range, varying resolution."""
+    sensing_range = sensing_range or environment.sensing_range
+    return [
+        _run(
+            environment,
+            uav,
+            resolution,
+            sensing_range,
+            factory,
+            max_cycles,
+            model_octree_offload,
+        )
+        for resolution in resolutions
+    ]
+
+
+def sensing_range_sweep(
+    environment: Environment,
+    sensing_ranges: Sequence[float],
+    factory: PipelineFactory,
+    resolution: Optional[float] = None,
+    uav: UAVModel = ASCTEC_PELICAN,
+    max_cycles: int = 800,
+    model_octree_offload: bool = False,
+) -> List[SweepPoint]:
+    """Figure 18(c)/(d): fixed resolution, varying sensing range."""
+    resolution = resolution or environment.resolution
+    return [
+        _run(
+            environment,
+            uav,
+            resolution,
+            sensing_range,
+            factory,
+            max_cycles,
+            model_octree_offload,
+        )
+        for sensing_range in sensing_ranges
+    ]

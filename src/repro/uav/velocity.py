@@ -1,0 +1,52 @@
+"""Maximum safe flight velocity (Krishnan et al. bound, paper §5.1).
+
+A UAV flying at velocity *v* detects an obstacle at its sensing range *d*,
+spends the end-to-end response time *t* (compute latency + one sensor
+frame) still travelling at *v*, then brakes at acceleration *a*.  Safety
+requires the stopping distance to fit inside the sensing range:
+
+    v * t + v² / (2a) ≤ d
+
+Solving for the largest safe *v*:
+
+    v_max = a * (−t + sqrt(t² + 2d / a))
+
+capped by the rotor-limited top speed.  A faster mapping system shrinks
+*t* and therefore raises *v_max* — the mechanism behind Figures 16–19.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.uav.vehicle import UAVModel
+
+__all__ = ["max_safe_velocity", "response_time"]
+
+
+def response_time(uav: UAVModel, compute_latency: float) -> float:
+    """End-to-end reaction time: compute latency plus one sensor frame."""
+    if compute_latency < 0:
+        raise ValueError(f"compute_latency must be non-negative, got {compute_latency}")
+    return compute_latency + uav.frame_period
+
+
+def max_safe_velocity(
+    uav: UAVModel, sensing_range: float, compute_latency: float
+) -> float:
+    """Largest velocity at which the UAV can stop within its sensing range.
+
+    Args:
+        uav: vehicle physics envelope.
+        sensing_range: obstacle detection distance (metres).
+        compute_latency: per-cycle perception+planning latency (seconds).
+
+    Returns:
+        the safe velocity in m/s, capped at ``uav.max_velocity``.
+    """
+    if sensing_range <= 0:
+        raise ValueError(f"sensing_range must be positive, got {sensing_range}")
+    t = response_time(uav, compute_latency)
+    a = uav.braking_acceleration
+    v = a * (-t + math.sqrt(t * t + 2.0 * sensing_range / a))
+    return min(v, uav.max_velocity)

@@ -1,0 +1,120 @@
+"""Multi-waypoint missions (search-and-rescue patterns, paper §1).
+
+The paper motivates OctoCache with time-sensitive missions — search and
+rescue, surveillance — which visit a *sequence* of goals rather than one.
+``run_waypoint_mission`` chains the single-goal closed loop over a list
+of waypoints, reusing one mapping system throughout, so later legs profit
+from the map (and the voxel cache) built on earlier ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import MappingSystem
+from repro.uav.environments import Environment
+from repro.uav.mission import MissionConfig, MissionResult, run_mission
+from repro.uav.planner import GreedyPlanner
+
+__all__ = ["WaypointMissionResult", "run_waypoint_mission"]
+
+Vec3 = Tuple[float, float, float]
+
+
+@dataclass
+class WaypointMissionResult:
+    """Aggregated outcome of a multi-leg mission.
+
+    Attributes:
+        legs: the single-goal results in visiting order.
+        success: every leg reached its waypoint.
+        total_time: summed completion time across legs (the paper's
+            mission-completion metric for the whole pattern).
+        total_energy: summed rotor energy.
+        total_distance: summed distance flown.
+    """
+
+    legs: List[MissionResult] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return bool(self.legs) and all(leg.success for leg in self.legs)
+
+    @property
+    def crashed(self) -> bool:
+        return any(leg.crashed for leg in self.legs)
+
+    @property
+    def total_time(self) -> float:
+        return sum(leg.completion_time for leg in self.legs)
+
+    @property
+    def total_energy(self) -> float:
+        return sum(leg.energy_joules for leg in self.legs)
+
+    @property
+    def total_distance(self) -> float:
+        return sum(leg.distance_travelled for leg in self.legs)
+
+
+def run_waypoint_mission(
+    config: MissionConfig,
+    mapping_factory: Callable[[float], MappingSystem],
+    waypoints: Sequence[Vec3],
+    planner: Optional[GreedyPlanner] = None,
+) -> WaypointMissionResult:
+    """Visit ``waypoints`` in order with one persistent mapping system.
+
+    Each leg runs the standard closed loop; the mapping system and
+    planner persist across legs, so revisited space is already mapped —
+    the inter-batch overlap regime OctoCache feeds on.  A leg that fails
+    (crash or budget) aborts the remaining waypoints.
+
+    Args:
+        config: base mission parameters; each leg replaces the goal.
+        mapping_factory: builds the (single, persistent) mapping system.
+        waypoints: goals in visiting order, starting from ``config``'s
+            environment start.
+    """
+    if not waypoints:
+        raise ValueError("need at least one waypoint")
+    result = WaypointMissionResult()
+    planner = planner or GreedyPlanner()
+    mapping_holder: List[MappingSystem] = []
+
+    def persistent_factory(resolution: float) -> MappingSystem:
+        if not mapping_holder:
+            mapping_holder.append(mapping_factory(resolution))
+        return mapping_holder[0]
+
+    position = config.environment.start
+    for waypoint in waypoints:
+        env = config.environment
+        leg_environment = Environment(
+            name=env.name,
+            scene=env.scene,
+            start=position,
+            goal=tuple(waypoint),
+            sensing_range=env.sensing_range,
+            resolution=env.resolution,
+            rt_resolution=env.rt_resolution,
+        )
+        leg_config = MissionConfig(
+            environment=leg_environment,
+            uav=config.uav,
+            sensing_range=config.sensing_range,
+            resolution=config.resolution,
+            latency_scale=config.latency_scale,
+            goal_tolerance=config.goal_tolerance,
+            max_cycles=config.max_cycles,
+            max_sim_time=config.max_sim_time,
+            model_octree_offload=config.model_octree_offload,
+        )
+        leg = run_mission(leg_config, persistent_factory, planner=planner)
+        result.legs.append(leg)
+        if not leg.success:
+            break
+        # Continue the next leg from (approximately) the reached goal.
+        position = tuple(waypoint)
+    return result

@@ -1,0 +1,47 @@
+"""Tests for the F-vs-cost rank correlation helper."""
+
+import pytest
+
+from repro.analysis.orderings import (
+    OrderingResult,
+    locality_cost_correlation,
+    run_ordering_experiment,
+)
+
+
+def result(name, locality, cycles):
+    return OrderingResult(
+        name=name,
+        locality=locality,
+        modeled_cycles_per_voxel=cycles,
+        l1_hit_ratio=0.5,
+        wall_seconds=0.0,
+        node_visits=0,
+    )
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        results = [result(str(i), i * 10, float(i)) for i in range(1, 6)]
+        assert locality_cost_correlation(results) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        results = [result(str(i), i * 10, float(10 - i)) for i in range(1, 6)]
+        assert locality_cost_correlation(results) == pytest.approx(-1.0)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            locality_cost_correlation([result("a", 1, 1.0), result("b", 2, 2.0)])
+
+    def test_real_experiment_positively_correlated(self):
+        """Figure 10's caption: insertion cost correlates with F."""
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        n = 3000
+        x = rng.integers(0, 128, n)
+        y = rng.integers(0, 128, n)
+        z = rng.integers(60, 68, n)
+        keys = list(zip(x.tolist(), y.tolist(), z.tolist()))
+        results = run_ordering_experiment(keys, resolution=0.1, depth=8)
+        assert locality_cost_correlation(results) > 0.5

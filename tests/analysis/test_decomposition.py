@@ -1,0 +1,70 @@
+"""Tests for stage-timing accumulation."""
+
+import time
+
+import pytest
+
+from repro.analysis.decomposition import StageTimings
+
+
+class TestStageTimings:
+    def test_add_and_total(self):
+        timings = StageTimings()
+        timings.add("ray_tracing", 1.0)
+        timings.add("octree_update", 3.0)
+        assert timings.total() == pytest.approx(4.0)
+        assert timings.total(("ray_tracing",)) == pytest.approx(1.0)
+
+    def test_counts(self):
+        timings = StageTimings()
+        timings.add("x", 1.0)
+        timings.add("x", 2.0)
+        assert timings.counts["x"] == 2
+        assert timings.seconds["x"] == pytest.approx(3.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StageTimings().add("x", -1.0)
+
+    def test_fraction(self):
+        timings = StageTimings()
+        timings.add("a", 1.0)
+        timings.add("b", 3.0)
+        assert timings.fraction("b") == pytest.approx(0.75)
+        assert timings.fraction("missing") == 0.0
+
+    def test_fraction_empty(self):
+        assert StageTimings().fraction("a") == 0.0
+
+    def test_merge(self):
+        a = StageTimings()
+        a.add("x", 1.0)
+        b = StageTimings()
+        b.add("x", 2.0)
+        b.add("y", 5.0)
+        a.merge(b)
+        assert a.seconds["x"] == pytest.approx(3.0)
+        assert a.seconds["y"] == pytest.approx(5.0)
+        assert a.counts["x"] == 2
+
+    def test_stopwatch_measures(self):
+        timings = StageTimings()
+        with timings.stage("sleepy") as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+        assert timings.seconds["sleepy"] >= 0.009
+
+    def test_rows_render(self):
+        timings = StageTimings()
+        timings.add("ray_tracing", 1.0)
+        timings.add("custom_stage", 1.0)
+        rows = timings.rows()
+        assert any("ray_tracing" in row for row in rows)
+        assert any("custom_stage" in row for row in rows)
+
+    def test_as_dict_copy(self):
+        timings = StageTimings()
+        timings.add("x", 1.0)
+        d = timings.as_dict()
+        d["x"] = 99.0
+        assert timings.seconds["x"] == pytest.approx(1.0)

@@ -1,0 +1,49 @@
+"""Tests for the quick-report experiment tour."""
+
+import pytest
+
+from repro.analysis.experiments import quick_report, render_markdown
+
+
+@pytest.fixture(scope="module")
+def sections():
+    # Smallest meaningful configuration to keep the test fast.
+    return quick_report(
+        dataset_name="fr079_corridor",
+        resolution=0.4,
+        depth=10,
+        max_batches=4,
+        ray_scale=0.3,
+    )
+
+
+class TestQuickReport:
+    def test_all_sections_present(self, sections):
+        titles = [section.title for section in sections]
+        assert any("duplication" in t.lower() for t in titles)
+        assert any("bottleneck" in t.lower() for t in titles)
+        assert any("octocache vs octomap" in t.lower() for t in titles)
+        assert any("morton" in t.lower() for t in titles)
+
+    def test_sections_timed(self, sections):
+        for section in sections:
+            assert section.seconds > 0.0
+            assert section.body.strip()
+
+    def test_markdown_rendering(self, sections):
+        document = render_markdown(sections)
+        assert document.startswith("# OctoCache quick report")
+        for section in sections:
+            assert f"## {section.title}" in document
+        assert "```" in document
+
+    def test_cli_report_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            ["report", "--resolution", "0.4", "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "OctoCache quick report" in out.read_text()

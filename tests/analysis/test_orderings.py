@@ -1,0 +1,92 @@
+"""Tests for the Figure-10 voxel-ordering experiment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.orderings import (
+    ORDERINGS,
+    make_orderings,
+    run_ordering_experiment,
+)
+from repro.core.morton import morton_encode3
+
+
+def surface_keys(n=2000, seed=0):
+    """A rough 2-D manifold in key space, like real scan data."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 256, n)
+    y = rng.integers(0, 256, n)
+    z = (
+        64 + 8 * np.sin(x / 20.0) + 6 * np.cos(y / 15.0) + rng.integers(0, 2, n)
+    ).astype(int)
+    return list(zip(x.tolist(), y.tolist(), z.tolist()))
+
+
+class TestMakeOrderings:
+    def test_all_orderings_present(self):
+        orderings = make_orderings(surface_keys(100))
+        assert set(orderings) == set(ORDERINGS)
+
+    def test_same_multiset(self):
+        keys = surface_keys(200)
+        for name, sequence in make_orderings(keys).items():
+            assert sorted(sequence) == sorted(keys), name
+
+    def test_morton_is_sorted_by_code(self):
+        orderings = make_orderings(surface_keys(200))
+        codes = [morton_encode3(*k) for k in orderings["morton"]]
+        assert codes == sorted(codes)
+
+    def test_sort_x_primary_key(self):
+        orderings = make_orderings(surface_keys(200))
+        xs = [k[0] for k in orderings["sort_x"]]
+        assert xs == sorted(xs)
+
+    def test_original_untouched(self):
+        keys = surface_keys(50)
+        assert make_orderings(keys)["original"] == keys
+
+    def test_random_deterministic_by_seed(self):
+        keys = surface_keys(50)
+        a = make_orderings(keys, seed=3)["random"]
+        b = make_orderings(keys, seed=3)["random"]
+        assert a == b
+
+
+class TestExperiment:
+    def test_figure10_shape(self):
+        """Morton has the lowest F and the lowest modeled cost; random has
+        the highest of both; cost correlates positively with F."""
+        results = run_ordering_experiment(
+            surface_keys(), resolution=0.1, depth=10
+        )
+        by_name = {r.name: r for r in results}
+        assert by_name["morton"].locality == min(r.locality for r in results)
+        assert by_name["random"].locality == max(r.locality for r in results)
+        assert by_name["morton"].modeled_cycles_per_voxel <= min(
+            r.modeled_cycles_per_voxel for r in results
+        ) + 1e-9
+        assert (
+            by_name["random"].modeled_cycles_per_voxel
+            > by_name["morton"].modeled_cycles_per_voxel
+        )
+        # Positive rank correlation between F and modeled cost.
+        ranked_by_f = sorted(results, key=lambda r: r.locality)
+        costs = [r.modeled_cycles_per_voxel for r in ranked_by_f]
+        # The extremes must be ordered even if middles jitter.
+        assert costs[0] < costs[-1]
+
+    def test_identical_node_visits_across_orderings(self):
+        """All orderings insert the same multiset: total octree node
+        visits must agree (cost differences are purely locality)."""
+        results = run_ordering_experiment(
+            surface_keys(500), resolution=0.1, depth=10
+        )
+        visits = {r.node_visits for r in results}
+        assert len(visits) == 1
+
+    def test_literal_tx2_geometry_option(self):
+        results = run_ordering_experiment(
+            surface_keys(300), resolution=0.1, depth=10, scaled_caches=False
+        )
+        assert len(results) == len(ORDERINGS)

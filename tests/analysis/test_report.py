@@ -1,0 +1,42 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.analysis.report import format_ratio, format_table, series_block
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # All lines equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.123456], [1234.5], [0.0]])
+        assert "0.123" in table
+        assert "0" in table
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestRatio:
+    def test_speedup(self):
+        assert format_ratio(2.0, 1.0) == "2.00x"
+
+    def test_zero_denominator(self):
+        assert format_ratio(1.0, 0.0) == "inf"
+
+
+class TestSeriesBlock:
+    def test_contains_title_and_table(self):
+        block = series_block("Figure 1", "data")
+        assert "Figure 1" in block
+        assert "data" in block

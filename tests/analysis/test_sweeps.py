@@ -1,0 +1,100 @@
+"""Tests for the construction-experiment drivers."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    cache_size_sweep,
+    run_construction,
+    suggest_cache_config,
+    sweep_resolutions,
+    tau_sweep,
+)
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.octocache import OctoCacheMap
+from repro.datasets.generator import make_dataset
+
+DEPTH = 11
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("fr079_corridor", scale=SCALE)
+
+
+def octomap_factory(dataset):
+    return lambda res: OctoMapPipeline(
+        resolution=res, depth=DEPTH, max_range=dataset.sensor.max_range
+    )
+
+
+def octocache_factory(dataset):
+    return lambda res: OctoCacheMap(
+        resolution=res, depth=DEPTH, max_range=dataset.sensor.max_range
+    )
+
+
+class TestRunConstruction:
+    def test_basic_run(self, dataset):
+        result = run_construction(dataset, 0.4, octomap_factory(dataset), depth=DEPTH)
+        assert result.pipeline == "OctoMap"
+        assert result.total_seconds > 0
+        assert result.octree_nodes > 0
+        assert result.octree_voxels_written > 0
+        assert result.cache_hit_ratio == 0.0
+
+    def test_octocache_writes_fewer_voxels(self, dataset):
+        vanilla = run_construction(dataset, 0.4, octomap_factory(dataset), depth=DEPTH)
+        cached = run_construction(dataset, 0.4, octocache_factory(dataset), depth=DEPTH)
+        assert cached.octree_voxels_written < vanilla.octree_voxels_written
+        assert cached.cache_hit_ratio > 0.0
+        # Same final map.
+        assert cached.octree_nodes == vanilla.octree_nodes
+
+    def test_max_batches_limits_work(self, dataset):
+        full = run_construction(dataset, 0.4, octomap_factory(dataset), depth=DEPTH)
+        short = run_construction(
+            dataset, 0.4, octomap_factory(dataset), depth=DEPTH, max_batches=2
+        )
+        assert short.octree_voxels_written < full.octree_voxels_written
+
+    def test_timeline_attached(self, dataset):
+        result = run_construction(dataset, 0.4, octocache_factory(dataset), depth=DEPTH)
+        assert result.timeline.serial_seconds > 0
+        assert result.timeline.parallel_seconds <= result.timeline.serial_seconds + 1e-9
+
+
+class TestSweeps:
+    def test_resolution_sweep_monotone_work(self, dataset):
+        results = sweep_resolutions(
+            dataset, [0.8, 0.4], octomap_factory(dataset), depth=DEPTH
+        )
+        assert len(results) == 2
+        # Finer resolution -> more voxels -> more octree nodes.
+        assert results[1].octree_nodes > results[0].octree_nodes
+
+    def test_cache_size_sweep_hit_ratio_grows(self, dataset):
+        results = cache_size_sweep(
+            dataset, 0.4, num_buckets_list=[16, 4096], depth=DEPTH
+        )
+        assert results[0].cache_hit_ratio <= results[1].cache_hit_ratio + 0.02
+
+    def test_tau_sweep_respects_capacity(self, dataset):
+        results = tau_sweep(
+            dataset, 0.4, taus=[1, 4], total_capacity=2048, depth=DEPTH
+        )
+        assert len(results) == 2
+        for result in results:
+            assert result.cache_hit_ratio >= 0.0
+
+
+class TestSuggestCacheConfig:
+    def test_power_of_two_and_positive(self, dataset):
+        config = suggest_cache_config(dataset, 0.4, depth=DEPTH)
+        assert config.num_buckets & (config.num_buckets - 1) == 0
+        assert config.capacity > 0
+
+    def test_finer_resolution_bigger_cache(self, dataset):
+        coarse = suggest_cache_config(dataset, 0.8, depth=DEPTH)
+        fine = suggest_cache_config(dataset, 0.2, depth=DEPTH)
+        assert fine.capacity >= coarse.capacity

@@ -1,0 +1,43 @@
+"""Tests for the ASCII map visualiser."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import occupancy_slice
+from repro.baselines.octomap import OctoMapPipeline
+from repro.sensor.pointcloud import PointCloud
+
+
+def mapped_wall():
+    mapping = OctoMapPipeline(resolution=0.2, depth=9)
+    ys = np.linspace(-1.0, 1.0, 21)
+    zs = np.linspace(0.5, 1.5, 11)
+    points = np.array([[2.0, y, z] for y in ys for z in zs])
+    mapping.insert_point_cloud(PointCloud(points, origin=(0.0, 0.0, 1.0)))
+    return mapping
+
+
+class TestOccupancySlice:
+    def test_symbols(self):
+        art = occupancy_slice(mapped_wall(), 1.0, (-0.5, 3.0), (-1.5, 1.5))
+        assert "#" in art  # the wall
+        assert "." in art  # traversed free space
+        assert " " in art  # unknown
+
+    def test_wall_column_position(self):
+        mapping = mapped_wall()
+        art = occupancy_slice(mapping, 1.0, (0.0, 3.0), (-0.2, 0.2))
+        # Single row band around y=0: the wall at x=2 is ~2/3 across.
+        row = art.splitlines()[0]
+        first_hash = row.index("#")
+        assert 0.5 < first_hash / len(row) < 0.85
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            occupancy_slice(mapped_wall(), 1.0, (3.0, 0.0), (-1.0, 1.0))
+
+    def test_subsampling_caps_width(self):
+        art = occupancy_slice(
+            mapped_wall(), 1.0, (-20.0, 20.0), (-20.0, 20.0), max_cells=40
+        )
+        assert all(len(line) <= 41 for line in art.splitlines())

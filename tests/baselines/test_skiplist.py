@@ -1,0 +1,119 @@
+"""Tests for the skip list and the SkiMap-like pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.baselines.skimap import SkiMapPipeline
+from repro.baselines.skiplist import SkipList
+from repro.sensor.pointcloud import PointCloud
+
+
+class TestSkipList:
+    def test_empty(self):
+        s = SkipList()
+        assert len(s) == 0
+        assert s.get(5) is None
+        assert 5 not in s
+
+    def test_insert_get(self):
+        s = SkipList()
+        s.insert(3, "three")
+        s.insert(1, "one")
+        s.insert(2, "two")
+        assert s.get(2) == "two"
+        assert len(s) == 3
+
+    def test_overwrite(self):
+        s = SkipList()
+        s.insert(1, "a")
+        s.insert(1, "b")
+        assert s.get(1) == "b"
+        assert len(s) == 1
+
+    def test_ordered_iteration(self):
+        s = SkipList()
+        for k in (5, 1, 4, 2, 3):
+            s.insert(k, k * 10)
+        assert [k for k, _v in s.items()] == [1, 2, 3, 4, 5]
+
+    def test_remove(self):
+        s = SkipList()
+        s.insert(1, "a")
+        s.insert(2, "b")
+        assert s.remove(1)
+        assert not s.remove(1)
+        assert s.get(1) is None
+        assert len(s) == 1
+
+    def test_memory_grows_with_towers(self):
+        s = SkipList()
+        empty = s.memory_bytes()
+        for k in range(100):
+            s.insert(k, k)
+        assert s.memory_bytes() > empty + 100 * 16
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_reference(self, ops):
+        s = SkipList(seed=7)
+        reference = {}
+        for value, key in enumerate(ops):
+            s.insert(key, value)
+            reference[key] = value
+        assert len(s) == len(reference)
+        assert dict(s.items()) == reference
+        assert [k for k, _v in s.items()] == sorted(reference)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=100),
+        st.lists(st.integers(min_value=0, max_value=50), max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_remove_matches_dict(self, inserts, removals):
+        s = SkipList(seed=3)
+        reference = {}
+        for key in inserts:
+            s.insert(key, key)
+            reference[key] = key
+        for key in removals:
+            assert s.remove(key) == (reference.pop(key, None) is not None)
+        assert dict(s.items()) == reference
+
+
+class TestSkiMapPipeline:
+    def wall(self, seed=0, n=50):
+        rng = np.random.default_rng(seed)
+        points = np.column_stack(
+            [np.full(n, 3.0), rng.uniform(-2, 2, n), rng.uniform(0, 2, n)]
+        )
+        return PointCloud(points, origin=(0.0, 0.0, 1.0))
+
+    def test_basic_mapping(self):
+        mapping = SkiMapPipeline(resolution=0.2, depth=9)
+        mapping.insert_point_cloud(self.wall())
+        cloud = self.wall()
+        assert mapping.is_occupied(tuple(cloud.points[0])) is True
+        assert mapping.is_occupied((9.0, 9.0, 9.0)) is None
+
+    def test_agrees_with_octomap(self):
+        ski = SkiMapPipeline(resolution=0.2, depth=9)
+        octo = OctoMapPipeline(resolution=0.2, depth=9)
+        for seed in range(3):
+            cloud = self.wall(seed)
+            ski.insert_point_cloud(cloud)
+            octo.insert_point_cloud(cloud)
+        for key, value in octo.octree.iter_finest_leaves():
+            assert ski.query_key(key) == pytest.approx(value)
+
+    def test_memory_overhead_exceeds_octree(self):
+        """Table 1's knock on SkiMap: much higher memory than the octree."""
+        ski = SkiMapPipeline(resolution=0.2, depth=9)
+        octo = OctoMapPipeline(resolution=0.2, depth=9)
+        for seed in range(3):
+            cloud = self.wall(seed, n=150)
+            ski.insert_point_cloud(cloud)
+            octo.insert_point_cloud(cloud)
+        assert ski.stored_voxels() > 0
+        assert ski.memory_bytes() > octo.octree.memory_bytes()

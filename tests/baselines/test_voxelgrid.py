@@ -1,0 +1,85 @@
+"""Tests for the dense voxel-grid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.baselines.voxelgrid import VoxelGridPipeline
+from repro.sensor.pointcloud import PointCloud
+
+GRID_DEPTH = 7
+RES = 0.2
+
+
+def wall_cloud(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [np.full(n, 3.0), rng.uniform(-2, 2, n), rng.uniform(0, 2, n)]
+    )
+    return PointCloud(points, origin=(0.0, 0.0, 1.0))
+
+
+class TestVoxelGrid:
+    def test_basic_mapping(self):
+        grid = VoxelGridPipeline(resolution=RES, grid_depth=GRID_DEPTH)
+        grid.insert_point_cloud(wall_cloud())
+        cloud = wall_cloud()
+        assert grid.is_occupied(tuple(cloud.points[0])) is True
+        midpoint = tuple((np.asarray(cloud.origin) + cloud.points[0]) / 2.0)
+        assert grid.is_occupied(midpoint) is False
+        assert grid.is_occupied((10.0, 10.0, 10.0)) is None
+
+    def test_grid_depth_bounds(self):
+        with pytest.raises(ValueError):
+            VoxelGridPipeline(resolution=RES, grid_depth=0)
+        with pytest.raises(ValueError):
+            VoxelGridPipeline(resolution=RES, grid_depth=16)
+
+    def test_agrees_with_octomap(self):
+        """Same log-odds pipeline, different storage: values must match."""
+        grid = VoxelGridPipeline(resolution=RES, grid_depth=GRID_DEPTH)
+        octo = OctoMapPipeline(resolution=RES, depth=GRID_DEPTH)
+        for seed in range(3):
+            cloud = wall_cloud(seed)
+            grid.insert_point_cloud(cloud)
+            octo.insert_point_cloud(cloud)
+        for key, value in octo.octree.iter_finest_leaves():
+            assert grid.query_key(key) == pytest.approx(value, abs=1e-5)
+
+    def test_dense_memory_dominates_octree(self):
+        """The §2.1 trade-off: the dense grid pays for the whole volume."""
+        grid = VoxelGridPipeline(resolution=RES, grid_depth=GRID_DEPTH)
+        octo = OctoMapPipeline(resolution=RES, depth=GRID_DEPTH)
+        cloud = wall_cloud()
+        grid.insert_point_cloud(cloud)
+        octo.insert_point_cloud(cloud)
+        assert grid.memory_bytes() > 10 * octo.octree.memory_bytes()
+        # ...although only a tiny fraction of cells were ever observed.
+        assert grid.observed_voxels() < 0.05 * (1 << GRID_DEPTH) ** 3
+
+    def test_critical_path_includes_grid_update(self):
+        grid = VoxelGridPipeline(resolution=RES, grid_depth=GRID_DEPTH)
+        grid.insert_point_cloud(wall_cloud())
+        assert grid.critical_path_seconds() > 0.0
+        assert grid.critical_path_seconds() <= grid.total_seconds() + 1e-9
+
+
+class TestEnergyMetric:
+    def test_energy_proportional_to_mission_time(self):
+        from repro.core.octocache import OctoCacheMap
+        from repro.uav.environments import make_environment
+        from repro.uav.mission import MissionConfig, run_mission
+        from repro.uav.vehicle import ASCTEC_PELICAN
+
+        env = make_environment("room")
+        config = MissionConfig(environment=env, max_cycles=400)
+        result = run_mission(
+            config,
+            lambda res: OctoCacheMap(
+                resolution=res, depth=11, max_range=config.sensing_range
+            ),
+        )
+        assert result.energy_joules == pytest.approx(
+            ASCTEC_PELICAN.hover_power_w * result.completion_time
+        )
+        assert result.energy_joules > 0

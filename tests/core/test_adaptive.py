@@ -1,0 +1,107 @@
+"""Tests for the adaptive cache-sizing extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.adaptive import AdaptiveOctoCacheMap
+from repro.core.config import CacheConfig
+from repro.sensor.pointcloud import PointCloud
+
+RES = 0.1
+DEPTH = 10
+
+
+def dense_scan(seed=0, n=300):
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [rng.uniform(2, 5, n), rng.uniform(-3, 3, n), rng.uniform(0, 2, n)]
+    )
+    return PointCloud(points, origin=(0.0, 0.0, 1.0))
+
+
+class TestValidation:
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            AdaptiveOctoCacheMap(resolution=RES, depth=DEPTH, target_hit_ratio=0.0)
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            AdaptiveOctoCacheMap(resolution=RES, depth=DEPTH, min_gain=-0.1)
+
+
+class TestGrowth:
+    def test_grows_under_pressure(self):
+        mapping = AdaptiveOctoCacheMap(
+            resolution=RES,
+            depth=DEPTH,
+            cache_config=CacheConfig(num_buckets=8, bucket_threshold=1),
+            target_hit_ratio=0.99,
+        )
+        for seed in range(6):
+            mapping.insert_point_cloud(dense_scan(seed))
+        assert mapping.resize_events  # the tiny cache had to grow
+        sizes = mapping.resize_events
+        assert all(b == a * 2 for a, b in zip([8] + sizes, sizes))
+
+    def test_growth_preserves_consistency(self):
+        reference = OctoMapPipeline(resolution=RES, depth=DEPTH)
+        adaptive = AdaptiveOctoCacheMap(
+            resolution=RES,
+            depth=DEPTH,
+            cache_config=CacheConfig(num_buckets=8, bucket_threshold=1),
+            target_hit_ratio=0.99,
+        )
+        for seed in range(5):
+            cloud = dense_scan(seed)
+            reference.insert_point_cloud(cloud)
+            adaptive.insert_point_cloud(cloud)
+        assert adaptive.resize_events, "test needs at least one resize"
+        for key, value in reference.octree.iter_finest_leaves():
+            assert adaptive.query_key(key) == pytest.approx(value), key
+
+    def test_memory_cap_respected(self):
+        cap = CacheConfig(num_buckets=32, bucket_threshold=1).memory_bytes
+        mapping = AdaptiveOctoCacheMap(
+            resolution=RES,
+            depth=DEPTH,
+            cache_config=CacheConfig(num_buckets=8, bucket_threshold=1),
+            target_hit_ratio=0.999,
+            max_memory_bytes=cap,
+        )
+        for seed in range(8):
+            mapping.insert_point_cloud(dense_scan(seed))
+        assert mapping.cache.config.memory_bytes <= cap
+        assert mapping.saturated
+
+    def test_stops_at_target(self):
+        mapping = AdaptiveOctoCacheMap(
+            resolution=RES,
+            depth=DEPTH,
+            cache_config=CacheConfig(num_buckets=4096, bucket_threshold=4),
+            target_hit_ratio=0.3,
+        )
+        cloud = dense_scan(0)
+        for _ in range(4):
+            mapping.insert_point_cloud(cloud)  # identical scans: hits soar
+        assert mapping.saturated
+        assert mapping.resize_events == []  # big enough from the start
+
+    def test_stops_at_knee(self):
+        """When a doubling stops paying, growth halts even below target."""
+        mapping = AdaptiveOctoCacheMap(
+            resolution=RES,
+            depth=DEPTH,
+            cache_config=CacheConfig(num_buckets=8, bucket_threshold=1),
+            target_hit_ratio=1.0,  # unreachable: knee must stop growth
+            min_gain=0.5,  # absurdly demanding gain threshold
+        )
+        for seed in range(6):
+            mapping.insert_point_cloud(dense_scan(seed))
+        assert mapping.saturated
+        # Growth stopped after at most two measured (per-batch) rounds of
+        # doubling; pressure-scaled growth allows up to 3 doublings each.
+        assert len(mapping.resize_events) <= 6
+        final_buckets = mapping.cache.config.num_buckets
+        mapping.insert_point_cloud(dense_scan(99))
+        assert mapping.cache.config.num_buckets == final_buckets  # frozen

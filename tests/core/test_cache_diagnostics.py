@@ -1,0 +1,52 @@
+"""Tests for cache occupancy diagnostics (the §6.2.4 measurement)."""
+
+from repro.core.cache import VoxelCache
+from repro.core.config import CacheConfig
+
+
+def make_cache(buckets=16, tau=4):
+    return VoxelCache(CacheConfig(num_buckets=buckets, bucket_threshold=tau))
+
+
+class TestCollisionHistogram:
+    def test_empty_cache(self):
+        cache = make_cache()
+        histogram = cache.collision_histogram()
+        assert histogram == {0: 16}
+
+    def test_counts_sum_to_buckets(self):
+        cache = make_cache(buckets=8)
+        for i in range(20):
+            cache.insert((i, 0, 0), True)
+        histogram = cache.collision_histogram()
+        assert sum(histogram.values()) == 8
+        assert sum(size * count for size, count in histogram.items()) == 20
+
+    def test_quantiles_empty(self):
+        assert make_cache().occupancy_quantiles() == (0.0, 0.0, 0.0)
+
+    def test_quantiles_ordered(self):
+        cache = make_cache(buckets=8)
+        for i in range(40):
+            cache.insert((i, i % 3, 0), True)
+        median, p90, largest = cache.occupancy_quantiles()
+        assert 0 < median <= p90 <= largest
+
+    def test_paper_claim_most_buckets_small(self):
+        """§6.2.4: with w near the non-duplicate count, most buckets hold
+        <=4 voxels thanks to the Morton spreading."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        n = 2000
+        keys = set()
+        while len(keys) < n:
+            keys.add(
+                (int(rng.integers(0, 64)), int(rng.integers(0, 64)), int(rng.integers(0, 64)))
+            )
+        cache = VoxelCache(CacheConfig(num_buckets=2048, bucket_threshold=4))
+        for key in keys:
+            cache.insert(key, True)
+        histogram = cache.collision_histogram()
+        small = sum(count for size, count in histogram.items() if size <= 4)
+        assert small / sum(histogram.values()) > 0.9

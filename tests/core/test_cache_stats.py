@@ -1,0 +1,41 @@
+"""Focused tests for CacheStats bookkeeping."""
+
+from repro.core.cache import CacheStats, VoxelCache
+from repro.core.config import CacheConfig
+
+
+class TestCacheStats:
+    def test_fresh_stats(self):
+        stats = CacheStats()
+        assert stats.insertions == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_flush_counts_as_evicted(self):
+        cache = VoxelCache(CacheConfig(num_buckets=4, bucket_threshold=4))
+        for i in range(6):
+            cache.insert((i, 0, 0), True)
+        cache.flush()
+        assert cache.stats.evicted == 6
+
+    def test_query_counters_separate_from_insert(self):
+        cache = VoxelCache(CacheConfig(num_buckets=4, bucket_threshold=4))
+        cache.insert((1, 1, 1), True)
+        cache.query((1, 1, 1))
+        cache.query((2, 2, 2))
+        stats = cache.stats
+        assert stats.hits == 0  # first insert was a miss
+        assert stats.misses == 1
+        assert stats.query_hits == 1
+        assert stats.query_misses == 1
+
+    def test_standalone_cache_without_backend(self):
+        cache = VoxelCache(CacheConfig(num_buckets=4, bucket_threshold=2))
+        value = cache.insert((1, 2, 3), True)
+        assert value == cache.params.update(cache.params.threshold, True)
+        assert cache.query((9, 9, 9)) is None  # no backend: just None
+
+    def test_hit_ratio_over_lifetime(self):
+        cache = VoxelCache(CacheConfig(num_buckets=16, bucket_threshold=4))
+        for _ in range(3):
+            cache.insert((1, 1, 1), True)
+        assert cache.stats.hit_ratio == 2 / 3

@@ -1,0 +1,50 @@
+"""Tests for cache configuration."""
+
+import pytest
+
+from repro.core.config import CELL_BYTES, CacheConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = CacheConfig()
+        assert config.num_buckets == 4096
+        assert config.bucket_threshold == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(num_buckets=1000)
+
+    def test_rejects_nonpositive_buckets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(num_buckets=0)
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ValueError):
+            CacheConfig(bucket_threshold=0)
+
+
+class TestSizing:
+    def test_capacity(self):
+        config = CacheConfig(num_buckets=8, bucket_threshold=4)
+        assert config.capacity == 32
+
+    def test_memory_accounting_matches_paper(self):
+        # Paper §5.1: 512K buckets x tau=4 x 7 bytes = 14MB.
+        config = CacheConfig(num_buckets=512 * 1024, bucket_threshold=4)
+        assert config.memory_bytes == 7 * 512 * 1024 * 4
+        assert CELL_BYTES == 7
+
+    def test_for_batch_size_covers_target(self):
+        config = CacheConfig.for_batch_size(1000, size_factor=3.5)
+        assert config.capacity >= 3500
+        assert config.num_buckets & (config.num_buckets - 1) == 0
+
+    def test_for_batch_size_power_of_two(self):
+        for n in (1, 10, 100, 12345):
+            config = CacheConfig.for_batch_size(n)
+            assert config.num_buckets & (config.num_buckets - 1) == 0
+
+    def test_for_batch_size_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig.for_batch_size(0)

@@ -1,0 +1,155 @@
+"""Query-consistency property tests (the paper's §4.1 guarantee).
+
+OctoCache must return exactly the same occupancy answer as vanilla OctoMap
+for every voxel, at every point in the workflow — before eviction (served
+from the cache), after eviction (served from the octree), and under the
+parallel design.  These tests drive all pipelines with identical random
+scan sequences and compare answers voxel by voxel.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.config import CacheConfig
+from repro.core.octocache import OctoCacheMap, OctoCacheRTMap
+from repro.core.parallel import ParallelOctoCacheMap
+from repro.baselines.octomap_rt import OctoMapRTPipeline
+from repro.sensor.pointcloud import PointCloud
+
+DEPTH = 9
+RES = 0.2
+
+
+def random_clouds(seed, num_clouds=3, points_per_cloud=40):
+    rng = np.random.default_rng(seed)
+    clouds = []
+    for i in range(num_clouds):
+        points = np.column_stack(
+            [
+                rng.uniform(1.0, 4.0, points_per_cloud),
+                rng.uniform(-2.0, 2.0, points_per_cloud),
+                rng.uniform(0.0, 2.0, points_per_cloud),
+            ]
+        )
+        clouds.append(PointCloud(points, origin=(0.2 * i, 0.0, 1.0)))
+    return clouds
+
+
+def tiny_cache():
+    # Deliberately tiny: forces heavy eviction traffic mid-run.
+    return CacheConfig(num_buckets=32, bucket_threshold=1)
+
+
+def assert_equivalent(reference, candidate):
+    """Every leaf of the reference map matches the candidate's answer."""
+    for key, value in reference.octree.iter_finest_leaves():
+        got = candidate.query_key(key)
+        assert got is not None, f"{key} known to OctoMap, unknown to {candidate.name}"
+        assert got == pytest.approx(value), f"mismatch at {key}"
+
+
+class TestSerialConsistency:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_octomap_mid_run(self, seed):
+        clouds = random_clouds(seed)
+        reference = OctoMapPipeline(resolution=RES, depth=DEPTH)
+        cached = OctoCacheMap(resolution=RES, depth=DEPTH, cache_config=tiny_cache())
+        for cloud in clouds:
+            reference.insert_point_cloud(cloud)
+            cached.insert_point_cloud(cloud)
+            assert_equivalent(reference, cached)  # before finalize!
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_octomap_after_finalize(self, seed):
+        clouds = random_clouds(seed)
+        reference = OctoMapPipeline(resolution=RES, depth=DEPTH)
+        cached = OctoCacheMap(resolution=RES, depth=DEPTH, cache_config=tiny_cache())
+        for cloud in clouds:
+            reference.insert_point_cloud(cloud)
+            cached.insert_point_cloud(cloud)
+        cached.finalize()
+        # After finalize the backend octree alone must agree.
+        for key, value in reference.octree.iter_finest_leaves():
+            assert cached.octree.search(key) == pytest.approx(value)
+
+    def test_octree_topology_identical_after_finalize(self):
+        clouds = random_clouds(7)
+        reference = OctoMapPipeline(resolution=RES, depth=DEPTH)
+        cached = OctoCacheMap(resolution=RES, depth=DEPTH, cache_config=tiny_cache())
+        for cloud in clouds:
+            reference.insert_point_cloud(cloud)
+            cached.insert_point_cloud(cloud)
+        cached.finalize()
+        assert cached.octree.num_nodes == reference.octree.num_nodes
+
+    def test_hash_indexed_strawman_also_consistent(self):
+        clouds = random_clouds(11)
+        reference = OctoMapPipeline(resolution=RES, depth=DEPTH)
+        strawman = OctoCacheMap(
+            resolution=RES,
+            depth=DEPTH,
+            cache_config=CacheConfig(
+                num_buckets=32, bucket_threshold=1, use_morton_indexing=False
+            ),
+        )
+        for cloud in clouds:
+            reference.insert_point_cloud(cloud)
+            strawman.insert_point_cloud(cloud)
+            assert_equivalent(reference, strawman)
+
+
+class TestRTConsistency:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_octocache_rt_matches_octomap_rt(self, seed):
+        clouds = random_clouds(seed)
+        reference = OctoMapRTPipeline(resolution=RES, depth=DEPTH)
+        cached = OctoCacheRTMap(
+            resolution=RES, depth=DEPTH, cache_config=tiny_cache()
+        )
+        for cloud in clouds:
+            reference.insert_point_cloud(cloud)
+            cached.insert_point_cloud(cloud)
+            assert_equivalent(reference, cached)
+
+
+class TestParallelConsistency:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_parallel_matches_octomap(self, seed):
+        clouds = random_clouds(seed)
+        reference = OctoMapPipeline(resolution=RES, depth=DEPTH)
+        parallel = ParallelOctoCacheMap(
+            resolution=RES, depth=DEPTH, cache_config=tiny_cache()
+        )
+        for cloud in clouds:
+            reference.insert_point_cloud(cloud)
+            parallel.insert_point_cloud(cloud)
+            # Queries are legal while thread 2 may still be writing.
+            assert_equivalent(reference, parallel)
+        parallel.finalize()
+        for key, value in reference.octree.iter_finest_leaves():
+            assert parallel.octree.search(key) == pytest.approx(value)
+
+    def test_parallel_query_during_churn(self):
+        """Interleave queries with inserts under heavy eviction traffic."""
+        rng = np.random.default_rng(0)
+        reference = OctoMapPipeline(resolution=RES, depth=DEPTH)
+        parallel = ParallelOctoCacheMap(
+            resolution=RES, depth=DEPTH, cache_config=tiny_cache()
+        )
+        for i in range(6):
+            cloud = random_clouds(i, num_clouds=1, points_per_cloud=60)[0]
+            reference.insert_point_cloud(cloud)
+            parallel.insert_point_cloud(cloud)
+            # Random probe coordinates (including unknowns).
+            for _ in range(20):
+                coord = tuple(rng.uniform(-3, 5, 3))
+                assert parallel.query(coord) == reference.query(coord) or (
+                    parallel.query(coord) == pytest.approx(reference.query(coord))
+                )
+        parallel.finalize()

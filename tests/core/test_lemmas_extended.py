@@ -1,0 +1,66 @@
+"""Property tests for the supplementary lemmas A4–A6 (§4.3 proof sketch)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.locality import (
+    lemma_a4_cross_subtree_distance,
+    lemma_a5_single_boundary_pair,
+    locality_cost,
+    morton_order_cost,
+)
+
+LEVELS = 3
+PREFIX_LEVELS = 1  # subtrees rooted one level below the root
+SUFFIX = 3 * (LEVELS - PREFIX_LEVELS)
+
+prefixes = st.integers(min_value=0, max_value=7)
+suffixes = st.lists(
+    st.integers(min_value=0, max_value=(1 << SUFFIX) - 1),
+    min_size=2,
+    max_size=6,
+    unique=True,
+)
+
+
+class TestLemmaA4:
+    @settings(max_examples=60, deadline=None)
+    @given(prefixes, prefixes, suffixes, suffixes)
+    def test_holds_for_all_subtree_pairs(self, pa, pb, sa, sb):
+        if pa == pb:
+            pb = (pb + 1) % 8
+        assert lemma_a4_cross_subtree_distance(
+            pa, pb, PREFIX_LEVELS, LEVELS, sa, sb
+        )
+
+    def test_rejects_identical_subtrees(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            lemma_a4_cross_subtree_distance(3, 3, PREFIX_LEVELS, LEVELS, [0], [1])
+
+
+class TestLemmaA5:
+    def test_morton_order_satisfies_single_boundary(self):
+        codes = sorted(range(1 << (3 * LEVELS)))
+        assert lemma_a5_single_boundary_pair(codes, PREFIX_LEVELS, LEVELS)
+
+    def test_interleaved_order_violates(self):
+        # Alternate between two subtrees: the pair shares many boundaries.
+        a = [0, 1, 2, 3]
+        b = [(1 << SUFFIX) | s for s in (0, 1, 2, 3)]
+        interleaved = [c for pair in zip(a, b) for c in pair]
+        assert not lemma_a5_single_boundary_pair(
+            interleaved, PREFIX_LEVELS, LEVELS
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.integers(min_value=0, max_value=(1 << (3 * LEVELS)) - 1),
+        min_size=2, max_size=40, unique=True,
+    ))
+    def test_violating_orderings_never_beat_morton(self, codes):
+        """A5 is necessary for optimality: any sequence that violates the
+        single-boundary property costs at least the Morton optimum."""
+        if lemma_a5_single_boundary_pair(codes, PREFIX_LEVELS, LEVELS):
+            return  # not a violating sequence; nothing to check
+        assert locality_cost(codes, LEVELS) >= morton_order_cost(codes, LEVELS)

@@ -1,0 +1,137 @@
+"""Tests of the locality functional F(S) and the Morton-optimality theorem.
+
+The property tests check the paper's main theorem (§4.3) exhaustively on
+small random instances: no permutation of a leaf set achieves a smaller
+F than the Morton order.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.locality import (
+    ancestor_depth,
+    brute_force_min_cost,
+    lemma_a2_distinct_ancestors,
+    lemma_a3_distinct_distances,
+    locality_cost,
+    locality_cost_keys,
+    morton_order_cost,
+    tree_distance,
+)
+from repro.core.morton import morton_encode3
+
+LEVELS = 3  # 8^3 = 512 leaves: plenty of structure, cheap to explore
+leaf_codes = st.integers(min_value=0, max_value=(1 << (3 * LEVELS)) - 1)
+
+
+class TestTreeDistance:
+    def test_identical_leaf(self):
+        assert tree_distance(5, 5, LEVELS) == 0
+
+    def test_siblings(self):
+        # Codes 0 and 1 differ only in the last 3-bit group.
+        assert tree_distance(0, 1, LEVELS) == 2
+
+    def test_root_separated(self):
+        a = 0
+        b = 0b111 << (3 * (LEVELS - 1))
+        assert tree_distance(a, b, LEVELS) == 2 * LEVELS
+
+    @given(leaf_codes, leaf_codes)
+    def test_symmetry(self, a, b):
+        assert tree_distance(a, b, LEVELS) == tree_distance(b, a, LEVELS)
+
+    @given(leaf_codes, leaf_codes, leaf_codes)
+    def test_triangle_inequality(self, a, b, c):
+        assert tree_distance(a, c, LEVELS) <= (
+            tree_distance(a, b, LEVELS) + tree_distance(b, c, LEVELS)
+        )
+
+    @given(leaf_codes, leaf_codes)
+    def test_distance_is_twice_climb(self, a, b):
+        assert tree_distance(a, b, LEVELS) == 2 * (
+            LEVELS - ancestor_depth(a, b, LEVELS)
+        )
+
+
+class TestLocalityCost:
+    def test_empty_and_singleton(self):
+        assert locality_cost([], LEVELS) == 0
+        assert locality_cost([7], LEVELS) == 0
+
+    def test_two_elements(self):
+        assert locality_cost([0, 1], LEVELS) == tree_distance(0, 1, LEVELS)
+
+    def test_keys_variant_matches_codes(self):
+        keys = [(0, 0, 0), (1, 1, 1), (2, 0, 1)]
+        codes = [morton_encode3(*k) for k in keys]
+        assert locality_cost_keys(keys, LEVELS) == locality_cost(codes, LEVELS)
+
+    @given(st.lists(leaf_codes, min_size=2, max_size=20))
+    def test_reversal_invariance(self, codes):
+        assert locality_cost(codes, LEVELS) == locality_cost(codes[::-1], LEVELS)
+
+    @given(st.lists(leaf_codes, min_size=2, max_size=20))
+    def test_nonnegative(self, codes):
+        assert locality_cost(codes, LEVELS) >= 0
+
+
+class TestMortonOptimality:
+    """The main theorem: Morton order minimises F over all permutations."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(leaf_codes, min_size=2, max_size=7, unique=True))
+    def test_morton_order_achieves_brute_force_minimum(self, codes):
+        assert morton_order_cost(codes, LEVELS) == brute_force_min_cost(
+            codes, LEVELS
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(leaf_codes, min_size=2, max_size=40, unique=True),
+        st.randoms(use_true_random=False),
+    )
+    def test_no_random_permutation_beats_morton(self, codes, rnd):
+        morton_cost = morton_order_cost(codes, LEVELS)
+        shuffled = list(codes)
+        for _ in range(20):
+            rnd.shuffle(shuffled)
+            assert locality_cost(shuffled, LEVELS) >= morton_cost
+
+    def test_brute_force_guardrail(self):
+        with pytest.raises(ValueError):
+            brute_force_min_cost(list(range(10)), LEVELS)
+
+    def test_example_from_paper_figure9(self):
+        # Binary-tree example mapped to an octree: leaves with small code
+        # difference share more ancestors, so grouping them wins.
+        close_pair = [0b000000, 0b000001]
+        far_pair = [0b000000, 0b111000]
+        assert locality_cost(close_pair, 2) < locality_cost(far_pair, 2)
+
+
+class TestLemmas:
+    @given(leaf_codes, leaf_codes, leaf_codes)
+    def test_lemma_a2(self, a, b, c):
+        assert lemma_a2_distinct_ancestors(a, b, c, LEVELS)
+
+    @given(leaf_codes, leaf_codes, leaf_codes)
+    def test_lemma_a3(self, a, b, c):
+        assert lemma_a3_distinct_distances(a, b, c, LEVELS)
+
+    def test_lemma_a6_contiguity_of_optimal_orders(self):
+        # Any subtree-contiguous order has the same F as Morton order:
+        # check by swapping whole sibling blocks (still contiguous).
+        codes = list(range(16))  # two complete level-1 subtrees (8 leaves each)
+        morton = sorted(codes)
+        swapped = morton[8:] + morton[:8]  # swap the two subtree blocks
+        assert locality_cost(swapped, LEVELS) == locality_cost(morton, LEVELS)
+
+    def test_breaking_contiguity_increases_cost(self):
+        codes = list(range(16))
+        interleaved = [c for pair in zip(codes[:8], codes[8:]) for c in pair]
+        assert locality_cost(interleaved, LEVELS) > morton_order_cost(
+            codes, LEVELS
+        )

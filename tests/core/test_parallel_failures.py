@@ -1,0 +1,108 @@
+"""Failure injection for the parallel pipeline's worker thread."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelOctoCacheMap
+from repro.sensor.pointcloud import PointCloud
+
+RES = 0.2
+DEPTH = 8
+
+
+def small_cloud(seed=0):
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [np.full(20, 2.0), rng.uniform(-1, 1, 20), rng.uniform(0, 1, 20)]
+    )
+    return PointCloud(points, origin=(0.0, 0.0, 0.5))
+
+
+class _Boom(Exception):
+    pass
+
+
+class TestWorkerFailure:
+    def test_worker_error_surfaces_on_thread1(self):
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+        # Sabotage the octree-apply step.
+        def explode(evicted):
+            raise _Boom("octree update failed")
+
+        mapping._apply_evicted = explode
+        mapping.insert_point_cloud(small_cloud())
+        with pytest.raises(RuntimeError, match="octree updater thread failed"):
+            mapping.finalize()
+
+    def test_error_does_not_wedge_waiters(self):
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+
+        def explode(evicted):
+            time.sleep(0.01)
+            raise _Boom("late failure")
+
+        mapping._apply_evicted = explode
+        mapping.insert_point_cloud(small_cloud())
+        # The waiting gap must terminate (pending is decremented in the
+        # worker's finally) and re-raise rather than deadlock.
+        with pytest.raises(RuntimeError):
+            mapping.finalize()
+
+    def test_recovery_after_failure(self):
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+        original = type(mapping)._apply_evicted.__get__(mapping)
+        calls = {"n": 0}
+
+        def flaky(evicted):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise _Boom("transient")
+            original(evicted)
+
+        mapping._apply_evicted = flaky
+        mapping.insert_point_cloud(small_cloud(0))
+        with pytest.raises(RuntimeError):
+            mapping.finalize()
+        # After the error is consumed, the pipeline is usable again.
+        mapping.insert_point_cloud(small_cloud(1))
+        mapping.finalize()
+        assert mapping.octree.num_nodes > 0
+
+
+class TestConcurrentQueries:
+    def test_queries_race_with_updates_safely(self):
+        """Hammer queries from a second thread while inserting: no
+        exceptions, and every answer is either None or a clamped float."""
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+        stop = threading.Event()
+        errors = []
+
+        def prober():
+            rng = np.random.default_rng(1)
+            while not stop.is_set():
+                coord = tuple(rng.uniform(-2, 3, 3))
+                try:
+                    value = mapping.query(coord)
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+                    return
+                if value is not None:
+                    assert (
+                        mapping.params.min_occ - 1e9
+                        <= value
+                        <= mapping.params.max_occ + 1e9
+                    )
+
+        thread = threading.Thread(target=prober)
+        thread.start()
+        try:
+            for seed in range(5):
+                mapping.insert_point_cloud(small_cloud(seed))
+        finally:
+            stop.set()
+            thread.join()
+            mapping.finalize()
+        assert errors == []

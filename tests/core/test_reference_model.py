@@ -1,0 +1,76 @@
+"""Stateful reference-model test: OctoCache vs a flat dictionary.
+
+The strongest consistency statement in the paper — OctoCache answers every
+query exactly as vanilla OctoMap would — reduces to: the cache+octree
+composite behaves like a single flat map applying clamped log-odds
+updates.  This hypothesis test drives random interleavings of inserts,
+evictions, flushes, and queries against that reference dictionary.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import VoxelCache
+from repro.core.config import CacheConfig
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 6
+SIDE = 1 << DEPTH
+
+keys = st.tuples(
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=7),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, st.booleans()),
+        st.tuples(st.just("evict"), st.none(), st.none()),
+        st.tuples(st.just("flush"), st.none(), st.none()),
+        st.tuples(st.just("query"), keys, st.none()),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestReferenceModel:
+    @settings(max_examples=80, deadline=None)
+    @given(operations, st.integers(min_value=0, max_value=3))
+    def test_composite_matches_flat_map(self, ops, config_index):
+        configs = [
+            CacheConfig(num_buckets=2, bucket_threshold=1),
+            CacheConfig(num_buckets=4, bucket_threshold=2),
+            CacheConfig(num_buckets=16, bucket_threshold=1, use_morton_indexing=False),
+            CacheConfig(num_buckets=64, bucket_threshold=4),
+        ]
+        params = OccupancyParams()
+        backend = OccupancyOctree(resolution=0.1, depth=DEPTH, params=params)
+        cache = VoxelCache(configs[config_index], params=params, backend=backend)
+        reference = {}
+
+        for op, key, occupied in ops:
+            if op == "insert":
+                reference[key] = params.update(
+                    reference.get(key, params.threshold), occupied
+                )
+                cache.insert(key, occupied)
+            elif op == "evict":
+                for evicted_key, value in cache.evict():
+                    backend.set_leaf(evicted_key, value)
+            elif op == "flush":
+                for evicted_key, value in cache.flush():
+                    backend.set_leaf(evicted_key, value)
+            else:  # query
+                expected = reference.get(key)
+                actual = cache.query(key)
+                if expected is None:
+                    assert actual is None, key
+                else:
+                    assert actual == pytest.approx(expected), key
+
+        # Whatever happened, the composite agrees on every touched voxel.
+        for key, expected in reference.items():
+            assert cache.query(key) == pytest.approx(expected), key

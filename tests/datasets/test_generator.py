@@ -1,0 +1,124 @@
+"""Tests for the named dataset generators and their statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import DATASET_NAMES, make_dataset
+from repro.datasets.overlap import overlap_cdf, overlap_ratios
+from repro.datasets.stats import batch_duplication_ratios, dataset_statistics
+
+SCALE = 0.25  # tiny but structurally faithful datasets for tests
+RES = 0.4
+DEPTH = 10
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_constructs_and_scans(self, name):
+        dataset = make_dataset(name, scale=SCALE)
+        assert len(dataset) >= 3
+        first = next(iter(dataset.scans()))
+        assert len(first) > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_dataset("atlantis")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_dataset("fr079_corridor", scale=0.0)
+
+    def test_deterministic_given_seed(self):
+        a = make_dataset("fr079_corridor", scale=SCALE, seed=42)
+        b = make_dataset("fr079_corridor", scale=SCALE, seed=42)
+        pa = next(iter(a.scans())).points
+        pb = next(iter(b.scans())).points
+        assert np.array_equal(pa, pb)
+
+    def test_seed_changes_noise(self):
+        a = make_dataset("fr079_corridor", scale=SCALE, seed=1)
+        b = make_dataset("fr079_corridor", scale=SCALE, seed=2)
+        pa = next(iter(a.scans())).points
+        pb = next(iter(b.scans())).points
+        assert not np.array_equal(pa, pb)
+
+    def test_scan_at_matches_length(self):
+        dataset = make_dataset("fr079_corridor", scale=SCALE)
+        cloud = dataset.scan_at(0)
+        assert len(cloud) > 0
+
+    def test_scale_grows_dataset(self):
+        small = make_dataset("new_college", scale=SCALE)
+        large = make_dataset("new_college", scale=2 * SCALE)
+        assert len(large) > len(small)
+        assert large.sensor.rays_per_scan > small.sensor.rays_per_scan
+
+
+class TestStatistics:
+    def test_duplication_present(self):
+        dataset = make_dataset("fr079_corridor", scale=SCALE)
+        stats = dataset_statistics(dataset, RES, DEPTH)
+        assert stats.num_point_clouds == len(dataset)
+        assert stats.total_observations > stats.distinct_voxels
+        assert stats.duplication_ratio > 1.5
+
+    def test_corridor_duplicates_most(self):
+        """Paper §3.1 / Table 2 shape: the indoor corridor has the highest
+        per-batch duplication of the three datasets."""
+        ratios = {}
+        for name in DATASET_NAMES:
+            dataset = make_dataset(name, scale=SCALE)
+            stats = dataset_statistics(dataset, RES, DEPTH)
+            ratios[name] = stats.duplication_ratio
+        assert ratios["fr079_corridor"] == max(ratios.values())
+
+    def test_finer_resolution_more_voxels(self):
+        dataset = make_dataset("fr079_corridor", scale=SCALE)
+        coarse = dataset_statistics(dataset, 0.8, DEPTH)
+        fine = dataset_statistics(dataset, 0.2, DEPTH)
+        assert fine.distinct_voxels > coarse.distinct_voxels
+
+    def test_batch_duplication_range(self):
+        dataset = make_dataset("fr079_corridor", scale=SCALE)
+        ranges = batch_duplication_ratios(dataset, [RES], DEPTH)
+        low, high = ranges[RES]
+        assert 1.0 <= low <= high
+
+
+class TestOverlap:
+    def test_overlap_in_unit_range(self):
+        dataset = make_dataset("fr079_corridor", scale=SCALE)
+        ratios = overlap_ratios(dataset, RES, DEPTH)
+        assert len(ratios) == len(dataset) - 1
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+
+    def test_corridor_overlaps_more_than_campus(self):
+        """Figure 8 shape: campus is the low-overlap outlier.
+
+        Needs a denser trajectory than the other tests — at very small
+        scales poses are so far apart that no dataset overlaps at all.
+        """
+        corridor = np.median(
+            overlap_ratios(make_dataset("fr079_corridor", scale=0.6), RES, DEPTH)
+        )
+        campus = np.median(
+            overlap_ratios(make_dataset("freiburg_campus", scale=0.6), RES, DEPTH)
+        )
+        assert corridor > campus
+
+    def test_window_widens_overlap(self):
+        dataset = make_dataset("new_college", scale=SCALE)
+        w1 = np.mean(overlap_ratios(dataset, RES, DEPTH, window=1))
+        w3 = np.mean(overlap_ratios(dataset, RES, DEPTH, window=3))
+        assert w3 >= w1
+
+    def test_invalid_window(self):
+        dataset = make_dataset("fr079_corridor", scale=SCALE)
+        with pytest.raises(ValueError):
+            overlap_ratios(dataset, RES, DEPTH, window=0)
+
+    def test_cdf_monotone(self):
+        cdf = overlap_cdf([0.1, 0.5, 0.9, 0.5])
+        fractions = [f for _t, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0

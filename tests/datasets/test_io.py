@@ -1,0 +1,88 @@
+"""Tests for point-cloud and scan-log file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_scan_log, load_xyz, save_scan_log, save_xyz
+from repro.sensor.pointcloud import PointCloud
+
+
+class TestXYZ:
+    def test_roundtrip(self, tmp_path):
+        points = np.array([[1.0, 2.0, 3.0], [-0.5, 0.25, 9.125]])
+        path = str(tmp_path / "cloud.xyz")
+        save_xyz(points, path)
+        loaded = load_xyz(path)
+        assert np.allclose(loaded, points)
+
+    def test_empty(self, tmp_path):
+        path = str(tmp_path / "empty.xyz")
+        save_xyz(np.zeros((0, 3)), path)
+        assert load_xyz(path).shape == (0, 3)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "annotated.xyz")
+        path_obj = tmp_path / "annotated.xyz"
+        path_obj.write_text("# header\n\n1 2 3\n# trailing\n4 5 6\n")
+        loaded = load_xyz(path)
+        assert loaded.shape == (2, 3)
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_xyz(np.zeros((3, 2)), str(tmp_path / "bad.xyz"))
+
+    def test_rejects_bad_line(self, tmp_path):
+        path_obj = tmp_path / "bad.xyz"
+        path_obj.write_text("1 2\n")
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            load_xyz(str(path_obj))
+
+
+class TestScanLog:
+    def test_roundtrip(self, tmp_path):
+        clouds = [
+            PointCloud([[1.0, 0.0, 0.0], [2.0, 0.0, 0.0]], origin=(0.0, 0.0, 1.0)),
+            PointCloud([[3.0, 1.0, 0.5]], origin=(0.5, 0.0, 1.0)),
+        ]
+        path = str(tmp_path / "scans.log")
+        assert save_scan_log(clouds, path) == 2
+        loaded = load_scan_log(path)
+        assert len(loaded) == 2
+        for original, restored in zip(clouds, loaded):
+            assert restored.origin == pytest.approx(original.origin)
+            assert np.allclose(restored.points, original.points)
+
+    def test_empty_scan_preserved(self, tmp_path):
+        clouds = [PointCloud(np.zeros((0, 3)), origin=(1.0, 2.0, 3.0))]
+        path = str(tmp_path / "scans.log")
+        save_scan_log(clouds, path)
+        loaded = load_scan_log(path)
+        assert len(loaded) == 1
+        assert len(loaded[0]) == 0
+
+    def test_point_before_header_rejected(self, tmp_path):
+        path_obj = tmp_path / "bad.log"
+        path_obj.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="before any SCAN"):
+            load_scan_log(str(path_obj))
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path_obj = tmp_path / "bad.log"
+        path_obj.write_text("SCAN 1 2\n")
+        with pytest.raises(ValueError, match="SCAN line"):
+            load_scan_log(str(path_obj))
+
+    def test_feeds_pipeline(self, tmp_path):
+        """The documented flow: dump a dataset, reload, build a map."""
+        from repro.baselines.octomap import OctoMapPipeline
+        from repro.datasets import make_dataset
+
+        dataset = make_dataset("fr079_corridor", scale=0.2)
+        path = str(tmp_path / "corridor.log")
+        save_scan_log(dataset.scans(), path)
+        mapping = OctoMapPipeline(
+            resolution=0.4, depth=10, max_range=dataset.sensor.max_range
+        )
+        for cloud in load_scan_log(path):
+            mapping.insert_point_cloud(cloud)
+        assert mapping.octree.num_nodes > 0

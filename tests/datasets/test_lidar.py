@@ -1,0 +1,99 @@
+"""Tests for the spinning-LiDAR sensor model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.lidar import LidarModel
+from repro.datasets.scenes import Box, Scene
+from repro.sensor.scaninsert import trace_scan
+
+
+def box_room():
+    """A closed 10x10x4 room around the origin."""
+    wall = 0.3
+    return Scene(
+        [
+            Box((-5 - wall, -5, 0), (-5, 5, 4)),
+            Box((5, -5, 0), (5 + wall, 5, 4)),
+            Box((-5, -5 - wall, 0), (5, -5, 4)),
+            Box((-5, 5, 0), (5, 5 + wall, 4)),
+        ],
+        ground=True,
+        name="box_room",
+    )
+
+
+class TestGeometry:
+    def test_ray_count(self):
+        lidar = LidarModel(elevations_deg=(-5.0, 0.0, 5.0), azimuth_steps=90)
+        assert lidar.rays_per_scan == 270
+        assert lidar.ray_directions().shape == (270, 3)
+
+    def test_directions_unit_norm(self):
+        lidar = LidarModel(azimuth_steps=45)
+        norms = np.linalg.norm(lidar.ray_directions(), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_full_azimuth_coverage(self):
+        lidar = LidarModel(elevations_deg=(0.0,), azimuth_steps=360)
+        directions = lidar.ray_directions()
+        azimuths = np.arctan2(directions[:, 1], directions[:, 0])
+        # Every 30-degree sector contains beams.
+        histogram, _edges = np.histogram(azimuths, bins=12, range=(-np.pi, np.pi))
+        assert (histogram > 0).all()
+
+    def test_yaw_offset_rotates_pattern(self):
+        lidar = LidarModel(elevations_deg=(0.0,), azimuth_steps=8)
+        base = lidar.ray_directions(0.0)
+        rotated = lidar.ray_directions(np.pi / 8)
+        assert not np.allclose(base, rotated)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LidarModel(elevations_deg=())
+        with pytest.raises(ValueError):
+            LidarModel(azimuth_steps=0)
+        with pytest.raises(ValueError):
+            LidarModel(max_range=0)
+        with pytest.raises(ValueError):
+            LidarModel(noise_sigma=-1)
+
+
+class TestScanning:
+    def test_scan_surrounded_by_walls(self):
+        lidar = LidarModel(
+            elevations_deg=(-2.0, 0.0), azimuth_steps=90, max_range=12.0
+        )
+        cloud = lidar.scan(box_room(), (0.0, 0.0, 1.5))
+        # Horizontal-ish rings hit all four walls.
+        assert len(cloud) > 150
+        assert cloud.points[:, 0].min() < -4.5
+        assert cloud.points[:, 0].max() > 4.5
+        assert cloud.points[:, 1].min() < -4.5
+        assert cloud.points[:, 1].max() > 4.5
+
+    def test_emit_misses(self):
+        lidar = LidarModel(
+            elevations_deg=(45.0,), azimuth_steps=16, max_range=2.0,
+            emit_misses=True,
+        )
+        # Steeply upward beams in a tall room: nothing within range.
+        cloud = lidar.scan(box_room(), (0.0, 0.0, 1.0))
+        assert len(cloud) == 16
+        ranges = np.linalg.norm(cloud.points - np.array([0.0, 0.0, 1.0]), axis=1)
+        assert (ranges > 2.0).all()
+
+    def test_noise_requires_rng(self):
+        lidar = LidarModel(noise_sigma=0.01)
+        with pytest.raises(ValueError):
+            lidar.scan(box_room(), (0.0, 0.0, 1.0))
+
+    def test_ring_geometry_duplicates_hard(self):
+        """All azimuths converge at the sensor: near-field voxels are
+        traversed by every firing — the heaviest duplication regime."""
+        lidar = LidarModel(
+            elevations_deg=(-1.0, 0.0, 1.0), azimuth_steps=120, max_range=12.0
+        )
+        cloud = lidar.scan(box_room(), (0.0, 0.0, 1.5))
+        batch = trace_scan(cloud, 0.2, 10, max_range=12.0)
+        assert batch.duplication_ratio > 2.0

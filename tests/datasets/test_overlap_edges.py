@@ -1,0 +1,31 @@
+"""Edge cases for the overlap analysis."""
+
+import numpy as np
+
+from repro.datasets.generator import make_dataset
+from repro.datasets.overlap import overlap_cdf, overlap_ratios
+
+
+class TestOverlapEdges:
+    def test_window_larger_than_dataset(self):
+        dataset = make_dataset("fr079_corridor", scale=0.2)
+        ratios = overlap_ratios(dataset, 0.4, 10, window=100)
+        assert len(ratios) == len(dataset) - 1
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+
+    def test_window_one_uses_only_previous_batch(self):
+        dataset = make_dataset("fr079_corridor", scale=0.3)
+        w1 = overlap_ratios(dataset, 0.4, 10, window=1)
+        w5 = overlap_ratios(dataset, 0.4, 10, window=5)
+        # A wider history can only increase each batch's overlap.
+        for narrow, wide in zip(w1, w5):
+            assert wide >= narrow - 1e-12
+
+    def test_cdf_of_empty_series(self):
+        cdf = overlap_cdf([])
+        assert all(fraction == 0.0 for _t, fraction in cdf)
+
+    def test_cdf_endpoints(self):
+        cdf = overlap_cdf([0.5], grid=[0.0, 1.0])
+        assert cdf[0][1] == 0.0
+        assert cdf[-1][1] == 1.0

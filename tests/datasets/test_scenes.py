@@ -1,0 +1,119 @@
+"""Tests for analytic scenes and ray casting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenes import (
+    Box,
+    Scene,
+    campus_scene,
+    college_scene,
+    corridor_scene,
+)
+
+
+class TestBox:
+    def test_contains(self):
+        box = Box((0, 0, 0), (1, 1, 1))
+        assert box.contains((0.5, 0.5, 0.5))
+        assert box.contains((0.0, 0.0, 0.0))  # inclusive
+        assert not box.contains((1.5, 0.5, 0.5))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (0, 1, 1))
+
+
+class TestCasting:
+    def test_hit_front_face(self):
+        scene = Scene([Box((2, -1, -1), (3, 1, 1))], ground=False)
+        hit, points = scene.cast((0, 0, 0), np.array([[1.0, 0.0, 0.0]]), 10.0)
+        assert hit[0]
+        assert points[0] == pytest.approx([2.0, 0.0, 0.0])
+
+    def test_miss(self):
+        scene = Scene([Box((2, -1, -1), (3, 1, 1))], ground=False)
+        hit, _ = scene.cast((0, 0, 0), np.array([[0.0, 1.0, 0.0]]), 10.0)
+        assert not hit[0]
+
+    def test_range_limit(self):
+        scene = Scene([Box((5, -1, -1), (6, 1, 1))], ground=False)
+        hit, _ = scene.cast((0, 0, 0), np.array([[1.0, 0.0, 0.0]]), 3.0)
+        assert not hit[0]
+
+    def test_nearest_box_wins(self):
+        scene = Scene(
+            [Box((4, -1, -1), (5, 1, 1)), Box((2, -1, -1), (3, 1, 1))],
+            ground=False,
+        )
+        hit, points = scene.cast((0, 0, 0), np.array([[1.0, 0.0, 0.0]]), 10.0)
+        assert hit[0]
+        assert points[0][0] == pytest.approx(2.0)
+
+    def test_ground_plane(self):
+        scene = Scene([], ground=True)
+        down = np.array([[0.0, 0.0, -1.0]])
+        hit, points = scene.cast((0, 0, 2.0), down, 10.0)
+        assert hit[0]
+        assert points[0][2] == pytest.approx(0.0)
+
+    def test_ground_not_hit_looking_up(self):
+        scene = Scene([], ground=True)
+        hit, _ = scene.cast((0, 0, 2.0), np.array([[0.0, 0.0, 1.0]]), 10.0)
+        assert not hit[0]
+
+    def test_origin_inside_box_hits_exit_face(self):
+        scene = Scene([Box((-1, -1, -1), (1, 1, 1))], ground=False)
+        hit, points = scene.cast((0, 0, 0), np.array([[1.0, 0.0, 0.0]]), 10.0)
+        assert hit[0]
+        assert points[0][0] == pytest.approx(1.0)
+
+    def test_many_rays_vectorised(self):
+        scene = Scene([Box((2, -5, -5), (3, 5, 5))], ground=False)
+        angles = np.linspace(-0.5, 0.5, 101)
+        directions = np.column_stack(
+            [np.cos(angles), np.sin(angles), np.zeros_like(angles)]
+        )
+        hit, points = scene.cast((0, 0, 0), directions, 10.0)
+        assert hit.all()
+        assert np.allclose(points[:, 0], 2.0)
+
+    def test_bad_directions_shape(self):
+        scene = Scene([], ground=True)
+        with pytest.raises(ValueError):
+            scene.cast((0, 0, 0), np.array([1.0, 0.0, 0.0]), 10.0)
+
+
+class TestInsideObstacle:
+    def test_inside_box(self):
+        scene = Scene([Box((0, 0, 0), (1, 1, 1))], ground=False)
+        assert scene.is_inside_obstacle((0.5, 0.5, 0.5))
+        assert not scene.is_inside_obstacle((2.0, 2.0, 2.0))
+
+    def test_below_ground(self):
+        scene = Scene([], ground=True)
+        assert scene.is_inside_obstacle((0.0, 0.0, -0.1))
+        assert not scene.is_inside_obstacle((0.0, 0.0, 0.1))
+
+
+class TestNamedScenes:
+    @pytest.mark.parametrize(
+        "builder", [corridor_scene, campus_scene, college_scene]
+    )
+    def test_scenes_construct(self, builder):
+        scene = builder()
+        assert len(scene.boxes) > 3
+        assert scene.ground
+
+    def test_corridor_interior_is_free(self):
+        scene = corridor_scene()
+        assert not scene.is_inside_obstacle((10.0, 0.0, 1.2))
+
+    def test_corridor_walls_block(self):
+        scene = corridor_scene()
+        assert scene.is_inside_obstacle((10.0, 1.0, 1.2))
+
+    def test_college_centre_monument(self):
+        scene = college_scene()
+        assert scene.is_inside_obstacle((0.0, 0.0, 0.5))
+        assert not scene.is_inside_obstacle((5.0, 5.0, 1.5))

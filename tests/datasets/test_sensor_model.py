@@ -1,0 +1,92 @@
+"""Tests for the depth-sensor model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenes import Box, Scene
+from repro.datasets.sensor_model import SensorModel
+
+
+def wall_scene():
+    return Scene([Box((3.0, -5.0, -5.0), (3.5, 5.0, 5.0))], ground=False)
+
+
+class TestDirections:
+    def test_direction_count(self):
+        sensor = SensorModel(horizontal_rays=8, vertical_rays=4)
+        assert sensor.ray_directions(0.0).shape == (32, 3)
+        assert sensor.rays_per_scan == 32
+
+    def test_directions_are_unit(self):
+        sensor = SensorModel(horizontal_rays=6, vertical_rays=5)
+        directions = sensor.ray_directions(0.7, pitch=0.2)
+        norms = np.linalg.norm(directions, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_yaw_rotates_fan(self):
+        sensor = SensorModel(horizontal_rays=3, vertical_rays=1)
+        forward = sensor.ray_directions(0.0).mean(axis=0)
+        left = sensor.ray_directions(np.pi / 2).mean(axis=0)
+        assert forward[0] > 0.9 * np.linalg.norm(forward)
+        assert left[1] > 0.9 * np.linalg.norm(left)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorModel(horizontal_rays=0)
+        with pytest.raises(ValueError):
+            SensorModel(max_range=0.0)
+        with pytest.raises(ValueError):
+            SensorModel(noise_sigma=-1.0)
+
+
+class TestScan:
+    def test_scan_hits_wall(self):
+        sensor = SensorModel(
+            horizontal_rays=10, vertical_rays=5, max_range=8.0,
+            horizontal_fov=np.deg2rad(40), vertical_fov=np.deg2rad(20),
+        )
+        cloud = sensor.scan(wall_scene(), (0.0, 0.0, 0.0), yaw=0.0)
+        assert len(cloud) == 50  # narrow fan: every ray hits the wall
+        assert np.allclose(cloud.points[:, 0], 3.0, atol=0.2)
+
+    def test_scan_misses_dropped(self):
+        sensor = SensorModel(horizontal_rays=10, vertical_rays=5, max_range=8.0)
+        cloud = sensor.scan(wall_scene(), (0.0, 0.0, 0.0), yaw=np.pi)
+        assert len(cloud) == 0  # looking away from the wall
+
+    def test_emit_misses_adds_points_beyond_range(self):
+        sensor = SensorModel(
+            horizontal_rays=4, vertical_rays=2, max_range=5.0, emit_misses=True
+        )
+        cloud = sensor.scan(wall_scene(), (0.0, 0.0, 0.0), yaw=np.pi)
+        assert len(cloud) == 8
+        distances = np.linalg.norm(cloud.points - np.zeros(3), axis=1)
+        assert np.all(distances > 5.0)
+
+    def test_noise_requires_rng(self):
+        sensor = SensorModel(noise_sigma=0.01)
+        with pytest.raises(ValueError):
+            sensor.scan(wall_scene(), (0.0, 0.0, 0.0), yaw=0.0)
+
+    def test_noise_perturbs_along_ray(self):
+        sensor = SensorModel(
+            horizontal_rays=10, vertical_rays=5, max_range=8.0, noise_sigma=0.01,
+            horizontal_fov=np.deg2rad(40), vertical_fov=np.deg2rad(20),
+        )
+        rng = np.random.default_rng(0)
+        noisy = sensor.scan(wall_scene(), (0.0, 0.0, 0.0), yaw=0.0, rng=rng)
+        clean_sensor = SensorModel(
+            horizontal_rays=10, vertical_rays=5, max_range=8.0,
+            horizontal_fov=np.deg2rad(40), vertical_fov=np.deg2rad(20),
+        )
+        clean = clean_sensor.scan(wall_scene(), (0.0, 0.0, 0.0), yaw=0.0)
+        assert not np.allclose(noisy.points, clean.points)
+        # Perturbation is radial: directions unchanged.
+        noisy_dirs = noisy.points / np.linalg.norm(noisy.points, axis=1, keepdims=True)
+        clean_dirs = clean.points / np.linalg.norm(clean.points, axis=1, keepdims=True)
+        assert np.allclose(noisy_dirs, clean_dirs, atol=1e-9)
+
+    def test_origin_recorded(self):
+        sensor = SensorModel(horizontal_rays=2, vertical_rays=2)
+        cloud = sensor.scan(wall_scene(), (1.0, 2.0, 0.5), yaw=0.0)
+        assert cloud.origin == (1.0, 2.0, 0.5)

@@ -1,0 +1,85 @@
+"""Tests for scan trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.trajectories import (
+    Pose,
+    line_trajectory,
+    loop_trajectory,
+    waypoint_trajectory,
+)
+
+
+class TestLine:
+    def test_endpoints(self):
+        poses = line_trajectory((0, 0, 1), (10, 0, 1), 5)
+        assert poses[0].position == (0, 0, 1)
+        assert poses[-1].position == (10, 0, 1)
+        assert len(poses) == 5
+
+    def test_heading_along_segment(self):
+        poses = line_trajectory((0, 0, 1), (0, 5, 1), 3)
+        assert poses[0].yaw == pytest.approx(np.pi / 2)
+
+    def test_single_pose(self):
+        poses = line_trajectory((1, 2, 3), (4, 5, 6), 1)
+        assert len(poses) == 1
+        assert poses[0].position == (1.0, 2.0, 3.0)
+
+    def test_even_spacing(self):
+        poses = line_trajectory((0, 0, 0), (9, 0, 0), 10)
+        xs = [p.position[0] for p in poses]
+        steps = np.diff(xs)
+        assert np.allclose(steps, 1.0)
+
+    def test_rejects_zero_poses(self):
+        with pytest.raises(ValueError):
+            line_trajectory((0, 0, 0), (1, 0, 0), 0)
+
+
+class TestLoop:
+    def test_on_circle(self):
+        poses = loop_trajectory((0, 0), radius=5.0, height=2.0, num_poses=8)
+        for pose in poses:
+            r = np.hypot(pose.position[0], pose.position[1])
+            assert r == pytest.approx(5.0)
+            assert pose.position[2] == 2.0
+
+    def test_outward_heading(self):
+        poses = loop_trajectory((0, 0), 5.0, 1.0, 4, face_outward=True)
+        first = poses[0]
+        # At angle 0 the position is (5,0); outward heading is +x (yaw 0).
+        assert first.yaw == pytest.approx(0.0)
+
+    def test_tangential_heading(self):
+        poses = loop_trajectory((0, 0), 5.0, 1.0, 4, face_outward=False)
+        assert poses[0].yaw == pytest.approx(np.pi / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loop_trajectory((0, 0), -1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            loop_trajectory((0, 0), 1.0, 1.0, 0)
+
+
+class TestWaypoints:
+    def test_concatenation_no_duplicates(self):
+        poses = waypoint_trajectory(
+            [(0, 0, 0), (10, 0, 0), (10, 10, 0)], poses_per_leg=3
+        )
+        positions = [p.position for p in poses]
+        assert len(positions) == len(set(positions))  # shared corner deduped
+        assert positions[0] == (0.0, 0.0, 0.0)
+        assert positions[-1] == (10.0, 10.0, 0.0)
+
+    def test_heading_changes_at_corner(self):
+        poses = waypoint_trajectory(
+            [(0, 0, 0), (10, 0, 0), (10, 10, 0)], poses_per_leg=3
+        )
+        yaws = {round(p.yaw, 3) for p in poses}
+        assert len(yaws) == 2
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            waypoint_trajectory([(0, 0, 0)], poses_per_leg=3)

@@ -1,0 +1,120 @@
+"""Tests for the array-backed octree (differential vs the pointer tree)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.octree.arraytree import ArrayOctree
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 6
+SIDE = 1 << DEPTH
+
+keys = st.tuples(
+    st.integers(min_value=0, max_value=SIDE - 1),
+    st.integers(min_value=0, max_value=SIDE - 1),
+    st.integers(min_value=0, max_value=SIDE - 1),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("update"), keys, st.booleans()),
+        st.tuples(st.just("set"), keys, st.floats(min_value=-2.0, max_value=3.4)),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestDifferential:
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_pointer_tree(self, ops):
+        pointer = OccupancyOctree(resolution=0.1, depth=DEPTH)
+        array = ArrayOctree(resolution=0.1, depth=DEPTH)
+        for op, key, argument in ops:
+            if op == "update":
+                pointer.update_node(key, argument)
+                array.update_node(key, argument)
+            else:
+                pointer.set_leaf(key, argument)
+                array.set_leaf(key, argument)
+        assert array.num_nodes == pointer.num_nodes
+        assert _leaves_equal(array, pointer)
+
+    @given(st.lists(st.tuples(keys, st.booleans()), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_search_agrees_everywhere(self, updates):
+        pointer = OccupancyOctree(resolution=0.1, depth=DEPTH)
+        array = ArrayOctree(resolution=0.1, depth=DEPTH)
+        for key, occupied in updates:
+            pointer.update_node(key, occupied)
+            array.update_node(key, occupied)
+        for key, _occ in updates:
+            assert array.search(key) == pytest.approx(pointer.search(key))
+
+
+def _leaves_equal(array, pointer):
+    array_leaves = sorted(array.iter_finest_leaves())
+    pointer_leaves = sorted(pointer.iter_finest_leaves())
+    if len(array_leaves) != len(pointer_leaves):
+        return False
+    for (ak, av), (pk, pv) in zip(array_leaves, pointer_leaves):
+        if ak != pk or abs(av - pv) > 1e-9:
+            return False
+    return True
+
+
+class TestArraySpecifics:
+    def test_empty(self):
+        tree = ArrayOctree(resolution=0.1, depth=DEPTH)
+        assert tree.num_nodes == 0
+        assert tree.search((0, 0, 0)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayOctree(resolution=0.0)
+        with pytest.raises(ValueError):
+            ArrayOctree(resolution=0.1, depth=0)
+
+    def test_pruning_recycles_storage(self):
+        tree = ArrayOctree(resolution=0.1, depth=DEPTH)
+        for _ in range(20):
+            for x in range(2):
+                for y in range(2):
+                    for z in range(2):
+                        tree.update_node((x, y, z), True)
+        pruned_nodes = tree.num_nodes
+        slots_after_prune = len(tree._values)
+        # Updating a fresh distant region reuses freed slots first.
+        tree.update_node((40, 40, 40), True)
+        assert tree.num_nodes > pruned_nodes
+        assert len(tree._values) <= slots_after_prune + DEPTH + 1
+
+    def test_denser_than_pointer_tree(self):
+        from repro.octree.tree import NODE_BYTES
+
+        array = ArrayOctree(resolution=0.1, depth=DEPTH)
+        pointer = OccupancyOctree(resolution=0.1, depth=DEPTH)
+        for x in range(8):
+            for y in range(8):
+                array.update_node((x, y, 0), True)
+                pointer.update_node((x, y, 0), True)
+        # Accounted bytes: payloads 16B vs C++-style 16B/node plus Python
+        # object overhead — the array layout's win is the contiguous
+        # child blocks; just check the accounting is sane and comparable.
+        assert array.memory_bytes() > 0
+        assert array.num_nodes == pointer.num_nodes
+
+    def test_visit_hook(self):
+        seen = []
+        tree = ArrayOctree(resolution=0.1, depth=DEPTH, visit_hook=seen.append)
+        tree.update_node((1, 2, 3), True)
+        assert len(seen) == tree.node_visits
+        assert all(isinstance(node, int) for node in seen)
+
+    def test_coordinate_queries(self):
+        tree = ArrayOctree(resolution=0.2, depth=DEPTH)
+        key = (32, 32, 32)
+        tree.update_node(key, True)
+        centre = tree.key_to_coord(key)
+        assert tree.is_occupied(centre) is True

@@ -1,0 +1,61 @@
+"""Tests for octree change tracking (incremental consumers)."""
+
+import pytest
+
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 6
+
+
+def make_tree():
+    tree = OccupancyOctree(resolution=0.1, depth=DEPTH)
+    tree.enable_change_tracking()
+    return tree
+
+
+class TestChangeTracking:
+    def test_disabled_by_default(self):
+        tree = OccupancyOctree(resolution=0.1, depth=DEPTH)
+        tree.update_node((1, 1, 1), True)
+        with pytest.raises(RuntimeError):
+            tree.pop_changed_keys()
+
+    def test_updates_recorded(self):
+        tree = make_tree()
+        tree.update_node((1, 1, 1), True)
+        tree.update_node((2, 2, 2), False)
+        assert tree.pop_changed_keys() == {(1, 1, 1), (2, 2, 2)}
+
+    def test_pop_clears(self):
+        tree = make_tree()
+        tree.update_node((1, 1, 1), True)
+        tree.pop_changed_keys()
+        assert tree.pop_changed_keys() == set()
+
+    def test_saturated_update_not_a_change(self):
+        tree = make_tree()
+        for _ in range(30):
+            tree.update_node((1, 1, 1), True)
+        tree.pop_changed_keys()
+        tree.update_node((1, 1, 1), True)  # clamped: value unchanged
+        assert tree.pop_changed_keys() == set()
+
+    def test_set_leaf_recorded_only_on_change(self):
+        tree = make_tree()
+        tree.set_leaf((3, 3, 3), 0.5)
+        assert tree.pop_changed_keys() == {(3, 3, 3)}
+        tree.set_leaf((3, 3, 3), 0.5)  # same value: no change
+        assert tree.pop_changed_keys() == set()
+
+    def test_disable_drops_state(self):
+        tree = make_tree()
+        tree.update_node((1, 1, 1), True)
+        tree.disable_change_tracking()
+        with pytest.raises(RuntimeError):
+            tree.pop_changed_keys()
+
+    def test_reenable_is_idempotent(self):
+        tree = make_tree()
+        tree.update_node((1, 1, 1), True)
+        tree.enable_change_tracking()  # must not clear pending changes
+        assert tree.pop_changed_keys() == {(1, 1, 1)}

@@ -1,0 +1,104 @@
+"""Tests for map denoising filters."""
+
+import pytest
+
+from repro.octree.filters import (
+    connected_components,
+    largest_component,
+    remove_speckles,
+)
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 6
+
+
+def occupy(tree, keys, times=3):
+    for _ in range(times):
+        for key in keys:
+            tree.update_node(key, True)
+
+
+def make_tree():
+    return OccupancyOctree(resolution=0.1, depth=DEPTH)
+
+
+class TestComponents:
+    def test_empty_map(self):
+        assert connected_components(make_tree()) == []
+        assert largest_component(make_tree()) == set()
+
+    def test_single_blob(self):
+        tree = make_tree()
+        blob = {(1, 1, 1), (1, 1, 2), (1, 2, 2)}
+        occupy(tree, blob)
+        components = connected_components(tree)
+        assert len(components) == 1
+        assert components[0] == blob
+
+    def test_two_separate_blobs_sorted_by_size(self):
+        tree = make_tree()
+        big = {(1, 1, 1), (1, 1, 2), (1, 2, 2), (2, 2, 2)}
+        small = {(20, 20, 20)}
+        occupy(tree, big | small)
+        components = connected_components(tree)
+        assert [len(c) for c in components] == [4, 1]
+        assert components[0] == big
+
+    def test_diagonal_is_not_connected(self):
+        tree = make_tree()
+        occupy(tree, {(1, 1, 1), (2, 2, 2)})  # touch only at a corner
+        assert len(connected_components(tree)) == 2
+
+    def test_free_voxels_ignored(self):
+        tree = make_tree()
+        occupy(tree, {(1, 1, 1)})
+        tree.update_node((1, 1, 2), False)  # adjacent but free
+        components = connected_components(tree)
+        assert components == [{(1, 1, 1)}]
+
+    def test_pruned_blocks_expand(self):
+        tree = make_tree()
+        block = {
+            (x, y, z) for x in range(2) for y in range(2) for z in range(2)
+        }
+        occupy(tree, block, times=20)  # saturates and prunes
+        components = connected_components(tree)
+        assert components[0] == block
+
+
+class TestSpeckleRemoval:
+    def test_removes_singletons(self):
+        tree = make_tree()
+        structure = {(1, 1, 1), (1, 1, 2), (1, 2, 2)}
+        speckle = {(30, 30, 30)}
+        occupy(tree, structure | speckle)
+        cleared = remove_speckles(tree, min_voxels=2)
+        assert cleared == 1
+        assert tree.params.is_occupied(tree.search((30, 30, 30))) is False
+        # The real structure survives.
+        for key in structure:
+            assert tree.params.is_occupied(tree.search(key))
+
+    def test_cleared_voxels_stay_known(self):
+        tree = make_tree()
+        occupy(tree, {(5, 5, 5)})
+        remove_speckles(tree, min_voxels=2)
+        assert tree.search((5, 5, 5)) is not None  # known free, not unknown
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            remove_speckles(make_tree(), min_voxels=0)
+
+    def test_noop_when_all_components_large(self):
+        tree = make_tree()
+        occupy(tree, {(1, 1, 1), (1, 1, 2)})
+        assert remove_speckles(tree, min_voxels=2) == 0
+
+
+class TestLargestComponent:
+    def test_selects_dominant_structure(self):
+        tree = make_tree()
+        wall = {(x, 10, 10) for x in range(12)}
+        noise = {(40, 40, 40), (44, 44, 44)}
+        occupy(tree, wall | noise)
+        assert largest_component(tree) == wall

@@ -1,0 +1,101 @@
+"""Tests for bounding-box leaf iteration and occupancy extraction."""
+
+import pytest
+
+from repro.octree.iterators import (
+    count_occupied,
+    iter_leaves_in_box,
+    occupied_keys_in_box,
+)
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 6
+
+
+def make_tree():
+    return OccupancyOctree(resolution=0.1, depth=DEPTH)
+
+
+class TestBoxIteration:
+    def test_empty_tree_yields_nothing(self):
+        tree = make_tree()
+        assert list(iter_leaves_in_box(tree, (0, 0, 0), (63, 63, 63))) == []
+
+    def test_finds_leaf_inside_box(self):
+        tree = make_tree()
+        tree.update_node((10, 10, 10), True)
+        hits = list(iter_leaves_in_box(tree, (8, 8, 8), (12, 12, 12)))
+        assert ((10, 10, 10), 0, pytest.approx(tree.params.delta_occupied)) in [
+            (k, l, v) for k, l, v in hits
+        ]
+
+    def test_culls_outside_box(self):
+        tree = make_tree()
+        tree.update_node((10, 10, 10), True)
+        tree.update_node((50, 50, 50), True)
+        hits = list(iter_leaves_in_box(tree, (0, 0, 0), (20, 20, 20)))
+        keys = [k for k, _l, _v in hits]
+        assert (10, 10, 10) in keys
+        assert (50, 50, 50) not in keys
+
+    def test_invalid_box_raises(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            list(iter_leaves_in_box(tree, (5, 0, 0), (1, 10, 10)))
+
+    def test_box_boundary_inclusive(self):
+        tree = make_tree()
+        tree.update_node((5, 5, 5), True)
+        hits = list(iter_leaves_in_box(tree, (5, 5, 5), (5, 5, 5)))
+        assert len(hits) == 1
+
+
+class TestOccupiedExtraction:
+    def test_occupied_keys_filter_free(self):
+        tree = make_tree()
+        tree.update_node((1, 1, 1), True)
+        tree.update_node((2, 2, 2), False)
+        occupied = occupied_keys_in_box(tree, (0, 0, 0), (5, 5, 5))
+        assert (1, 1, 1) in occupied
+        assert (2, 2, 2) not in occupied
+
+    def test_pruned_block_expands_within_box(self):
+        tree = make_tree()
+        for x in range(2):
+            for y in range(2):
+                for z in range(2):
+                    for _ in range(20):
+                        tree.update_node((x, y, z), True)
+        occupied = occupied_keys_in_box(tree, (0, 0, 0), (1, 1, 1))
+        assert sorted(occupied) == [
+            (x, y, z) for x in range(2) for y in range(2) for z in range(2)
+        ]
+
+    def test_pruned_block_clipped_to_box(self):
+        tree = make_tree()
+        for x in range(2):
+            for y in range(2):
+                for z in range(2):
+                    for _ in range(20):
+                        tree.update_node((x, y, z), True)
+        occupied = occupied_keys_in_box(tree, (0, 0, 0), (0, 1, 1))
+        assert all(key[0] == 0 for key in occupied)
+        assert len(occupied) == 4
+
+
+class TestCountOccupied:
+    def test_counts_individual_voxels(self):
+        tree = make_tree()
+        tree.update_node((1, 1, 1), True)
+        tree.update_node((2, 2, 2), True)
+        tree.update_node((3, 3, 3), False)
+        assert count_occupied(tree) == 2
+
+    def test_counts_pruned_blocks_by_volume(self):
+        tree = make_tree()
+        for x in range(2):
+            for y in range(2):
+                for z in range(2):
+                    for _ in range(20):
+                        tree.update_node((x, y, z), True)
+        assert count_occupied(tree) == 8

@@ -1,0 +1,118 @@
+"""Tests for octree merging and map comparison."""
+
+import pytest
+
+from repro.octree.merge import map_agreement, merge_tree
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 6
+
+
+def make_tree():
+    return OccupancyOctree(resolution=0.1, depth=DEPTH)
+
+
+class TestMerge:
+    def test_accumulate_disjoint_regions(self):
+        a = make_tree()
+        b = make_tree()
+        a.update_node((1, 1, 1), True)
+        b.update_node((5, 5, 5), False)
+        moved = merge_tree(a, b)
+        assert moved == 1
+        assert a.params.is_occupied(a.search((1, 1, 1)))
+        assert not a.params.is_occupied(a.search((5, 5, 5)))
+
+    def test_accumulate_adds_evidence(self):
+        a = make_tree()
+        b = make_tree()
+        a.update_node((2, 2, 2), True)
+        b.update_node((2, 2, 2), True)
+        merge_tree(a, b)
+        expected = a.params.accumulate(
+            a.params.delta_occupied, a.params.delta_occupied
+        )
+        assert a.search((2, 2, 2)) == pytest.approx(expected)
+
+    def test_accumulate_conflicting_evidence_cancels(self):
+        a = make_tree()
+        b = make_tree()
+        a.update_node((2, 2, 2), True)
+        b.update_node((2, 2, 2), True)
+        # b also saw it free twice: net free evidence in b.
+        b.update_node((2, 2, 2), False)
+        b.update_node((2, 2, 2), False)
+        merge_tree(a, b)
+        value = a.search((2, 2, 2))
+        expected = a.params.accumulate(a.params.delta_occupied, b_value_for((2, 2, 2)))
+        assert value == pytest.approx(expected)
+
+    def test_overwrite_replaces(self):
+        a = make_tree()
+        b = make_tree()
+        a.update_node((3, 3, 3), True)
+        b.update_node((3, 3, 3), False)
+        merge_tree(a, b, strategy="overwrite")
+        assert a.search((3, 3, 3)) == pytest.approx(-a.params.delta_free)
+
+    def test_merge_pruned_source(self):
+        a = make_tree()
+        b = make_tree()
+        for x in range(2):
+            for y in range(2):
+                for z in range(2):
+                    for _ in range(20):
+                        b.update_node((x, y, z), True)
+        moved = merge_tree(a, b)
+        assert moved == 8  # pruned block expands to 8 finest voxels
+        assert a.search((1, 0, 1)) == pytest.approx(a.params.max_occ)
+
+    def test_rejects_mismatched_geometry(self):
+        a = make_tree()
+        with pytest.raises(ValueError):
+            merge_tree(a, OccupancyOctree(resolution=0.2, depth=DEPTH))
+        with pytest.raises(ValueError):
+            merge_tree(a, OccupancyOctree(resolution=0.1, depth=DEPTH - 1))
+        with pytest.raises(ValueError):
+            merge_tree(a, make_tree(), strategy="replace-all")
+
+
+def b_value_for(key):
+    """Recompute the value b accumulated for ``key`` in the cancel test."""
+    tree = make_tree()
+    tree.update_node(key, True)
+    tree.update_node(key, False)
+    tree.update_node(key, False)
+    return tree.search(key)
+
+
+class TestAgreement:
+    def test_identical_maps(self):
+        a = make_tree()
+        a.update_node((1, 2, 3), True)
+        a.update_node((4, 5, 6), False)
+        report = map_agreement(a, a)
+        assert report.compared == 2
+        assert report.decision_agreement == 1.0
+        assert report.missing == 0
+
+    def test_missing_counted(self):
+        a = make_tree()
+        a.update_node((1, 2, 3), True)
+        empty = make_tree()
+        report = map_agreement(a, empty)
+        assert report.missing == 1
+        assert report.decision_agreement == 0.0
+
+    def test_disagreement_counted(self):
+        a = make_tree()
+        b = make_tree()
+        a.update_node((1, 2, 3), True)
+        b.update_node((1, 2, 3), False)
+        report = map_agreement(a, b)
+        assert report.compared == 1
+        assert report.matching == 0
+
+    def test_empty_reference(self):
+        report = map_agreement(make_tree(), make_tree())
+        assert report.decision_agreement == 1.0

@@ -1,0 +1,73 @@
+"""Tests for multi-resolution (depth-limited) octree queries."""
+
+import pytest
+
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 6
+
+
+def make_tree():
+    return OccupancyOctree(resolution=0.1, depth=DEPTH)
+
+
+class TestSearchAtLevel:
+    def test_level_zero_equals_search(self):
+        tree = make_tree()
+        tree.update_node((5, 6, 7), True)
+        assert tree.search_at_level((5, 6, 7), 0) == tree.search((5, 6, 7))
+
+    def test_inner_level_reports_max_of_block(self):
+        tree = make_tree()
+        tree.update_node((0, 0, 0), True)  # occupied
+        tree.update_node((0, 0, 1), False)  # free sibling
+        # The level-1 block containing both reports the max: occupied.
+        value = tree.search_at_level((0, 0, 0), 1)
+        assert value == pytest.approx(tree.params.delta_occupied)
+        # Any key inside the block maps to the same node.
+        assert tree.search_at_level((1, 1, 1), 1) == pytest.approx(value)
+
+    def test_root_level_summarises_whole_map(self):
+        tree = make_tree()
+        tree.update_node((3, 3, 3), True)
+        assert tree.search_at_level((0, 0, 0), DEPTH) == pytest.approx(
+            tree.params.delta_occupied
+        )
+
+    def test_unknown_block(self):
+        tree = make_tree()
+        tree.update_node((0, 0, 0), True)
+        # A far octant has no node at level 1.
+        assert tree.search_at_level((60, 60, 60), 1) is None
+
+    def test_empty_tree(self):
+        assert make_tree().search_at_level((0, 0, 0), 2) is None
+
+    def test_pruned_block_answers_at_any_level(self):
+        tree = make_tree()
+        for x in range(2):
+            for y in range(2):
+                for z in range(2):
+                    for _ in range(20):
+                        tree.update_node((x, y, z), True)
+        for level in range(DEPTH + 1):
+            value = tree.search_at_level((0, 0, 0), level)
+            assert value == pytest.approx(tree.params.max_occ)
+
+    def test_level_validation(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.search_at_level((0, 0, 0), -1)
+        with pytest.raises(ValueError):
+            tree.search_at_level((0, 0, 0), DEPTH + 1)
+
+    def test_conservative_summary_property(self):
+        """Block occupancy >= any member voxel's occupancy."""
+        tree = make_tree()
+        updates = [((x, y, z), (x + y + z) % 3 != 0) for x in range(4) for y in range(4) for z in range(4)]
+        tree.update_batch(updates)
+        for key, _occ in updates:
+            leaf = tree.search(key)
+            block = tree.search_at_level(key, 2)
+            assert block is not None and leaf is not None
+            assert block >= leaf - 1e-12

@@ -1,0 +1,107 @@
+"""Tests for log-odds occupancy arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.octree.occupancy import OccupancyParams, logodds, probability
+
+lo_values = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+class TestLogOdds:
+    def test_even_odds(self):
+        assert logodds(0.5) == pytest.approx(0.0)
+
+    def test_roundtrip(self):
+        for p in (0.12, 0.4, 0.5, 0.7, 0.97):
+            assert probability(logodds(p)) == pytest.approx(p)
+
+    def test_rejects_degenerate(self):
+        for p in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                logodds(p)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_monotone(self, p):
+        assert logodds(p) < logodds(min(p + 0.005, 0.995))
+
+
+class TestParams:
+    def test_defaults_match_octomap(self):
+        params = OccupancyParams()
+        assert params.threshold == pytest.approx(0.0)
+        assert params.delta_occupied == pytest.approx(math.log(0.7 / 0.3))
+        assert params.delta_free == pytest.approx(-math.log(0.4 / 0.6))
+        assert params.min_occ == pytest.approx(math.log(0.12 / 0.88))
+        assert params.max_occ == pytest.approx(math.log(0.97 / 0.03))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyParams(delta_occupied=-1.0)
+        with pytest.raises(ValueError):
+            OccupancyParams(delta_free=0.0)
+        with pytest.raises(ValueError):
+            OccupancyParams(min_occ=1.0, max_occ=0.0)
+        with pytest.raises(ValueError):
+            OccupancyParams(threshold=100.0)
+
+    def test_update_hit_increments(self):
+        params = OccupancyParams()
+        assert params.update(0.0, True) == pytest.approx(params.delta_occupied)
+
+    def test_update_miss_decrements(self):
+        params = OccupancyParams()
+        assert params.update(0.0, False) == pytest.approx(-params.delta_free)
+
+    def test_update_clamps_above(self):
+        params = OccupancyParams()
+        value = params.max_occ
+        assert params.update(value, True) == params.max_occ
+
+    def test_update_clamps_below(self):
+        params = OccupancyParams()
+        value = params.min_occ
+        assert params.update(value, False) == params.min_occ
+
+    @given(st.floats(min_value=-1.99, max_value=3.47, allow_nan=False))
+    def test_update_stays_in_clamp_range(self, value):
+        # Start values inside the clamp range (the only reachable states).
+        params = OccupancyParams()
+        for occupied in (True, False):
+            new = params.update(value, occupied)
+            assert params.min_occ <= new <= params.max_occ
+
+    @given(lo_values, st.booleans())
+    def test_repeated_updates_saturate(self, start, occupied):
+        params = OccupancyParams()
+        value = start
+        for _ in range(100):
+            value = params.update(value, occupied)
+        assert value == (params.max_occ if occupied else params.min_occ)
+
+    def test_is_occupied_threshold(self):
+        params = OccupancyParams()
+        assert params.is_occupied(0.0)  # at threshold counts occupied
+        assert params.is_occupied(1.0)
+        assert not params.is_occupied(-0.1)
+
+    @given(lo_values, lo_values)
+    def test_accumulate_clamps(self, value, delta):
+        params = OccupancyParams()
+        result = params.accumulate(value, delta)
+        assert params.min_occ <= result <= params.max_occ
+
+    def test_dynamic_environment_recovery(self):
+        """Clamping keeps the map revisable: an obstacle that disappears
+        can be freed again with boundedly many observations (paper §2.2)."""
+        params = OccupancyParams()
+        value = params.threshold
+        for _ in range(50):
+            value = params.update(value, True)
+        hits_needed = 0
+        while params.is_occupied(value):
+            value = params.update(value, False)
+            hits_needed += 1
+        assert hits_needed <= 10  # bounded because of the clamp

@@ -1,0 +1,78 @@
+"""Tests for map ray queries (cast_ray)."""
+
+import numpy as np
+import pytest
+
+from repro.octree.rayquery import cast_ray
+from repro.octree.tree import OccupancyOctree
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.scaninsert import trace_scan
+
+RES = 0.1
+DEPTH = 10
+
+
+def wall_tree():
+    """A tree with a scanned wall at x = 2 m."""
+    tree = OccupancyOctree(resolution=RES, depth=DEPTH)
+    ys = np.linspace(-1.0, 1.0, 21)
+    zs = np.linspace(-1.0, 1.0, 21)
+    points = np.array([[2.0, y, z] for y in ys for z in zs])
+    batch = trace_scan(PointCloud(points, origin=(0.0, 0.0, 0.0)), RES, DEPTH)
+    tree.update_batch(batch.observations)
+    return tree
+
+
+class TestCastRay:
+    def test_hits_wall(self):
+        tree = wall_tree()
+        result = cast_ray(tree, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0), max_range=5.0)
+        assert result.hit
+        assert result.endpoint[0] == pytest.approx(2.0, abs=2 * RES)
+
+    def test_miss_within_range(self):
+        tree = wall_tree()
+        result = cast_ray(tree, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0), max_range=1.0)
+        assert not result.hit
+        assert result.endpoint[0] < 1.1
+
+    def test_miss_into_unknown_ignored(self):
+        tree = wall_tree()
+        result = cast_ray(
+            tree, (0.0, 0.0, 0.0), (-1.0, 0.0, 0.0), max_range=3.0
+        )
+        assert not result.hit
+        assert not result.blocked_by_unknown
+
+    def test_unknown_blocks_when_requested(self):
+        tree = wall_tree()
+        result = cast_ray(
+            tree,
+            (0.0, 0.0, 0.0),
+            (-1.0, 0.0, 0.0),
+            max_range=3.0,
+            ignore_unknown=False,
+        )
+        assert not result.hit
+        assert result.blocked_by_unknown
+
+    def test_direction_normalised(self):
+        tree = wall_tree()
+        short = cast_ray(tree, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0), max_range=5.0)
+        scaled = cast_ray(tree, (0.0, 0.0, 0.0), (10.0, 0.0, 0.0), max_range=5.0)
+        assert short.key == scaled.key
+
+    def test_validation(self):
+        tree = wall_tree()
+        with pytest.raises(ValueError):
+            cast_ray(tree, (0, 0, 0), (1, 0, 0), max_range=0.0)
+        with pytest.raises(ValueError):
+            cast_ray(tree, (0, 0, 0), (0, 0, 0), max_range=1.0)
+
+    def test_zero_length_in_voxel(self):
+        tree = wall_tree()
+        result = cast_ray(
+            tree, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0), max_range=RES / 10
+        )
+        assert not result.hit
+        assert result.key is None

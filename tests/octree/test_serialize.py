@@ -1,0 +1,99 @@
+"""Round-trip tests for octree binary serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.serialize import (
+    load_tree,
+    save_tree,
+    tree_from_bytes,
+    tree_to_bytes,
+)
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 5
+SIDE = 1 << DEPTH
+
+keys = st.tuples(
+    st.integers(min_value=0, max_value=SIDE - 1),
+    st.integers(min_value=0, max_value=SIDE - 1),
+    st.integers(min_value=0, max_value=SIDE - 1),
+)
+
+
+def all_leaves(tree):
+    return sorted(tree.iter_finest_leaves())
+
+
+class TestRoundTrip:
+    def test_empty_tree(self):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        clone = tree_from_bytes(tree_to_bytes(tree))
+        assert clone.num_nodes == 0
+        assert clone.resolution == tree.resolution
+        assert clone.depth == tree.depth
+
+    def test_single_voxel(self):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        tree.update_node((1, 2, 3), True)
+        clone = tree_from_bytes(tree_to_bytes(tree))
+        assert clone.search((1, 2, 3)) == pytest.approx(tree.search((1, 2, 3)))
+        assert clone.num_nodes == tree.num_nodes
+
+    def test_params_preserved(self):
+        params = OccupancyParams(threshold=0.1, min_occ=-1.0, max_occ=2.0)
+        tree = OccupancyOctree(resolution=0.5, depth=DEPTH, params=params)
+        clone = tree_from_bytes(tree_to_bytes(tree))
+        assert clone.params.threshold == pytest.approx(0.1)
+        assert clone.params.min_occ == pytest.approx(-1.0)
+        assert clone.params.max_occ == pytest.approx(2.0)
+
+    @given(st.lists(st.tuples(keys, st.booleans()), min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_trees(self, updates):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        for key, occupied in updates:
+            tree.update_node(key, occupied)
+        clone = tree_from_bytes(tree_to_bytes(tree))
+        assert clone.num_nodes == tree.num_nodes
+        assert all_leaves(clone) == all_leaves(tree)
+
+    def test_pruned_tree_roundtrip(self):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        for x in range(2):
+            for y in range(2):
+                for z in range(2):
+                    for _ in range(20):
+                        tree.update_node((x, y, z), True)
+        clone = tree_from_bytes(tree_to_bytes(tree))
+        assert clone.num_nodes == tree.num_nodes  # pruning state preserved
+        assert clone.search((1, 1, 1)) == pytest.approx(tree.params.max_occ)
+
+    def test_file_roundtrip(self, tmp_path):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        tree.update_node((4, 4, 4), True)
+        path = str(tmp_path / "map.roct")
+        save_tree(tree, path)
+        clone = load_tree(path)
+        assert all_leaves(clone) == all_leaves(tree)
+
+
+class TestErrors:
+    def test_truncated_blob(self):
+        with pytest.raises(ValueError):
+            tree_from_bytes(b"\x00\x01")
+
+    def test_bad_magic(self):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        blob = bytearray(tree_to_bytes(tree))
+        blob[:4] = b"XXXX"
+        with pytest.raises(ValueError):
+            tree_from_bytes(bytes(blob))
+
+    def test_trailing_garbage(self):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        blob = tree_to_bytes(tree) + b"extra"
+        with pytest.raises(ValueError):
+            tree_from_bytes(blob)

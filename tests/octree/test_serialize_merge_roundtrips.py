@@ -1,0 +1,65 @@
+"""Cross-feature property tests: serialisation × merging × path caching.
+
+Features compose: a merged map must serialise and reload losslessly; a
+path-cache-built map must serialise identically to a plainly built one;
+merging a map with its own reloaded copy must double the evidence.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.octree.merge import map_agreement, merge_tree
+from repro.octree.pathcache import PathCachingInserter
+from repro.octree.serialize import tree_from_bytes, tree_to_bytes
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 5
+SIDE = 1 << DEPTH
+
+keys = st.tuples(
+    st.integers(min_value=0, max_value=SIDE - 1),
+    st.integers(min_value=0, max_value=SIDE - 1),
+    st.integers(min_value=0, max_value=SIDE - 1),
+)
+updates = st.lists(st.tuples(keys, st.booleans()), min_size=1, max_size=50)
+
+
+def build(update_list):
+    tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+    for key, occupied in update_list:
+        tree.update_node(key, occupied)
+    return tree
+
+
+class TestCompositions:
+    @given(updates, updates)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_then_serialise_roundtrips(self, first, second):
+        a = build(first)
+        b = build(second)
+        merge_tree(a, b)
+        clone = tree_from_bytes(tree_to_bytes(a))
+        assert clone.num_nodes == a.num_nodes
+        report = map_agreement(a, clone)
+        assert report.decision_agreement == 1.0
+        assert report.missing == 0
+
+    @given(updates)
+    @settings(max_examples=30, deadline=None)
+    def test_pathcache_build_serialises_identically(self, update_list):
+        plain = build(update_list)
+        cached = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        with PathCachingInserter(cached) as inserter:
+            inserter.insert_batch(update_list)
+        assert tree_to_bytes(cached) == tree_to_bytes(plain)
+
+    @given(updates)
+    @settings(max_examples=20, deadline=None)
+    def test_self_merge_doubles_evidence(self, update_list):
+        tree = build(update_list)
+        copy = tree_from_bytes(tree_to_bytes(tree))
+        merge_tree(tree, copy)  # accumulate: evidence counted twice
+        params = tree.params
+        for key, value in copy.iter_finest_leaves():
+            merged = tree.search(key)
+            assert merged == pytest.approx(params.accumulate(value, value))

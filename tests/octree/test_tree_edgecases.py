@@ -1,0 +1,79 @@
+"""Edge-case tests for the octree: boundaries, tiny depths, bad keys."""
+
+import pytest
+
+from repro.octree.tree import OccupancyOctree
+
+
+class TestKeyValidation:
+    def test_out_of_range_update_raises(self):
+        tree = OccupancyOctree(resolution=0.1, depth=4)
+        with pytest.raises(ValueError, match="outside the map"):
+            tree.update_node((16, 0, 0), True)
+
+    def test_negative_key_raises(self):
+        tree = OccupancyOctree(resolution=0.1, depth=4)
+        with pytest.raises(ValueError):
+            tree.search((-1, 0, 0))
+
+    def test_set_leaf_validates(self):
+        tree = OccupancyOctree(resolution=0.1, depth=4)
+        with pytest.raises(ValueError):
+            tree.set_leaf((0, 99, 0), 1.0)
+
+    def test_boundary_keys_valid(self):
+        tree = OccupancyOctree(resolution=0.1, depth=4)
+        for key in [(0, 0, 0), (15, 15, 15), (0, 15, 0)]:
+            tree.update_node(key, True)
+            assert tree.search(key) is not None
+
+
+class TestTinyDepth:
+    def test_depth_one_tree(self):
+        tree = OccupancyOctree(resolution=0.5, depth=1)
+        for x in range(2):
+            for y in range(2):
+                for z in range(2):
+                    tree.update_node((x, y, z), (x + y + z) % 2 == 0)
+        assert tree.search((0, 0, 0)) is not None
+        assert tree.search((1, 1, 1)) is not None
+
+    def test_depth_one_prunes_to_root(self):
+        tree = OccupancyOctree(resolution=0.5, depth=1)
+        for _ in range(20):
+            for x in range(2):
+                for y in range(2):
+                    for z in range(2):
+                        tree.update_node((x, y, z), True)
+        # All 8 leaves saturated equal: only the root remains.
+        assert tree.num_nodes == 1
+        assert tree.search((1, 0, 1)) == pytest.approx(tree.params.max_occ)
+
+
+class TestCornersOfTheMap:
+    def test_all_eight_corners(self):
+        depth = 5
+        side = (1 << depth) - 1
+        tree = OccupancyOctree(resolution=0.1, depth=depth)
+        corners = [
+            (x, y, z)
+            for x in (0, side)
+            for y in (0, side)
+            for z in (0, side)
+        ]
+        for corner in corners:
+            tree.update_node(corner, True)
+        for corner in corners:
+            assert tree.params.is_occupied(tree.search(corner))
+        # Eight disjoint root-to-leaf paths: 1 root + 8 * depth nodes.
+        assert tree.num_nodes == 1 + 8 * depth
+
+    def test_metric_boundary_roundtrip(self):
+        tree = OccupancyOctree(resolution=0.25, depth=6)
+        half = 0.25 * (1 << 5)  # half map extent
+        inside = (half - 0.01, -half + 0.01, 0.0)
+        key = tree.coord_to_key(inside)
+        tree.update_node(key, True)
+        assert tree.is_occupied(inside) is True
+        with pytest.raises(ValueError):
+            tree.coord_to_key((half + 1.0, 0.0, 0.0))

@@ -1,0 +1,83 @@
+"""Figure 5 fidelity: the exact node-visit pattern of updates and queries.
+
+The paper's Figure 5 spells out the memory-visit sequence: a query walks
+``N0, Nx, Ny, Nv`` root-to-leaf; an update walks the same path down and
+then back up, ``N0..Nu, Nu..N0``.  These tests pin the instrumented
+traces to that shape — the traces everything in `repro.simcache` replays.
+"""
+
+from repro.octree.tree import OccupancyOctree
+
+DEPTH = 4
+
+
+def traced_tree():
+    trace = []
+    tree = OccupancyOctree(resolution=0.1, depth=DEPTH, visit_hook=trace.append)
+    return tree, trace
+
+
+class TestUpdatePattern:
+    def test_round_trip_palindrome(self):
+        tree, trace = traced_tree()
+        tree.update_node((3, 5, 7), True)
+        # Down: depth+1 nodes; up: the same nodes reversed (leaf repeated).
+        down = trace[: DEPTH + 1]
+        up = trace[DEPTH + 1 :]
+        assert len(down) == DEPTH + 1
+        assert up == list(reversed(down))
+
+    def test_update_visit_count_is_2_depth_plus_2(self):
+        tree, trace = traced_tree()
+        tree.update_node((0, 0, 0), True)
+        assert len(trace) == 2 * (DEPTH + 1)
+
+    def test_second_update_same_leaf_revisits_same_nodes(self):
+        tree, trace = traced_tree()
+        tree.update_node((1, 2, 3), True)
+        first = list(trace)
+        trace.clear()
+        tree.update_node((1, 2, 3), True)
+        assert trace == first  # identical path, no new allocations
+
+    def test_sibling_update_shares_ancestors(self):
+        tree, trace = traced_tree()
+        tree.update_node((0, 0, 0), True)
+        down_first = trace[: DEPTH + 1]
+        trace.clear()
+        tree.update_node((0, 0, 1), True)  # sibling leaf
+        down_second = trace[: DEPTH + 1]
+        # All ancestors shared; only the leaf differs.
+        assert down_second[:-1] == down_first[:-1]
+        assert down_second[-1] != down_first[-1]
+
+
+class TestQueryPattern:
+    def test_query_is_one_way(self):
+        tree, trace = traced_tree()
+        tree.update_node((3, 5, 7), True)
+        down = trace[: DEPTH + 1]
+        trace.clear()
+        tree.search((3, 5, 7))
+        assert trace == down  # root-to-leaf only, no return trip
+
+    def test_unknown_query_stops_at_missing_child(self):
+        tree, trace = traced_tree()
+        tree.update_node((0, 0, 0), True)
+        trace.clear()
+        result = tree.search((15, 15, 15))
+        assert result is None
+        assert len(trace) == 1  # the root, then the missing octant
+
+    def test_pruned_query_short_circuits(self):
+        tree, trace = traced_tree()
+        for _ in range(20):
+            for x in range(2):
+                for y in range(2):
+                    for z in range(2):
+                        tree.update_node((x, y, z), True)
+        trace.clear()
+        tree.search((0, 0, 0))
+        # The block pruned up to some ancestor: strictly fewer visits
+        # than a full root-to-leaf walk.
+        assert 1 <= len(trace) < DEPTH + 1

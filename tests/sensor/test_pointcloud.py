@@ -1,0 +1,68 @@
+"""Tests for point clouds and rigid transforms."""
+
+import numpy as np
+import pytest
+
+from repro.sensor.pointcloud import PointCloud, rigid_transform, rotation_z
+
+
+class TestPointCloud:
+    def test_basic_construction(self):
+        cloud = PointCloud([[1.0, 2.0, 3.0]], origin=(0.5, 0.5, 0.5))
+        assert len(cloud) == 1
+        assert cloud.origin == (0.5, 0.5, 0.5)
+
+    def test_empty_cloud(self):
+        cloud = PointCloud(np.zeros((0, 3)))
+        assert len(cloud) == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud([[1.0, 2.0]])
+
+    def test_points_are_immutable(self):
+        cloud = PointCloud([[1.0, 2.0, 3.0]])
+        with pytest.raises(ValueError):
+            cloud.points[0, 0] = 9.0
+
+    def test_bounding_box(self):
+        cloud = PointCloud([[0, 0, 0], [1, 2, 3], [-1, 5, 1]])
+        lo, hi = cloud.bounding_box()
+        assert np.allclose(lo, [-1, 0, 0])
+        assert np.allclose(hi, [1, 5, 3])
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((0, 3))).bounding_box()
+
+
+class TestTransforms:
+    def test_rotation_z_quarter_turn(self):
+        rot = rotation_z(np.pi / 2)
+        assert np.allclose(rot @ np.array([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_transform_moves_points_and_origin(self):
+        cloud = PointCloud([[1.0, 0.0, 0.0]], origin=(1.0, 0.0, 0.0))
+        moved = cloud.transformed(rotation_z(np.pi), np.array([0.0, 0.0, 1.0]))
+        assert np.allclose(moved.points, [[-1.0, 0.0, 1.0]], atol=1e-12)
+        assert np.allclose(moved.origin, (-1.0, 0.0, 1.0), atol=1e-12)
+
+    def test_transform_validates_shapes(self):
+        cloud = PointCloud([[1.0, 0.0, 0.0]])
+        with pytest.raises(ValueError):
+            cloud.transformed(np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            cloud.transformed(np.eye(3), np.zeros(2))
+
+    def test_rigid_transform_convenience(self):
+        cloud = PointCloud([[1.0, 0.0, 0.0]])
+        moved = rigid_transform(cloud, np.pi / 2, (0.0, 0.0, 0.0))
+        assert np.allclose(moved.points, [[0.0, 1.0, 0.0]], atol=1e-12)
+
+    def test_transform_preserves_distances(self):
+        rng = np.random.default_rng(0)
+        cloud = PointCloud(rng.normal(size=(10, 3)))
+        moved = rigid_transform(cloud, 0.7, (1.0, -2.0, 3.0))
+        original = np.linalg.norm(cloud.points[0] - cloud.points[5])
+        transformed = np.linalg.norm(moved.points[0] - moved.points[5])
+        assert transformed == pytest.approx(original)

@@ -1,0 +1,96 @@
+"""Tests for voxel ray traversal (Amanatides–Woo)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.octree.key import coord_to_key
+from repro.sensor.raycast import compute_ray_keys, ray_endpoint_key
+
+RES = 0.1
+DEPTH = 10
+EXTENT = RES * (1 << (DEPTH - 1)) - RES  # stay safely inside the map
+
+coords = st.floats(min_value=-EXTENT, max_value=EXTENT, allow_nan=False)
+
+
+class TestBasicRays:
+    def test_axis_aligned_ray(self):
+        keys = compute_ray_keys((0.05, 0.05, 0.05), (0.55, 0.05, 0.05), RES, DEPTH)
+        # Traverses 5 voxels before the endpoint voxel.
+        assert len(keys) == 5
+        xs = [k[0] for k in keys]
+        assert xs == sorted(xs)  # near-to-far order
+        # All on the same y/z row.
+        assert len({k[1] for k in keys}) == 1
+        assert len({k[2] for k in keys}) == 1
+
+    def test_same_voxel_returns_empty(self):
+        assert compute_ray_keys((0.01, 0.01, 0.01), (0.03, 0.02, 0.04), RES, DEPTH) == []
+
+    def test_starts_at_origin_voxel(self):
+        origin = (0.05, 0.05, 0.05)
+        keys = compute_ray_keys(origin, (1.0, 0.0, 0.05), RES, DEPTH)
+        assert keys[0] == coord_to_key(origin, RES, DEPTH)
+
+    def test_excludes_endpoint_voxel(self):
+        endpoint = (0.55, 0.05, 0.05)
+        keys = compute_ray_keys((0.05, 0.05, 0.05), endpoint, RES, DEPTH)
+        assert ray_endpoint_key(endpoint, RES, DEPTH) not in keys
+
+    def test_diagonal_ray_connected(self):
+        keys = compute_ray_keys((0.0, 0.0, 0.0), (1.0, 1.0, 1.0), RES, DEPTH)
+        keys.append(ray_endpoint_key((1.0, 1.0, 1.0), RES, DEPTH))
+        for a, b in zip(keys, keys[1:]):
+            # 6/18/26-connected: each step moves exactly one voxel border.
+            assert sum(abs(a[i] - b[i]) for i in range(3)) >= 1
+            assert max(abs(a[i] - b[i]) for i in range(3)) == 1
+
+    def test_negative_direction(self):
+        keys = compute_ray_keys((0.05, 0.05, 0.05), (-0.55, 0.05, 0.05), RES, DEPTH)
+        xs = [k[0] for k in keys]
+        assert xs == sorted(xs, reverse=True)
+
+
+class TestRayProperties:
+    @given(coords, coords, coords, coords, coords, coords)
+    @settings(max_examples=100, deadline=None)
+    def test_voxels_actually_intersect_ray(self, x0, y0, z0, x1, y1, z1):
+        """Every reported voxel's centre lies within one voxel diagonal of
+        the ray segment (no spurious voxels)."""
+        origin = (x0, y0, z0)
+        endpoint = (x1, y1, z1)
+        keys = compute_ray_keys(origin, endpoint, RES, DEPTH)
+        if not keys:
+            return
+        o = np.asarray(origin)
+        e = np.asarray(endpoint)
+        d = e - o
+        seg_len2 = float(d @ d)
+        offset = 1 << (DEPTH - 1)
+        for key in keys:
+            centre = (np.asarray(key) - offset + 0.5) * RES
+            if seg_len2 == 0.0:
+                dist = np.linalg.norm(centre - o)
+            else:
+                t = float(np.clip((centre - o) @ d / seg_len2, 0.0, 1.0))
+                dist = np.linalg.norm(centre - (o + t * d))
+            assert dist <= RES * np.sqrt(3.0) / 2.0 + 1e-9
+
+    @given(coords, coords, coords, coords, coords, coords)
+    @settings(max_examples=100, deadline=None)
+    def test_step_count_bounded_by_manhattan_distance(self, x0, y0, z0, x1, y1, z1):
+        origin = (x0, y0, z0)
+        endpoint = (x1, y1, z1)
+        keys = compute_ray_keys(origin, endpoint, RES, DEPTH)
+        start = coord_to_key(origin, RES, DEPTH)
+        end = coord_to_key(endpoint, RES, DEPTH)
+        manhattan = sum(abs(start[i] - end[i]) for i in range(3))
+        # +3 slack: exact corner crossings step one axis at a time.
+        assert len(keys) <= manhattan + 3
+
+    @given(coords, coords, coords, coords, coords, coords)
+    @settings(max_examples=100, deadline=None)
+    def test_no_duplicate_voxels(self, x0, y0, z0, x1, y1, z1):
+        keys = compute_ray_keys((x0, y0, z0), (x1, y1, z1), RES, DEPTH)
+        assert len(keys) == len(set(keys))

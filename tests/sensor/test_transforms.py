@@ -1,0 +1,94 @@
+"""Property tests for rigid transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.transforms import (
+    RigidTransform,
+    rotation_x,
+    rotation_y,
+    rotation_z_matrix,
+)
+
+angles = st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False)
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+translations = st.tuples(coords, coords, coords)
+
+
+def random_transform(yaw, pitch, translation):
+    rotation = rotation_z_matrix(yaw) @ rotation_y(pitch)
+    return RigidTransform(rotation, np.asarray(translation))
+
+
+class TestConstruction:
+    def test_identity(self):
+        t = RigidTransform.identity()
+        point = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(t.apply(point), point)
+
+    def test_rejects_non_orthonormal(self):
+        with pytest.raises(ValueError, match="orthonormal"):
+            RigidTransform(np.eye(3) * 2.0, np.zeros(3))
+
+    def test_rejects_reflection(self):
+        reflection = np.diag([1.0, 1.0, -1.0])
+        with pytest.raises(ValueError, match="reflection"):
+            RigidTransform(reflection, np.zeros(3))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(3), np.zeros(2))
+
+    def test_axis_rotations_are_valid(self):
+        for rot in (rotation_x(0.3), rotation_y(-1.2), rotation_z_matrix(2.0)):
+            RigidTransform(rot, np.zeros(3))  # must not raise
+
+
+class TestGroupLaws:
+    @given(angles, angles, translations)
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_cancels(self, yaw, pitch, translation):
+        t = random_transform(yaw, pitch, translation)
+        assert (t @ t.inverse()).almost_equal(RigidTransform.identity(), atol=1e-8)
+        assert (t.inverse() @ t).almost_equal(RigidTransform.identity(), atol=1e-8)
+
+    @given(angles, translations, angles, translations)
+    @settings(max_examples=50, deadline=None)
+    def test_composition_matches_sequential_application(
+        self, yaw_a, trans_a, yaw_b, trans_b
+    ):
+        a = RigidTransform.from_yaw(yaw_a, trans_a)
+        b = RigidTransform.from_yaw(yaw_b, trans_b)
+        point = np.array([1.0, -2.0, 0.5])
+        assert np.allclose((a @ b).apply(point), a.apply(b.apply(point)))
+
+    @given(angles, angles, translations)
+    @settings(max_examples=50, deadline=None)
+    def test_distances_preserved(self, yaw, pitch, translation):
+        t = random_transform(yaw, pitch, translation)
+        p = np.array([[0.0, 0.0, 0.0], [3.0, -4.0, 12.0]])
+        moved = t.apply(p)
+        assert np.linalg.norm(moved[1] - moved[0]) == pytest.approx(13.0)
+
+
+class TestApplication:
+    def test_single_point_shape(self):
+        t = RigidTransform.from_yaw(np.pi / 2)
+        moved = t.apply(np.array([1.0, 0.0, 0.0]))
+        assert moved.shape == (3,)
+        assert np.allclose(moved, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_cloud_application(self):
+        cloud = PointCloud([[1.0, 0.0, 0.0]], origin=(1.0, 0.0, 0.0))
+        t = RigidTransform.from_yaw(np.pi, (0.0, 0.0, 2.0))
+        moved = t.apply_cloud(cloud)
+        assert np.allclose(moved.points, [[-1.0, 0.0, 2.0]], atol=1e-12)
+        assert np.allclose(moved.origin, (-1.0, 0.0, 2.0), atol=1e-12)
+
+    def test_rejects_wrong_columns(self):
+        with pytest.raises(ValueError):
+            RigidTransform.identity().apply(np.zeros((4, 2)))

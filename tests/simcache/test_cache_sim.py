@@ -1,0 +1,104 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simcache.cache_sim import CacheLevel, CacheSimulator
+
+addresses = st.integers(min_value=0, max_value=1 << 30)
+
+
+def tiny_cache(size=256, line=64, ways=2):
+    return CacheSimulator(CacheLevel("T", size_bytes=size, line_bytes=line, associativity=ways))
+
+
+class TestGeometry:
+    def test_valid_geometry(self):
+        level = CacheLevel("L1", 32 * 1024, 64, 2)
+        assert level.num_sets == 256
+
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ValueError):
+            CacheLevel("X", 1024, 48, 2)
+
+    def test_rejects_indivisible_sets(self):
+        with pytest.raises(ValueError):
+            CacheLevel("X", 192, 64, 2)  # 3 lines into 2-way sets
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheLevel("X", 0, 64, 2)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        sim = tiny_cache()
+        assert sim.access(0) is False
+        assert sim.access(0) is True
+        assert sim.hits == 1 and sim.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        sim = tiny_cache(line=64)
+        sim.access(0)
+        assert sim.access(63) is True
+        assert sim.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        # 2-way sets: three conflicting lines evict the least recent.
+        sim = tiny_cache(size=256, line=64, ways=2)  # 2 sets
+        sets = sim.level.num_sets
+        stride = 64 * sets  # same set index every time
+        a, b, c = 0, stride, 2 * stride
+        sim.access(a)
+        sim.access(b)
+        sim.access(c)  # evicts a
+        assert sim.access(b) is True
+        assert sim.access(a) is False  # was evicted
+
+    def test_lru_refresh_on_hit(self):
+        sim = tiny_cache(size=256, line=64, ways=2)
+        stride = 64 * sim.level.num_sets
+        a, b, c = 0, stride, 2 * stride
+        sim.access(a)
+        sim.access(b)
+        sim.access(a)  # refresh a: now b is LRU
+        sim.access(c)  # evicts b
+        assert sim.access(a) is True
+        assert sim.access(b) is False
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_sum_to_accesses(self, trace):
+        sim = tiny_cache()
+        for address in trace:
+            sim.access(address)
+        assert sim.hits + sim.misses == len(trace)
+        assert 0.0 <= sim.hit_ratio <= 1.0
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_repeating_trace_twice_only_hits_if_fits(self, trace):
+        """A working set smaller than one set's capacity always rehits."""
+        sim = CacheSimulator(CacheLevel("B", 1 << 20, 64, 16))
+        distinct_lines = {a // 64 for a in trace}
+        for address in trace:
+            sim.access(address)
+        if len(distinct_lines) <= 16:  # conservatively fits everywhere
+            sim.reset_counters()
+            for address in trace:
+                assert sim.access(address) is True
+
+
+class TestStateControl:
+    def test_reset_keeps_contents(self):
+        sim = tiny_cache()
+        sim.access(0)
+        sim.reset_counters()
+        assert sim.access(0) is True
+        assert sim.accesses == 1
+
+    def test_flush_clears_contents(self):
+        sim = tiny_cache()
+        sim.access(0)
+        sim.flush()
+        assert sim.access(0) is False

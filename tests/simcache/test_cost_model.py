@@ -1,0 +1,121 @@
+"""Tests for the memory-hierarchy cost model and address spaces."""
+
+import pytest
+
+from repro.simcache.address_space import AddressSpace
+from repro.simcache.cache_sim import CacheLevel
+from repro.simcache.cost_model import (
+    AccessCosts,
+    MemoryHierarchy,
+    jetson_tx2_hierarchy,
+    scaled_tx2_hierarchy,
+)
+
+
+class TestAddressSpace:
+    def test_sequential_layout(self):
+        space = AddressSpace(node_bytes=48)
+        assert space.address_of(0) == 0
+        assert space.address_of(10) == 480
+
+    def test_shuffled_is_deterministic(self):
+        a = AddressSpace(placement="shuffled", seed=1)
+        b = AddressSpace(placement="shuffled", seed=1)
+        assert [a.address_of(i) for i in range(20)] == [
+            b.address_of(i) for i in range(20)
+        ]
+
+    def test_shuffled_differs_by_seed(self):
+        a = AddressSpace(placement="shuffled", seed=1)
+        b = AddressSpace(placement="shuffled", seed=2)
+        assert [a.address_of(i) for i in range(20)] != [
+            b.address_of(i) for i in range(20)
+        ]
+
+    def test_shuffled_addresses_node_aligned(self):
+        space = AddressSpace(node_bytes=48, placement="shuffled")
+        for node_id in range(50):
+            assert space.address_of(node_id) % 48 == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressSpace(node_bytes=0)
+        with pytest.raises(ValueError):
+            AddressSpace(placement="mystery")
+        with pytest.raises(ValueError):
+            AddressSpace().address_of(-1)
+
+
+class TestHierarchy:
+    def test_cost_accounting(self):
+        hierarchy = MemoryHierarchy(
+            levels=[CacheLevel("L1", 256, 64, 2)],
+            costs=AccessCosts(level_cycles=(1.0,), dram_cycles=10.0),
+        )
+        first = hierarchy.access(0)  # miss -> DRAM
+        second = hierarchy.access(0)  # hit -> L1
+        assert first == 10.0
+        assert second == 1.0
+        assert hierarchy.total_cycles == 11.0
+        assert hierarchy.mean_cycles_per_access == pytest.approx(5.5)
+
+    def test_mismatched_costs_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                levels=[CacheLevel("L1", 256, 64, 2)],
+                costs=AccessCosts(level_cycles=(1.0, 2.0)),
+            )
+
+    def test_l2_catches_l1_evictions(self):
+        hierarchy = MemoryHierarchy(
+            levels=[
+                CacheLevel("L1", 128, 64, 2),  # 2 lines total
+                CacheLevel("L2", 1024, 64, 16),  # plenty
+            ],
+            costs=AccessCosts(level_cycles=(1.0, 5.0), dram_cycles=50.0),
+        )
+        for address in (0, 64, 128):  # fills L1 beyond capacity
+            hierarchy.access(address)
+        cost = hierarchy.access(0)  # evicted from L1, resident in L2
+        assert cost == 5.0
+
+    def test_access_node_uses_address_space(self):
+        hierarchy = jetson_tx2_hierarchy()
+        hierarchy.access_node(0)
+        hierarchy.access_node(1)  # adjacent nodes share a 64B line (48B each)
+        assert hierarchy.simulators[0].hits >= 1
+
+    def test_flush_and_reset(self):
+        hierarchy = jetson_tx2_hierarchy()
+        hierarchy.access(0)
+        hierarchy.reset_counters()
+        assert hierarchy.total_cycles == 0.0
+        assert hierarchy.access(0) == 4.0  # still warm
+        hierarchy.flush()
+        assert hierarchy.access(0) == 180.0  # cold again
+
+
+class TestScaledHierarchy:
+    def test_scales_down_for_small_workloads(self):
+        small = scaled_tx2_hierarchy(expected_nodes=10_000)
+        full = jetson_tx2_hierarchy()
+        assert (
+            small.simulators[1].level.size_bytes
+            < full.simulators[1].level.size_bytes
+        )
+
+    def test_preserves_geometry_validity(self):
+        for nodes in (1, 100, 10_000, 10_000_000):
+            hierarchy = scaled_tx2_hierarchy(expected_nodes=nodes)
+            for sim in hierarchy.simulators:
+                assert sim.level.num_sets >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_tx2_hierarchy(expected_nodes=0)
+
+    def test_paper_scale_recovers_tx2(self):
+        hierarchy = scaled_tx2_hierarchy(expected_nodes=5_700_000)
+        # At the paper's own working set the scaled caches are within 2x
+        # of the real TX2 geometry.
+        assert hierarchy.simulators[1].level.size_bytes >= 1024 * 1024

@@ -1,0 +1,89 @@
+"""Tests for the dual-core shared-L2 model."""
+
+import pytest
+
+from repro.simcache.address_space import AddressSpace
+from repro.simcache.cache_sim import CacheLevel
+from repro.simcache.cost_model import AccessCosts
+from repro.simcache.multicore import DualCoreHierarchy, interleave_traces
+
+
+def tiny_dual(l2_bytes=4096):
+    return DualCoreHierarchy(
+        l1=CacheLevel("L1", 256, 64, 2),
+        l2=CacheLevel("L2", l2_bytes, 64, 4),
+        costs=AccessCosts(level_cycles=(1.0, 10.0), dram_cycles=100.0),
+    )
+
+
+class TestDualCore:
+    def test_private_l1s(self):
+        dual = tiny_dual()
+        dual.access(0, 0)  # core 0 warms its L1
+        # Core 1 misses its own L1 but hits the shared L2.
+        assert dual.access(1, 0) == 10.0
+        # Core 0 re-hits its private L1.
+        assert dual.access(0, 0) == 1.0
+
+    def test_shared_l2_contention(self):
+        """Core 1 streaming evicts core 0's L2 working set."""
+        dual = tiny_dual(l2_bytes=4096)  # 64 lines
+        # Core 0 loads a working set into L2 (and its tiny L1).
+        working_set = [i * 64 for i in range(32)]
+        for address in working_set:
+            dual.access(0, address)
+        # Without interference, re-touching hits L2 at worst.
+        cold = tiny_dual(l2_bytes=4096)
+        for address in working_set:
+            cold.access(0, address)
+        baseline = sum(cold.access(0, a) for a in working_set)
+        # Core 1 streams through a large buffer, trashing the shared L2.
+        for address in range(100_000, 100_000 + 64 * 200, 64):
+            dual.access(1, address)
+        contended = sum(dual.access(0, a) for a in working_set)
+        assert contended > baseline
+
+    def test_validation(self):
+        dual = tiny_dual()
+        with pytest.raises(ValueError):
+            dual.access(2, 0)
+        with pytest.raises(ValueError):
+            DualCoreHierarchy(
+                costs=AccessCosts(level_cycles=(1.0,), dram_cycles=10.0)
+            )
+        with pytest.raises(ValueError):
+            DualCoreHierarchy(address_spaces=[AddressSpace()])
+
+    def test_per_core_accounting(self):
+        dual = tiny_dual()
+        dual.access(0, 0)
+        dual.access(0, 64)
+        dual.access(1, 128)
+        assert dual.core_accesses == [2, 1]
+        assert dual.mean_cycles(0) > 0
+        assert dual.mean_cycles(1) > 0
+
+    def test_access_node_uses_core_space(self):
+        spaces = [AddressSpace(), AddressSpace(placement="shuffled")]
+        dual = DualCoreHierarchy(address_spaces=spaces)
+        dual.access_node(0, 5)
+        dual.access_node(1, 5)
+        assert dual.core_accesses == [1, 1]
+
+
+class TestInterleave:
+    def test_round_robin_chunks(self):
+        stream = list(interleave_traces([1, 2, 3, 4], [9, 8], chunk=2))
+        assert stream == [(0, 1), (0, 2), (1, 9), (1, 8), (0, 3), (0, 4)]
+
+    def test_uneven_lengths(self):
+        stream = list(interleave_traces([1], [7, 8, 9], chunk=1))
+        cores = [core for core, _n in stream]
+        assert cores.count(0) == 1 and cores.count(1) == 3
+
+    def test_empty(self):
+        assert list(interleave_traces([], [])) == []
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            list(interleave_traces([1], [2], chunk=0))

@@ -1,0 +1,74 @@
+"""Tests for the next-line prefetcher option."""
+
+import random
+
+import pytest
+
+from repro.simcache.cache_sim import CacheLevel, CacheSimulator
+from repro.simcache.cost_model import (
+    jetson_tx2_hierarchy,
+    jetson_tx2_hierarchy_with_prefetch,
+)
+
+
+class TestPrefetchSimulator:
+    def test_prefetch_installs_next_line(self):
+        sim = CacheSimulator(
+            CacheLevel("T", 1024, 64, 4), next_line_prefetch=True
+        )
+        assert sim.access(0) is False  # demand miss, prefetches line 1
+        assert sim.access(64) is True  # next line already resident
+        assert sim.prefetches == 1
+
+    def test_no_prefetch_without_flag(self):
+        sim = CacheSimulator(CacheLevel("T", 1024, 64, 4))
+        sim.access(0)
+        assert sim.access(64) is False
+        assert sim.prefetches == 0
+
+    def test_prefetch_respects_associativity(self):
+        sim = CacheSimulator(
+            CacheLevel("T", 128, 64, 2), next_line_prefetch=True
+        )
+        for address in range(0, 64 * 8, 64):
+            sim.access(address)
+        # The cache never holds more lines than its capacity.
+        total_resident = sum(len(s) for s in sim._sets.values())
+        assert total_resident <= 2 * sim.level.num_sets
+
+    def test_hit_counters_unaffected_by_prefetch_installs(self):
+        sim = CacheSimulator(
+            CacheLevel("T", 1024, 64, 4), next_line_prefetch=True
+        )
+        sim.access(0)
+        assert sim.hits == 0 and sim.misses == 1
+
+
+class TestPrefetchHierarchy:
+    def test_sequential_stream_benefits(self):
+        trace = list(range(0, 48_000, 48))
+        base = jetson_tx2_hierarchy()
+        pre = jetson_tx2_hierarchy_with_prefetch()
+        for address in trace:
+            base.access(address)
+            pre.access(address)
+        assert pre.total_cycles < 0.7 * base.total_cycles
+
+    def test_random_stream_benefits_less(self):
+        sequential = list(range(0, 48_000, 48))
+        scattered = list(sequential)
+        random.Random(0).shuffle(scattered)
+
+        def cost(trace, factory):
+            hierarchy = factory()
+            for address in trace:
+                hierarchy.access(address)
+            return hierarchy.total_cycles
+
+        seq_gain = cost(sequential, jetson_tx2_hierarchy) - cost(
+            sequential, jetson_tx2_hierarchy_with_prefetch
+        )
+        rnd_gain = cost(scattered, jetson_tx2_hierarchy) - cost(
+            scattered, jetson_tx2_hierarchy_with_prefetch
+        )
+        assert seq_gain > rnd_gain

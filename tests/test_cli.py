@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_construct_defaults(self):
+        args = build_parser().parse_args(["construct"])
+        assert args.dataset == "fr079_corridor"
+        assert args.pipeline == "octocache"
+
+    def test_rejects_unknown_pipeline(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["construct", "--pipeline", "magic"])
+
+    def test_mission_options(self):
+        args = build_parser().parse_args(
+            ["mission", "--environment", "farm", "--uav", "spark"]
+        )
+        assert args.environment == "farm"
+        assert args.uav == "spark"
+
+
+class TestCommands:
+    def test_stats_runs(self, capsys):
+        code = main(
+            ["stats", "--dataset", "fr079_corridor", "--resolution", "0.4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "duplication ratio" in out
+
+    def test_construct_runs(self, capsys):
+        code = main(
+            [
+                "construct",
+                "--dataset",
+                "fr079_corridor",
+                "--resolution",
+                "0.4",
+                "--batches",
+                "3",
+                "--ray-scale",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hit ratio" in out
+
+    def test_ordering_runs(self, capsys):
+        code = main(["ordering", "--keys", "1500", "--resolution", "0.4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "morton" in out
+
+    def test_mission_runs(self, capsys):
+        code = main(
+            [
+                "mission",
+                "--environment",
+                "room",
+                "--pipeline",
+                "octocache",
+                "--max-cycles",
+                "400",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reached goal" in out

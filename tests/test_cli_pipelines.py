@@ -1,0 +1,46 @@
+"""CLI coverage for the remaining pipeline choices."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestConstructPipelines:
+    @pytest.mark.parametrize(
+        "pipeline", ["octomap", "octomap-rt", "octocache-rt", "octocache-parallel"]
+    )
+    def test_construct_each_pipeline(self, pipeline, capsys):
+        code = main(
+            [
+                "construct",
+                "--pipeline",
+                pipeline,
+                "--resolution",
+                "0.4",
+                "--batches",
+                "2",
+                "--ray-scale",
+                "0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total generation time" in out
+        assert "octree nodes" in out
+
+    def test_mission_failure_exit_code(self, capsys):
+        # A hopeless cycle budget: the mission times out, exit code 1.
+        code = main(
+            [
+                "mission",
+                "--environment",
+                "openland",
+                "--pipeline",
+                "octocache",
+                "--max-cycles",
+                "2",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "timed out" in out

@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples are executed (the mission/exploration scripts take
+minutes); the others are import-checked so signature drift in the public
+API breaks loudly here rather than in a user's terminal.
+"""
+
+import importlib.util
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_module(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        module = load_module("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "occupied at" in out
+        assert "final octree" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "environment_construction",
+            "uav_mission",
+            "ordering_study",
+            "cache_tuning",
+            "exploration",
+            "multi_session_merge",
+            "search_and_rescue",
+        ],
+    )
+    def test_examples_importable(self, name):
+        module = load_module(name)
+        assert callable(module.main)
+
+    def test_quickstart_wall_geometry(self):
+        module = load_module("quickstart")
+        cloud = module.synthetic_wall_scan(num_points=50)
+        assert len(cloud) == 50
+        assert all(abs(x - 5.0) < 1e-9 for x in cloud.points[:, 0])

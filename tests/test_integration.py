@@ -1,0 +1,134 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a complete user-visible flow: dataset → pipeline →
+map → queries → serialisation, or the full experiment drivers — the same
+paths the examples and benchmarks rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    OctoCacheMap,
+    OctoMapPipeline,
+    ParallelOctoCacheMap,
+)
+from repro.analysis.sweeps import run_construction, suggest_cache_config
+from repro.datasets import make_dataset
+from repro.octree.iterators import count_occupied
+from repro.octree.rayquery import cast_ray
+from repro.octree.serialize import tree_from_bytes, tree_to_bytes
+
+DEPTH = 11
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("fr079_corridor", scale=SCALE)
+
+
+class TestConstructSerialiseReload:
+    def test_full_cycle(self, dataset):
+        mapping = OctoCacheMap(
+            resolution=0.2, depth=DEPTH, max_range=dataset.sensor.max_range
+        )
+        for cloud in dataset.scans():
+            mapping.insert_point_cloud(cloud)
+        mapping.finalize()
+
+        blob = tree_to_bytes(mapping.octree)
+        reloaded = tree_from_bytes(blob)
+
+        assert reloaded.num_nodes == mapping.octree.num_nodes
+        assert count_occupied(reloaded) == count_occupied(mapping.octree)
+        # Spot-check query equality on the reloaded tree.
+        for key, value in list(mapping.octree.iter_finest_leaves())[:200]:
+            assert reloaded.search(key) == pytest.approx(value)
+
+
+class TestPipelinesAgreeOnRealData:
+    def test_all_pipelines_identical_maps(self, dataset):
+        pipelines = [
+            OctoMapPipeline(
+                resolution=0.4, depth=DEPTH, max_range=dataset.sensor.max_range
+            ),
+            OctoCacheMap(
+                resolution=0.4, depth=DEPTH, max_range=dataset.sensor.max_range
+            ),
+            ParallelOctoCacheMap(
+                resolution=0.4, depth=DEPTH, max_range=dataset.sensor.max_range
+            ),
+        ]
+        for cloud in dataset.scans():
+            for mapping in pipelines:
+                mapping.insert_point_cloud(cloud)
+        for mapping in pipelines:
+            mapping.finalize()
+        reference = pipelines[0].octree
+        for mapping in pipelines[1:]:
+            assert mapping.octree.num_nodes == reference.num_nodes
+            for key, value in reference.iter_finest_leaves():
+                assert mapping.octree.search(key) == pytest.approx(value), (
+                    mapping.name,
+                    key,
+                )
+
+
+class TestMapRayQueriesAfterConstruction:
+    def test_cast_ray_reproduces_scan_returns(self, dataset):
+        mapping = OctoCacheMap(
+            resolution=0.2, depth=DEPTH, max_range=dataset.sensor.max_range
+        )
+        first_scan = None
+        for cloud in dataset.scans():
+            if first_scan is None:
+                first_scan = cloud
+            mapping.insert_point_cloud(cloud)
+        mapping.finalize()
+        # Re-cast rays the sensor actually fired: each must hit the map
+        # near the original surface return.
+        origin = np.asarray(first_scan.origin)
+        hits = 0
+        for point in first_scan.points[:20]:
+            direction = np.asarray(point) - origin
+            distance = float(np.linalg.norm(direction))
+            result = cast_ray(
+                mapping.octree,
+                tuple(origin),
+                tuple(direction),
+                max_range=distance + 1.0,
+            )
+            if result.hit:
+                hits += 1
+                off = np.linalg.norm(np.asarray(result.endpoint) - point)
+                assert off < 0.8, (point, result.endpoint)
+        assert hits >= 15  # the vast majority of returns re-hit
+
+
+class TestExperimentDrivers:
+    def test_construction_driver_shapes(self, dataset):
+        config = suggest_cache_config(dataset, 0.4, DEPTH)
+        vanilla = run_construction(
+            dataset,
+            0.4,
+            lambda res: OctoMapPipeline(
+                resolution=res, depth=DEPTH, max_range=dataset.sensor.max_range
+            ),
+            depth=DEPTH,
+        )
+        cached = run_construction(
+            dataset,
+            0.4,
+            lambda res: OctoCacheMap(
+                resolution=res,
+                depth=DEPTH,
+                max_range=dataset.sensor.max_range,
+                cache_config=config,
+            ),
+            depth=DEPTH,
+        )
+        # The cache absorbs duplicates: fewer octree writes, same map.
+        assert cached.octree_voxels_written < vanilla.octree_voxels_written
+        assert cached.octree_nodes == vanilla.octree_nodes
+        assert cached.cache_hit_ratio > 0.0

@@ -1,0 +1,55 @@
+"""Tests for the four navigation environments."""
+
+import pytest
+
+from repro.uav.environments import ENVIRONMENT_NAMES, make_environment
+
+
+class TestEnvironments:
+    @pytest.mark.parametrize("name", ENVIRONMENT_NAMES)
+    def test_construct(self, name):
+        env = make_environment(name)
+        assert env.name == name
+        assert env.sensing_range > 0
+        assert env.resolution > 0
+        assert env.rt_resolution < env.resolution
+
+    def test_unknown_environment(self):
+        with pytest.raises(ValueError):
+            make_environment("mars")
+
+    @pytest.mark.parametrize("name", ENVIRONMENT_NAMES)
+    def test_start_and_goal_in_free_space(self, name):
+        env = make_environment(name)
+        assert not env.scene.is_inside_obstacle(env.start)
+        assert not env.scene.is_inside_obstacle(env.goal)
+
+    def test_paper_baseline_parameters(self):
+        """§5.1's per-environment <sensing range, resolution> baselines."""
+        expected = {
+            "openland": (8.0, 1.0),
+            "farm": (4.5, 0.3),
+            "room": (3.0, 0.15),
+            "factory": (6.0, 0.5),
+        }
+        for name, (srange, res) in expected.items():
+            env = make_environment(name)
+            assert env.sensing_range == srange
+            assert env.resolution == res
+
+    def test_goal_distances_match_paper(self):
+        """§5.1: goals 100/50/12/70 m away."""
+        expected = {"openland": 100.0, "farm": 50.0, "room": 12.0, "factory": 70.0}
+        for name, distance in expected.items():
+            env = make_environment(name)
+            assert env.goal_distance == pytest.approx(distance, rel=0.01)
+
+    def test_room_is_densest(self):
+        """Difficulty ranking Room > Factory > Farm > Openland shows up as
+        obstacle density near the direct path."""
+        def boxes_per_metre(env):
+            return len(env.scene.boxes) / env.goal_distance
+
+        room = boxes_per_metre(make_environment("room"))
+        openland = boxes_per_metre(make_environment("openland"))
+        assert room > openland

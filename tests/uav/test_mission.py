@@ -1,0 +1,89 @@
+"""Closed-loop mission tests (the paper's §6.1 causal chain)."""
+
+import pytest
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.octocache import OctoCacheMap
+from repro.uav.environments import make_environment
+from repro.uav.mission import MissionConfig, make_mission_sensor, run_mission
+from repro.uav.vehicle import ASCTEC_PELICAN, DJI_SPARK
+
+
+def octomap_factory(config):
+    return lambda res: OctoMapPipeline(
+        resolution=res, depth=11, max_range=config.sensing_range
+    )
+
+
+def octocache_factory(config):
+    return lambda res: OctoCacheMap(
+        resolution=res, depth=11, max_range=config.sensing_range
+    )
+
+
+class TestMissionConfig:
+    def test_defaults_from_environment(self):
+        env = make_environment("room")
+        config = MissionConfig(environment=env)
+        assert config.sensing_range == env.sensing_range
+        assert config.resolution == env.resolution
+
+    def test_validation(self):
+        env = make_environment("room")
+        with pytest.raises(ValueError):
+            MissionConfig(environment=env, latency_scale=0.0)
+
+    def test_mission_sensor_density(self):
+        sensor = make_mission_sensor(3.0, 0.15)
+        assert sensor.emit_misses
+        assert sensor.max_range == 3.0
+        assert sensor.horizontal_rays >= 16
+
+
+class TestMissionRuns:
+    def test_room_mission_succeeds(self):
+        env = make_environment("room")
+        config = MissionConfig(environment=env, max_cycles=400)
+        result = run_mission(config, octocache_factory(config))
+        assert result.success
+        assert not result.crashed
+        assert result.completion_time > 0
+        assert result.distance_travelled >= env.goal_distance * 0.8
+        assert result.map_queries > 0
+
+    def test_octocache_beats_octomap_in_room(self):
+        """Figure 16 shape: OctoCache cuts response latency and mission
+        time in the hardest (high-resolution) environment."""
+        env = make_environment("room")
+        config = MissionConfig(environment=env, max_cycles=400)
+        slow = run_mission(config, octomap_factory(config))
+        fast = run_mission(config, octocache_factory(config))
+        assert slow.success and fast.success
+        assert fast.mean_response_latency < slow.mean_response_latency
+        assert fast.completion_time < slow.completion_time
+
+    def test_velocity_bounded_by_vehicle(self):
+        # Trajectories are wall-clock driven (nondeterministic), so this
+        # asserts the safety invariants, not mission completion.
+        env = make_environment("openland")
+        config = MissionConfig(environment=env, uav=DJI_SPARK, max_cycles=200)
+        result = run_mission(config, octocache_factory(config))
+        assert not result.crashed
+        assert result.velocities
+        assert max(result.velocities) <= DJI_SPARK.max_velocity + 1e-9
+
+    def test_cycle_budget_respected(self):
+        env = make_environment("factory")
+        config = MissionConfig(environment=env, max_cycles=3)
+        result = run_mission(config, octomap_factory(config))
+        assert not result.success
+        assert result.cycles <= 3
+
+    def test_coarse_resolution_safe(self):
+        """Even at the coarsest baseline (openland, 1 m voxels) the UAV
+        must navigate without ground-truth collisions."""
+        env = make_environment("openland")
+        config = MissionConfig(environment=env, uav=ASCTEC_PELICAN, max_cycles=500)
+        result = run_mission(config, octocache_factory(config))
+        assert not result.crashed
+        assert result.success

@@ -1,0 +1,111 @@
+"""Tests for the greedy local planner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.sensor.pointcloud import PointCloud
+from repro.uav.planner import GreedyPlanner
+
+RES = 0.2
+DEPTH = 9
+
+
+def empty_map():
+    return OctoMapPipeline(resolution=RES, depth=DEPTH)
+
+
+def map_with_wall(x=2.0, half_width=2.0):
+    """A map whose sensor saw a wall at ``x`` in front of the origin."""
+    mapping = empty_map()
+    ys = np.linspace(-half_width, half_width, 41)
+    zs = np.linspace(0.0, 2.0, 21)
+    points = np.array([[x, y, z] for y in ys for z in zs])
+    mapping.insert_point_cloud(PointCloud(points, origin=(0.0, 0.0, 1.0)))
+    return mapping
+
+
+class TestSegmentCheck:
+    def test_unknown_is_optimistically_free(self):
+        planner = GreedyPlanner()
+        assert planner.segment_is_free(
+            empty_map(), (0.0, 0.0, 1.0), (1.0, 0.0, 1.0)
+        )
+
+    def test_unknown_blocks_in_strict_mode(self):
+        planner = GreedyPlanner()
+        assert not planner.segment_is_free(
+            empty_map(), (0.0, 0.0, 1.0), (1.0, 0.0, 1.0), strict=True
+        )
+
+    def test_occupied_blocks(self):
+        mapping = map_with_wall()
+        planner = GreedyPlanner()
+        assert not planner.segment_is_free(
+            mapping, (0.0, 0.0, 1.0), (3.0, 0.0, 1.0)
+        )
+
+    def test_observed_free_passes(self):
+        mapping = map_with_wall()
+        planner = GreedyPlanner()
+        assert planner.segment_is_free(
+            mapping, (0.0, 0.0, 1.0), (1.5, 0.0, 1.0)
+        )
+
+    def test_queries_counted(self):
+        planner = GreedyPlanner()
+        planner.segment_is_free(empty_map(), (0.0, 0.0, 1.0), (1.0, 0.0, 1.0))
+        assert planner.queries_issued > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreedyPlanner(sample_spacing=0.0)
+        with pytest.raises(ValueError):
+            GreedyPlanner(inflation=-1.0)
+
+
+class TestPlanStep:
+    def test_clear_path_goes_toward_goal(self):
+        mapping = map_with_wall(x=10.0)  # wall far away, space observed free
+        planner = GreedyPlanner()
+        plan = planner.plan_step(
+            mapping, (0.0, 0.0, 1.0), (5.0, 0.0, 1.0), lookahead=3.0
+        )
+        assert plan is not None
+        assert plan.direction[0] > 0.9  # roughly +x
+        assert plan.reach > 0.0
+
+    def test_blocked_path_detours(self):
+        mapping = map_with_wall(x=2.0, half_width=1.0)
+        planner = GreedyPlanner()
+        plan = planner.plan_step(
+            mapping, (0.0, 0.0, 1.0), (5.0, 0.0, 1.0), lookahead=3.0
+        )
+        # Either detours laterally or reports blocked; never straight on.
+        if plan is not None:
+            assert abs(plan.direction[1]) > 0.1 or plan.direction[2] > 0.5
+
+    def test_reach_limited_to_known_free(self):
+        mapping = map_with_wall(x=6.0)
+        planner = GreedyPlanner()
+        plan = planner.plan_step(
+            mapping, (0.0, 0.0, 1.0), (20.0, 0.0, 1.0), lookahead=10.0
+        )
+        assert plan is not None
+        # Travel must stop before the wall at 6 m.
+        assert plan.reach < 6.0
+
+    def test_zero_distance_returns_none(self):
+        planner = GreedyPlanner()
+        assert (
+            planner.plan_step(empty_map(), (1.0, 1.0, 1.0), (1.0, 1.0, 1.0), 3.0)
+            is None
+        )
+
+    def test_fully_unknown_map_blocks(self):
+        """Never-scanned space has no known-free prefix: hover."""
+        planner = GreedyPlanner()
+        plan = planner.plan_step(
+            empty_map(), (0.0, 0.0, 1.0), (5.0, 0.0, 1.0), lookahead=3.0
+        )
+        assert plan is None

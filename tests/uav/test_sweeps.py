@@ -1,0 +1,44 @@
+"""Tests for the UAV sweep drivers (structure, not mission outcomes)."""
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.uav.environments import make_environment
+from repro.uav.sweeps import resolution_sweep, sensing_range_sweep
+
+
+def tiny_factory(res, srange):
+    return OctoMapPipeline(resolution=res, depth=9, max_range=srange)
+
+
+class TestSweepStructure:
+    def test_resolution_sweep_points(self):
+        env = make_environment("room")
+        points = resolution_sweep(
+            env, [0.3, 0.2], tiny_factory, max_cycles=3
+        )
+        assert [p.resolution for p in points] == [0.3, 0.2]
+        assert all(p.sensing_range == env.sensing_range for p in points)
+        assert all(p.result.cycles <= 3 for p in points)
+
+    def test_sensing_range_sweep_points(self):
+        env = make_environment("room")
+        points = sensing_range_sweep(
+            env, [2.0, 3.0], tiny_factory, max_cycles=3
+        )
+        assert [p.sensing_range for p in points] == [2.0, 3.0]
+        assert all(p.resolution == env.resolution for p in points)
+
+    def test_overrides_respected(self):
+        env = make_environment("room")
+        points = resolution_sweep(
+            env, [0.3], tiny_factory, sensing_range=2.5, max_cycles=2
+        )
+        assert points[0].sensing_range == 2.5
+
+    def test_offload_flag_passes_through(self):
+        env = make_environment("room")
+        # With the flag on, octomap pipelines are unaffected (isinstance
+        # gate); the run must still work end to end.
+        points = resolution_sweep(
+            env, [0.3], tiny_factory, max_cycles=2, model_octree_offload=True
+        )
+        assert points[0].result.cycles <= 2

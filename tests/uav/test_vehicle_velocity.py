@@ -1,0 +1,91 @@
+"""Tests for UAV models and the safe-velocity bound."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uav.vehicle import ASCTEC_PELICAN, DJI_SPARK, UAVModel
+from repro.uav.velocity import max_safe_velocity, response_time
+
+latencies = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+ranges = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+
+
+class TestModels:
+    def test_paper_specs(self):
+        assert ASCTEC_PELICAN.mass_kg == pytest.approx(1.872)
+        assert ASCTEC_PELICAN.rotor_pull_n == 3600.0
+        assert DJI_SPARK.mass_kg == pytest.approx(0.350)
+        assert DJI_SPARK.rotor_pull_n == 588.0
+        assert ASCTEC_PELICAN.sensor_fps == DJI_SPARK.sensor_fps == 50.0
+
+    def test_pelican_outbrakes_spark(self):
+        assert (
+            ASCTEC_PELICAN.braking_acceleration > DJI_SPARK.braking_acceleration
+        )
+
+    def test_pelican_faster_cap(self):
+        assert ASCTEC_PELICAN.max_velocity > DJI_SPARK.max_velocity
+
+    def test_frame_period(self):
+        assert ASCTEC_PELICAN.frame_period == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UAVModel("x", mass_kg=0, rotor_pull_n=1, sensor_fps=50, max_velocity=5)
+        with pytest.raises(ValueError):
+            UAVModel("x", mass_kg=1, rotor_pull_n=1, sensor_fps=0, max_velocity=5)
+        with pytest.raises(ValueError):
+            UAVModel("x", mass_kg=1, rotor_pull_n=1, sensor_fps=50, max_velocity=0)
+
+
+class TestVelocityBound:
+    def test_response_time_includes_frame(self):
+        assert response_time(ASCTEC_PELICAN, 0.1) == pytest.approx(0.12)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            response_time(ASCTEC_PELICAN, -0.1)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError):
+            max_safe_velocity(ASCTEC_PELICAN, 0.0, 0.1)
+
+    @given(ranges, latencies)
+    def test_velocity_positive_and_capped(self, sensing_range, latency):
+        v = max_safe_velocity(ASCTEC_PELICAN, sensing_range, latency)
+        assert 0.0 < v <= ASCTEC_PELICAN.max_velocity
+
+    @given(ranges, latencies)
+    def test_faster_compute_never_slower_flight(self, sensing_range, latency):
+        """The paper's causal mechanism: lower latency → higher velocity."""
+        slow = max_safe_velocity(ASCTEC_PELICAN, sensing_range, latency + 0.1)
+        fast = max_safe_velocity(ASCTEC_PELICAN, sensing_range, latency)
+        assert fast >= slow
+
+    @given(latencies)
+    def test_longer_range_never_slower(self, latency):
+        short = max_safe_velocity(ASCTEC_PELICAN, 3.0, latency)
+        long = max_safe_velocity(ASCTEC_PELICAN, 8.0, latency)
+        assert long >= short
+
+    @given(ranges, latencies)
+    def test_stopping_distance_fits_sensing_range(self, sensing_range, latency):
+        """Safety invariant: v*t + v^2/(2a) <= d (unless rotor-capped)."""
+        uav = ASCTEC_PELICAN
+        v = max_safe_velocity(uav, sensing_range, latency)
+        if v < uav.max_velocity:  # bound is active
+            t = response_time(uav, latency)
+            stopping = v * t + v * v / (2 * uav.braking_acceleration)
+            assert stopping <= sensing_range + 1e-6
+
+    def test_spark_rotor_limited_in_openland(self):
+        """Paper §6.1.2: with an 8 m range even slow compute saturates the
+        Spark's rotor cap, so compute speedups buy nothing."""
+        slow = max_safe_velocity(DJI_SPARK, 8.0, 0.3)
+        fast = max_safe_velocity(DJI_SPARK, 8.0, 0.02)
+        assert slow == fast == DJI_SPARK.max_velocity
+
+    def test_pelican_compute_limited_in_room(self):
+        slow = max_safe_velocity(ASCTEC_PELICAN, 3.0, 1.0)
+        fast = max_safe_velocity(ASCTEC_PELICAN, 3.0, 0.05)
+        assert fast > slow
