@@ -128,6 +128,22 @@ class MappingSystem(abc.ABC):
         with self.timings.stage("ray_tracing") as watch:
             batch = self.trace(cloud)
         record.ray_tracing = watch.elapsed
+        return self.insert_batch(batch, record=record)
+
+    def insert_batch(
+        self, batch: ScanBatch, record: Optional[BatchRecord] = None
+    ) -> BatchRecord:
+        """Apply one already-traced batch to the map.
+
+        The sharded service traces a scan once, partitions the
+        observations by shard, and feeds each shard its slice through this
+        entry point — re-tracing per shard would multiply the front-end
+        cost by the shard count.  ``record`` carries stage times accrued so
+        far (ray tracing when the caller traced); a fresh record is created
+        otherwise.  Returns the batch's stage-duration record.
+        """
+        if record is None:
+            record = BatchRecord()
         record.observations = len(batch)
         if self.keep_last_batch:
             self.last_batch = batch
@@ -141,6 +157,18 @@ class MappingSystem(abc.ABC):
 
     def finalize(self) -> None:
         """Flush any buffered state into the octree (no-op by default)."""
+
+    # ------------------------------------------------------------------
+    # Context-manager protocol: guaranteed cleanup for pipelines that
+    # buffer state (caches) or own worker threads.  Service shards and
+    # tests lean on this to never leak a half-flushed map.
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "MappingSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finalize()
 
     # ------------------------------------------------------------------
     # Query path (OctoMap-compatible API, paper §4.1).

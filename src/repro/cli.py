@@ -1,11 +1,12 @@
 """Command-line interface: run the paper's experiments from the shell.
 
-Four subcommands mirror the main experiment families::
+Subcommands mirror the main experiment families, plus the service layer::
 
-    python -m repro construct --dataset fr079_corridor --pipeline octocache
-    python -m repro mission   --environment room --pipeline octomap
-    python -m repro ordering  --keys 20000
-    python -m repro stats     --dataset new_college --resolution 0.2
+    python -m repro construct   --dataset fr079_corridor --pipeline octocache
+    python -m repro mission     --environment room --pipeline octomap
+    python -m repro ordering    --keys 20000
+    python -m repro stats       --dataset new_college --resolution 0.2
+    python -m repro serve-bench --shards 4 --clients 8
 
 Each prints the same style of table the benchmark harness writes to
 ``benchmarks/results/``.
@@ -99,6 +100,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--resolution", type=float, default=0.2)
     report.add_argument("--output", default=None, help="write markdown here")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="sharded concurrent map service under synthetic multi-client load",
+    )
+    serve.add_argument(
+        "--dataset",
+        default="fr079_corridor",
+        choices=("fr079_corridor", "freiburg_campus", "new_college"),
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--clients", type=int, default=8)
+    serve.add_argument("--resolution", type=float, default=0.3)
+    serve.add_argument("--depth", type=int, default=10)
+    serve.add_argument("--batches", type=int, default=None)
+    serve.add_argument("--queue-capacity", type=int, default=8)
+    serve.add_argument(
+        "--backpressure", default="block", choices=("block", "reject")
+    )
+    serve.add_argument("--coalesce", type=int, default=4)
+    serve.add_argument("--queries-per-scan", type=int, default=4)
+    serve.add_argument("--ray-scale", type=float, default=0.5)
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="also build the map serially and report snapshot agreement",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit the stats dict as JSON"
+    )
 
     return parser
 
@@ -234,12 +265,63 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.service import run_serve_bench
+
+    result = run_serve_bench(
+        dataset_name=args.dataset,
+        shards=args.shards,
+        clients=args.clients,
+        resolution=args.resolution,
+        depth=args.depth,
+        max_batches=args.batches,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.backpressure,
+        coalesce=args.coalesce,
+        queries_per_scan=args.queries_per_scan,
+        ray_scale=args.ray_scale,
+        verify_snapshot=args.verify,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.stats, indent=2))
+        return 0
+    print(
+        f"serve-bench: {result.dataset} through {result.shards} shard(s), "
+        f"{result.clients} client(s)"
+    )
+    rows = [
+        ["scans submitted", result.scans],
+        ["observations", result.observations],
+        ["rejected observations", result.rejected_observations],
+        [
+            "queries (point/ray/box)",
+            f"{result.point_queries}/{result.ray_queries}/{result.box_queries}",
+        ],
+        ["wall-clock", f"{result.elapsed_seconds:.3f}s"],
+    ]
+    if result.agreement is not None:
+        rows.append(
+            [
+                "snapshot agreement",
+                f"{result.agreement.decision_agreement:.3f} "
+                f"({result.agreement.missing} missing)",
+            ]
+        )
+    print(format_table(["metric", "value"], rows))
+    print()
+    print(result.report_text)
+    return 0
+
+
 _COMMANDS = {
     "construct": _cmd_construct,
     "mission": _cmd_mission,
     "ordering": _cmd_ordering,
     "stats": _cmd_stats,
     "report": _cmd_report,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -240,6 +240,18 @@ class VoxelCache:
         """Number of cells currently held across all buckets."""
         return self._resident
 
+    def iter_cells(self) -> Iterable[Tuple[VoxelKey, float]]:
+        """Yield every resident ``(key, accumulated value)`` in bucket order.
+
+        Read-only snapshot walk used by the service layer: a resident cell
+        is authoritative for its voxel, so overlaying these cells on the
+        backend octree reproduces the map's current answers without
+        flushing (the global-snapshot export of the sharded service).
+        Callers must not mutate the cache mid-iteration.
+        """
+        for bucket in self._buckets:
+            yield from bucket
+
     def memory_bytes(self) -> int:
         """Current footprint using the paper's 7-bytes-per-cell accounting."""
         from repro.core.config import CELL_BYTES

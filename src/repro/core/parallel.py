@@ -79,7 +79,12 @@ class ParallelOctoCacheMap(OctoCacheMap):
                 record.octree_update += elapsed
                 self.timings.add("octree_update", elapsed)
             except BaseException as error:  # surfaced on thread 1
-                self._worker_error = error
+                # Publish the error under the condition so waiters blocked
+                # in _wait_octree_idle wake even though batches enqueued
+                # behind this one will never be applied.
+                with self._pending_cv:
+                    self._worker_error = error
+                    self._pending_cv.notify_all()
                 return
             finally:
                 with self._pending_cv:
@@ -89,16 +94,45 @@ class ParallelOctoCacheMap(OctoCacheMap):
     def _raise_worker_error(self) -> None:
         if self._worker_error is not None:
             error, self._worker_error = self._worker_error, None
+            self._reset_after_error()
             raise RuntimeError("octree updater thread failed") from error
+
+    def _reset_after_error(self) -> None:
+        """Discard undelivered queue items so the pipeline stays usable.
+
+        After a worker error the buffer may still hold batches (and a
+        stale stop sentinel) that no thread will ever consume; draining
+        them — and zeroing the pending count — is what makes a second
+        ``finalize()``/``close()`` a clean no-op instead of a hang.  A
+        worker restarted *after* the failure (recovery inserts) may still
+        be alive and blocked on the queue, so it is stopped through the
+        sentinel before the drain.
+        """
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            self._buffer.put(_STOP)
+            worker.join()
+        self._worker = None
+        while True:
+            try:
+                self._buffer.get_nowait()
+            except queue.Empty:
+                break
+        with self._pending_cv:
+            self._pending = 0
+            self._pending_cv.notify_all()
 
     def _wait_octree_idle(self) -> float:
         """Block until no octree updates are pending; returns wait seconds.
 
-        This is the paper's thread-1 "waiting gap" (Figure 13b).
+        This is the paper's thread-1 "waiting gap" (Figure 13b).  Returns
+        early (and then raises) when the worker died: items queued behind
+        the failing batch will never be applied, so waiting on the pending
+        count alone would deadlock.
         """
         start = time.perf_counter()
         with self._pending_cv:
-            while self._pending > 0:
+            while self._pending > 0 and self._worker_error is None:
                 self._pending_cv.wait()
         self._raise_worker_error()
         return time.perf_counter() - start
@@ -139,18 +173,30 @@ class ParallelOctoCacheMap(OctoCacheMap):
 
         On return the octree holds the complete map and no worker thread is
         running; inserting further point clouds restarts it transparently.
+        Idempotent and exception-safe: calling it again — including after a
+        worker error was raised — finds an empty cache, no pending work,
+        and no worker, and returns immediately rather than blocking on the
+        stop sentinel.
         """
         record = self.batches[-1] if self.batches else BatchRecord()
         evicted = self.cache.flush()
         if evicted:
             record.evicted += len(evicted)
             self._enqueue(evicted, record)
-        self._wait_octree_idle()
-        if self._worker is not None and self._worker.is_alive():
-            self._buffer.put(_STOP)
-            self._worker.join()
-        self._worker = None
+        try:
+            self._wait_octree_idle()
+        finally:
+            worker = self._worker
+            if worker is not None and worker.is_alive():
+                self._buffer.put(_STOP)
+                worker.join()
+            self._worker = None
         self._raise_worker_error()
+
+    #: Service-facing alias: shard owners call ``close()`` for symmetry
+    #: with the server API; it is exactly the (idempotent) finalize.
+    def close(self) -> None:
+        self.finalize()
 
     # ------------------------------------------------------------------
     # Query path (thread 1).
@@ -194,9 +240,3 @@ class ParallelOctoCacheMap(OctoCacheMap):
             + record.cache_eviction
             + record.enqueue
         )
-
-    def __enter__(self) -> "ParallelOctoCacheMap":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.finalize()

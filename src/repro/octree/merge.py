@@ -11,10 +11,11 @@ on serialised maps.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.octree.tree import OccupancyOctree
 
-__all__ = ["merge_tree", "map_agreement", "AgreementReport"]
+__all__ = ["merge_tree", "merge_many", "map_agreement", "AgreementReport"]
 
 _STRATEGIES = ("accumulate", "overwrite")
 
@@ -55,6 +56,24 @@ def merge_tree(
             else:
                 destination.set_leaf(key, params.accumulate(existing, value))
         transferred += 1
+    return transferred
+
+
+def merge_many(
+    destination: OccupancyOctree,
+    sources: Iterable[OccupancyOctree],
+    strategy: str = "accumulate",
+) -> int:
+    """Fold several source trees into ``destination``; returns total voxels.
+
+    Sources are merged in iteration order, so with ``"overwrite"`` a later
+    source wins where sources overlap.  The sharded service exports its
+    global snapshot this way: per-shard octrees cover disjoint Morton
+    prefixes, making the order immaterial there.
+    """
+    transferred = 0
+    for source in sources:
+        transferred += merge_tree(destination, source, strategy)
     return transferred
 
 

@@ -1,0 +1,50 @@
+"""The occupancy-map service layer: sharded, concurrent, observable.
+
+The paper's parallel design (§4.4) splits one mapping pipeline into a
+latency-critical cache stage and a deferred octree-update stage.  This
+package generalises that schedule to *N* spatial shards so many producers
+(sensors) and consumers (planners) can hammer one map concurrently:
+
+- :mod:`repro.service.sharding` — Morton-prefix routing of voxels to shards.
+- :mod:`repro.service.sharded_map` — ``ShardedMap``: per-shard OctoCache
+  pipelines behind per-shard locks, with a ``merge_tree``-based global
+  snapshot export.
+- :mod:`repro.service.server` — ``OccupancyMapService``: bounded ingest
+  queues, batch coalescing, explicit backpressure, shard worker threads,
+  and a concurrent query API.
+- :mod:`repro.service.metrics` — counters, gauges, and latency histograms
+  with text/JSON reporting.
+- :mod:`repro.service.workload` — synthetic multi-client load driver used
+  by ``python -m repro serve-bench``.
+"""
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.service.server import (
+    BackpressureError,
+    IngestReceipt,
+    OccupancyMapService,
+    ServiceConfig,
+)
+from repro.service.sharded_map import ShardedMap
+from repro.service.sharding import ShardRouter
+from repro.service.workload import LoadReport, run_serve_bench
+
+__all__ = [
+    "BackpressureError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IngestReceipt",
+    "LoadReport",
+    "MetricsRegistry",
+    "OccupancyMapService",
+    "ServiceConfig",
+    "ShardRouter",
+    "ShardedMap",
+    "run_serve_bench",
+]

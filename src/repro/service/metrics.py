@@ -1,0 +1,254 @@
+"""Service observability primitives: counters, gauges, histograms.
+
+Thread-safe, dependency-free metric types plus a registry that renders a
+text report (the ``serve-bench`` output) or a JSON-able dict.  Histograms
+keep a bounded sample reservoir: past the cap every other sample is
+dropped (oldest first) so percentiles stay representative of the whole
+run without unbounded memory — total counts and sums remain exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.analysis.report import format_table
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (events, rejections, hits)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time level (queue depth, resident voxels).
+
+    Tracks the high-water mark alongside the current value — queue-depth
+    spikes are exactly what backpressure tuning needs to see.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._max = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+            if self._value > self._max:
+                self._max = self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
+
+
+class Histogram:
+    """Latency distribution with exact count/sum and sampled percentiles.
+
+    Args:
+        max_samples: reservoir cap; when reached, every other retained
+            sample is discarded and the sampling stride doubles, so the
+            reservoir thins uniformly over the run.
+    """
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._stride = 1
+        self._since_kept = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._since_kept += 1
+            if self._since_kept >= self._stride:
+                self._since_kept = 0
+                self._samples.append(value)
+                if len(self._samples) >= self._max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._max is not None else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Sampled percentile, ``fraction`` in [0, 1]; 0.0 when empty."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        index = min(len(samples) - 1, int(fraction * len(samples)))
+        return samples[index]
+
+    def summary(self) -> Dict[str, float]:
+        """count/mean/p50/p90/p99/max in one dict (JSON-able)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with create-on-first-use semantics.
+
+    ``counter("ingest.scans")`` returns the same object on every call, so
+    producers and reporters never need to coordinate registration order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, max_samples: int = 8192) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(max_samples))
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {
+                name: {"value": g.value, "max": g.max}
+                for name, g in sorted(gauges.items())
+            },
+            "histograms": {
+                name: h.summary() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def render(self, latency_scale: float = 1e3, latency_unit: str = "ms") -> str:
+        """Text report: counters, gauges, then histogram percentiles.
+
+        Histogram values are durations in seconds and are rendered scaled
+        by ``latency_scale`` (milliseconds by default).
+        """
+        snapshot = self.to_dict()
+        blocks: List[str] = []
+        counters = snapshot["counters"]
+        if counters:
+            rows = [[name, value] for name, value in counters.items()]
+            blocks.append(format_table(["counter", "value"], rows))
+        gauges = snapshot["gauges"]
+        if gauges:
+            rows = [
+                [name, f"{entry['value']:g}", f"{entry['max']:g}"]
+                for name, entry in gauges.items()
+            ]
+            blocks.append(format_table(["gauge", "value", "max"], rows))
+        histograms = snapshot["histograms"]
+        if histograms:
+            rows = []
+            for name, summary in histograms.items():
+                rows.append(
+                    [
+                        name,
+                        int(summary["count"]),
+                        f"{summary['mean'] * latency_scale:.3f}",
+                        f"{summary['p50'] * latency_scale:.3f}",
+                        f"{summary['p90'] * latency_scale:.3f}",
+                        f"{summary['p99'] * latency_scale:.3f}",
+                        f"{summary['max'] * latency_scale:.3f}",
+                    ]
+                )
+            blocks.append(
+                format_table(
+                    [
+                        "histogram",
+                        "count",
+                        f"mean ({latency_unit})",
+                        "p50",
+                        "p90",
+                        "p99",
+                        "max",
+                    ],
+                    rows,
+                )
+            )
+        return "\n\n".join(blocks) if blocks else "(no metrics recorded)"

@@ -1,0 +1,479 @@
+"""``OccupancyMapService``: the concurrent front door to a ShardedMap.
+
+The ingestion path generalises the paper's two-thread schedule (§4.4) to
+N shards: a producer's scan is traced once (the latency-critical stage),
+partitioned by Morton prefix, and each slice is pushed onto its shard's
+*bounded* queue; one worker thread per shard drains its queue, coalescing
+adjacent sub-batches into a single cache-insert → evict → octree-update
+cycle.  Queries never traverse the queues — they go straight to the shard
+(cache first, octree under the shard lock), so a queue backlog delays
+*map freshness*, never *query latency*.
+
+Backpressure is explicit because the queues are bounded:
+
+- ``"block"`` (default): ``submit`` waits for queue space — producers are
+  throttled to the map's sustainable ingest rate.
+- ``"reject"``: ``submit`` drops the slice, counts it, and reports it in
+  the receipt — producers that must not stall (a planner's control loop)
+  trade completeness for latency.
+
+Every stage feeds :class:`~repro.service.metrics.MetricsRegistry`:
+ingest/apply/query latency histograms, queue-depth gauges with high-water
+marks, per-shard counters, and cache hit ratios.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig
+from repro.octree.key import VoxelKey
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.rayquery import RayHit
+from repro.octree.tree import OccupancyOctree
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.scaninsert import trace_scan, trace_scan_rt
+from repro.service.metrics import MetricsRegistry
+from repro.service.sharded_map import ShardedMap
+
+__all__ = [
+    "BackpressureError",
+    "IngestReceipt",
+    "OccupancyMapService",
+    "ServiceConfig",
+]
+
+_BACKPRESSURE_POLICIES = ("block", "reject")
+
+#: Sentinel telling a shard worker to exit.
+_STOP = object()
+
+
+class BackpressureError(RuntimeError):
+    """Raised when a submission that must succeed was rejected.
+
+    Only ``submit(..., must_accept=True)`` under the ``reject`` policy
+    raises this; the default contract reports drops in the receipt.
+    """
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Shape and policy of the occupancy-map service.
+
+    Attributes:
+        resolution: finest voxel edge length (metres).
+        depth: octree depth.
+        num_shards: spatial shard count (worker thread per shard).
+        queue_capacity: bound on each shard's ingest queue (sub-batches).
+        backpressure: ``"block"`` or ``"reject"`` (see module docstring).
+        coalesce: max queued sub-batches merged into one apply cycle;
+            1 disables coalescing.
+        max_range: sensor range clamp during ray tracing.
+        rt: duplicate-free (OctoMap-RT) ray tracing.
+        cache_config: per-shard cache shape (defaults per shard).
+    """
+
+    resolution: float
+    depth: int = 12
+    num_shards: int = 4
+    queue_capacity: int = 8
+    backpressure: str = "block"
+    coalesce: int = 4
+    max_range: float = float("inf")
+    rt: bool = False
+    cache_config: Optional[CacheConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {self.resolution}")
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.backpressure not in _BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {_BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.coalesce < 1:
+            raise ValueError(f"coalesce must be >= 1, got {self.coalesce}")
+
+
+@dataclass(frozen=True)
+class IngestReceipt:
+    """What happened to one submitted scan.
+
+    Attributes:
+        observations: voxel observations the scan traced to.
+        enqueued: observations accepted onto shard queues.
+        rejected: observations dropped by the ``reject`` policy.
+        trace_seconds: ray-tracing time (the critical-path stage).
+    """
+
+    observations: int
+    enqueued: int
+    rejected: int
+    trace_seconds: float
+
+    @property
+    def accepted(self) -> bool:
+        return self.rejected == 0
+
+
+class OccupancyMapService:
+    """A sharded, concurrent occupancy-map server with built-in metrics.
+
+    Typical use::
+
+        with OccupancyMapService(ServiceConfig(resolution=0.2)) as service:
+            service.submit(points, origin=(0, 0, 0))   # producers
+            service.is_occupied((1.0, 0.0, 0.5))       # consumers
+            service.flush()                            # barrier
+            print(service.stats_report())
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.map = ShardedMap(
+            resolution=config.resolution,
+            depth=config.depth,
+            num_shards=config.num_shards,
+            max_range=config.max_range,
+            cache_config=config.cache_config,
+            rt=config.rt,
+        )
+        self._queues: List["queue.Queue"] = [
+            queue.Queue(maxsize=config.queue_capacity)
+            for _ in range(config.num_shards)
+        ]
+        self._outstanding_cv = threading.Condition()
+        self._outstanding = 0
+        self._errors: List[BaseException] = []
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(shard_id,),
+                name=f"octocache-shard-{shard_id}",
+                daemon=True,
+            )
+            for shard_id in range(config.num_shards)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Ingestion path (producers).
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        points,
+        origin: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+        must_accept: bool = False,
+    ) -> IngestReceipt:
+        """Trace one scan and enqueue its per-shard slices.
+
+        Tracing runs on the caller's thread (it is the latency-critical
+        stage and needs no shard lock); the octree-bound work is deferred
+        to the shard workers.  Under ``reject`` backpressure a full shard
+        queue drops that shard's slice and the receipt reports it —
+        unless ``must_accept`` is set, which turns a drop into a
+        :class:`BackpressureError` (slices already enqueued still apply).
+        """
+        self._check_open()
+        self._raise_worker_errors()
+        if isinstance(points, PointCloud):
+            cloud = points
+        else:
+            cloud = PointCloud(points, origin)
+        start = time.perf_counter()
+        tracer = trace_scan_rt if self.config.rt else trace_scan
+        batch = tracer(
+            cloud,
+            self.config.resolution,
+            self.config.depth,
+            max_range=self.config.max_range,
+        )
+        trace_seconds = time.perf_counter() - start
+        self.metrics.histogram("ingest.trace_seconds").record(trace_seconds)
+        receipt = self.submit_observations(
+            batch.observations,
+            trace_seconds=trace_seconds,
+            must_accept=must_accept,
+        )
+        self.metrics.counter("ingest.scans").inc()
+        return receipt
+
+    def submit_observations(
+        self,
+        observations: Sequence[Tuple[VoxelKey, bool]],
+        trace_seconds: float = 0.0,
+        must_accept: bool = False,
+    ) -> IngestReceipt:
+        """Enqueue pre-traced observations (the post-trace half of submit)."""
+        self._check_open()
+        enqueued = 0
+        rejected = 0
+        start = time.perf_counter()
+        for shard_id, part in enumerate(self.map.router.partition(observations)):
+            if not part:
+                continue
+            if self._enqueue(shard_id, part):
+                enqueued += len(part)
+            else:
+                rejected += len(part)
+        self.metrics.histogram("ingest.enqueue_seconds").record(
+            time.perf_counter() - start
+        )
+        self.metrics.counter("ingest.observations").inc(len(observations))
+        if rejected:
+            self.metrics.counter("ingest.rejected_observations").inc(rejected)
+            self.metrics.counter("ingest.rejected_batches").inc()
+            if must_accept:
+                raise BackpressureError(
+                    f"{rejected} observation(s) rejected by full shard queues"
+                )
+        return IngestReceipt(
+            observations=len(observations),
+            enqueued=enqueued,
+            rejected=rejected,
+            trace_seconds=trace_seconds,
+        )
+
+    def _enqueue(
+        self, shard_id: int, part: List[Tuple[VoxelKey, bool]]
+    ) -> bool:
+        shard_queue = self._queues[shard_id]
+        with self._outstanding_cv:
+            self._outstanding += 1
+        try:
+            if self.config.backpressure == "block":
+                shard_queue.put(part)
+            else:
+                shard_queue.put_nowait(part)
+        except queue.Full:
+            with self._outstanding_cv:
+                self._outstanding -= 1
+                self._outstanding_cv.notify_all()
+            return False
+        self.metrics.gauge(f"queue_depth.shard{shard_id}").set(
+            shard_queue.qsize()
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Shard workers.
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, shard_id: int) -> None:
+        shard_queue = self._queues[shard_id]
+        depth_gauge = self.metrics.gauge(f"queue_depth.shard{shard_id}")
+        apply_hist = self.metrics.histogram("shard.apply_seconds")
+        stop = False
+        while not stop:
+            item = shard_queue.get()
+            if item is _STOP:
+                return
+            parts = [item]
+            # Coalesce whatever else is already queued (up to the limit):
+            # one lock acquisition and one eviction scan amortised over
+            # several sub-batches.
+            while len(parts) < self.config.coalesce:
+                try:
+                    extra = shard_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stop = True
+                    break
+                parts.append(extra)
+            depth_gauge.set(shard_queue.qsize())
+            observations = (
+                parts[0]
+                if len(parts) == 1
+                else [obs for part in parts for obs in part]
+            )
+            try:
+                start = time.perf_counter()
+                self.map.apply_to_shard(shard_id, observations)
+                apply_hist.record(time.perf_counter() - start)
+                self.metrics.counter("shard.batches_applied").inc()
+                if len(parts) > 1:
+                    self.metrics.counter("shard.batches_coalesced").inc(
+                        len(parts) - 1
+                    )
+            except BaseException as error:
+                with self._outstanding_cv:
+                    self._errors.append(error)
+                    self._outstanding_cv.notify_all()
+                # Keep draining so producers and flush() never hang on
+                # work that will no longer be applied.
+            finally:
+                with self._outstanding_cv:
+                    self._outstanding -= len(parts)
+                    self._outstanding_cv.notify_all()
+
+    def _raise_worker_errors(self) -> None:
+        with self._outstanding_cv:
+            if not self._errors:
+                return
+            errors, self._errors = self._errors, []
+        raise RuntimeError(
+            f"{len(errors)} shard worker error(s); first: {errors[0]!r}"
+        ) from errors[0]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    # ------------------------------------------------------------------
+    # Barriers and shutdown.
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Block until every enqueued sub-batch has been applied.
+
+        Raises if any shard worker failed (the failed work is dropped and
+        counted against ``outstanding`` so this never hangs).
+        """
+        with self._outstanding_cv:
+            while self._outstanding > 0 and not self._errors:
+                self._outstanding_cv.wait()
+        self._raise_worker_errors()
+
+    def close(self) -> None:
+        """Drain queues, stop workers, flush shard caches.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard_queue in self._queues:
+            shard_queue.put(_STOP)
+        for worker in self._workers:
+            worker.join()
+        self.map.finalize()
+        self._raise_worker_errors()
+
+    def __enter__(self) -> "OccupancyMapService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Query path (consumers): shard-consistent, metered.
+    # ------------------------------------------------------------------
+
+    def query(self, coord: Tuple[float, float, float]) -> Optional[float]:
+        """Log-odds occupancy at a metric coordinate."""
+        start = time.perf_counter()
+        value = self.map.query(coord)
+        self.metrics.histogram("query.point_seconds").record(
+            time.perf_counter() - start
+        )
+        self.metrics.counter("query.points").inc()
+        return value
+
+    def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
+        """Occupancy decision at a metric coordinate (``None`` = unknown)."""
+        value = self.query(coord)
+        if value is None:
+            return None
+        return self.map.params.is_occupied(value)
+
+    def cast_ray(
+        self,
+        origin: Tuple[float, float, float],
+        direction: Tuple[float, float, float],
+        max_range: float,
+        ignore_unknown: bool = True,
+    ) -> RayHit:
+        """Metered ray query across shards."""
+        start = time.perf_counter()
+        hit = self.map.cast_ray(
+            origin, direction, max_range, ignore_unknown=ignore_unknown
+        )
+        self.metrics.histogram("query.ray_seconds").record(
+            time.perf_counter() - start
+        )
+        self.metrics.counter("query.rays").inc()
+        return hit
+
+    def occupied_in_box(
+        self,
+        min_coord: Tuple[float, float, float],
+        max_coord: Tuple[float, float, float],
+    ) -> List[VoxelKey]:
+        """Metered bounding-box occupancy query."""
+        start = time.perf_counter()
+        keys = self.map.occupied_in_box(min_coord, max_coord)
+        self.metrics.histogram("query.box_seconds").record(
+            time.perf_counter() - start
+        )
+        self.metrics.counter("query.boxes").inc()
+        return keys
+
+    def snapshot(self) -> OccupancyOctree:
+        """Global-snapshot export (see :meth:`ShardedMap.snapshot`)."""
+        start = time.perf_counter()
+        tree = self.map.snapshot()
+        self.metrics.histogram("query.snapshot_seconds").record(
+            time.perf_counter() - start
+        )
+        return tree
+
+    @property
+    def params(self) -> OccupancyParams:
+        return self.map.params
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, object]:
+        """JSON-able service state: metrics plus per-shard map stats."""
+        hit_ratios = self.map.hit_ratios()
+        shards = []
+        for shard_id, shard in enumerate(self.map.shards):
+            with self.map.shard_lock(shard_id):
+                shards.append(
+                    {
+                        "shard": shard_id,
+                        "hit_ratio": hit_ratios[shard_id],
+                        "resident_voxels": shard.cache.resident_voxels,
+                        "octree_nodes": shard.octree.num_nodes,
+                        "batches": len(shard.batches),
+                        "queue_depth": self._queues[shard_id].qsize(),
+                    }
+                )
+        return {"metrics": self.metrics.to_dict(), "shards": shards}
+
+    def stats_report(self) -> str:
+        """Human-readable report: metrics tables + per-shard table."""
+        from repro.analysis.report import format_table
+
+        stats = self.stats_dict()
+        shard_rows = [
+            [
+                entry["shard"],
+                f"{entry['hit_ratio']:.3f}",
+                entry["resident_voxels"],
+                entry["octree_nodes"],
+                entry["batches"],
+                entry["queue_depth"],
+            ]
+            for entry in stats["shards"]
+        ]
+        shard_table = format_table(
+            ["shard", "hit ratio", "resident", "octree nodes", "batches", "queue"],
+            shard_rows,
+        )
+        return self.metrics.render() + "\n\n" + shard_table

@@ -1,0 +1,381 @@
+"""``ShardedMap``: N OctoCache pipelines behind a Morton-prefix router.
+
+Generalises the paper's two-thread schedule (§4.4) along the *spatial*
+axis: instead of one cache + one octree, the map is partitioned into
+``num_shards`` disjoint Morton-prefix regions, each owned by its own
+:class:`~repro.core.octocache.OctoCacheMap` (cache + octree) behind its
+own lock.  Shards never share voxels, so:
+
+- updates to different shards are independent (lock-per-shard, no global
+  lock on the hot path);
+- within a shard the paper's consistency argument applies unchanged — a
+  resident cache cell is authoritative, eviction overwrites the octree —
+  so every query answers exactly as a serially built OctoMap would;
+- the global snapshot is the plain union of shard maps, exported with
+  :func:`repro.octree.merge.merge_tree` plus a cache overlay.
+
+The class itself is synchronous (callers bring their own threads — see
+:class:`repro.service.server.OccupancyMapService`); all public entry
+points take the owning shard's lock, so concurrent use is safe.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.baselines.interface import BatchRecord
+from repro.core.config import CacheConfig
+from repro.core.octocache import OctoCacheMap
+from repro.octree.iterators import occupied_keys_in_box
+from repro.octree.key import VoxelKey, coord_to_key, key_to_coord
+from repro.octree.merge import merge_tree
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.rayquery import RayHit
+from repro.octree.tree import OccupancyOctree
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.raycast import compute_ray_keys
+from repro.sensor.scaninsert import ScanBatch, trace_scan, trace_scan_rt
+from repro.service.sharding import ShardRouter
+
+__all__ = ["ShardedMap", "ShardedBatchRecord"]
+
+
+@dataclass
+class ShardedBatchRecord:
+    """Stage accounting for one batch applied across shards.
+
+    ``modeled_cost`` is the batch's cost under the service's execution
+    model — shards run concurrently, so the batch costs what its slowest
+    shard costs (``max``), versus the serial pipeline's ``sum``.  This is
+    the quantity the throughput-vs-shards benchmark compares against the
+    serial :class:`OctoCacheMap`.
+    """
+
+    observations: int = 0
+    ray_tracing: float = 0.0
+    shard_busy: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def modeled_cost(self) -> float:
+        busiest = max(self.shard_busy.values()) if self.shard_busy else 0.0
+        return self.ray_tracing + busiest
+
+    @property
+    def serialized_cost(self) -> float:
+        """Cost had the same shard work run back-to-back on one core."""
+        return self.ray_tracing + sum(self.shard_busy.values())
+
+
+class ShardedMap:
+    """A spatially sharded OctoCache occupancy map.
+
+    Args:
+        resolution: finest voxel edge length (metres), shared by shards.
+        depth: octree depth, shared by shards.
+        num_shards: spatial partition count.
+        params: occupancy-update parameters, shared by shards.
+        max_range: sensor range clamp for :meth:`insert_point_cloud`.
+        cache_config: per-shard cache shape; defaults per shard.
+        rt: duplicate-free ray tracing for :meth:`insert_point_cloud`.
+        pipeline_cls: per-shard pipeline class (an ``OctoCacheMap``
+            subclass; the serial one is the right default since shard
+            parallelism replaces the two-thread schedule).
+        prefix_levels: router prefix depth override (see
+            :class:`~repro.service.sharding.ShardRouter`).
+    """
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 12,
+        num_shards: int = 4,
+        params: Optional[OccupancyParams] = None,
+        max_range: float = float("inf"),
+        cache_config: Optional[CacheConfig] = None,
+        rt: bool = False,
+        pipeline_cls: Type[OctoCacheMap] = OctoCacheMap,
+        prefix_levels: Optional[int] = None,
+    ) -> None:
+        self.resolution = resolution
+        self.depth = depth
+        self.max_range = max_range
+        self.rt = rt
+        self.router = ShardRouter(num_shards, depth, prefix_levels)
+        self.params = params or OccupancyParams()
+        self.shards: List[OctoCacheMap] = [
+            pipeline_cls(
+                resolution=resolution,
+                depth=depth,
+                params=self.params,
+                max_range=max_range,
+                cache_config=cache_config,
+            )
+            for _ in range(num_shards)
+        ]
+        self._locks: List[threading.RLock] = [
+            threading.RLock() for _ in range(num_shards)
+        ]
+        self.records: List[ShardedBatchRecord] = []
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    def shard_lock(self, shard_id: int) -> threading.RLock:
+        """The lock guarding one shard (exposed for the service layer)."""
+        return self._locks[shard_id]
+
+    # ------------------------------------------------------------------
+    # Update path.
+    # ------------------------------------------------------------------
+
+    def insert_point_cloud(
+        self,
+        points,
+        origin: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> ShardedBatchRecord:
+        """Trace one scan and apply it across shards (synchronously)."""
+        if isinstance(points, PointCloud):
+            cloud = points
+        else:
+            cloud = PointCloud(points, origin)
+        tracer = trace_scan_rt if self.rt else trace_scan
+        start = time.perf_counter()
+        batch = tracer(
+            cloud, self.resolution, self.depth, max_range=self.max_range
+        )
+        elapsed = time.perf_counter() - start
+        return self.insert_observations(batch.observations, ray_tracing=elapsed)
+
+    def insert_observations(
+        self,
+        observations: Sequence[Tuple[VoxelKey, bool]],
+        ray_tracing: float = 0.0,
+    ) -> ShardedBatchRecord:
+        """Partition pre-traced observations and apply each shard's slice.
+
+        Per-voxel observation order is preserved (the router keeps a
+        voxel's updates on one shard, in order), so accumulated values —
+        and therefore every query answer — match a serially built map.
+        """
+        record = ShardedBatchRecord(
+            observations=len(observations), ray_tracing=ray_tracing
+        )
+        for shard_id, part in enumerate(self.router.partition(observations)):
+            if not part:
+                continue
+            record.shard_busy[shard_id] = self.apply_to_shard(shard_id, part)
+        self.records.append(record)
+        return record
+
+    def apply_to_shard(
+        self, shard_id: int, observations: List[Tuple[VoxelKey, bool]]
+    ) -> float:
+        """Run one shard's cache-insert → evict → octree-update cycle.
+
+        Returns the shard's busy seconds for the slice.  Takes the shard
+        lock, so ingestion workers and queriers serialise per shard while
+        different shards proceed in parallel.
+        """
+        shard = self.shards[shard_id]
+        batch = ScanBatch(observations=list(observations), num_rays=0)
+        with self._locks[shard_id]:
+            batch_record: BatchRecord = shard.insert_batch(batch)
+        return shard.record_busy_seconds(batch_record)
+
+    def finalize(self) -> None:
+        """Flush every shard cache into its octree."""
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                shard.finalize()
+
+    close = finalize
+
+    def __enter__(self) -> "ShardedMap":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finalize()
+
+    # ------------------------------------------------------------------
+    # Query path: cache first, shard octree under the shard lock.
+    # ------------------------------------------------------------------
+
+    def _key_of(self, coord: Tuple[float, float, float]) -> VoxelKey:
+        return coord_to_key(coord, self.resolution, self.depth)
+
+    def query_key(self, key: VoxelKey) -> Optional[float]:
+        """Log-odds occupancy for ``key`` (``None`` = unknown)."""
+        shard_id = self.router.shard_of(key)
+        with self._locks[shard_id]:
+            return self.shards[shard_id].query_key(key)
+
+    def query(self, coord: Tuple[float, float, float]) -> Optional[float]:
+        """Log-odds occupancy at a metric coordinate."""
+        return self.query_key(self._key_of(coord))
+
+    def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
+        """Occupancy decision at a metric coordinate (``None`` = unknown)."""
+        value = self.query(coord)
+        if value is None:
+            return None
+        return self.params.is_occupied(value)
+
+    def cast_ray(
+        self,
+        origin: Tuple[float, float, float],
+        direction: Tuple[float, float, float],
+        max_range: float,
+        ignore_unknown: bool = True,
+    ) -> RayHit:
+        """Walk the sharded map along a ray (OctoMap's ``castRay``).
+
+        Each visited voxel is answered through the consistent per-shard
+        cache-then-octree read, so planners see exactly what a serially
+        built map would show — including voxels still resident in a shard
+        cache.  The walk may cross shard boundaries; the range is clamped
+        to the map boundary.
+        """
+        norm = math.sqrt(sum(c * c for c in direction))
+        if norm == 0.0:
+            raise ValueError("direction must be non-zero")
+        unit = tuple(c / norm for c in direction)
+        half = self.resolution * (1 << (self.depth - 1))
+        margin = self.resolution * 1e-3
+        travel = max_range
+        for o, d in zip(origin, unit):
+            if d > 0:
+                travel = min(travel, (half - margin - o) / d)
+            elif d < 0:
+                travel = min(travel, (-half + margin - o) / d)
+        travel = max(travel, 0.0)
+        endpoint = tuple(o + d * travel for o, d in zip(origin, unit))
+        keys = compute_ray_keys(origin, endpoint, self.resolution, self.depth)
+        keys.append(self._key_of(endpoint))
+        last: Optional[VoxelKey] = None
+        for key in keys:
+            value = self.query_key(key)
+            if value is None:
+                if not ignore_unknown:
+                    return RayHit(
+                        hit=False,
+                        key=key,
+                        endpoint=self._coord_of(key),
+                        blocked_by_unknown=True,
+                    )
+            elif self.params.is_occupied(value):
+                return RayHit(hit=True, key=key, endpoint=self._coord_of(key))
+            last = key
+        if last is None:
+            return RayHit(hit=False, key=None, endpoint=None)
+        return RayHit(hit=False, key=last, endpoint=self._coord_of(last))
+
+    def _coord_of(self, key: VoxelKey) -> Tuple[float, float, float]:
+        return key_to_coord(key, self.resolution, self.depth)
+
+    def occupied_in_box(
+        self,
+        min_coord: Tuple[float, float, float],
+        max_coord: Tuple[float, float, float],
+    ) -> List[VoxelKey]:
+        """Occupied finest-level keys inside an inclusive metric box.
+
+        Per shard, the octree answers for evicted voxels (with subtree
+        culling) and resident cache cells overlay it — a cell is
+        authoritative while resident, so a cached-free voxel the octree
+        still thinks occupied is correctly excluded.
+        """
+        min_key = self._key_of(min_coord)
+        max_key = self._key_of(max_coord)
+        for axis in range(3):
+            if min_key[axis] > max_key[axis]:
+                raise ValueError(f"min_coord exceeds max_coord on axis {axis}")
+
+        def in_box(key: VoxelKey) -> bool:
+            return all(
+                min_key[axis] <= key[axis] <= max_key[axis] for axis in range(3)
+            )
+
+        occupied: List[VoxelKey] = []
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                cached = {
+                    key: value
+                    for key, value in shard.cache.iter_cells()
+                    if in_box(key)
+                }
+                for key in occupied_keys_in_box(shard.octree, min_key, max_key):
+                    if key not in cached:
+                        occupied.append(key)
+                occupied.extend(
+                    key
+                    for key, value in cached.items()
+                    if self.params.is_occupied(value)
+                )
+        return sorted(occupied)
+
+    # ------------------------------------------------------------------
+    # Global snapshot export.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> OccupancyOctree:
+        """Export one octree holding the whole map's current answers.
+
+        Built with :func:`merge_tree` over the (disjoint) shard octrees,
+        then overlaid with each shard's resident cache cells — the same
+        cache-is-authoritative rule the query path applies, so the
+        snapshot agrees voxel-for-voxel with live queries at export time.
+        Shards are locked one at a time: the snapshot is per-shard
+        consistent, which is the service's documented guarantee.
+        """
+        snapshot = OccupancyOctree(
+            resolution=self.resolution, depth=self.depth, params=self.params
+        )
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                merge_tree(snapshot, shard.octree, strategy="overwrite")
+                for key, value in shard.cache.iter_cells():
+                    snapshot.set_leaf(key, value)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def hit_ratios(self) -> List[float]:
+        """Per-shard insert-path cache hit ratios."""
+        ratios = []
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                ratios.append(shard.hit_ratio)
+        return ratios
+
+    def resident_voxels(self) -> int:
+        """Cache-resident voxels summed over shards."""
+        total = 0
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                total += shard.cache.resident_voxels
+        return total
+
+    def octree_nodes(self) -> int:
+        """Octree nodes summed over shards."""
+        total = 0
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                total += shard.octree.num_nodes
+        return total
+
+    def modeled_total_cost(self) -> float:
+        """Sum of per-batch modeled costs (max-over-shards execution)."""
+        return sum(record.modeled_cost for record in self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedMap(res={self.resolution}, depth={self.depth}, "
+            f"shards={self.num_shards}, batches={len(self.records)})"
+        )

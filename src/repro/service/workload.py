@@ -1,0 +1,197 @@
+"""Synthetic multi-client load for the occupancy-map service.
+
+``run_serve_bench`` drives one :class:`OccupancyMapService` with *C*
+client threads over a named dataset (the paper's Table 2 generators):
+each client submits its round-robin share of the scan stream and, after
+every submission, fires a burst of queries — point occupancy probes, ray
+casts, and the occasional bounding-box scan — the mixed producer/consumer
+traffic a planning stack generates.  The report carries the service's
+metrics snapshot plus an optional consistency check: the exported global
+snapshot compared (via :func:`repro.octree.merge.map_agreement`) against
+a map built serially from the same scans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.octocache import OctoCacheMap
+from repro.datasets.generator import make_dataset
+from repro.octree.merge import AgreementReport, map_agreement
+from repro.service.server import OccupancyMapService, ServiceConfig
+
+__all__ = ["LoadReport", "run_serve_bench"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one synthetic multi-client run.
+
+    Attributes:
+        dataset: dataset name driven through the service.
+        clients: client thread count.
+        shards: service shard count.
+        scans: scans submitted across all clients.
+        observations: voxel observations submitted.
+        rejected_observations: observations dropped by backpressure.
+        point_queries / ray_queries / box_queries: query mix issued.
+        elapsed_seconds: wall-clock for the loaded phase (excl. close).
+        stats: the service's final ``stats_dict()``.
+        report_text: the service's final ``stats_report()``.
+        agreement: snapshot-vs-serial agreement (when verified).
+        errors: stringified client-thread failures (empty on success).
+    """
+
+    dataset: str
+    clients: int
+    shards: int
+    scans: int = 0
+    observations: int = 0
+    rejected_observations: int = 0
+    point_queries: int = 0
+    ray_queries: int = 0
+    box_queries: int = 0
+    elapsed_seconds: float = 0.0
+    stats: Dict[str, object] = field(default_factory=dict)
+    report_text: str = ""
+    agreement: Optional[AgreementReport] = None
+    errors: List[str] = field(default_factory=list)
+
+
+def _client_loop(
+    client_id: int,
+    service: OccupancyMapService,
+    scans: List,
+    probe_box: Tuple[Tuple[float, float, float], Tuple[float, float, float]],
+    queries_per_scan: int,
+    seed: int,
+    report: LoadReport,
+    lock: threading.Lock,
+) -> None:
+    rng = np.random.default_rng((seed, client_id))
+    low = np.asarray(probe_box[0])
+    high = np.asarray(probe_box[1])
+    submitted = 0
+    observations = 0
+    rejected = 0
+    points = rays = boxes = 0
+    for cloud in scans:
+        receipt = service.submit(cloud)
+        submitted += 1
+        observations += receipt.observations
+        rejected += receipt.rejected
+        for _ in range(queries_per_scan):
+            coord = tuple(rng.uniform(low, high))
+            kind = rng.integers(0, 10)
+            if kind < 7:
+                service.is_occupied(coord)
+                points += 1
+            elif kind < 9:
+                direction = tuple(rng.normal(size=3))
+                service.cast_ray(coord, direction, max_range=3.0)
+                rays += 1
+            else:
+                span = rng.uniform(0.2, 0.8)
+                service.occupied_in_box(
+                    coord, tuple(c + span for c in coord)
+                )
+                boxes += 1
+    with lock:
+        report.scans += submitted
+        report.observations += observations
+        report.rejected_observations += rejected
+        report.point_queries += points
+        report.ray_queries += rays
+        report.box_queries += boxes
+
+
+def run_serve_bench(
+    dataset_name: str = "fr079_corridor",
+    shards: int = 4,
+    clients: int = 8,
+    resolution: float = 0.3,
+    depth: int = 10,
+    max_batches: Optional[int] = None,
+    queue_capacity: int = 8,
+    backpressure: str = "block",
+    coalesce: int = 4,
+    queries_per_scan: int = 4,
+    ray_scale: float = 0.5,
+    seed: int = 0,
+    verify_snapshot: bool = False,
+) -> LoadReport:
+    """Drive a sharded service with concurrent synthetic clients.
+
+    Returns a :class:`LoadReport`; raises if any client thread failed.
+    ``verify_snapshot`` additionally rebuilds the map serially from the
+    same scans and reports decision agreement with the service's global
+    snapshot (this roughly doubles the run's mapping work).
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    dataset = make_dataset(dataset_name, pose_scale=1.0, ray_scale=ray_scale)
+    scans = list(dataset.scans())
+    if max_batches is not None:
+        scans = scans[:max_batches]
+    # Probe coordinates stay well inside the sensed region so queries mix
+    # hits (mapped space) and unknowns (unsensed gaps).
+    positions = np.array([pose.position for pose in dataset.poses])
+    reach = min(dataset.sensor.max_range, 5.0)
+    low = tuple(positions.min(axis=0) - reach * 0.5)
+    high = tuple(positions.max(axis=0) + reach * 0.5)
+
+    config = ServiceConfig(
+        resolution=resolution,
+        depth=depth,
+        num_shards=shards,
+        queue_capacity=queue_capacity,
+        backpressure=backpressure,
+        coalesce=coalesce,
+        max_range=dataset.sensor.max_range,
+    )
+    report = LoadReport(dataset=dataset_name, clients=clients, shards=shards)
+    lock = threading.Lock()
+    start = time.perf_counter()
+    with OccupancyMapService(config) as service:
+        threads = []
+        for client_id in range(clients):
+            share = scans[client_id::clients]
+            thread = threading.Thread(
+                target=_client_loop,
+                args=(
+                    client_id,
+                    service,
+                    share,
+                    (low, high),
+                    queries_per_scan,
+                    seed,
+                    report,
+                    lock,
+                ),
+                name=f"serve-bench-client-{client_id}",
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        service.flush()
+        report.elapsed_seconds = time.perf_counter() - start
+        if verify_snapshot:
+            snapshot = service.snapshot()
+            serial = OctoCacheMap(
+                resolution=resolution,
+                depth=depth,
+                max_range=dataset.sensor.max_range,
+            )
+            for cloud in scans:
+                serial.insert_point_cloud(cloud)
+            serial.finalize()
+            report.agreement = map_agreement(serial.octree, snapshot)
+        report.stats = service.stats_dict()
+        report.report_text = service.stats_report()
+    return report

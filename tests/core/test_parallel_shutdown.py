@@ -1,0 +1,124 @@
+"""Shutdown-path regressions for the parallel pipeline.
+
+The service layer tears shards down on every close, so ``finalize`` /
+``close`` must be idempotent and must never hang on the queue sentinel —
+including after a worker error left batches stranded in the buffer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.octocache import OctoCacheMap
+from repro.core.parallel import ParallelOctoCacheMap
+from repro.sensor.pointcloud import PointCloud
+
+RES = 0.2
+DEPTH = 8
+
+
+def small_cloud(seed=0, points=40):
+    rng = np.random.default_rng(seed)
+    pts = np.column_stack(
+        [np.full(points, 2.0), rng.uniform(-1, 1, points), rng.uniform(0, 1, points)]
+    )
+    return PointCloud(pts, origin=(0.0, 0.0, 0.5))
+
+
+class _Boom(Exception):
+    pass
+
+
+class TestIdempotentShutdown:
+    def test_finalize_twice_is_clean(self):
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+        mapping.insert_point_cloud(small_cloud())
+        mapping.finalize()
+        nodes = mapping.octree.num_nodes
+        mapping.finalize()  # must not block on the stop sentinel
+        assert mapping.octree.num_nodes == nodes
+
+    def test_close_alias_and_reuse(self):
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+        mapping.insert_point_cloud(small_cloud(0))
+        mapping.close()
+        mapping.close()
+        # The pipeline restarts transparently after a close.
+        mapping.insert_point_cloud(small_cloud(1))
+        mapping.close()
+        assert mapping.octree.num_nodes > 0
+
+    def test_finalize_without_any_batches(self):
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+        mapping.finalize()
+        mapping.finalize()
+
+    def test_context_manager_from_base_class(self):
+        with ParallelOctoCacheMap(resolution=RES, depth=DEPTH) as mapping:
+            mapping.insert_point_cloud(small_cloud())
+        assert mapping.cache.resident_voxels == 0
+        assert mapping.octree.num_nodes > 0
+
+    def test_serial_pipeline_context_manager(self):
+        with OctoCacheMap(resolution=RES, depth=DEPTH) as mapping:
+            mapping.insert_point_cloud(small_cloud())
+        assert mapping.cache.resident_voxels == 0
+
+
+class TestErrorShutdown:
+    def test_finalize_after_error_does_not_hang(self):
+        """Worker dies with batches still queued: the old waiting loop
+        would block forever on the pending count."""
+        config = CacheConfig(num_buckets=2, bucket_threshold=1)
+        mapping = ParallelOctoCacheMap(
+            resolution=RES, depth=DEPTH, cache_config=config
+        )
+
+        import time
+
+        def explode(evicted):
+            time.sleep(0.02)  # let more chunks queue behind the failure
+            raise _Boom("octree update failed")
+
+        mapping._apply_evicted = explode
+        mapping.insert_point_cloud(small_cloud())
+        with pytest.raises(RuntimeError, match="octree updater thread failed"):
+            mapping.finalize()
+        # And again: the second call must be a clean no-op, not a hang.
+        mapping.finalize()
+
+    def test_recovery_after_error_shutdown(self):
+        config = CacheConfig(num_buckets=2, bucket_threshold=1)
+        mapping = ParallelOctoCacheMap(
+            resolution=RES, depth=DEPTH, cache_config=config
+        )
+        original = type(mapping)._apply_evicted.__get__(mapping)
+        calls = {"n": 0}
+
+        def flaky(evicted):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise _Boom("transient")
+            original(evicted)
+
+        mapping._apply_evicted = flaky
+        mapping.insert_point_cloud(small_cloud(0))
+        with pytest.raises(RuntimeError):
+            mapping.finalize()
+        mapping.insert_point_cloud(small_cloud(1))
+        mapping.finalize()
+        assert mapping.octree.num_nodes > 0
+
+    def test_queries_usable_after_error_shutdown(self):
+        mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
+
+        def explode(evicted):
+            raise _Boom("boom")
+
+        mapping._apply_evicted = explode
+        mapping.insert_point_cloud(small_cloud())
+        with pytest.raises(RuntimeError):
+            mapping.finalize()
+        # Query path must not deadlock on stale pending state.
+        value = mapping.query((0.0, 0.0, 0.5))
+        assert value is None or isinstance(value, float)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.octree.merge import map_agreement, merge_tree
+from repro.octree.merge import map_agreement, merge_many, merge_tree
 from repro.octree.tree import OccupancyOctree
 
 DEPTH = 6
@@ -67,6 +67,45 @@ class TestMerge:
         assert moved == 8  # pruned block expands to 8 finest voxels
         assert a.search((1, 0, 1)) == pytest.approx(a.params.max_occ)
 
+    def test_overwrite_disjoint_regions(self):
+        """Overwrite on non-overlapping trees degenerates to a union —
+        the sharded service's snapshot-export case."""
+        a = make_tree()
+        b = make_tree()
+        a.update_node((1, 1, 1), True)
+        b.update_node((5, 5, 5), True)
+        b.update_node((6, 6, 6), False)
+        moved = merge_tree(a, b, strategy="overwrite")
+        assert moved == 2
+        assert a.params.is_occupied(a.search((1, 1, 1)))
+        assert a.params.is_occupied(a.search((5, 5, 5)))
+        assert not a.params.is_occupied(a.search((6, 6, 6)))
+
+    def test_overwrite_overlapping_keeps_source_values_only(self):
+        a = make_tree()
+        b = make_tree()
+        for _ in range(5):
+            a.update_node((2, 2, 2), True)
+        b.update_node((2, 2, 2), True)
+        merge_tree(a, b, strategy="overwrite")
+        # a's five observations are gone; b's single one remains.
+        assert a.search((2, 2, 2)) == pytest.approx(b.search((2, 2, 2)))
+
+    def test_accumulate_into_empty_destination_copies(self):
+        a = make_tree()
+        b = make_tree()
+        b.update_node((3, 4, 5), True)
+        b.update_node((3, 4, 5), False)
+        merge_tree(a, b)
+        assert a.search((3, 4, 5)) == pytest.approx(b.search((3, 4, 5)))
+
+    def test_empty_source_moves_nothing(self):
+        a = make_tree()
+        a.update_node((1, 1, 1), True)
+        for strategy in ("accumulate", "overwrite"):
+            assert merge_tree(a, make_tree(), strategy=strategy) == 0
+        assert a.params.is_occupied(a.search((1, 1, 1)))
+
     def test_rejects_mismatched_geometry(self):
         a = make_tree()
         with pytest.raises(ValueError):
@@ -84,6 +123,34 @@ def b_value_for(key):
     tree.update_node(key, False)
     tree.update_node(key, False)
     return tree.search(key)
+
+
+class TestMergeMany:
+    def test_disjoint_shards_union(self):
+        shards = [make_tree() for _ in range(3)]
+        shards[0].update_node((1, 1, 1), True)
+        shards[1].update_node((9, 9, 9), True)
+        shards[2].update_node((20, 20, 20), False)
+        dest = make_tree()
+        moved = merge_many(dest, shards, strategy="overwrite")
+        assert moved == 3
+        assert dest.params.is_occupied(dest.search((1, 1, 1)))
+        assert dest.params.is_occupied(dest.search((9, 9, 9)))
+        assert not dest.params.is_occupied(dest.search((20, 20, 20)))
+
+    def test_later_source_wins_under_overwrite(self):
+        first = make_tree()
+        second = make_tree()
+        first.update_node((2, 2, 2), True)
+        second.update_node((2, 2, 2), False)
+        dest = make_tree()
+        merge_many(dest, [first, second], strategy="overwrite")
+        assert not dest.params.is_occupied(dest.search((2, 2, 2)))
+
+    def test_no_sources_is_a_noop(self):
+        dest = make_tree()
+        assert merge_many(dest, []) == 0
+        assert dest.num_nodes == 0
 
 
 class TestAgreement:
@@ -116,3 +183,24 @@ class TestAgreement:
     def test_empty_reference(self):
         report = map_agreement(make_tree(), make_tree())
         assert report.decision_agreement == 1.0
+
+    def test_empty_reference_against_populated_other(self):
+        """Agreement iterates the reference: an empty reference compares
+        zero voxels regardless of what the other map holds."""
+        other = make_tree()
+        other.update_node((1, 2, 3), True)
+        report = map_agreement(make_tree(), other)
+        assert report.compared == 0
+        assert report.missing == 0
+        assert report.decision_agreement == 1.0
+
+    def test_identical_after_merge_roundtrip(self):
+        a = make_tree()
+        for key in [(1, 1, 1), (2, 3, 4), (8, 8, 8)]:
+            a.update_node(key, True)
+        copy = make_tree()
+        merge_tree(copy, a, strategy="overwrite")
+        report = map_agreement(a, copy)
+        assert report.compared == 3
+        assert report.matching == 3
+        assert report.missing == 0

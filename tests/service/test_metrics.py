@@ -1,0 +1,122 @@
+"""Tests for the service metrics primitives."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_concurrent_increments_all_land(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_set_and_high_water(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max == 7
+
+    def test_add_tracks_max(self):
+        gauge = Gauge()
+        gauge.add(4)
+        gauge.add(-1)
+        assert gauge.value == 3
+        assert gauge.max == 4
+
+
+class TestHistogram:
+    def test_exact_count_sum_extrema(self):
+        hist = Histogram()
+        for value in (0.5, 0.1, 0.9):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(1.5)
+        assert hist.min == pytest.approx(0.1)
+        assert hist.max == pytest.approx(0.9)
+        assert hist.mean == pytest.approx(0.5)
+
+    def test_percentiles_of_known_distribution(self):
+        hist = Histogram()
+        for i in range(100):
+            hist.record(float(i))
+        assert hist.percentile(0.0) == 0.0
+        assert hist.percentile(0.5) == pytest.approx(50.0)
+        assert hist.percentile(0.99) == pytest.approx(99.0)
+        assert hist.percentile(1.0) == pytest.approx(99.0)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_reservoir_thins_but_counts_stay_exact(self):
+        hist = Histogram(max_samples=64)
+        for i in range(10_000):
+            hist.record(float(i))
+        assert hist.count == 10_000
+        assert hist.max == 9999.0
+        assert len(hist._samples) < 64
+        # Thinned percentiles still land in the right region.
+        assert 3000.0 < hist.percentile(0.5) < 7000.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("latency").record(0.25)
+        snapshot = registry.to_dict()
+        assert snapshot["counters"]["events"] == 3
+        assert snapshot["gauges"]["depth"]["value"] == 2
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        assert snapshot["histograms"]["latency"]["p50"] == pytest.approx(0.25)
+
+    def test_render_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("ingest.scans").inc()
+        registry.gauge("queue_depth").set(1)
+        registry.histogram("query_seconds").record(0.001)
+        text = registry.render()
+        assert "ingest.scans" in text
+        assert "queue_depth" in text
+        assert "query_seconds" in text
+        assert "p99" in text
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()

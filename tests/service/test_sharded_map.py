@@ -1,0 +1,202 @@
+"""Tests for the sharded occupancy map: consistency with the serial map."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.octocache import OctoCacheMap
+from repro.octree.merge import map_agreement
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.scaninsert import trace_scan
+from repro.service.sharded_map import ShardedMap
+
+RES = 0.2
+DEPTH = 8
+
+
+def wall_cloud(seed=0, points=60):
+    rng = np.random.default_rng(seed)
+    pts = np.column_stack(
+        [
+            np.full(points, 3.0),
+            rng.uniform(-2, 2, points),
+            rng.uniform(0.2, 2, points),
+        ]
+    )
+    return PointCloud(pts, origin=(0.0, 0.0, 1.0))
+
+
+def traced(cloud):
+    return trace_scan(cloud, RES, DEPTH, max_range=10.0)
+
+
+class TestShardedConsistency:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_queries_match_serial_map(self, num_shards):
+        serial = OctoCacheMap(resolution=RES, depth=DEPTH, max_range=10.0)
+        sharded = ShardedMap(
+            resolution=RES, depth=DEPTH, num_shards=num_shards, max_range=10.0
+        )
+        for seed in range(3):
+            batch = traced(wall_cloud(seed))
+            serial.insert_batch(batch)
+            sharded.insert_observations(batch.observations)
+        for key in traced(wall_cloud(0)).unique_keys():
+            assert sharded.query_key(key) == pytest.approx(
+                serial.query_key(key)
+            )
+
+    def test_snapshot_agrees_with_serial_build(self):
+        serial = OctoCacheMap(resolution=RES, depth=DEPTH, max_range=10.0)
+        sharded = ShardedMap(
+            resolution=RES, depth=DEPTH, num_shards=4, max_range=10.0
+        )
+        for seed in range(4):
+            batch = traced(wall_cloud(seed))
+            serial.insert_batch(batch)
+            sharded.insert_observations(batch.observations)
+        serial.finalize()
+        snapshot = sharded.snapshot()
+        report = map_agreement(serial.octree, snapshot)
+        assert report.missing == 0
+        assert report.decision_agreement == 1.0
+        # Symmetric: the snapshot holds nothing the serial map lacks.
+        reverse = map_agreement(snapshot, serial.octree)
+        assert reverse.missing == 0
+        assert reverse.decision_agreement == 1.0
+
+    def test_snapshot_sees_cache_resident_voxels(self):
+        """Snapshot must include voxels not yet evicted to any octree."""
+        sharded = ShardedMap(
+            resolution=RES, depth=DEPTH, num_shards=2, max_range=10.0
+        )
+        batch = traced(wall_cloud())
+        sharded.insert_observations(batch.observations)
+        assert sharded.octree_nodes() >= 0  # octrees may be empty...
+        snapshot = sharded.snapshot()
+        for key in batch.unique_keys():  # ...but the snapshot answers.
+            assert snapshot.search(key) is not None
+
+    def test_insert_point_cloud_traces_once(self):
+        sharded = ShardedMap(
+            resolution=RES, depth=DEPTH, num_shards=2, max_range=10.0
+        )
+        record = sharded.insert_point_cloud(wall_cloud())
+        assert record.observations > 0
+        assert record.shard_busy  # at least one shard did work
+        assert record.modeled_cost <= record.serialized_cost + 1e-12
+
+
+class TestShardedQueries:
+    def setup_method(self):
+        self.sharded = ShardedMap(
+            resolution=RES, depth=DEPTH, num_shards=4, max_range=10.0
+        )
+        self.sharded.insert_point_cloud(wall_cloud())
+
+    def test_is_occupied_at_wall(self):
+        # The wall plane at x=3 must contain occupied voxels.
+        hits = sum(
+            self.sharded.is_occupied((3.05, y, 1.0)) is True
+            for y in np.linspace(-1.5, 1.5, 13)
+        )
+        assert hits > 0
+
+    def test_free_space_near_origin(self):
+        value = self.sharded.query((0.5, 0.0, 1.0))
+        assert value is not None
+        assert not self.sharded.params.is_occupied(value)
+
+    def test_unknown_far_away(self):
+        assert self.sharded.is_occupied((-20.0, -20.0, -20.0)) is None
+
+    def test_cast_ray_hits_wall(self):
+        # Aim straight down an occupied voxel's row so the ray cannot slip
+        # through an unobserved gap in the randomly sampled wall.
+        keys = self.sharded.occupied_in_box((2.5, -2.0, 0.2), (3.5, 2.0, 2.0))
+        assert keys
+        target = self.sharded._coord_of(keys[0])
+        hit = self.sharded.cast_ray(
+            (0.0, target[1], target[2]), (1.0, 0.0, 0.0), max_range=8.0
+        )
+        assert hit.hit
+        assert hit.endpoint[0] == pytest.approx(3.0, abs=4 * RES)
+
+    def test_cast_ray_misses_into_free_space(self):
+        hit = self.sharded.cast_ray(
+            (0.0, 0.0, 1.0), (-1.0, 0.0, 0.0), max_range=4.0
+        )
+        assert not hit.hit
+
+    def test_cast_ray_respects_unknown_blocking(self):
+        hit = self.sharded.cast_ray(
+            (0.0, 0.0, 1.0),
+            (0.0, 0.0, -1.0),
+            max_range=30.0,
+            ignore_unknown=False,
+        )
+        assert not hit.hit
+        assert hit.blocked_by_unknown
+
+    def test_cast_ray_clamps_to_map_boundary(self):
+        # Range far beyond the map cube must not raise.
+        hit = self.sharded.cast_ray(
+            (0.0, 0.0, 1.0), (-1.0, -1.0, 0.0), max_range=1e6
+        )
+        assert not hit.hit
+
+    def test_occupied_in_box_finds_wall_and_respects_cache(self):
+        keys = self.sharded.occupied_in_box((2.5, -2.0, 0.2), (3.5, 2.0, 2.0))
+        assert keys
+        # Every reported key queries as occupied through the normal path.
+        for key in keys[:10]:
+            assert self.sharded.params.is_occupied(self.sharded.query_key(key))
+
+    def test_occupied_in_box_matches_after_finalize(self):
+        before = self.sharded.occupied_in_box(
+            (2.5, -2.0, 0.2), (3.5, 2.0, 2.0)
+        )
+        self.sharded.finalize()
+        after = self.sharded.occupied_in_box((2.5, -2.0, 0.2), (3.5, 2.0, 2.0))
+        assert before == after
+
+
+class TestLifecycle:
+    def test_context_manager_flushes(self):
+        with ShardedMap(
+            resolution=RES, depth=DEPTH, num_shards=2, max_range=10.0
+        ) as sharded:
+            sharded.insert_point_cloud(wall_cloud())
+        assert sharded.resident_voxels() == 0
+        assert sharded.octree_nodes() > 0
+
+    def test_tiny_cache_forces_eviction_and_stays_consistent(self):
+        config = CacheConfig(num_buckets=8, bucket_threshold=1)
+        serial = OctoCacheMap(
+            resolution=RES, depth=DEPTH, max_range=10.0, cache_config=config
+        )
+        sharded = ShardedMap(
+            resolution=RES,
+            depth=DEPTH,
+            num_shards=3,
+            max_range=10.0,
+            cache_config=config,
+        )
+        for seed in range(3):
+            batch = traced(wall_cloud(seed))
+            serial.insert_batch(batch)
+            sharded.insert_observations(batch.observations)
+        serial.finalize()
+        report = map_agreement(serial.octree, sharded.snapshot())
+        assert report.missing == 0
+        assert report.decision_agreement == 1.0
+
+    def test_hit_ratios_per_shard(self):
+        sharded = ShardedMap(
+            resolution=RES, depth=DEPTH, num_shards=2, max_range=10.0
+        )
+        sharded.insert_point_cloud(wall_cloud())
+        sharded.insert_point_cloud(wall_cloud())  # revisit: hits expected
+        ratios = sharded.hit_ratios()
+        assert len(ratios) == 2
+        assert any(ratio > 0 for ratio in ratios)

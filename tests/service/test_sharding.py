@@ -1,0 +1,74 @@
+"""Tests for Morton-prefix shard routing."""
+
+import pytest
+
+from repro.service.sharding import ShardRouter
+
+DEPTH = 8
+
+
+class TestRouter:
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(1, DEPTH)
+        for key in [(0, 0, 0), (255, 255, 255), (17, 3, 99)]:
+            assert router.shard_of(key) == 0
+
+    def test_deterministic_and_in_range(self):
+        router = ShardRouter(4, DEPTH)
+        for x in range(0, 256, 37):
+            for y in range(0, 256, 41):
+                key = (x, y, 5)
+                shard = router.shard_of(key)
+                assert 0 <= shard < 4
+                assert router.shard_of(key) == shard
+
+    def test_same_prefix_same_shard(self):
+        """Keys inside one prefix block always co-locate (disjointness)."""
+        router = ShardRouter(4, DEPTH, prefix_levels=4)
+        block = 1 << (DEPTH - 4)
+        base = (3 * block, 5 * block, 2 * block)
+        shard = router.shard_of(base)
+        for dx in range(block):
+            key = (base[0] + dx, base[1], base[2])
+            assert router.prefix_of(key) == router.prefix_of(base)
+            assert router.shard_of(key) == shard
+
+    def test_partition_preserves_order_and_covers_all(self):
+        router = ShardRouter(3, DEPTH)
+        observations = [((i, 2 * i % 256, 7), i % 2 == 0) for i in range(64)]
+        parts = router.partition(observations)
+        assert len(parts) == 3
+        assert sum(len(part) for part in parts) == len(observations)
+        for shard_id, part in enumerate(parts):
+            for key, _occ in part:
+                assert router.shard_of(key) == shard_id
+            # Original (per-voxel) order preserved within the shard.
+            indices = [key[0] for key, _occ in part]
+            assert indices == sorted(indices)
+
+    def test_spread_on_flat_scene(self):
+        """A flat (constant-z) scene must still reach every shard."""
+        router = ShardRouter(4, DEPTH)
+        touched = {
+            router.shard_of((x, y, 3))
+            for x in range(0, 256, 8)
+            for y in range(0, 256, 8)
+        }
+        assert touched == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0, DEPTH)
+        with pytest.raises(ValueError):
+            ShardRouter(2, 0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, DEPTH, prefix_levels=DEPTH + 1)
+        with pytest.raises(ValueError):
+            ShardRouter(2, DEPTH, prefix_levels=0)
+
+    def test_default_prefix_levels_scale_with_depth(self):
+        assert ShardRouter(4, 12).prefix_levels <= 12
+        assert ShardRouter(4, 3).prefix_levels <= 3
+        # Huge shard counts force enough prefix cells.
+        router = ShardRouter(512, 12)
+        assert 8 ** router.prefix_levels >= 8 * 512

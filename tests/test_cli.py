@@ -26,6 +26,17 @@ class TestParser:
         assert args.environment == "farm"
         assert args.uav == "spark"
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.shards == 4
+        assert args.clients == 8
+        assert args.backpressure == "block"
+        assert not args.verify
+
+    def test_serve_bench_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--backpressure", "nope"])
+
 
 class TestCommands:
     def test_stats_runs(self, capsys):
@@ -75,3 +86,51 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "reached goal" in out
+
+    def test_serve_bench_runs(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--shards",
+                "2",
+                "--clients",
+                "2",
+                "--batches",
+                "4",
+                "--resolution",
+                "0.4",
+                "--ray-scale",
+                "0.3",
+                "--queries-per-scan",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99" in out  # latency percentiles
+        assert "queue_depth" in out
+        assert "hit ratio" in out
+
+    def test_serve_bench_json(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--shards",
+                "2",
+                "--clients",
+                "2",
+                "--batches",
+                "2",
+                "--resolution",
+                "0.4",
+                "--ray-scale",
+                "0.3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        import json
+
+        stats = json.loads(capsys.readouterr().out)
+        assert "metrics" in stats
+        assert len(stats["shards"]) == 2
