@@ -1,0 +1,125 @@
+"""Disabled-tracing overhead budget for the insert hot path.
+
+The telemetry design promise (DESIGN.md / docs/observability.md): with
+tracing disabled, instrumentation costs one attribute check plus a shared
+no-op context manager per *stage* — never per voxel.  This benchmark
+pins that promise to a number: the instrumented insert path over
+pre-traced batches must stay within 1.1x of an uninstrumented twin whose
+``insert_batch``/``_process_batch`` carry no tracer calls at all.
+"""
+
+import time
+
+from repro.analysis.report import format_table
+from repro.core.octocache import OctoCacheMap
+from repro.sensor.scaninsert import trace_scan
+from repro.telemetry import get_tracer
+
+from .conftest import BENCH_DEPTH
+
+RESOLUTION = 0.2
+BATCHES = 6
+REPEATS = 5
+BUDGET = 1.1
+
+
+class UninstrumentedOctoCacheMap(OctoCacheMap):
+    """The serial pipeline with every telemetry touchpoint stripped.
+
+    Mirrors ``OctoCacheMap._process_batch`` (and the ``insert_batch``
+    wrapper) as they stood before tracing was added: same stage
+    stopwatches, same record bookkeeping, zero tracer interaction.
+    """
+
+    name = "OctoCache (untraced)"
+
+    def insert_batch(self, batch, record=None):
+        from repro.baselines.interface import BatchRecord
+
+        if record is None:
+            record = BatchRecord()
+        record.observations = len(batch)
+        self._process_batch(batch, record)
+        self.batches.append(record)
+        return record
+
+    def _process_batch(self, batch, record):
+        cache = self.cache
+        with self.timings.stage("cache_insertion") as watch:
+            for key, occupied in batch.observations:
+                cache.insert(key, occupied)
+        record.cache_insertion = watch.elapsed
+
+        with self.timings.stage("cache_eviction") as watch:
+            evicted = cache.evict()
+        record.cache_eviction = watch.elapsed
+        record.evicted = len(evicted)
+
+        with self.timings.stage("octree_update") as watch:
+            self._apply_evicted(evicted)
+        record.octree_update = watch.elapsed
+
+
+def _insert_all(factory, batches):
+    """Fresh map, insert every pre-traced batch; return elapsed seconds."""
+    mapping = factory()
+    start = time.perf_counter()
+    for batch in batches:
+        mapping.insert_batch(batch)
+    return time.perf_counter() - start
+
+
+def test_disabled_tracing_overhead(benchmark, corridor, emit):
+    assert not get_tracer().enabled  # the benchmark measures the off path
+
+    scans = []
+    for cloud in corridor.scans():
+        scans.append(cloud)
+        if len(scans) == BATCHES:
+            break
+    batches = [
+        trace_scan(
+            cloud,
+            RESOLUTION,
+            BENCH_DEPTH,
+            max_range=corridor.sensor.max_range,
+        )
+        for cloud in scans
+    ]
+
+    def instrumented():
+        return OctoCacheMap(resolution=RESOLUTION, depth=BENCH_DEPTH)
+
+    def untraced():
+        return UninstrumentedOctoCacheMap(
+            resolution=RESOLUTION, depth=BENCH_DEPTH
+        )
+
+    def run():
+        # Interleave and keep the min of each: min-of-N cancels scheduler
+        # noise, interleaving cancels thermal/cache drift between arms.
+        traced_best, untraced_best = float("inf"), float("inf")
+        for _ in range(REPEATS):
+            untraced_best = min(untraced_best, _insert_all(untraced, batches))
+            traced_best = min(traced_best, _insert_all(instrumented, batches))
+        return traced_best, untraced_best
+
+    traced_best, untraced_best = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = traced_best / untraced_best
+
+    emit(
+        "tracing_overhead",
+        format_table(
+            ["insert path", "best of %d (s)" % REPEATS, "ratio"],
+            [
+                ["uninstrumented", f"{untraced_best:.4f}", "1.000"],
+                ["instrumented, tracing off", f"{traced_best:.4f}", f"{ratio:.3f}"],
+            ],
+        )
+        + f"\nbudget: <= {BUDGET:.2f}x",
+    )
+
+    assert ratio <= BUDGET, (
+        f"disabled tracing costs {ratio:.3f}x (> {BUDGET}x budget): "
+        f"traced {traced_best:.4f}s vs untraced {untraced_best:.4f}s"
+    )

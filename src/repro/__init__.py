@@ -16,6 +16,8 @@ Voxels for Accelerating 3D Occupancy Mapping in Autonomous Systems*
 - :mod:`repro.uav` — a MAVBench-like closed-loop UAV navigation simulator.
 - :mod:`repro.analysis` — experiment harnesses regenerating every table and
   figure of the paper's evaluation.
+- :mod:`repro.telemetry` — structured tracing across every layer, with
+  exportable pipeline profiles (``docs/observability.md``).
 
 Quickstart::
 
@@ -33,6 +35,13 @@ from repro.core.parallel import ParallelOctoCacheMap
 from repro.baselines.octomap import OctoMapPipeline
 from repro.baselines.octomap_rt import OctoMapRTPipeline
 from repro.octree.tree import OccupancyOctree
+from repro.telemetry import (
+    PipelineProfile,
+    RingBufferSink,
+    Tracer,
+    get_tracer,
+    tracing,
+)
 
 __version__ = "1.0.0"
 
@@ -46,7 +55,12 @@ __all__ = [
     "OctoMapPipeline",
     "OctoMapRTPipeline",
     "OccupancyOctree",
+    "PipelineProfile",
+    "RingBufferSink",
+    "Tracer",
+    "get_tracer",
     "morton_encode3",
     "morton_decode3",
+    "tracing",
     "__version__",
 ]

@@ -22,6 +22,7 @@ STANDARD_STAGES = (
     "octree_update",
     "enqueue",
     "dequeue",
+    "queue_wait",
     "thread1_wait",
 )
 

@@ -12,6 +12,7 @@ import abc
 from typing import List, Optional, Tuple
 
 from repro.analysis.decomposition import StageTimings
+from repro.telemetry import get_tracer
 from repro.octree.key import VoxelKey
 from repro.octree.occupancy import OccupancyParams
 from repro.octree.tree import OccupancyOctree
@@ -82,6 +83,12 @@ class MappingSystem(abc.ABC):
         self.max_range = max_range
         self.rt = rt
         self.timings = StageTimings()
+        #: Telemetry tracer stage spans report to.  Defaults to the
+        #: process-global tracer (disabled unless someone opts in, e.g.
+        #: ``repro.telemetry.tracing`` or the ``trace-bench`` CLI);
+        #: assign a private :class:`~repro.telemetry.Tracer` to isolate
+        #: one pipeline's spans.
+        self.tracer = get_tracer()
         self.batches: List[BatchRecord] = []
         #: When true, :meth:`insert_point_cloud` keeps the traced
         #: :class:`~repro.sensor.scaninsert.ScanBatch` in
@@ -125,8 +132,11 @@ class MappingSystem(abc.ABC):
         else:
             cloud = PointCloud(points, origin)
         record = BatchRecord()
-        with self.timings.stage("ray_tracing") as watch:
+        with self.timings.stage("ray_tracing") as watch, self.tracer.span(
+            "ray_tracing", category="sensor", points=len(cloud.points)
+        ) as span:
             batch = self.trace(cloud)
+            span.set(rays=batch.num_rays, observations=len(batch))
         record.ray_tracing = watch.elapsed
         return self.insert_batch(batch, record=record)
 
@@ -147,7 +157,13 @@ class MappingSystem(abc.ABC):
         record.observations = len(batch)
         if self.keep_last_batch:
             self.last_batch = batch
-        self._process_batch(batch, record)
+        with self.tracer.span(
+            "insert_batch",
+            category="pipeline",
+            pipeline=self.name,
+            observations=record.observations,
+        ):
+            self._process_batch(batch, record)
         self.batches.append(record)
         return record
 

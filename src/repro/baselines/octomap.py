@@ -21,7 +21,9 @@ class OctoMapPipeline(MappingSystem):
 
     def _process_batch(self, batch: ScanBatch, record: BatchRecord) -> None:
         tree = self._tree
-        with self.timings.stage("octree_update") as watch:
+        with self.timings.stage("octree_update") as watch, self.tracer.span(
+            "octree_update", category="octree", voxels=len(batch)
+        ):
             for key, occupied in batch.observations:
                 tree.update_node(key, occupied)
         record.octree_update = watch.elapsed

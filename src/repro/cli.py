@@ -7,6 +7,7 @@ Subcommands mirror the main experiment families, plus the service layer::
     python -m repro ordering    --keys 20000
     python -m repro stats       --dataset new_college --resolution 0.2
     python -m repro serve-bench --shards 4 --clients 8
+    python -m repro trace-bench --chrome-trace out.trace.json
 
 Each prints the same style of table the benchmark harness writes to
 ``benchmarks/results/``.
@@ -129,6 +130,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--json", action="store_true", help="emit the stats dict as JSON"
+    )
+
+    trace = sub.add_parser(
+        "trace-bench",
+        help="traced pipeline+service+simcache run with stage decomposition",
+    )
+    trace.add_argument(
+        "--dataset",
+        default="fr079_corridor",
+        choices=("fr079_corridor", "freiburg_campus", "new_college"),
+    )
+    trace.add_argument("--batches", type=int, default=6)
+    trace.add_argument("--resolution", type=float, default=0.3)
+    trace.add_argument("--depth", type=int, default=10)
+    trace.add_argument("--shards", type=int, default=2)
+    trace.add_argument("--queries-per-scan", type=int, default=2)
+    trace.add_argument("--ray-scale", type=float, default=0.5)
+    trace.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PROFILE.JSON",
+        help="write the aggregated profile as JSON",
+    )
+    trace.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="OUT.TRACE.JSON",
+        help="write a chrome://tracing / Perfetto trace_event file",
     )
 
     return parser
@@ -315,6 +344,63 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_bench(args: argparse.Namespace) -> int:
+    from repro.telemetry.bench import run_trace_bench
+
+    report = run_trace_bench(
+        dataset_name=args.dataset,
+        batches=args.batches,
+        resolution=args.resolution,
+        depth=args.depth,
+        shards=args.shards,
+        queries_per_scan=args.queries_per_scan,
+        ray_scale=args.ray_scale,
+    )
+    profile = report.profile
+    print(
+        f"trace-bench: {report.dataset}, {report.batches} batch(es) through "
+        f"pipeline + service + simcache"
+    )
+    print(f"categories traced: {', '.join(profile.categories)}")
+    print()
+    print(profile.table())
+    counts = profile.counts_table()
+    if counts:
+        print()
+        print(counts)
+    cache = profile.cache_summary()
+    print()
+    print(
+        f"cache: {cache['hits']:g} hits / {cache['misses']:g} misses "
+        f"(hit ratio {cache['hit_ratio']:.3f}), "
+        f"{cache['evictions']:g} evictions"
+    )
+    print(
+        f"simcache: {report.sim_accesses} node visits replayed, "
+        f"{report.sim_mean_cycles:.2f} cycles/access"
+    )
+    rows = [
+        [name, f"{metric:g}", f"{spans:g}", "ok" if metric == spans else "MISMATCH"]
+        for name, (metric, spans) in sorted(report.consistency.items())
+    ]
+    if rows:
+        print()
+        print(format_table(["event", "metrics total", "span count", ""], rows))
+    if args.trace_out:
+        import json
+
+        with open(args.trace_out, "w") as handle:
+            json.dump(profile.to_dict(), handle, indent=2)
+        print(f"\nprofile written to {args.trace_out}")
+    if args.chrome_trace:
+        report.chrome.write(args.chrome_trace)
+        print(
+            f"chrome trace written to {args.chrome_trace} "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        )
+    return 0 if report.consistent else 1
+
+
 _COMMANDS = {
     "construct": _cmd_construct,
     "mission": _cmd_mission,
@@ -322,6 +408,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
+    "trace-bench": _cmd_trace_bench,
 }
 
 

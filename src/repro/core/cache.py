@@ -240,6 +240,45 @@ class VoxelCache:
         """Number of cells currently held across all buckets."""
         return self._resident
 
+    #: Cumulative lifetime counters, exposed directly so callers (the
+    #: telemetry layer, service dashboards) never reach through ``stats``.
+
+    @property
+    def hits(self) -> int:
+        """Cumulative insert-path cache hits."""
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        """Cumulative insert-path cache misses."""
+        return self.stats.misses
+
+    @property
+    def evictions(self) -> int:
+        """Cumulative evicted cells (``evict``/``iter_evict``/``flush``)."""
+        return self.stats.evicted
+
+    def stats_dict(self) -> "dict[str, float]":
+        """One JSON-able snapshot of every lifetime counter.
+
+        Covers both paths — insert (``hits``/``misses``/``hit_ratio``,
+        the paper's Fig. 23 metric) and read (``query_hits``/
+        ``query_misses``) — plus eviction and residency, so a single call
+        feeds a metrics report without poking at :class:`CacheStats`.
+        """
+        stats = self.stats
+        return {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "insertions": stats.insertions,
+            "hit_ratio": stats.hit_ratio,
+            "evictions": stats.evicted,
+            "octree_fills": stats.octree_fills,
+            "query_hits": stats.query_hits,
+            "query_misses": stats.query_misses,
+            "resident_voxels": self._resident,
+        }
+
     def iter_cells(self) -> Iterable[Tuple[VoxelKey, float]]:
         """Yield every resident ``(key, accumulated value)`` in bucket order.
 

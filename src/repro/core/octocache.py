@@ -60,17 +60,36 @@ class OctoCacheMap(MappingSystem):
 
     def _process_batch(self, batch: ScanBatch, record: BatchRecord) -> None:
         cache = self.cache
-        with self.timings.stage("cache_insertion") as watch:
+        tracer = self.tracer
+        stats = cache.stats
+        hits_before, misses_before = stats.hits, stats.misses
+        with self.timings.stage("cache_insertion") as watch, tracer.span(
+            "cache_insertion", category="cache", observations=len(batch)
+        ) as span:
             for key, occupied in batch.observations:
                 cache.insert(key, occupied)
+            span.set(
+                hits=stats.hits - hits_before,
+                misses=stats.misses - misses_before,
+            )
         record.cache_insertion = watch.elapsed
+        tracer.count("cache.hits", stats.hits - hits_before, category="cache")
+        tracer.count(
+            "cache.misses", stats.misses - misses_before, category="cache"
+        )
 
-        with self.timings.stage("cache_eviction") as watch:
+        with self.timings.stage("cache_eviction") as watch, tracer.span(
+            "cache_eviction", category="cache"
+        ) as span:
             evicted = cache.evict()
+            span.set(evicted=len(evicted))
         record.cache_eviction = watch.elapsed
         record.evicted = len(evicted)
+        tracer.count("cache.evictions", len(evicted), category="cache")
 
-        with self.timings.stage("octree_update") as watch:
+        with self.timings.stage("octree_update") as watch, tracer.span(
+            "octree_update", category="octree", voxels=len(evicted)
+        ):
             self._apply_evicted(evicted)
         record.octree_update = watch.elapsed
 
@@ -87,7 +106,10 @@ class OctoCacheMap(MappingSystem):
         the end of construction runs and before map serialisation).
         """
         flushed = self.cache.flush()
-        with self.timings.stage("octree_update") as watch:
+        self.tracer.count("cache.evictions", len(flushed), category="cache")
+        with self.timings.stage("octree_update") as watch, self.tracer.span(
+            "octree_update", category="octree", voxels=len(flushed), flush=True
+        ):
             self._apply_evicted(flushed)
         if self.batches:
             self.batches[-1].octree_update += watch.elapsed

@@ -70,10 +70,24 @@ class ParallelOctoCacheMap(OctoCacheMap):
             item = self._buffer.get()
             if item is _STOP:
                 return
-            evicted, record = item
+            evicted, record, enqueued_at = item
+            # The chunk's buffer-residency time: enqueue on thread 1 to
+            # dequeue here.  This is the measured queue-wait the analytic
+            # pipeline model's schedule is validated against.
+            queue_wait = max(0.0, time.perf_counter() - enqueued_at)
+            self.timings.add("queue_wait", queue_wait)
+            self.tracer.record_span(
+                "queue_wait",
+                "parallel",
+                start=enqueued_at,
+                duration=queue_wait,
+                voxels=len(evicted),
+            )
             try:
                 start = time.perf_counter()
-                with self._octree_lock:
+                with self._octree_lock, self.tracer.span(
+                    "octree_update", category="octree", voxels=len(evicted)
+                ):
                     self._apply_evicted(evicted)
                 elapsed = time.perf_counter() - start
                 record.octree_update += elapsed
@@ -142,30 +156,50 @@ class ParallelOctoCacheMap(OctoCacheMap):
     # ------------------------------------------------------------------
 
     def _process_batch(self, batch: ScanBatch, record: BatchRecord) -> None:
-        record.wait = self._wait_octree_idle()
+        tracer = self.tracer
+        with tracer.span("thread1_wait", category="parallel"):
+            record.wait = self._wait_octree_idle()
         self.timings.add("thread1_wait", record.wait)
 
         cache = self.cache
-        with self.timings.stage("cache_insertion") as watch:
+        stats = cache.stats
+        hits_before, misses_before = stats.hits, stats.misses
+        with self.timings.stage("cache_insertion") as watch, tracer.span(
+            "cache_insertion", category="cache", observations=len(batch)
+        ) as span:
             with self._octree_lock:  # insertion misses read the octree
                 for key, occupied in batch.observations:
                     cache.insert(key, occupied)
+            span.set(
+                hits=stats.hits - hits_before,
+                misses=stats.misses - misses_before,
+            )
         record.cache_insertion = watch.elapsed
+        tracer.count("cache.hits", stats.hits - hits_before, category="cache")
+        tracer.count(
+            "cache.misses", stats.misses - misses_before, category="cache"
+        )
 
         # Eviction streams per-bucket chunks into the shared buffer so the
         # octree updater overlaps the rest of the eviction scan (§4.4).
-        with self.timings.stage("cache_eviction") as watch:
+        with self.timings.stage("cache_eviction") as watch, tracer.span(
+            "cache_eviction", category="cache"
+        ) as span:
             for chunk in cache.iter_evict():
                 record.evicted += len(chunk)
                 self._enqueue(chunk, record)
+            span.set(evicted=record.evicted)
         record.cache_eviction = watch.elapsed
+        tracer.count("cache.evictions", record.evicted, category="cache")
 
     def _enqueue(self, evicted: List[EvictedCell], record: BatchRecord) -> None:
         self._ensure_worker()
         with self._pending_cv:
             self._pending += 1
-        with self.timings.stage("enqueue") as watch:
-            self._buffer.put((evicted, record))
+        with self.timings.stage("enqueue") as watch, self.tracer.span(
+            "enqueue", category="parallel", voxels=len(evicted)
+        ):
+            self._buffer.put((evicted, record, time.perf_counter()))
         record.enqueue += watch.elapsed
 
     def finalize(self) -> None:
@@ -182,6 +216,7 @@ class ParallelOctoCacheMap(OctoCacheMap):
         evicted = self.cache.flush()
         if evicted:
             record.evicted += len(evicted)
+            self.tracer.count("cache.evictions", len(evicted), category="cache")
             self._enqueue(evicted, record)
         try:
             self._wait_octree_idle()
@@ -240,3 +275,36 @@ class ParallelOctoCacheMap(OctoCacheMap):
             + record.cache_eviction
             + record.enqueue
         )
+
+    # ------------------------------------------------------------------
+    # Stage handoff accounting (queue wait vs. service time).
+    # ------------------------------------------------------------------
+
+    def queue_profile(self) -> dict:
+        """Measured buffer handoff profile: queue wait vs. service time.
+
+        Per enqueued chunk, *queue wait* is its buffer residency (thread-1
+        enqueue to thread-2 dequeue) and *service time* is the octree
+        update applying it.  Together with the thread-1 waiting gap these
+        are the measured counterparts of the analytic
+        :class:`~repro.core.pipeline_model.PipelineModel` schedule: the
+        model's thread-2 start rule (``max(eviction start, octree done)``)
+        implies every chunk's queue wait is bounded by the preceding
+        octree service backlog.
+        """
+        seconds = self.timings.seconds
+        counts = self.timings.counts
+        chunks = counts.get("queue_wait", 0)
+        queue_wait = seconds.get("queue_wait", 0.0)
+        service = seconds.get("octree_update", 0.0)
+        return {
+            "chunks": chunks,
+            "enqueue_seconds": seconds.get("enqueue", 0.0),
+            "queue_wait_seconds": queue_wait,
+            "service_seconds": service,
+            "thread1_wait_seconds": seconds.get("thread1_wait", 0.0),
+            "mean_queue_wait": queue_wait / chunks if chunks else 0.0,
+            "mean_service": service / counts.get("octree_update", 1)
+            if counts.get("octree_update")
+            else 0.0,
+        }

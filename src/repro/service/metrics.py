@@ -135,24 +135,51 @@ class Histogram:
             return self._max if self._max is not None else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Sampled percentile, ``fraction`` in [0, 1]; 0.0 when empty."""
+        """Sampled percentile, ``fraction`` in [0, 1]; 0.0 when empty.
+
+        Uses linear interpolation between the two nearest retained
+        samples (the default quantile definition of numpy/statistics):
+        with a small reservoir the nearest-rank estimate is biased a
+        whole sample's worth — e.g. the median of ``[1, 2, 3, 4]`` must
+        be 2.5, not 3 — and small reservoirs are exactly what short
+        benchmark runs produce.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         with self._lock:
             samples = sorted(self._samples)
         if not samples:
             return 0.0
-        index = min(len(samples) - 1, int(fraction * len(samples)))
-        return samples[index]
+        position = fraction * (len(samples) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(samples) - 1)
+        weight = position - lower
+        return samples[lower] * (1.0 - weight) + samples[upper] * weight
+
+    @property
+    def p50(self) -> float:
+        """Median of the retained samples (interpolated)."""
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile of the retained samples (interpolated)."""
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile of the retained samples (interpolated)."""
+        return self.percentile(0.99)
 
     def summary(self) -> Dict[str, float]:
-        """count/mean/p50/p90/p99/max in one dict (JSON-able)."""
+        """count/mean/p50/p90/p95/p99/max in one dict (JSON-able)."""
         return {
             "count": self.count,
             "mean": self.mean,
-            "p50": self.percentile(0.50),
+            "p50": self.p50,
             "p90": self.percentile(0.90),
-            "p99": self.percentile(0.99),
+            "p95": self.p95,
+            "p99": self.p99,
             "max": self.max,
         }
 

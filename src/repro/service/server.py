@@ -17,9 +17,15 @@ Backpressure is explicit because the queues are bounded:
   the receipt — producers that must not stall (a planner's control loop)
   trade completeness for latency.
 
-Every stage feeds :class:`~repro.service.metrics.MetricsRegistry`:
-ingest/apply/query latency histograms, queue-depth gauges with high-water
-marks, per-shard counters, and cache hit ratios.
+Every stage reports through one structured-telemetry path: the service
+owns an always-on :class:`~repro.telemetry.Tracer` whose
+:class:`~repro.telemetry.MetricsSink` feeds the
+:class:`~repro.service.metrics.MetricsRegistry` (ingest/apply/query
+latency histograms, per-shard counters) from the very spans a
+:class:`~repro.telemetry.ForwardSink` mirrors into the global tracer
+whenever pipeline tracing is enabled — so ``serve-bench`` metric totals
+and ``trace-bench`` span counts agree by construction.  Queue-depth
+gauges (not span-shaped) stay direct.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.sensor.pointcloud import PointCloud
 from repro.sensor.scaninsert import trace_scan, trace_scan_rt
 from repro.service.metrics import MetricsRegistry
 from repro.service.sharded_map import ShardedMap
+from repro.telemetry import ForwardSink, MetricsSink, Tracer, get_tracer
 
 __all__ = [
     "BackpressureError",
@@ -142,6 +149,12 @@ class OccupancyMapService:
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
         self.metrics = MetricsRegistry()
+        # The service's own always-on tracer: metrics work without global
+        # tracing, and the ForwardSink mirrors the same spans/counts into
+        # the global tracer's sinks whenever someone enables it.
+        self.tracer = Tracer(
+            sinks=[MetricsSink(self.metrics), ForwardSink(get_tracer())]
+        )
         self.map = ShardedMap(
             resolution=config.resolution,
             depth=config.depth,
@@ -195,22 +208,24 @@ class OccupancyMapService:
             cloud = points
         else:
             cloud = PointCloud(points, origin)
-        start = time.perf_counter()
-        tracer = trace_scan_rt if self.config.rt else trace_scan
-        batch = tracer(
-            cloud,
-            self.config.resolution,
-            self.config.depth,
-            max_range=self.config.max_range,
-        )
-        trace_seconds = time.perf_counter() - start
-        self.metrics.histogram("ingest.trace_seconds").record(trace_seconds)
+        trace_fn = trace_scan_rt if self.config.rt else trace_scan
+        with self.tracer.span(
+            "ingest.trace", category="service", points=len(cloud.points)
+        ) as span:
+            batch = trace_fn(
+                cloud,
+                self.config.resolution,
+                self.config.depth,
+                max_range=self.config.max_range,
+            )
+            span.set(observations=len(batch))
+        trace_seconds = span.duration
         receipt = self.submit_observations(
             batch.observations,
             trace_seconds=trace_seconds,
             must_accept=must_accept,
         )
-        self.metrics.counter("ingest.scans").inc()
+        self.tracer.count("ingest.scans", category="service")
         return receipt
 
     def submit_observations(
@@ -223,21 +238,27 @@ class OccupancyMapService:
         self._check_open()
         enqueued = 0
         rejected = 0
-        start = time.perf_counter()
-        for shard_id, part in enumerate(self.map.router.partition(observations)):
-            if not part:
-                continue
-            if self._enqueue(shard_id, part):
-                enqueued += len(part)
-            else:
-                rejected += len(part)
-        self.metrics.histogram("ingest.enqueue_seconds").record(
-            time.perf_counter() - start
+        with self.tracer.span(
+            "ingest.enqueue", category="service", observations=len(observations)
+        ) as span:
+            for shard_id, part in enumerate(
+                self.map.router.partition(observations)
+            ):
+                if not part:
+                    continue
+                if self._enqueue(shard_id, part):
+                    enqueued += len(part)
+                else:
+                    rejected += len(part)
+            span.set(enqueued=enqueued, rejected=rejected)
+        self.tracer.count(
+            "ingest.observations", len(observations), category="service"
         )
-        self.metrics.counter("ingest.observations").inc(len(observations))
         if rejected:
-            self.metrics.counter("ingest.rejected_observations").inc(rejected)
-            self.metrics.counter("ingest.rejected_batches").inc()
+            self.tracer.count(
+                "ingest.rejected_observations", rejected, category="service"
+            )
+            self.tracer.count("ingest.rejected_batches", category="service")
             if must_accept:
                 raise BackpressureError(
                     f"{rejected} observation(s) rejected by full shard queues"
@@ -256,10 +277,13 @@ class OccupancyMapService:
         with self._outstanding_cv:
             self._outstanding += 1
         try:
+            # Items carry their enqueue timestamp so the worker can emit
+            # the slice's queue-wait span (map-freshness delay).
+            item = (part, time.perf_counter())
             if self.config.backpressure == "block":
-                shard_queue.put(part)
+                shard_queue.put(item)
             else:
-                shard_queue.put_nowait(part)
+                shard_queue.put_nowait(item)
         except queue.Full:
             with self._outstanding_cv:
                 self._outstanding -= 1
@@ -277,7 +301,6 @@ class OccupancyMapService:
     def _worker_loop(self, shard_id: int) -> None:
         shard_queue = self._queues[shard_id]
         depth_gauge = self.metrics.gauge(f"queue_depth.shard{shard_id}")
-        apply_hist = self.metrics.histogram("shard.apply_seconds")
         stop = False
         while not stop:
             item = shard_queue.get()
@@ -297,19 +320,36 @@ class OccupancyMapService:
                     break
                 parts.append(extra)
             depth_gauge.set(shard_queue.qsize())
+            dequeued_at = time.perf_counter()
+            for part, enqueued_at in parts:
+                self.tracer.record_span(
+                    "shard.queue_wait",
+                    "service",
+                    start=enqueued_at,
+                    duration=max(0.0, dequeued_at - enqueued_at),
+                    shard=shard_id,
+                    observations=len(part),
+                )
             observations = (
-                parts[0]
+                parts[0][0]
                 if len(parts) == 1
-                else [obs for part in parts for obs in part]
+                else [obs for part, _ts in parts for obs in part]
             )
             try:
-                start = time.perf_counter()
-                self.map.apply_to_shard(shard_id, observations)
-                apply_hist.record(time.perf_counter() - start)
-                self.metrics.counter("shard.batches_applied").inc()
+                with self.tracer.span(
+                    "shard.apply",
+                    category="service",
+                    shard=shard_id,
+                    parts=len(parts),
+                    observations=len(observations),
+                ):
+                    self.map.apply_to_shard(shard_id, observations)
+                self.tracer.count("shard.batches_applied", category="service")
                 if len(parts) > 1:
-                    self.metrics.counter("shard.batches_coalesced").inc(
-                        len(parts) - 1
+                    self.tracer.count(
+                        "shard.batches_coalesced",
+                        len(parts) - 1,
+                        category="service",
                     )
             except BaseException as error:
                 with self._outstanding_cv:
@@ -374,12 +414,9 @@ class OccupancyMapService:
 
     def query(self, coord: Tuple[float, float, float]) -> Optional[float]:
         """Log-odds occupancy at a metric coordinate."""
-        start = time.perf_counter()
-        value = self.map.query(coord)
-        self.metrics.histogram("query.point_seconds").record(
-            time.perf_counter() - start
-        )
-        self.metrics.counter("query.points").inc()
+        with self.tracer.span("query.point", category="service"):
+            value = self.map.query(coord)
+        self.tracer.count("query.points", category="service")
         return value
 
     def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
@@ -397,14 +434,11 @@ class OccupancyMapService:
         ignore_unknown: bool = True,
     ) -> RayHit:
         """Metered ray query across shards."""
-        start = time.perf_counter()
-        hit = self.map.cast_ray(
-            origin, direction, max_range, ignore_unknown=ignore_unknown
-        )
-        self.metrics.histogram("query.ray_seconds").record(
-            time.perf_counter() - start
-        )
-        self.metrics.counter("query.rays").inc()
+        with self.tracer.span("query.ray", category="service"):
+            hit = self.map.cast_ray(
+                origin, direction, max_range, ignore_unknown=ignore_unknown
+            )
+        self.tracer.count("query.rays", category="service")
         return hit
 
     def occupied_in_box(
@@ -413,21 +447,15 @@ class OccupancyMapService:
         max_coord: Tuple[float, float, float],
     ) -> List[VoxelKey]:
         """Metered bounding-box occupancy query."""
-        start = time.perf_counter()
-        keys = self.map.occupied_in_box(min_coord, max_coord)
-        self.metrics.histogram("query.box_seconds").record(
-            time.perf_counter() - start
-        )
-        self.metrics.counter("query.boxes").inc()
+        with self.tracer.span("query.box", category="service"):
+            keys = self.map.occupied_in_box(min_coord, max_coord)
+        self.tracer.count("query.boxes", category="service")
         return keys
 
     def snapshot(self) -> OccupancyOctree:
         """Global-snapshot export (see :meth:`ShardedMap.snapshot`)."""
-        start = time.perf_counter()
-        tree = self.map.snapshot()
-        self.metrics.histogram("query.snapshot_seconds").record(
-            time.perf_counter() - start
-        )
+        with self.tracer.span("query.snapshot", category="service"):
+            tree = self.map.snapshot()
         return tree
 
     @property

@@ -40,6 +40,7 @@ from repro.sensor.pointcloud import PointCloud
 from repro.sensor.raycast import compute_ray_keys
 from repro.sensor.scaninsert import ScanBatch, trace_scan, trace_scan_rt
 from repro.service.sharding import ShardRouter
+from repro.telemetry import get_tracer
 
 __all__ = ["ShardedMap", "ShardedBatchRecord"]
 
@@ -120,6 +121,9 @@ class ShardedMap:
             threading.RLock() for _ in range(num_shards)
         ]
         self.records: List[ShardedBatchRecord] = []
+        #: Telemetry tracer for per-shard ingest spans (the global one by
+        #: default; shard pipelines carry their own ``tracer`` attribute).
+        self.tracer = get_tracer()
 
     @property
     def num_shards(self) -> int:
@@ -183,8 +187,14 @@ class ShardedMap:
         """
         shard = self.shards[shard_id]
         batch = ScanBatch(observations=list(observations), num_rays=0)
-        with self._locks[shard_id]:
-            batch_record: BatchRecord = shard.insert_batch(batch)
+        with self.tracer.span(
+            "shard.ingest",
+            category="service",
+            shard=shard_id,
+            observations=len(batch),
+        ):
+            with self._locks[shard_id]:
+                batch_record: BatchRecord = shard.insert_batch(batch)
         return shard.record_busy_seconds(batch_record)
 
     def finalize(self) -> None:

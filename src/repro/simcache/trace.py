@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 from repro.simcache.address_space import AddressSpace
 from repro.simcache.cost_model import MemoryHierarchy, jetson_tx2_hierarchy
+from repro.telemetry import get_tracer
 
 __all__ = ["TraceRecorder", "ReplayResult", "replay_trace"]
 
@@ -79,8 +80,15 @@ def replay_trace(
     if hierarchy is None:
         hierarchy = jetson_tx2_hierarchy(address_space=address_space)
     access_node = hierarchy.access_node
-    for node_id in trace:
-        access_node(node_id)
+    with get_tracer().span(
+        "replay", category="simcache", accesses=len(trace)
+    ) as span:
+        for node_id in trace:
+            access_node(node_id)
+        span.set(
+            total_cycles=hierarchy.total_cycles,
+            mean_cycles=hierarchy.mean_cycles_per_access,
+        )
     return ReplayResult(
         accesses=hierarchy.accesses,
         total_cycles=hierarchy.total_cycles,

@@ -1,0 +1,64 @@
+"""End-to-end structured tracing for the mapping pipelines.
+
+One observability substrate every layer reports into:
+
+- :mod:`repro.telemetry.tracer` — :class:`Tracer` / :class:`Span`:
+  nested, categorised, attributed spans with context-manager and
+  decorator APIs; negligible overhead when disabled.
+- :mod:`repro.telemetry.sinks` — pluggable destinations: in-memory ring
+  buffer, JSON-lines file, Chrome-trace/Perfetto exporter, and a bridge
+  into the service's :class:`~repro.service.metrics.MetricsRegistry`.
+- :mod:`repro.telemetry.profile` — :class:`PipelineProfile`: spans rolled
+  up into the paper-style stage-decomposition table plus cache hit-rate
+  summary.
+- :mod:`repro.telemetry.bench` — the ``python -m repro trace-bench``
+  workload driver.
+
+The global tracer starts disabled; enable it around any workload::
+
+    from repro.telemetry import RingBufferSink, tracing, PipelineProfile
+
+    ring = RingBufferSink()
+    with tracing(ring):
+        mapper.insert_point_cloud(cloud)
+    print(PipelineProfile.from_ring(ring).table())
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.telemetry.profile import PipelineProfile, StageProfile
+from repro.telemetry.sinks import (
+    ChromeTraceSink,
+    ForwardSink,
+    JsonLinesSink,
+    MetricsSink,
+    RingBufferSink,
+    SpanSink,
+)
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    CountEvent,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "CountEvent",
+    "ForwardSink",
+    "JsonLinesSink",
+    "MetricsSink",
+    "NULL_SPAN",
+    "PipelineProfile",
+    "RingBufferSink",
+    "Span",
+    "SpanSink",
+    "StageProfile",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]

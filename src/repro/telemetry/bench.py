@@ -1,0 +1,170 @@
+"""The ``python -m repro trace-bench`` workload: one traced pipeline run.
+
+Drives a synthetic workload through every instrumented layer with global
+tracing enabled, then rolls the captured spans into a
+:class:`~repro.telemetry.profile.PipelineProfile`:
+
+1. **Pipeline phase** — a :class:`~repro.core.parallel.ParallelOctoCacheMap`
+   maps the dataset's scan stream (sensor / cache / octree / parallel
+   spans, cache hit counters, thread-2 queue-wait handoffs).
+2. **Service phase** — the same scans through a sharded
+   :class:`~repro.service.OccupancyMapService` with interleaved queries
+   (service-category ingest/apply/queue-wait/query spans; the service's
+   :class:`~repro.service.metrics.MetricsRegistry` is fed from the same
+   events, which :func:`run_trace_bench` cross-checks).
+3. **Simcache phase** — one batch inserted into a visit-recorded octree
+   and replayed through the modeled memory hierarchy (simcache span).
+
+The result exports as a Chrome-trace (`--chrome-trace`) openable in
+``chrome://tracing`` / Perfetto, a JSON profile (`--trace-out`), and the
+paper-style stage-decomposition table on stdout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.parallel import ParallelOctoCacheMap
+from repro.datasets.generator import make_dataset
+from repro.octree.instrumented import recorded_octree
+from repro.sensor.scaninsert import trace_scan
+from repro.service.server import OccupancyMapService, ServiceConfig
+from repro.simcache.trace import replay_trace
+from repro.telemetry.profile import PipelineProfile
+from repro.telemetry.sinks import ChromeTraceSink, RingBufferSink
+from repro.telemetry.tracer import tracing
+
+__all__ = ["TraceBenchReport", "run_trace_bench"]
+
+#: Node-visit trace cap for the simcache phase (replay is O(trace)).
+_MAX_SIM_TRACE = 60_000
+
+
+@dataclass
+class TraceBenchReport:
+    """Everything one traced run produced.
+
+    Attributes:
+        dataset: dataset name driven through the layers.
+        batches: scans fed to each phase.
+        profile: the rolled-up stage decomposition + counters.
+        chrome: the collected ``trace_event`` sink (exportable).
+        service_stats: the service phase's final ``stats_dict()``.
+        consistency: metric-total vs. span-count pairs that must agree
+            (``name -> (metrics_total, span_count)``).
+        sim_accesses / sim_mean_cycles: simcache phase replay summary.
+    """
+
+    dataset: str
+    batches: int
+    profile: PipelineProfile
+    chrome: ChromeTraceSink
+    service_stats: Dict[str, object] = field(default_factory=dict)
+    consistency: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    sim_accesses: int = 0
+    sim_mean_cycles: float = 0.0
+
+    @property
+    def consistent(self) -> bool:
+        """True when every metrics total equals its span/event count."""
+        return all(a == b for a, b in self.consistency.values())
+
+
+def _consistency_pairs(
+    profile: PipelineProfile, service_stats: Dict[str, object]
+) -> Dict[str, Tuple[float, float]]:
+    """Metric totals that must equal span counts from the same events."""
+    metrics = service_stats.get("metrics", {})
+    histograms = metrics.get("histograms", {})
+    counters = metrics.get("counters", {})
+    pairs: Dict[str, Tuple[float, float]] = {}
+    for span_name in ("ingest.trace", "ingest.enqueue", "shard.apply"):
+        stage = profile.stages.get(("service", span_name))
+        hist = histograms.get(span_name + "_seconds")
+        if stage is not None or hist is not None:
+            pairs[span_name] = (
+                float(hist["count"]) if hist else 0.0,
+                float(stage.count) if stage else 0.0,
+            )
+    # Counter cross-check: scans submitted vs. ingest.trace spans.
+    if "ingest.scans" in counters:
+        stage = profile.stages.get(("service", "ingest.trace"))
+        pairs["ingest.scans"] = (
+            float(counters["ingest.scans"]),
+            float(stage.count) if stage else 0.0,
+        )
+    return pairs
+
+
+def run_trace_bench(
+    dataset_name: str = "fr079_corridor",
+    batches: int = 6,
+    resolution: float = 0.3,
+    depth: int = 10,
+    shards: int = 2,
+    queries_per_scan: int = 2,
+    ray_scale: float = 0.5,
+    ring_capacity: Optional[int] = None,
+) -> TraceBenchReport:
+    """Run the three traced phases and aggregate the span stream.
+
+    Returns a :class:`TraceBenchReport`; the caller decides what to print
+    or export (see ``python -m repro trace-bench``).
+    """
+    if batches < 1:
+        raise ValueError(f"batches must be >= 1, got {batches}")
+    dataset = make_dataset(dataset_name, pose_scale=1.0, ray_scale=ray_scale)
+    scans = list(dataset.scans())[:batches]
+    max_range = dataset.sensor.max_range
+
+    ring = RingBufferSink(capacity=ring_capacity)
+    chrome = ChromeTraceSink()
+    with tracing(ring, chrome):
+        # Phase 1: the paper's two-thread pipeline.
+        with ParallelOctoCacheMap(
+            resolution=resolution, depth=depth, max_range=max_range
+        ) as pipeline:
+            for cloud in scans:
+                pipeline.insert_point_cloud(cloud)
+
+        # Phase 2: the sharded service, with interleaved queries.
+        config = ServiceConfig(
+            resolution=resolution,
+            depth=depth,
+            num_shards=shards,
+            max_range=max_range,
+        )
+        with OccupancyMapService(config) as service:
+            for index, cloud in enumerate(scans):
+                service.submit(cloud)
+                origin = tuple(cloud.origin)
+                for probe in range(queries_per_scan):
+                    offset = 0.5 * (probe + 1)
+                    service.is_occupied(
+                        (origin[0] + offset, origin[1], origin[2])
+                    )
+                if index == 0:
+                    service.cast_ray(origin, (1.0, 0.0, 0.0), max_range=3.0)
+            service.flush()
+            service_stats = service.stats_dict()
+
+        # Phase 3: replay one batch's octree node visits through the
+        # modeled memory hierarchy.
+        tree, recorder = recorded_octree(resolution=resolution, depth=depth)
+        batch = trace_scan(scans[0], resolution, depth, max_range=max_range)
+        for key, occupied in batch.observations:
+            tree.update_node(key, occupied)
+        replay = replay_trace(recorder.trace[:_MAX_SIM_TRACE])
+
+    profile = PipelineProfile.from_ring(ring)
+    return TraceBenchReport(
+        dataset=dataset_name,
+        batches=len(scans),
+        profile=profile,
+        chrome=chrome,
+        service_stats=service_stats,
+        consistency=_consistency_pairs(profile, service_stats),
+        sim_accesses=replay.accesses,
+        sim_mean_cycles=replay.mean_cycles,
+    )

@@ -1,0 +1,219 @@
+"""``PipelineProfile``: spans rolled up into the paper-style stage table.
+
+The paper's evaluation decomposes insertion time into stages (Fig. 6/22,
+Table 3: ray trace vs. cache insert vs. eviction vs. octree update) and
+pairs it with the cache hit-rate curves (Fig. 23).  This module produces
+that decomposition from a recorded span stream instead of ad-hoc timers:
+
+- every span is attributed to a ``(category, name)`` stage;
+- a span's **self time** is its duration minus the durations of its
+  direct children, so nested instrumentation never double-counts;
+- **total traced wall time** is the sum of root-span durations (spans
+  with no recorded parent), which by construction equals the sum of all
+  stage self times — the stage table therefore accounts for 100% of
+  traced wall time up to float rounding;
+- counter aggregates (``cache.hits`` / ``cache.misses`` / …) ride along
+  so the hit-rate summary comes from the same event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.telemetry.sinks import RingBufferSink
+from repro.telemetry.tracer import Span
+
+__all__ = ["PipelineProfile", "StageProfile"]
+
+
+@dataclass
+class StageProfile:
+    """Aggregated timing of one ``(category, name)`` stage."""
+
+    category: str
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+class PipelineProfile:
+    """Stage decomposition plus counter summary of one traced run."""
+
+    def __init__(
+        self,
+        stages: Dict[Tuple[str, str], StageProfile],
+        wall_seconds: float,
+        counts: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> None:
+        self.stages = stages
+        self.wall_seconds = wall_seconds
+        self.counts = dict(counts or {})
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Iterable[Span],
+        counts: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> "PipelineProfile":
+        """Aggregate a span stream into per-stage totals and self times.
+
+        A span whose parent was not captured (ring-buffer eviction, or a
+        retroactive span) is treated as a root; its duration then counts
+        toward wall time on its own.
+        """
+        spans = list(spans)
+        seen = {span.span_id for span in spans}
+        child_seconds: Dict[int, float] = {}
+        for span in spans:
+            parent = span.parent_id
+            if parent is not None and parent in seen:
+                child_seconds[parent] = (
+                    child_seconds.get(parent, 0.0) + span.duration
+                )
+        stages: Dict[Tuple[str, str], StageProfile] = {}
+        wall = 0.0
+        for span in spans:
+            key = (span.category, span.name)
+            stage = stages.get(key)
+            if stage is None:
+                stage = stages[key] = StageProfile(*key)
+            stage.count += 1
+            stage.total_seconds += span.duration
+            # Self time floors at zero: clock jitter can make recorded
+            # children marginally outlast their parent.
+            stage.self_seconds += max(
+                0.0, span.duration - child_seconds.get(span.span_id, 0.0)
+            )
+            if span.parent_id is None or span.parent_id not in seen:
+                wall += span.duration
+        return cls(stages, wall, counts)
+
+    @classmethod
+    def from_ring(cls, ring: RingBufferSink) -> "PipelineProfile":
+        """Build from a ring-buffer sink (spans plus counter aggregates)."""
+        return cls.from_spans(ring.spans, ring.counts)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def categories(self) -> List[str]:
+        """Distinct span categories present, sorted."""
+        return sorted({category for category, _name in self.stages})
+
+    def total_seconds(self, category: Optional[str] = None) -> float:
+        """Summed *self* time, optionally restricted to one category."""
+        return sum(
+            stage.self_seconds
+            for (cat, _name), stage in self.stages.items()
+            if category is None or cat == category
+        )
+
+    def coverage(self) -> float:
+        """Fraction of traced wall time the stage table accounts for.
+
+        1.0 up to float rounding by the self-time construction; materially
+        lower values indicate dropped spans (undersized ring buffer).
+        """
+        if self.wall_seconds == 0.0:
+            return 1.0
+        return self.total_seconds() / self.wall_seconds
+
+    def count(self, category: str, name: str) -> float:
+        """A counter aggregate (0 when the counter never fired)."""
+        return self.counts.get((category, name), 0)
+
+    def cache_summary(self) -> Dict[str, float]:
+        """Hit/miss/eviction totals and hit ratio from cache counters."""
+        hits = self.count("cache", "cache.hits")
+        misses = self.count("cache", "cache.misses")
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": self.count("cache", "cache.evictions"),
+            "hit_ratio": hits / lookups if lookups else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+
+    def _ordered(self) -> List[StageProfile]:
+        return sorted(
+            self.stages.values(),
+            key=lambda stage: stage.self_seconds,
+            reverse=True,
+        )
+
+    def table(self) -> str:
+        """The stage-decomposition table (share = self time / wall)."""
+        wall = self.wall_seconds
+        rows = []
+        for stage in self._ordered():
+            share = stage.self_seconds / wall * 100 if wall else 0.0
+            rows.append(
+                [
+                    stage.category,
+                    stage.name,
+                    stage.count,
+                    f"{stage.total_seconds:.4f}",
+                    f"{stage.self_seconds:.4f}",
+                    f"{share:.1f}%",
+                    f"{stage.mean_seconds * 1e3:.3f}",
+                ]
+            )
+        rows.append(
+            ["total", "(wall)", "", f"{wall:.4f}", f"{self.total_seconds():.4f}",
+             f"{self.coverage() * 100:.1f}%", ""]
+        )
+        return format_table(
+            ["category", "stage", "count", "total (s)", "self (s)", "share",
+             "mean (ms)"],
+            rows,
+        )
+
+    def counts_table(self) -> str:
+        """Counter aggregates as a table (empty string when none)."""
+        if not self.counts:
+            return ""
+        rows = [
+            [category, name, f"{value:g}"]
+            for (category, name), value in sorted(self.counts.items())
+        ]
+        return format_table(["category", "counter", "total"], rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able profile (the ``--trace-out`` payload)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "coverage": self.coverage(),
+            "stages": [
+                {
+                    "category": stage.category,
+                    "name": stage.name,
+                    "count": stage.count,
+                    "total_seconds": stage.total_seconds,
+                    "self_seconds": stage.self_seconds,
+                    "mean_seconds": stage.mean_seconds,
+                }
+                for stage in self._ordered()
+            ],
+            "counters": [
+                {"category": category, "name": name, "total": value}
+                for (category, name), value in sorted(self.counts.items())
+            ],
+            "cache": self.cache_summary(),
+        }

@@ -1,0 +1,248 @@
+"""Span sinks: where finished spans and counter events go.
+
+Four destinations cover the repo's observability needs:
+
+- :class:`RingBufferSink` — bounded in-memory capture, the substrate for
+  :class:`~repro.telemetry.profile.PipelineProfile` and for tests.
+- :class:`JsonLinesSink` — one JSON object per line, for offline tooling.
+- :class:`ChromeTraceSink` — the ``trace_event`` format, so a pipeline run
+  opens directly in ``chrome://tracing`` / Perfetto.
+- :class:`MetricsSink` — bridges spans and counts into a
+  :class:`~repro.service.metrics.MetricsRegistry`: a span named ``n``
+  feeds the histogram ``n_seconds`` with its duration, a count named
+  ``n`` feeds the counter ``n``.  The service's metrics are fed this way,
+  so ``serve-bench`` totals and ``trace-bench`` span counts agree by
+  construction.
+
+:class:`ForwardSink` chains tracers: the service owns an always-on tracer
+(metrics must work without tracing), and a ``ForwardSink(get_tracer())``
+mirrors its spans into the global tracer's sinks whenever global tracing
+is on — one event stream, two consumers.
+
+All sinks are thread-safe; spans arrive from pipeline, shard-worker, and
+client threads concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+from repro.telemetry.tracer import CountEvent, Span, Tracer
+
+__all__ = [
+    "ChromeTraceSink",
+    "ForwardSink",
+    "JsonLinesSink",
+    "MetricsSink",
+    "RingBufferSink",
+    "SpanSink",
+]
+
+
+class SpanSink:
+    """Sink interface; both hooks default to no-ops."""
+
+    def on_span(self, span: Span) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_count(self, event: CountEvent) -> None:  # pragma: no cover
+        pass
+
+
+class RingBufferSink(SpanSink):
+    """Keeps the most recent spans in memory (and aggregates counts).
+
+    Args:
+        capacity: max retained spans; ``None`` keeps everything.  Counter
+            aggregates are exact regardless of span eviction.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._lock = threading.Lock()
+        self._spans: "deque[Span]" = deque(maxlen=capacity)
+        self._counts: Dict[Tuple[str, str], float] = {}
+        self.dropped = 0
+
+    def on_span(self, span: Span) -> None:
+        with self._lock:
+            if self._spans.maxlen is not None and len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(span)
+
+    def on_count(self, event: CountEvent) -> None:
+        key = (event.category, event.name)
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + event.value
+
+    @property
+    def spans(self) -> List[Span]:
+        """Snapshot of retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def counts(self) -> Dict[Tuple[str, str], float]:
+        """Snapshot of ``(category, name) -> total`` counter aggregates."""
+        with self._lock:
+            return dict(self._counts)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._counts.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class JsonLinesSink(SpanSink):
+    """Streams every span/count as one JSON object per line.
+
+    Accepts a path (opened and owned, close with :meth:`close` or use as a
+    context manager) or an already-open text handle (borrowed).
+    """
+
+    def __init__(self, target: Union[str, "os.PathLike", IO[str]]) -> None:
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._handle = open(os.fspath(target), "w")
+            self._owned = True
+        self.records = 0
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self.records += 1
+
+    def on_span(self, span: Span) -> None:
+        self._write(span.to_dict())
+
+    def on_count(self, event: CountEvent) -> None:
+        self._write(event.to_dict())
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.flush()
+            if self._owned:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ChromeTraceSink(SpanSink):
+    """Collects ``trace_event`` records for Chrome/Perfetto trace viewers.
+
+    Spans become complete events (``"ph": "X"``) with microsecond
+    timestamps on the process ``perf_counter`` timeline; counts become
+    counter events (``"ph": "C"``).  :meth:`write` emits the JSON object
+    form (``{"traceEvents": [...]}``), which both viewers accept.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._pid = os.getpid()
+
+    def on_span(self, span: Span) -> None:
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": self._pid,
+            "tid": span.thread_id,
+        }
+        args = dict(span.attributes)
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        args["id"] = span.span_id
+        event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    def on_count(self, event: CountEvent) -> None:
+        record = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": "C",
+            "ts": event.timestamp * 1e6,
+            "pid": self._pid,
+            "tid": event.thread_id,
+            "args": {event.name: event.value},
+        }
+        with self._lock:
+            self._events.append(record)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The trace file payload (events sorted by timestamp)."""
+        with self._lock:
+            events = sorted(self._events, key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: Union[str, "os.PathLike"]) -> None:
+        with open(os.fspath(path), "w") as handle:
+            json.dump(self.to_dict(), handle)
+
+
+class MetricsSink(SpanSink):
+    """Feeds a :class:`~repro.service.metrics.MetricsRegistry` from spans.
+
+    A span named ``"shard.apply"`` records its duration into the histogram
+    ``"shard.apply_seconds"``; a count named ``"ingest.scans"`` increments
+    the counter of the same name.  ``name_map`` overrides individual span
+    → histogram names when the convention doesn't fit.
+    """
+
+    def __init__(
+        self,
+        registry,
+        name_map: Optional[Dict[str, str]] = None,
+        suffix: str = "_seconds",
+    ) -> None:
+        self._registry = registry
+        self._name_map = dict(name_map or {})
+        self._suffix = suffix
+
+    def on_span(self, span: Span) -> None:
+        name = self._name_map.get(span.name, span.name + self._suffix)
+        self._registry.histogram(name).record(span.duration)
+
+    def on_count(self, event: CountEvent) -> None:
+        self._registry.counter(event.name).inc(int(event.value))
+
+
+class ForwardSink(SpanSink):
+    """Mirrors events into another tracer's sinks when it is enabled."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+
+    def on_span(self, span: Span) -> None:
+        if self._tracer.enabled:
+            self._tracer._dispatch_span(span)
+
+    def on_count(self, event: CountEvent) -> None:
+        if self._tracer.enabled:
+            self._tracer._dispatch_count(event)

@@ -1,0 +1,381 @@
+"""Structured tracing: nested spans with categories and attributes.
+
+A :class:`Span` is one timed block of pipeline work (a ray trace, a cache
+eviction scan, a shard apply).  A :class:`Tracer` produces spans through a
+context-manager API (:meth:`Tracer.span`) or a decorator
+(:meth:`Tracer.trace`), stamps them with a monotonic start time, duration,
+thread id, and parent link, and hands finished spans to pluggable sinks
+(:mod:`repro.telemetry.sinks`).
+
+Design constraints, in order:
+
+1. **Negligible overhead when disabled.**  The insert hot path runs with
+   tracing off by default; a disabled tracer's :meth:`~Tracer.span` is one
+   attribute check plus returning a shared no-op context manager — no
+   allocation, no clock read.  The overhead budget is enforced by
+   ``benchmarks/test_tracing_overhead.py``.
+2. **Dependency-free and thread-safe.**  Spans are stamped with
+   ``time.perf_counter()`` on a process-wide timeline, ids are allocated
+   from one process-wide counter (so spans from *different* tracers — the
+   service's always-on tracer and the global one — never collide), and
+   the parent stack is a module-level ``threading.local`` shared by every
+   tracer, so spans nest correctly even when two tracers interleave on
+   one thread.
+3. **Batch-level granularity.**  Instrumentation wraps pipeline *stages*
+   (a few spans per scan), never per-voxel operations; per-voxel facts
+   (cache hits/misses) flow through :meth:`Tracer.count` as aggregated
+   counter deltas.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "CountEvent",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+#: Process-wide span id allocator.  ``next()`` on ``itertools.count`` is
+#: atomic under CPython; ids only need uniqueness, not density.
+_NEXT_ID = itertools.count(1)
+
+#: Thread-local stack of open span ids, shared across tracers so a span
+#: opened by the service's tracer parents spans opened by the global one.
+_OPEN = threading.local()
+
+
+def _stack() -> List[int]:
+    stack = getattr(_OPEN, "stack", None)
+    if stack is None:
+        stack = []
+        _OPEN.stack = stack
+    return stack
+
+
+class Span:
+    """One finished (or in-flight) timed block.
+
+    Attributes:
+        span_id: process-unique id.
+        parent_id: enclosing span's id, ``None`` for a root span.
+        name: stage name, e.g. ``"cache_eviction"``.
+        category: coarse layer label — ``"sensor"``, ``"cache"``,
+            ``"octree"``, ``"parallel"``, ``"service"``, ``"simcache"``.
+        start: ``time.perf_counter()`` at entry (process timeline).
+        duration: seconds; 0.0 until the span closes.
+        thread_id: ``threading.get_ident()`` of the opening thread (or the
+            synthetic id of a retroactive span).
+        attributes: structured payload (counts, shard ids, batch sizes).
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "start",
+        "duration",
+        "thread_id",
+        "attributes",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        attributes: Dict[str, Any],
+        thread_id: Optional[int] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = next(_NEXT_ID)
+        self.parent_id: Optional[int] = None
+        self.name = name
+        self.category = category
+        self.start = 0.0
+        self.duration = 0.0
+        self.thread_id = (
+            thread_id if thread_id is not None else threading.get_ident()
+        )
+        self.attributes = attributes
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach structured attributes (chainable, usable mid-span)."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            self.parent_id = stack[-1]
+        stack.append(self.span_id)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self.start
+        stack = _stack()
+        # The stack discipline only breaks if a span is exited on a
+        # different thread than it entered; tolerate it rather than corrupt
+        # unrelated spans.
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._dispatch_span(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (the JSON-lines sink's record shape)."""
+        record: Dict[str, Any] = {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "start": self.start,
+            "dur": self.duration,
+            "tid": self.thread_id,
+        }
+        if self.attributes:
+            record["attrs"] = dict(self.attributes)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.category}:{self.name}, dur={self.duration:.6f}s, "
+            f"id={self.span_id}, parent={self.parent_id})"
+        )
+
+
+class CountEvent:
+    """A named counter increment routed through the tracer's sinks."""
+
+    __slots__ = ("name", "category", "value", "timestamp", "thread_id")
+
+    def __init__(self, name: str, category: str, value: float) -> None:
+        self.name = name
+        self.category = category
+        self.value = value
+        self.timestamp = time.perf_counter()
+        self.thread_id = threading.get_ident()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "count",
+            "name": self.name,
+            "cat": self.category,
+            "value": self.value,
+            "ts": self.timestamp,
+            "tid": self.thread_id,
+        }
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    #: Attribute stubs so instrumentation can read spans unconditionally.
+    span_id = 0
+    parent_id = None
+    name = ""
+    category = ""
+    start = 0.0
+    duration = 0.0
+    attributes: Dict[str, Any] = {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces spans and counter events and fans them out to sinks.
+
+    Args:
+        enabled: start enabled (the module-global tracer starts disabled).
+        sinks: initial sink list; each sink needs ``on_span(span)`` and
+            ``on_count(event)`` (see :class:`repro.telemetry.sinks.SpanSink`).
+    """
+
+    def __init__(
+        self, enabled: bool = True, sinks: Optional[Iterable[object]] = None
+    ) -> None:
+        self.enabled = enabled
+        self._sinks: List[object] = list(sinks or ())
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Sink management.
+    # ------------------------------------------------------------------
+
+    @property
+    def sinks(self) -> List[object]:
+        with self._lock:
+            return list(self._sinks)
+
+    def add_sink(self, sink: object) -> object:
+        with self._lock:
+            self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: object) -> None:
+        with self._lock:
+            self._sinks = [s for s in self._sinks if s is not sink]
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Span production.
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, category: str = "default", **attributes: Any):
+        """A context manager timing one block; no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, category, attributes)
+
+    def record_span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        thread_id: Optional[int] = None,
+        **attributes: Any,
+    ) -> None:
+        """Emit an already-measured span retroactively.
+
+        Used where the duration is only known after the fact — e.g. the
+        queue-wait of a buffered eviction batch is measured by the
+        *consumer*, from a timestamp stamped by the producer.  Retroactive
+        spans never join the open-span stack (they are roots unless
+        ``thread_id`` matches nothing anyway).
+        """
+        if not self.enabled:
+            return
+        span = Span(self, name, category, attributes, thread_id=thread_id)
+        span.start = start
+        span.duration = duration
+        self._dispatch_span(span)
+
+    def count(
+        self, name: str, value: float = 1, category: str = "default"
+    ) -> None:
+        """Emit one counter increment; no-op when disabled or zero."""
+        if not self.enabled or not value:
+            return
+        self._dispatch_count(CountEvent(name, category, value))
+
+    def trace(
+        self, name: str, category: str = "default"
+    ) -> Callable[[Callable], Callable]:
+        """Decorator wrapping every call of a function in a span."""
+
+        def decorate(function: Callable) -> Callable:
+            @functools.wraps(function)
+            def wrapper(*args: Any, **kwargs: Any):
+                with self.span(name, category=category):
+                    return function(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Dispatch (sinks are responsible for their own thread safety).
+    # ------------------------------------------------------------------
+
+    def _dispatch_span(self, span: Span) -> None:
+        for sink in self.sinks:
+            sink.on_span(span)
+
+    def _dispatch_count(self, event: CountEvent) -> None:
+        for sink in self.sinks:
+            sink.on_count(event)
+
+
+#: The module-global tracer every pipeline reports to by default.  It
+#: starts *disabled* with no sinks: instrumentation costs one attribute
+#: check per stage until someone opts in (``tracing(...)`` or the
+#: ``trace-bench`` CLI).
+_GLOBAL = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled until configured)."""
+    return _GLOBAL
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-global tracer; returns the previous one.
+
+    Pipelines capture the tracer at construction, so replace the global
+    *before* building the objects under test (or prefer :func:`tracing`,
+    which reconfigures the existing global in place).
+    """
+    global _GLOBAL
+    previous, _GLOBAL = _GLOBAL, tracer
+    return previous
+
+
+class tracing:
+    """Context manager enabling the global tracer with the given sinks.
+
+    Reconfigures the global tracer *in place* (rather than swapping the
+    object), so pipelines built before entry report too::
+
+        ring = RingBufferSink()
+        with tracing(ring):
+            mapper.insert_point_cloud(cloud)
+        profile = PipelineProfile.from_spans(ring.spans)
+
+    On exit the previous enabled state is restored and the sinks added
+    here are removed; sinks attached by others are untouched.
+    """
+
+    def __init__(self, *sinks: object, tracer: Optional[Tracer] = None) -> None:
+        self._sinks = sinks
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._was_enabled = False
+
+    def __enter__(self) -> Tracer:
+        tracer = self._tracer
+        self._was_enabled = tracer.enabled
+        for sink in self._sinks:
+            tracer.add_sink(sink)
+        tracer.enabled = True
+        return tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        tracer.enabled = self._was_enabled
+        for sink in self._sinks:
+            tracer.remove_sink(sink)

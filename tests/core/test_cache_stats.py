@@ -39,3 +39,52 @@ class TestCacheStats:
         for _ in range(3):
             cache.insert((1, 1, 1), True)
         assert cache.stats.hit_ratio == 2 / 3
+
+
+class TestLifetimeCounters:
+    """The telemetry-facing counter properties and stats_dict()."""
+
+    def _loaded_cache(self):
+        cache = VoxelCache(CacheConfig(num_buckets=4, bucket_threshold=1))
+        for i in range(6):
+            cache.insert((i, 0, 0), True)  # 6 misses
+        for i in range(3):
+            cache.insert((i, 0, 0), True)  # 3 hits
+        return cache
+
+    def test_counter_properties_mirror_stats(self):
+        cache = self._loaded_cache()
+        assert cache.hits == cache.stats.hits == 3
+        assert cache.misses == cache.stats.misses == 6
+        assert cache.evictions == 0
+        evicted = cache.evict()
+        assert cache.evictions == len(evicted) == cache.stats.evicted
+        assert cache.evictions > 0
+
+    def test_counters_are_cumulative_across_flushes(self):
+        cache = self._loaded_cache()
+        first = len(cache.flush())
+        cache.insert((9, 9, 9), True)
+        second = len(cache.flush())
+        assert cache.evictions == first + second
+        assert cache.misses == 7  # flushes never reset insert-path counters
+
+    def test_stats_dict_snapshot(self):
+        cache = self._loaded_cache()
+        cache.query((0, 0, 0))
+        cache.query((99, 99, 99))
+        snapshot = cache.stats_dict()
+        assert snapshot["hits"] == 3
+        assert snapshot["misses"] == 6
+        assert snapshot["insertions"] == 9
+        assert snapshot["hit_ratio"] == 3 / 9
+        assert snapshot["evictions"] == 0
+        assert snapshot["query_hits"] == 1
+        assert snapshot["query_misses"] == 1
+        assert snapshot["resident_voxels"] == len(cache) == 6
+
+    def test_stats_dict_is_json_able(self):
+        import json
+
+        payload = json.dumps(self._loaded_cache().stats_dict())
+        assert "hit_ratio" in payload

@@ -63,16 +63,80 @@ class TestHistogram:
         assert hist.mean == pytest.approx(0.5)
 
     def test_percentiles_of_known_distribution(self):
+        # Interpolated (numpy-default) quantiles of 0..99.
         hist = Histogram()
         for i in range(100):
             hist.record(float(i))
         assert hist.percentile(0.0) == 0.0
-        assert hist.percentile(0.5) == pytest.approx(50.0)
-        assert hist.percentile(0.99) == pytest.approx(99.0)
+        assert hist.percentile(0.5) == pytest.approx(49.5)
+        assert hist.percentile(0.99) == pytest.approx(98.01)
         assert hist.percentile(1.0) == pytest.approx(99.0)
+
+    def test_small_reservoir_interpolates(self):
+        # The median of [1, 2, 3, 4] is 2.5, not a sample value —
+        # nearest-rank would be off by half a sample.
+        hist = Histogram()
+        for value in (4.0, 1.0, 3.0, 2.0):
+            hist.record(value)
+        assert hist.p50 == pytest.approx(2.5)
+        assert hist.percentile(0.25) == pytest.approx(1.75)
+        assert hist.p95 == pytest.approx(3.85)
+        assert hist.p99 == pytest.approx(3.97)
+
+    def test_single_sample_every_percentile(self):
+        hist = Histogram()
+        hist.record(7.0)
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert hist.percentile(fraction) == pytest.approx(7.0)
+
+    def test_percentile_properties_match_method(self):
+        hist = Histogram()
+        for i in range(50):
+            hist.record(float(i))
+        assert hist.p50 == hist.percentile(0.50)
+        assert hist.p95 == hist.percentile(0.95)
+        assert hist.p99 == hist.percentile(0.99)
+
+    def test_summary_includes_p95(self):
+        hist = Histogram()
+        hist.record(1.0)
+        summary = hist.summary()
+        assert set(summary) >= {"count", "mean", "p50", "p90", "p95", "p99", "max"}
 
     def test_empty_percentile_is_zero(self):
         assert Histogram().percentile(0.5) == 0.0
+
+    def test_concurrent_observe_is_consistent(self):
+        # 8 threads x 2000 samples through a small reservoir: exact
+        # aggregates must survive, the reservoir must stay within its
+        # cap, and percentiles must come out of the recorded range.
+        hist = Histogram(max_samples=256)
+        threads_n, per_thread = 8, 2000
+        errors = []
+
+        def observe(base):
+            try:
+                for i in range(per_thread):
+                    hist.record(float(base * per_thread + i))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=observe, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = threads_n * per_thread
+        assert hist.count == total
+        assert hist.sum == pytest.approx(total * (total - 1) / 2)
+        assert hist.min == 0.0
+        assert hist.max == float(total - 1)
+        assert len(hist._samples) <= 256
+        assert 0.0 <= hist.p50 <= float(total - 1)
+        assert hist.p50 <= hist.p95 <= hist.p99 <= hist.max
 
     def test_reservoir_thins_but_counts_stay_exact(self):
         hist = Histogram(max_samples=64)

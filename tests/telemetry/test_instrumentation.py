@@ -1,0 +1,145 @@
+"""End-to-end instrumentation: hot paths emit spans, trace-bench criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core.octocache import OctoCacheMap
+from repro.sensor.pointcloud import PointCloud
+from repro.service.server import OccupancyMapService, ServiceConfig
+from repro.simcache.trace import replay_trace
+from repro.telemetry import PipelineProfile, RingBufferSink, tracing
+from repro.telemetry.bench import run_trace_bench
+
+RES = 0.2
+DEPTH = 8
+
+
+def small_cloud(seed=0, points=50):
+    rng = np.random.default_rng(seed)
+    pts = np.column_stack(
+        [np.full(points, 2.0), rng.uniform(-1, 1, points), rng.uniform(0, 1, points)]
+    )
+    return PointCloud(pts, origin=(0.0, 0.0, 0.5))
+
+
+class TestSerialPipelineSpans:
+    def test_octocache_emits_stage_spans_and_counts(self):
+        ring = RingBufferSink()
+        with tracing(ring):
+            with OctoCacheMap(resolution=RES, depth=DEPTH) as mapping:
+                mapping.insert_point_cloud(small_cloud())
+        names = {s.name for s in ring.spans}
+        assert {
+            "ray_tracing",
+            "insert_batch",
+            "cache_insertion",
+            "cache_eviction",
+            "octree_update",
+        } <= names
+        counts = ring.counts
+        # Count aggregates mirror the cache's own lifetime counters.
+        assert counts[("cache", "cache.hits")] == mapping.cache.hits
+        assert counts[("cache", "cache.misses")] == mapping.cache.misses
+        assert counts[("cache", "cache.evictions")] == mapping.cache.evictions
+
+    def test_stage_spans_nest_under_insert_batch(self):
+        ring = RingBufferSink()
+        with tracing(ring):
+            with OctoCacheMap(resolution=RES, depth=DEPTH) as mapping:
+                mapping.insert_point_cloud(small_cloud())
+        by_name = {}
+        for span in ring.spans:
+            by_name.setdefault(span.name, span)
+        batch = by_name["insert_batch"]
+        assert by_name["cache_insertion"].parent_id == batch.span_id
+        assert by_name["cache_eviction"].parent_id == batch.span_id
+
+    def test_untraced_run_emits_nothing(self):
+        ring = RingBufferSink()
+        with OctoCacheMap(resolution=RES, depth=DEPTH) as mapping:
+            mapping.insert_point_cloud(small_cloud())
+        assert len(ring) == 0
+
+
+class TestServiceSpans:
+    def test_service_mirrors_into_global_tracer(self):
+        ring = RingBufferSink()
+        with tracing(ring):
+            config = ServiceConfig(resolution=RES, depth=DEPTH, num_shards=2)
+            with OccupancyMapService(config) as service:
+                service.submit(small_cloud())
+                service.is_occupied((2.0, 0.0, 0.5))
+                service.flush()
+                metrics = service.metrics.to_dict()
+        names = {s.name for s in ring.spans}
+        assert {"ingest.trace", "ingest.enqueue", "shard.apply"} <= names
+        assert "shard.queue_wait" in names
+        # Metrics registry and trace stream were fed by the same events.
+        profile = PipelineProfile.from_ring(ring)
+        for span_name in ("ingest.trace", "shard.apply"):
+            stage = profile.stages[("service", span_name)]
+            hist = metrics["histograms"][span_name + "_seconds"]
+            assert hist["count"] == stage.count
+
+    def test_service_metrics_work_without_global_tracing(self):
+        ring = RingBufferSink()
+        config = ServiceConfig(resolution=RES, depth=DEPTH, num_shards=1)
+        with OccupancyMapService(config) as service:
+            service.submit(small_cloud())
+            service.flush()
+            metrics = service.metrics.to_dict()
+        assert metrics["counters"]["ingest.scans"] == 1
+        assert metrics["histograms"]["shard.apply_seconds"]["count"] >= 1
+        assert len(ring) == 0
+
+
+class TestSimcacheSpans:
+    def test_replay_emits_simcache_span(self):
+        ring = RingBufferSink()
+        with tracing(ring):
+            result = replay_trace([1, 2, 3, 2, 1])
+        (span,) = [s for s in ring.spans if s.category == "simcache"]
+        assert span.name == "replay"
+        assert span.attributes["accesses"] == 5
+        assert span.attributes["total_cycles"] == result.total_cycles
+
+
+class TestTraceBenchAcceptance:
+    """The ISSUE's acceptance criteria for ``trace-bench``."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_trace_bench(batches=2, ray_scale=0.3, depth=9)
+
+    def test_at_least_four_categories(self, report):
+        categories = set(report.profile.categories)
+        assert {"octree", "cache", "simcache"} <= categories
+        assert categories & {"parallel", "service"}
+        assert len(categories) >= 4
+
+    def test_profile_accounts_for_traced_wall_time(self, report):
+        assert report.profile.coverage() >= 0.95
+
+    def test_metrics_totals_agree_with_span_counts(self, report):
+        assert report.consistency
+        assert report.consistent
+
+    def test_chrome_trace_is_valid(self, report, tmp_path):
+        import json
+
+        path = tmp_path / "out.trace.json"
+        report.chrome.write(path)
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert data["traceEvents"]
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len({e["cat"] for e in spans}) >= 4
+
+    def test_cache_summary_populated(self, report):
+        summary = report.profile.cache_summary()
+        assert summary["hits"] + summary["misses"] > 0
+        assert 0.0 <= summary["hit_ratio"] <= 1.0
+
+    def test_rejects_bad_batches(self):
+        with pytest.raises(ValueError):
+            run_trace_bench(batches=0)

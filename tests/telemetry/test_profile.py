@@ -1,0 +1,109 @@
+"""PipelineProfile: self-time accounting, coverage, tables."""
+
+import pytest
+
+from repro.telemetry import (
+    PipelineProfile,
+    RingBufferSink,
+    Tracer,
+)
+
+
+def synthetic_ring():
+    """Two roots, one nested child: known self-time decomposition."""
+    ring = RingBufferSink()
+    tracer = Tracer(sinks=[ring])
+    tracer.record_span("octree_update", "octree", start=5.0, duration=0.4)
+    with tracer.span("insert_batch", category="pipeline") as outer:
+        pass
+    # Rewrite durations deterministically: outer 1.0 with a 0.3 child.
+    outer.start, outer.duration = 1.0, 1.0
+    child = Tracer(sinks=[ring])
+    child.record_span("cache_insertion", "cache", start=1.1, duration=0.3)
+    ring.spans[-1].parent_id = outer.span_id
+    tracer.count("cache.hits", 30, category="cache")
+    tracer.count("cache.misses", 10, category="cache")
+    tracer.count("cache.evictions", 4, category="cache")
+    return ring
+
+
+class TestSelfTimeAccounting:
+    def test_self_time_subtracts_direct_children(self):
+        profile = PipelineProfile.from_ring(synthetic_ring())
+        outer = profile.stages[("pipeline", "insert_batch")]
+        assert outer.total_seconds == pytest.approx(1.0)
+        assert outer.self_seconds == pytest.approx(0.7)
+        child = profile.stages[("cache", "cache_insertion")]
+        assert child.self_seconds == pytest.approx(0.3)
+
+    def test_wall_is_sum_of_roots_and_coverage_is_one(self):
+        profile = PipelineProfile.from_ring(synthetic_ring())
+        assert profile.wall_seconds == pytest.approx(1.4)  # 1.0 + 0.4 roots
+        assert profile.total_seconds() == pytest.approx(1.4)
+        assert profile.coverage() == pytest.approx(1.0)
+
+    def test_orphan_parent_treated_as_root(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        tracer.record_span("x", "c", start=0.0, duration=1.0)
+        ring.spans[0].parent_id = 999_999  # parent evicted from the ring
+        profile = PipelineProfile.from_ring(ring)
+        assert profile.wall_seconds == pytest.approx(1.0)
+
+    def test_self_time_floors_at_zero(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("outer") as outer:
+            pass
+        outer.duration = 0.1
+        # A child that (through clock jitter) outlasts its parent.
+        tracer.record_span("child", "c", start=0.0, duration=0.5)
+        ring.spans[-1].parent_id = outer.span_id
+        profile = PipelineProfile.from_ring(ring)
+        assert profile.stages[("default", "outer")].self_seconds == 0.0
+
+    def test_empty_profile(self):
+        profile = PipelineProfile.from_ring(RingBufferSink())
+        assert profile.wall_seconds == 0.0
+        assert profile.coverage() == 1.0
+        assert profile.categories == []
+
+
+class TestSummaries:
+    def test_categories_and_counts(self):
+        profile = PipelineProfile.from_ring(synthetic_ring())
+        assert profile.categories == ["cache", "octree", "pipeline"]
+        assert profile.count("cache", "cache.hits") == 30
+        assert profile.count("cache", "nothing") == 0
+        assert profile.total_seconds("octree") == pytest.approx(0.4)
+
+    def test_cache_summary(self):
+        summary = PipelineProfile.from_ring(synthetic_ring()).cache_summary()
+        assert summary["hits"] == 30
+        assert summary["misses"] == 10
+        assert summary["evictions"] == 4
+        assert summary["hit_ratio"] == pytest.approx(0.75)
+
+    def test_table_accounts_for_all_wall_time(self):
+        table = PipelineProfile.from_ring(synthetic_ring()).table()
+        assert "insert_batch" in table
+        assert "octree_update" in table
+        assert "100.0%" in table  # the total row's coverage
+
+    def test_counts_table_and_empty_case(self):
+        profile = PipelineProfile.from_ring(synthetic_ring())
+        assert "cache.hits" in profile.counts_table()
+        assert PipelineProfile({}, 0.0).counts_table() == ""
+
+    def test_to_dict_is_json_able(self):
+        import json
+
+        payload = PipelineProfile.from_ring(synthetic_ring()).to_dict()
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["coverage"] == pytest.approx(1.0)
+        assert {s["name"] for s in encoded["stages"]} == {
+            "insert_batch",
+            "cache_insertion",
+            "octree_update",
+        }
+        assert encoded["cache"]["hits"] == 30

@@ -1,0 +1,146 @@
+"""Sink behaviour: ring buffer, JSON-lines, Chrome trace, metrics bridge."""
+
+import json
+
+from repro.service.metrics import MetricsRegistry
+from repro.telemetry import (
+    ChromeTraceSink,
+    ForwardSink,
+    JsonLinesSink,
+    MetricsSink,
+    RingBufferSink,
+    Tracer,
+)
+
+import pytest
+
+
+def emit(tracer):
+    with tracer.span("outer", category="cache", size=2):
+        with tracer.span("inner", category="octree"):
+            pass
+    tracer.count("cache.hits", 7, category="cache")
+
+
+class TestRingBufferSink:
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        ring = RingBufferSink(capacity=2)
+        tracer = Tracer(sinks=[ring])
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in ring.spans] == ["s2", "s3"]
+        assert ring.dropped == 2
+
+    def test_counts_exact_despite_span_eviction(self):
+        ring = RingBufferSink(capacity=1)
+        tracer = Tracer(sinks=[ring])
+        for _ in range(5):
+            tracer.count("n", 2)
+        assert ring.counts[("default", "n")] == 10
+
+    def test_clear(self):
+        ring = RingBufferSink()
+        emit(Tracer(sinks=[ring]))
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.counts == {}
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonLinesSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonLinesSink(path) as sink:
+            emit(Tracer(sinks=[sink]))
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 3
+        assert sink.records == 3
+        kinds = [r["type"] for r in records]
+        assert kinds == ["span", "span", "count"]
+        # Inner dispatches first and carries its parent id.
+        assert records[0]["name"] == "inner"
+        assert records[0]["parent"] == records[1]["id"]
+        assert records[2]["value"] == 7
+
+    def test_borrowed_handle_stays_open(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            sink = JsonLinesSink(handle)
+            emit(Tracer(sinks=[sink]))
+            sink.close()  # flushes, must not close the borrowed handle
+            assert not handle.closed
+
+
+class TestChromeTraceSink:
+    def test_events_are_well_formed(self, tmp_path):
+        chrome = ChromeTraceSink()
+        emit(Tracer(sinks=[chrome]))
+        path = tmp_path / "out.trace.json"
+        chrome.write(path)
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert len(events) == 3
+        phases = sorted(e["ph"] for e in events)
+        assert phases == ["C", "X", "X"]
+        for event in events:
+            assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        # Sorted by timestamp: outer span starts before inner.
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans[0]["name"] == "outer"
+        assert spans[0]["ts"] <= spans[1]["ts"]
+
+    def test_timestamps_are_microseconds(self):
+        chrome = ChromeTraceSink()
+        tracer = Tracer(sinks=[chrome])
+        tracer.record_span("x", "c", start=2.0, duration=0.25)
+        (event,) = chrome.events
+        assert event["ts"] == pytest.approx(2e6)
+        assert event["dur"] == pytest.approx(0.25e6)
+
+    def test_span_args_carry_attributes_and_parentage(self):
+        chrome = ChromeTraceSink()
+        tracer = Tracer(sinks=[chrome])
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", voxels=5):
+                pass
+        inner_event = next(e for e in chrome.events if e["name"] == "inner")
+        assert inner_event["args"]["voxels"] == 5
+        assert inner_event["args"]["parent"] == outer.span_id
+
+
+class TestMetricsSink:
+    def test_span_feeds_histogram_count_feeds_counter(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(sinks=[MetricsSink(registry)])
+        emit(tracer)
+        assert registry.histogram("outer_seconds").count == 1
+        assert registry.histogram("inner_seconds").count == 1
+        assert registry.counter("cache.hits").value == 7
+
+    def test_name_map_override(self):
+        registry = MetricsRegistry()
+        sink = MetricsSink(registry, name_map={"outer": "custom_latency"})
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("outer"):
+            pass
+        assert registry.histogram("custom_latency").count == 1
+
+
+class TestForwardSink:
+    def test_forwards_only_while_target_enabled(self):
+        ring = RingBufferSink()
+        target = Tracer(enabled=False, sinks=[ring])
+        source = Tracer(sinks=[ForwardSink(target)])
+        with source.span("dropped"):
+            pass
+        target.enable()
+        with source.span("mirrored"):
+            pass
+        source.count("n", 1)
+        assert [s.name for s in ring.spans] == ["mirrored"]
+        assert ring.counts[("default", "n")] == 1

@@ -1,0 +1,200 @@
+"""Tracer core: span lifecycle, nesting, disabled-path behaviour."""
+
+import threading
+
+from repro.telemetry import (
+    NULL_SPAN,
+    RingBufferSink,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+def make_tracer():
+    ring = RingBufferSink()
+    return Tracer(sinks=[ring]), ring
+
+
+class TestSpanLifecycle:
+    def test_span_records_timing_and_attrs(self):
+        tracer, ring = make_tracer()
+        with tracer.span("work", category="cache", size=3) as span:
+            span.set(extra=1)
+        (recorded,) = ring.spans
+        assert recorded.name == "work"
+        assert recorded.category == "cache"
+        assert recorded.duration >= 0.0
+        assert recorded.start > 0.0
+        assert recorded.attributes == {"size": 3, "extra": 1}
+        assert recorded.thread_id == threading.get_ident()
+
+    def test_nesting_sets_parent_ids(self):
+        tracer, ring = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Inner closes (dispatches) first.
+        assert [s.name for s in ring.spans] == ["inner", "outer"]
+
+    def test_nesting_spans_separate_tracers(self):
+        # The open-span stack is shared, so a span from one tracer
+        # parents a span from another (service tracer + global tracer).
+        tracer_a, ring_a = make_tracer()
+        tracer_b, ring_b = make_tracer()
+        with tracer_a.span("service-side") as outer:
+            with tracer_b.span("pipeline-side") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert [s.name for s in ring_a.spans] == ["service-side"]
+        assert [s.name for s in ring_b.spans] == ["pipeline-side"]
+
+    def test_span_ids_unique_across_tracers(self):
+        tracer_a, _ = make_tracer()
+        tracer_b, _ = make_tracer()
+        with tracer_a.span("a") as span_a:
+            pass
+        with tracer_b.span("b") as span_b:
+            pass
+        assert span_a.span_id != span_b.span_id
+
+    def test_exception_recorded_and_stack_unwound(self):
+        tracer, ring = make_tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (span,) = ring.spans
+        assert span.attributes["error"] == "ValueError"
+        # Stack unwound: the next span is a root again.
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_record_span_retroactive(self):
+        tracer, ring = make_tracer()
+        tracer.record_span("wait", "parallel", start=10.0, duration=0.5, n=2)
+        (span,) = ring.spans
+        assert span.start == 10.0
+        assert span.duration == 0.5
+        assert span.parent_id is None
+        assert span.attributes == {"n": 2}
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        tracer, ring = make_tracer()
+        with tracer.span("work", category="octree", voxels=7):
+            pass
+        record = json.loads(json.dumps(ring.spans[0].to_dict()))
+        assert record["name"] == "work"
+        assert record["cat"] == "octree"
+        assert record["attrs"] == {"voxels": 7}
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_null(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is NULL_SPAN
+        assert tracer.span("b", category="cache", big=1) is NULL_SPAN
+
+    def test_null_span_supports_full_api(self):
+        with NULL_SPAN as span:
+            assert span.set(anything=1) is NULL_SPAN
+            assert span.duration == 0.0
+
+    def test_disabled_count_and_record_are_noops(self):
+        ring = RingBufferSink()
+        tracer = Tracer(enabled=False, sinks=[ring])
+        tracer.count("n", 5)
+        tracer.record_span("x", "c", start=0.0, duration=1.0)
+        assert len(ring) == 0
+        assert ring.counts == {}
+
+    def test_zero_count_not_dispatched(self):
+        tracer, ring = make_tracer()
+        tracer.count("n", 0)
+        assert ring.counts == {}
+
+
+class TestCountsAndDecorator:
+    def test_counts_aggregate_by_category_and_name(self):
+        tracer, ring = make_tracer()
+        tracer.count("cache.hits", 3, category="cache")
+        tracer.count("cache.hits", 2, category="cache")
+        tracer.count("cache.hits", 2, category="other")
+        assert ring.counts[("cache", "cache.hits")] == 5
+        assert ring.counts[("other", "cache.hits")] == 2
+
+    def test_trace_decorator_wraps_calls(self):
+        tracer, ring = make_tracer()
+
+        @tracer.trace("fn", category="pipeline")
+        def double(x):
+            return 2 * x
+
+        assert double(4) == 8
+        assert double.__name__ == "double"
+        (span,) = ring.spans
+        assert span.name == "fn"
+        assert span.category == "pipeline"
+
+
+class TestGlobalTracer:
+    def test_global_starts_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_tracing_context_enables_in_place_and_restores(self):
+        ring = RingBufferSink()
+        held = get_tracer()  # captured before, like a pipeline would
+        with tracing(ring):
+            assert held.enabled
+            with held.span("inside"):
+                pass
+        assert not held.enabled
+        assert held.sinks == []
+        assert [s.name for s in ring.spans] == ["inside"]
+        # After exit: back to no-op.
+        with held.span("outside"):
+            pass
+        assert len(ring) == 1
+
+    def test_set_tracer_swaps_and_returns_previous(self):
+        replacement = Tracer(enabled=False)
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_keep_per_thread_parents(self):
+        tracer, ring = make_tracer()
+        errors = []
+
+        def work(tag):
+            try:
+                for _ in range(200):
+                    with tracer.span(f"outer-{tag}") as outer:
+                        with tracer.span(f"inner-{tag}") as inner:
+                            assert inner.parent_id == outer.span_id
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(ring) == 4 * 200 * 2
+        ids = [s.span_id for s in ring.spans]
+        assert len(set(ids)) == len(ids)

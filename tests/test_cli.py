@@ -37,6 +37,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-bench", "--backpressure", "nope"])
 
+    def test_trace_bench_defaults(self):
+        args = build_parser().parse_args(["trace-bench"])
+        assert args.batches == 6
+        assert args.shards == 2
+        assert args.trace_out is None
+        assert args.chrome_trace is None
+
+    def test_trace_bench_output_paths(self):
+        args = build_parser().parse_args(
+            ["trace-bench", "--trace-out", "p.json", "--chrome-trace", "t.json"]
+        )
+        assert args.trace_out == "p.json"
+        assert args.chrome_trace == "t.json"
+
 
 class TestCommands:
     def test_stats_runs(self, capsys):
@@ -134,3 +148,34 @@ class TestCommands:
         stats = json.loads(capsys.readouterr().out)
         assert "metrics" in stats
         assert len(stats["shards"]) == 2
+
+    def test_trace_bench_runs_and_exports(self, capsys, tmp_path):
+        profile_path = tmp_path / "profile.json"
+        trace_path = tmp_path / "out.trace.json"
+        code = main(
+            [
+                "trace-bench",
+                "--batches",
+                "2",
+                "--ray-scale",
+                "0.3",
+                "--depth",
+                "9",
+                "--trace-out",
+                str(profile_path),
+                "--chrome-trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "categories traced" in out
+        assert "simcache" in out
+        assert "cache_insertion" in out
+        assert "MISMATCH" not in out
+        import json
+
+        profile = json.loads(profile_path.read_text())
+        assert profile["coverage"] >= 0.95
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
