@@ -8,6 +8,7 @@ Subcommands mirror the main experiment families, plus the service layer::
     python -m repro stats       --dataset new_college --resolution 0.2
     python -m repro serve-bench --shards 4 --clients 8
     python -m repro trace-bench --chrome-trace out.trace.json
+    python -m repro chaos-bench --crash-shard 0 --report-out chaos.json
 
 Each prints the same style of table the benchmark harness writes to
 ``benchmarks/results/``.
@@ -158,6 +159,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="OUT.TRACE.JSON",
         help="write a chrome://tracing / Perfetto trace_event file",
+    )
+
+    chaos = sub.add_parser(
+        "chaos-bench",
+        help="crash a shard worker mid-workload and verify exact recovery",
+    )
+    chaos.add_argument(
+        "--dataset",
+        default="fr079_corridor",
+        choices=("fr079_corridor", "freiburg_campus", "new_college"),
+    )
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument("--resolution", type=float, default=0.3)
+    chaos.add_argument("--depth", type=int, default=10)
+    chaos.add_argument("--batches", type=int, default=12)
+    chaos.add_argument(
+        "--crash-shard", type=int, default=0,
+        help="shard whose worker the fault plan kills",
+    )
+    chaos.add_argument(
+        "--crash-after", type=int, default=2,
+        help="applies on that shard before the crash fires",
+    )
+    chaos.add_argument("--snapshot-interval", type=int, default=3)
+    chaos.add_argument("--queue-capacity", type=int, default=8)
+    chaos.add_argument("--coalesce", type=int, default=2)
+    chaos.add_argument("--ray-scale", type=float, default=0.5)
+    chaos.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="extra injection, e.g. site=shard.apply,mode=error,shard=1 "
+        "(repeatable)",
+    )
+    chaos.add_argument(
+        "--report-out",
+        default=None,
+        metavar="REPORT.JSON",
+        help="write the chaos report as JSON (the CI artifact)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the report dict as JSON"
     )
 
     return parser
@@ -401,6 +445,70 @@ def _cmd_trace_bench(args: argparse.Namespace) -> int:
     return 0 if report.consistent else 1
 
 
+def _cmd_chaos_bench(args: argparse.Namespace) -> int:
+    from repro.resilience.chaosbench import parse_fault_spec, run_chaos_bench
+
+    report = run_chaos_bench(
+        dataset_name=args.dataset,
+        shards=args.shards,
+        resolution=args.resolution,
+        depth=args.depth,
+        max_batches=args.batches,
+        crash_shard=args.crash_shard,
+        crash_after=args.crash_after,
+        snapshot_interval=args.snapshot_interval,
+        queue_capacity=args.queue_capacity,
+        coalesce=args.coalesce,
+        ray_scale=args.ray_scale,
+        extra_specs=[parse_fault_spec(spec) for spec in args.fault],
+    )
+    if args.report_out:
+        import json
+
+        with open(args.report_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.recovered_exactly else 1
+    print(
+        f"chaos-bench: {report.dataset} through {report.shards} shard(s), "
+        f"crash on shard {args.crash_shard}"
+    )
+    fired = ", ".join(
+        f"{site}×{count}" for site, count in sorted(report.faults_fired.items())
+    ) or "none"
+    agreement = report.agreement
+    rows = [
+        ["scans submitted", report.scans],
+        ["observations", report.observations],
+        ["rejected observations", report.rejected_observations],
+        ["faults fired", fired],
+        ["recoveries", report.recoveries],
+        ["worker restarts", report.worker_restarts],
+        ["apply retries", report.retries],
+        ["checkpoints written", report.snapshots],
+        ["dead shards", report.dead_shards],
+        [
+            "snapshot agreement",
+            f"{agreement.decision_agreement:.3f} "
+            f"({agreement.missing} missing of {agreement.compared})",
+        ],
+        [
+            "recovered exactly",
+            "YES" if report.recovered_exactly else "NO",
+        ],
+        ["wall-clock", f"{report.elapsed_seconds:.3f}s"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    print()
+    print(report.report_text)
+    if args.report_out:
+        print(f"\nchaos report written to {args.report_out}")
+    return 0 if report.recovered_exactly else 1
+
+
 _COMMANDS = {
     "construct": _cmd_construct,
     "mission": _cmd_mission,
@@ -409,6 +517,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
     "trace-bench": _cmd_trace_bench,
+    "chaos-bench": _cmd_chaos_bench,
 }
 
 

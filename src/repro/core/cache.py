@@ -18,12 +18,13 @@ the paper proves optimal for the octree.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.config import CacheConfig
-from repro.core.morton import morton_encode3
-from repro.octree.key import VoxelKey
+from repro.core.morton import MAX_COORD_BITS, morton_encode3
+from repro.octree.key import VoxelKey, validate_key
 from repro.octree.occupancy import OccupancyParams
 from repro.octree.tree import OccupancyOctree
 
@@ -90,6 +91,12 @@ class VoxelCache:
             [] for _ in range(config.num_buckets)
         ]
         self._resident = 0
+        # Keys are validated at the insert/query boundary against the
+        # backend map's bounds (or the encoder's limit for a standalone
+        # cache) so out-of-range keys fail with the key and bounds named
+        # rather than a bare encoder error from ``bucket_index``.
+        self._key_depth = backend.depth if backend is not None else MAX_COORD_BITS
+        self._key_limit = 1 << self._key_depth
 
     # ------------------------------------------------------------------
     # Indexing.
@@ -115,6 +122,9 @@ class VoxelCache:
         exceed τ until the next eviction).  Returns the voxel's new
         accumulated log-odds value.
         """
+        limit = self._key_limit
+        if not (0 <= key[0] < limit and 0 <= key[1] < limit and 0 <= key[2] < limit):
+            validate_key(key, self._key_depth)
         bucket = self._buckets[self.bucket_index(key)]
         for position, (cell_key, value) in enumerate(bucket):
             if cell_key == key:
@@ -150,6 +160,9 @@ class VoxelCache:
         Returns ``None`` on a cache miss *without* consulting the backend
         (use :meth:`query` for the consistent two-level read).
         """
+        limit = self._key_limit
+        if not (0 <= key[0] < limit and 0 <= key[1] < limit and 0 <= key[2] < limit):
+            validate_key(key, self._key_depth)
         bucket = self._buckets[self.bucket_index(key)]
         for cell_key, value in bucket:
             if cell_key == key:
@@ -315,13 +328,22 @@ class VoxelCache:
         return histogram
 
     def occupancy_quantiles(self) -> Tuple[float, float, float]:
-        """(median, p90, max) of nonzero bucket occupancies (0s excluded)."""
+        """(median, p90, max) of nonzero bucket occupancies (0s excluded).
+
+        Both quantiles use the nearest-rank definition: the p-th quantile
+        of ``n`` sorted values is the value at 1-based rank ``ceil(p*n)``
+        — so the p90 of 10 values is the 9th, not the maximum, and the
+        median of an even-length list is the lower middle.
+        """
         sizes = sorted(len(b) for b in self._buckets if b)
         if not sizes:
             return (0.0, 0.0, 0.0)
-        median = float(sizes[len(sizes) // 2])
-        p90 = float(sizes[min(len(sizes) - 1, (len(sizes) * 9) // 10)])
-        return (median, p90, float(sizes[-1]))
+
+        def nearest_rank(fraction: float) -> float:
+            rank = math.ceil(fraction * len(sizes))
+            return float(sizes[max(rank, 1) - 1])
+
+        return (nearest_rank(0.5), nearest_rank(0.9), float(sizes[-1]))
 
     def __contains__(self, key: VoxelKey) -> bool:
         return self.lookup(key) is not None

@@ -39,14 +39,34 @@ __all__ = ["ParallelOctoCacheMap"]
 _STOP = object()
 
 
+#: Default bound on the shared eviction buffer (chunks).  Large enough
+#: that a healthy worker never stalls thread 1, small enough that a
+#: stalled worker exerts backpressure instead of growing memory forever.
+DEFAULT_BUFFER_CAPACITY = 256
+
+
 class ParallelOctoCacheMap(OctoCacheMap):
-    """Two-threaded OctoCache (Figure 14 workflow)."""
+    """Two-threaded OctoCache (Figure 14 workflow).
+
+    Args:
+        buffer_capacity: bound on the shared eviction buffer, in evicted
+            chunks.  ``put`` blocks when the buffer is full (backpressure
+            on thread 1), so a stalled octree updater can delay eviction
+            but never grow memory without limit.  Must be >= 1.
+    """
 
     name = "OctoCache (parallel)"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(
+        self, *args, buffer_capacity: int = DEFAULT_BUFFER_CAPACITY, **kwargs
+    ) -> None:
         super().__init__(*args, **kwargs)
-        self._buffer: "queue.Queue" = queue.Queue()
+        if buffer_capacity < 1:
+            raise ValueError(
+                f"buffer_capacity must be >= 1, got {buffer_capacity}"
+            )
+        self.buffer_capacity = buffer_capacity
+        self._buffer: "queue.Queue" = queue.Queue(maxsize=buffer_capacity)
         self._octree_lock = threading.Lock()
         self._pending_cv = threading.Condition()
         self._pending = 0

@@ -29,10 +29,28 @@ __all__ = [
     "key_to_morton",
     "keys_to_morton",
     "child_index",
+    "validate_key",
 ]
 
 #: A discrete voxel address: three unsigned ints, one per axis.
 VoxelKey = Tuple[int, int, int]
+
+
+def validate_key(key: VoxelKey, depth: int) -> None:
+    """Reject keys outside a ``depth``-deep map with a clear error.
+
+    Map entry points (insert/query) call this so a negative or too-large
+    component fails with the offending key and the map bounds named,
+    instead of a bare encoder error from deep inside
+    :func:`repro.core.morton.morton_encode3`.
+    """
+    limit = 1 << depth
+    if 0 <= key[0] < limit and 0 <= key[1] < limit and 0 <= key[2] < limit:
+        return
+    raise ValueError(
+        f"voxel key {tuple(key)} is outside the map bounds: components "
+        f"must be in [0, {limit}) for an octree of depth {depth}"
+    )
 
 
 def coord_to_key(

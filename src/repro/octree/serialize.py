@@ -5,11 +5,18 @@ header with resolution/depth/occupancy parameters, then a pre-order stream
 where each node contributes its float value and an 8-bit child mask.
 Round-tripping preserves the exact tree topology (including pruning state)
 and all log-odds values.
+
+Version 2 (current) appends a CRC-32 of everything before it, so a blob
+corrupted in flight — the crash-recovery checkpoints in
+:mod:`repro.resilience.recovery` ride on this format — fails loudly at
+load time instead of silently reconstructing a wrong map.  Version 1
+blobs (no checksum) still load.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.octree.node import OctreeNode
 from repro.octree.occupancy import OccupancyParams
@@ -18,15 +25,16 @@ from repro.octree.tree import OccupancyOctree
 __all__ = ["tree_to_bytes", "tree_from_bytes", "save_tree", "load_tree"]
 
 _MAGIC = b"ROCT"
-_VERSION = 1
+_VERSION = 2
 _HEADER = struct.Struct("<4sBdB5d")
 # Doubles rather than OctoMap's float32: Python trees hold float64
 # log-odds, and the round trip must be lossless.
 _NODE = struct.Struct("<dB")
+_CRC = struct.Struct("<I")
 
 
 def tree_to_bytes(tree: OccupancyOctree) -> bytes:
-    """Serialise ``tree`` to a compact binary blob."""
+    """Serialise ``tree`` to a compact binary blob (CRC-32 protected)."""
     params = tree.params
     chunks = [
         _HEADER.pack(
@@ -45,7 +53,8 @@ def tree_to_bytes(tree: OccupancyOctree) -> bytes:
     chunks.append(struct.pack("<B", 1 if root is not None else 0))
     if root is not None:
         _write_node(root, chunks)
-    return b"".join(chunks)
+    payload = b"".join(chunks)
+    return payload + _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF)
 
 
 def _write_node(node: OctreeNode, chunks: list) -> None:
@@ -79,7 +88,18 @@ def tree_from_bytes(data: bytes) -> OccupancyOctree:
     ) = _HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
         raise ValueError(f"bad magic {magic!r}; not an octree blob")
-    if version != _VERSION:
+    if version == _VERSION:
+        if len(data) < _HEADER.size + 1 + _CRC.size:
+            raise ValueError("truncated octree blob")
+        (stored_crc,) = _CRC.unpack_from(data, len(data) - _CRC.size)
+        data = data[: -_CRC.size]
+        actual_crc = zlib.crc32(data) & 0xFFFFFFFF
+        if stored_crc != actual_crc:
+            raise ValueError(
+                f"corrupt octree blob: CRC-32 mismatch "
+                f"(stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            )
+    elif version != 1:
         raise ValueError(f"unsupported octree blob version {version}")
     params = OccupancyParams(
         threshold=threshold,

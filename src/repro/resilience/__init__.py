@@ -1,0 +1,49 @@
+"""Resilience layer: fault injection, deadlines/retries, crash recovery.
+
+The occupancy-map service (:mod:`repro.service.server`) stays useful on a
+robot only if it survives the failures robots actually hit — a wedged
+shard worker, a transient apply error, a producer that cannot wait
+forever.  This package supplies the three pieces the service composes:
+
+- :mod:`repro.resilience.faults` — deterministic fault injection at
+  named sites (``shard.apply``, ``queue.enqueue``, ``octree.update``,
+  ``snapshot.write``), so every failure path has a repeatable test.
+- :mod:`repro.resilience.policy` — per-request :class:`Deadline` and
+  jittered-exponential :class:`RetryPolicy`.
+- :mod:`repro.resilience.recovery` — per-shard snapshot + journal
+  (:class:`CheckpointStore`) and exact rebuild (:func:`restore_pipeline`),
+  plus the :class:`ShardHealth` lifecycle the service reports.
+- :mod:`repro.resilience.chaosbench` — the ``python -m repro chaos-bench``
+  driver: a workload with injected faults, verified against a fault-free
+  serial build.
+"""
+
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+)
+from repro.resilience.policy import Deadline, DeadlineExceeded, RetryPolicy
+from repro.resilience.recovery import (
+    CheckpointStore,
+    ShardCheckpoint,
+    ShardHealth,
+    restore_pipeline,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "CheckpointStore",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "RetryPolicy",
+    "ShardCheckpoint",
+    "ShardHealth",
+    "restore_pipeline",
+]

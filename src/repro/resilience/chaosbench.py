@@ -1,0 +1,226 @@
+"""``python -m repro chaos-bench``: crash a shard, prove exact recovery.
+
+The driver feeds a dataset's scans through an
+:class:`~repro.service.server.OccupancyMapService` wired to a
+:class:`~repro.resilience.FaultPlan` that kills one shard worker
+mid-workload (plus any extra injections the caller adds).  After the
+workload drains it exports the service's global snapshot and compares it
+— occupancy decision by occupancy decision — against a map built
+serially, fault-free, from the same scans.  ``recovered_exactly`` means
+the crashed-and-recovered service converged on the *identical* map: no
+lost batches, no duplicated updates, no stale shard state.
+
+Scans are submitted from a single producer so per-voxel observation
+order matches the serial build — the precondition for exact agreement
+(concurrent producers interleave scans, which changes intermediate
+values without changing correctness).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.octocache import OctoCacheMap
+from repro.datasets.generator import make_dataset
+from repro.octree.merge import AgreementReport, map_agreement
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.service.server import OccupancyMapService, ServiceConfig
+
+__all__ = ["ChaosReport", "parse_fault_spec", "run_chaos_bench"]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run.
+
+    Attributes:
+        dataset: dataset driven through the service.
+        shards: service shard count.
+        scans / observations: workload volume submitted.
+        rejected_observations: observations dropped (reject policy,
+            dead shards, or injected enqueue drops).
+        faults_fired: injections that fired, keyed by site.
+        recoveries / worker_restarts / retries / snapshots: resilience
+            machinery activity, from the service's counters.
+        dead_shards: shards that exhausted their recovery budget.
+        agreement: snapshot vs fault-free serial build.
+        elapsed_seconds: wall-clock for the loaded phase.
+        stats: the service's final ``stats_dict()``.
+        report_text: the service's final ``stats_report()``.
+    """
+
+    dataset: str
+    shards: int
+    scans: int = 0
+    observations: int = 0
+    rejected_observations: int = 0
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    recoveries: int = 0
+    worker_restarts: int = 0
+    retries: int = 0
+    snapshots: int = 0
+    dead_shards: int = 0
+    agreement: Optional[AgreementReport] = None
+    elapsed_seconds: float = 0.0
+    stats: Dict[str, object] = field(default_factory=dict)
+    report_text: str = ""
+
+    @property
+    def recovered_exactly(self) -> bool:
+        """True when the post-chaos map equals the fault-free build."""
+        return (
+            self.agreement is not None
+            and self.agreement.decision_agreement == 1.0
+            and self.agreement.missing == 0
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able summary (the CI artifact payload)."""
+        agreement = None
+        if self.agreement is not None:
+            agreement = {
+                "compared": self.agreement.compared,
+                "matching": self.agreement.matching,
+                "missing": self.agreement.missing,
+                "decision_agreement": self.agreement.decision_agreement,
+            }
+        return {
+            "dataset": self.dataset,
+            "shards": self.shards,
+            "scans": self.scans,
+            "observations": self.observations,
+            "rejected_observations": self.rejected_observations,
+            "faults_fired": dict(self.faults_fired),
+            "recoveries": self.recoveries,
+            "worker_restarts": self.worker_restarts,
+            "retries": self.retries,
+            "snapshots": self.snapshots,
+            "dead_shards": self.dead_shards,
+            "agreement": agreement,
+            "recovered_exactly": self.recovered_exactly,
+            "elapsed_seconds": self.elapsed_seconds,
+            "stats": self.stats,
+        }
+
+
+def run_chaos_bench(
+    dataset_name: str = "fr079_corridor",
+    shards: int = 4,
+    resolution: float = 0.3,
+    depth: int = 10,
+    max_batches: Optional[int] = 12,
+    crash_shard: int = 0,
+    crash_after: int = 2,
+    snapshot_interval: int = 3,
+    queue_capacity: int = 8,
+    coalesce: int = 2,
+    ray_scale: float = 0.5,
+    extra_specs: Sequence[FaultSpec] = (),
+) -> ChaosReport:
+    """Run the chaos workload and verify recovery exactness.
+
+    By default one :class:`FaultSpec` crashes shard ``crash_shard``'s
+    worker on its ``crash_after``-th apply; ``extra_specs`` layers on
+    additional injections (transient errors, enqueue drops, snapshot
+    failures).  Returns a :class:`ChaosReport`; inspect
+    ``recovered_exactly`` for the verdict.
+    """
+    if not 0 <= crash_shard < shards:
+        raise ValueError(
+            f"crash_shard must be in [0, {shards}), got {crash_shard}"
+        )
+    dataset = make_dataset(dataset_name, pose_scale=1.0, ray_scale=ray_scale)
+    scans = list(dataset.scans())
+    if max_batches is not None:
+        scans = scans[:max_batches]
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                site="shard.apply",
+                mode="crash",
+                shard=crash_shard,
+                after=crash_after,
+            ),
+            *extra_specs,
+        ]
+    )
+    config = ServiceConfig(
+        resolution=resolution,
+        depth=depth,
+        num_shards=shards,
+        queue_capacity=queue_capacity,
+        coalesce=coalesce,
+        max_range=dataset.sensor.max_range,
+        snapshot_interval=snapshot_interval,
+    )
+    report = ChaosReport(dataset=dataset_name, shards=shards)
+    start = time.perf_counter()
+    with OccupancyMapService(config, fault_plan=plan) as service:
+        for cloud in scans:
+            receipt = service.submit(cloud)
+            report.scans += 1
+            report.observations += receipt.observations
+            report.rejected_observations += receipt.rejected
+        service.flush()
+        snapshot = service.snapshot()
+        report.elapsed_seconds = time.perf_counter() - start
+        report.stats = service.stats_dict()
+        report.report_text = service.stats_report()
+        report.dead_shards = sum(
+            1
+            for entry in report.stats["shards"]
+            if entry["health"] == "dead"
+        )
+    counters = report.stats["metrics"]["counters"]
+    report.recoveries = counters.get("shard.recoveries", 0)
+    report.worker_restarts = counters.get("shard.worker_restarts", 0)
+    report.retries = counters.get("shard.retries", 0)
+    report.snapshots = counters.get("shard.snapshots", 0)
+    for entry in plan.fired:
+        site = str(entry["site"])
+        report.faults_fired[site] = report.faults_fired.get(site, 0) + 1
+    serial = OctoCacheMap(
+        resolution=resolution, depth=depth, max_range=dataset.sensor.max_range
+    )
+    for cloud in scans:
+        serial.insert_point_cloud(cloud)
+    serial.finalize()
+    report.agreement = map_agreement(serial.octree, snapshot)
+    return report
+
+
+_SPEC_FIELDS = ("site", "mode", "shard", "after", "times", "delay")
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse ``site=...,mode=...,shard=...`` CLI shorthand into a spec.
+
+    Example: ``site=shard.apply,mode=error,shard=1,after=2,times=3``.
+    """
+    kwargs: Dict[str, object] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise ValueError(
+                f"bad fault spec field {chunk!r}; expected key=value"
+            )
+        key, value = chunk.split("=", 1)
+        key = key.strip()
+        if key not in _SPEC_FIELDS:
+            raise ValueError(
+                f"unknown fault spec field {key!r}; expected one of "
+                f"{_SPEC_FIELDS}"
+            )
+        if key in ("shard", "after", "times"):
+            kwargs[key] = int(value)
+        elif key == "delay":
+            kwargs[key] = float(value)
+        else:
+            kwargs[key] = value.strip()
+    if "site" not in kwargs:
+        raise ValueError(f"fault spec {text!r} is missing site=...")
+    return FaultSpec(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,171 @@
+"""Deterministic fault injection for chaos-testing the map service.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` rules evaluated at
+named *sites* inside the service — points where production deployments
+actually fail.  Each component calls ``plan.check(site, shard=...)`` at
+its site; the plan either does nothing (the overwhelmingly common case),
+sleeps (``delay``), asks the caller to drop the work (``drop``), or
+raises (``error`` for a transient/retryable failure, ``crash`` for a
+fatal shard-worker failure that triggers recovery).
+
+Matching is deterministic — by site, optional shard, and a per-spec
+match counter (``after`` skips, ``times`` fires) — so every failure path
+can be driven exactly, repeatably, from a test or ``chaos-bench`` run.
+
+Sites used by the service (see ``docs/resilience.md``):
+
+- ``shard.apply`` — a shard worker about to apply a dequeued batch.
+- ``queue.enqueue`` — a producer about to enqueue one shard slice.
+- ``octree.update`` — inside :meth:`ShardedMap.apply_to_shard`, just
+  before the cache-insert → evict → octree-update cycle.
+- ``snapshot.write`` — the checkpoint store serialising a shard snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+]
+
+#: The named injection sites the service exposes.
+FAULT_SITES = (
+    "shard.apply",
+    "queue.enqueue",
+    "octree.update",
+    "snapshot.write",
+)
+
+_MODES = ("error", "crash", "delay", "drop")
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected *transient* failure (retryable)."""
+
+
+class InjectedCrash(InjectedFault):
+    """A deliberately injected *fatal* failure: kills the shard worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    Attributes:
+        site: injection site name (one of :data:`FAULT_SITES`).
+        mode: ``"error"`` raises :class:`InjectedFault`, ``"crash"``
+            raises :class:`InjectedCrash`, ``"delay"`` sleeps
+            ``delay`` seconds, ``"drop"`` tells the caller to discard
+            the work item.
+        shard: only match calls for this shard (``None`` = any shard).
+        after: skip this many matching calls before firing.
+        times: fire on this many matching calls after the skip.
+        delay: sleep duration for ``"delay"`` mode.
+        message: carried into the raised exception (``error``/``crash``).
+    """
+
+    site: str
+    mode: str = "error"
+    shard: Optional[int] = None
+    after: int = 0
+    times: int = 1
+    delay: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of {FAULT_SITES}"
+            )
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of {_MODES}"
+            )
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+
+class FaultPlan:
+    """A thread-safe set of fault rules plus a log of what fired.
+
+    The empty plan (``FaultPlan()``) is the production configuration: a
+    ``check`` against it is a handful of instructions and can stay wired
+    in permanently.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self._specs: List[FaultSpec] = list(specs)
+        self._lock = threading.Lock()
+        self._matches: List[int] = [0] * len(self._specs)
+        #: Chronological log of fired injections (dicts with site/mode/
+        #: shard/match-ordinal), for assertions and the chaos report.
+        self.fired: List[Dict[str, object]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(specs={len(self._specs)}, fired={len(self.fired)})"
+
+    @property
+    def specs(self) -> List[FaultSpec]:
+        return list(self._specs)
+
+    def fired_at(self, site: str) -> int:
+        """How many injections have fired at ``site``."""
+        with self._lock:
+            return sum(1 for entry in self.fired if entry["site"] == site)
+
+    def check(self, site: str, shard: Optional[int] = None) -> Optional[str]:
+        """Evaluate the plan at one site.
+
+        Returns ``"drop"`` when the caller should discard the work item,
+        ``None`` otherwise.  Raises :class:`InjectedFault` /
+        :class:`InjectedCrash` for ``error``/``crash`` rules and sleeps
+        for ``delay`` rules.
+        """
+        if not self._specs:
+            return None
+        action: Optional[FaultSpec] = None
+        with self._lock:
+            for index, spec in enumerate(self._specs):
+                if spec.site != site:
+                    continue
+                if spec.shard is not None and spec.shard != shard:
+                    continue
+                self._matches[index] += 1
+                ordinal = self._matches[index]
+                if spec.after < ordinal <= spec.after + spec.times:
+                    self.fired.append(
+                        {
+                            "site": site,
+                            "mode": spec.mode,
+                            "shard": shard,
+                            "ordinal": ordinal,
+                        }
+                    )
+                    action = spec
+                    break
+        if action is None:
+            return None
+        if action.mode == "delay":
+            time.sleep(action.delay)
+            return None
+        if action.mode == "drop":
+            return "drop"
+        message = action.message or (
+            f"injected {action.mode} at {site}"
+            + (f" (shard {shard})" if shard is not None else "")
+        )
+        if action.mode == "crash":
+            raise InjectedCrash(message)
+        raise InjectedFault(message)

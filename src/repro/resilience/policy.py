@@ -1,0 +1,109 @@
+"""Deadlines and retry policies for service requests.
+
+Both are small, dependency-free value types:
+
+- :class:`Deadline` wraps a ``time.monotonic`` expiry.  Producers carry
+  one through ``submit_observations`` so a blocked backpressure wait
+  turns into :class:`DeadlineExceeded` instead of an unbounded stall.
+- :class:`RetryPolicy` computes capped exponential backoff with
+  deterministic jitter (seeded :class:`random.Random`), so transient
+  shard failures are retried identically across chaos-bench runs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+__all__ = ["Deadline", "DeadlineExceeded", "RetryPolicy"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request could not complete within its deadline."""
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    ``Deadline(0.5)`` expires half a second from construction;
+    ``Deadline(None)`` never expires (the production default) and keeps
+    every ``remaining()`` call allocation-free.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        self._expires_at = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+
+    @property
+    def unbounded(self) -> bool:
+        return self._expires_at is None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, clamped at 0; ``None`` when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return (
+            self._expires_at is not None
+            and time.monotonic() >= self._expires_at
+        )
+
+    def raise_if_expired(self, what: str) -> None:
+        if self.expired():
+            raise DeadlineExceeded(f"deadline exceeded while {what}")
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic full jitter.
+
+    Attempt ``i`` (0-based) sleeps ``uniform(0, min(cap, base * 2**i))``
+    seconds before retrying — the standard "full jitter" schedule, which
+    decorrelates retry storms across producers while the seeded RNG keeps
+    a single run reproducible.
+
+    Args:
+        max_attempts: total tries including the first (>= 1).
+        base_delay: backoff scale for the first retry.
+        max_delay: cap on any single sleep.
+        seed: RNG seed; fixed default so tests and chaos-bench runs are
+            repeatable. Pass ``None`` for nondeterministic jitter.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.005,
+        max_delay: float = 0.25,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._rng = random.Random(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep duration before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
+
+    def sleep(self, attempt: int, deadline: Optional[Deadline] = None) -> None:
+        """Back off, truncated to the deadline's remaining budget."""
+        duration = self.backoff(attempt)
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                duration = min(duration, remaining)
+        if duration > 0:
+            time.sleep(duration)

@@ -11,9 +11,11 @@ package generalises that schedule to *N* spatial shards so many producers
   snapshot export.
 - :mod:`repro.service.server` — ``OccupancyMapService``: bounded ingest
   queues, batch coalescing, explicit backpressure, shard worker threads,
-  and a concurrent query API.
-- :mod:`repro.service.metrics` — counters, gauges, and latency histograms
-  with text/JSON reporting.
+  a concurrent query API, and crash resilience (journaled batches,
+  periodic checkpoints, retries, deadlines, shard health — built on
+  :mod:`repro.resilience`).
+- :mod:`repro.service.metrics` — counters, gauges, state gauges, and
+  latency histograms with text/JSON reporting.
 - :mod:`repro.service.workload` — synthetic multi-client load driver used
   by ``python -m repro serve-bench``.
 """
@@ -23,11 +25,13 @@ from repro.service.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    StateGauge,
 )
 from repro.service.server import (
     BackpressureError,
     IngestReceipt,
     OccupancyMapService,
+    QueryResult,
     ServiceConfig,
 )
 from repro.service.sharded_map import ShardedMap
@@ -43,8 +47,10 @@ __all__ = [
     "LoadReport",
     "MetricsRegistry",
     "OccupancyMapService",
+    "QueryResult",
     "ServiceConfig",
     "ShardRouter",
     "ShardedMap",
+    "StateGauge",
     "run_serve_bench",
 ]

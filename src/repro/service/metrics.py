@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.report import format_table
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "StateGauge"]
 
 
 class Counter:
@@ -69,6 +69,37 @@ class Gauge:
     def max(self) -> float:
         with self._lock:
             return self._max
+
+
+class StateGauge:
+    """A named discrete state with a transition count.
+
+    Models lifecycle metrics (shard health: ``healthy`` → ``recovering``
+    → ``healthy``/``dead``): the current label answers "what is it now",
+    the transition count answers "how often has it flapped" — the
+    quantity an operator alerts on.
+    """
+
+    def __init__(self, initial: str = "unknown") -> None:
+        self._lock = threading.Lock()
+        self._state = initial
+        self._transitions = 0
+
+    def set(self, state: str) -> None:
+        with self._lock:
+            if state != self._state:
+                self._state = state
+                self._transitions += 1
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def transitions(self) -> int:
+        with self._lock:
+            return self._transitions
 
 
 class Histogram:
@@ -196,6 +227,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._states: Dict[str, StateGauge] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -209,6 +241,10 @@ class MetricsRegistry:
         with self._lock:
             return self._histograms.setdefault(name, Histogram(max_samples))
 
+    def state(self, name: str, initial: str = "unknown") -> StateGauge:
+        with self._lock:
+            return self._states.setdefault(name, StateGauge(initial))
+
     # ------------------------------------------------------------------
     # Reporting.
     # ------------------------------------------------------------------
@@ -219,7 +255,8 @@ class MetricsRegistry:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        return {
+            states = dict(self._states)
+        result: Dict[str, object] = {
             "counters": {name: c.value for name, c in sorted(counters.items())},
             "gauges": {
                 name: {"value": g.value, "max": g.max}
@@ -229,6 +266,12 @@ class MetricsRegistry:
                 name: h.summary() for name, h in sorted(histograms.items())
             },
         }
+        if states:
+            result["states"] = {
+                name: {"state": s.state, "transitions": s.transitions}
+                for name, s in sorted(states.items())
+            }
+        return result
 
     def render(self, latency_scale: float = 1e3, latency_unit: str = "ms") -> str:
         """Text report: counters, gauges, then histogram percentiles.
@@ -249,6 +292,13 @@ class MetricsRegistry:
                 for name, entry in gauges.items()
             ]
             blocks.append(format_table(["gauge", "value", "max"], rows))
+        states = snapshot.get("states")
+        if states:
+            rows = [
+                [name, entry["state"], entry["transitions"]]
+                for name, entry in states.items()
+            ]
+            blocks.append(format_table(["state", "current", "transitions"], rows))
         histograms = snapshot["histograms"]
         if histograms:
             rows = []

@@ -3,19 +3,37 @@
 The ingestion path generalises the paper's two-thread schedule (§4.4) to
 N shards: a producer's scan is traced once (the latency-critical stage),
 partitioned by Morton prefix, and each slice is pushed onto its shard's
-*bounded* queue; one worker thread per shard drains its queue, coalescing
-adjacent sub-batches into a single cache-insert → evict → octree-update
-cycle.  Queries never traverse the queues — they go straight to the shard
-(cache first, octree under the shard lock), so a queue backlog delays
-*map freshness*, never *query latency*.
+capacity-bounded queue; one worker thread per shard drains its queue,
+coalescing adjacent sub-batches into a single cache-insert → evict →
+octree-update cycle.  Queries never traverse the queues — they go
+straight to the shard (cache first, octree under the shard lock), so a
+queue backlog delays *map freshness*, never *query latency*.
 
-Backpressure is explicit because the queues are bounded:
+Backpressure is explicit because queue capacity is reserved up front
+(a per-shard semaphore guards a slot per queued sub-batch):
 
-- ``"block"`` (default): ``submit`` waits for queue space — producers are
-  throttled to the map's sustainable ingest rate.
+- ``"block"`` (default): ``submit`` waits for queue space — producers
+  are throttled to the map's sustainable ingest rate.  A per-request
+  :class:`~repro.resilience.Deadline` turns an unbounded wait into
+  :class:`~repro.resilience.DeadlineExceeded`.
 - ``"reject"``: ``submit`` drops the slice, counts it, and reports it in
   the receipt — producers that must not stall (a planner's control loop)
   trade completeness for latency.
+
+``must_accept`` submissions are **all-or-nothing**: a slot is reserved
+on *every* target shard before *any* slice is enqueued, so a rejected
+must-accept submission leaves the map byte-identical — no partially
+ingested scans.
+
+The service is crash-resilient (see ``docs/resilience.md``): every
+accepted batch is journaled before it is applied, shards are
+checkpointed periodically (snapshot + journal position), transient apply
+failures are retried with jittered backoff, and a crashed shard worker
+is replaced by a fresh thread that rebuilds the shard *exactly* from its
+last checkpoint plus journal replay.  While a shard rebuilds, the old
+map keeps answering queries — stale but self-consistent reads, flagged
+through :meth:`query_detailed`.  Shard health (``healthy`` /
+``recovering`` / ``dead``) is surfaced through the metrics registry.
 
 Every stage reports through one structured-telemetry path: the service
 owns an always-on :class:`~repro.telemetry.Tracer` whose
@@ -34,13 +52,20 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CacheConfig
 from repro.octree.key import VoxelKey
 from repro.octree.occupancy import OccupancyParams
 from repro.octree.rayquery import RayHit
 from repro.octree.tree import OccupancyOctree
+from repro.resilience.faults import FaultPlan, InjectedCrash
+from repro.resilience.policy import Deadline, DeadlineExceeded, RetryPolicy
+from repro.resilience.recovery import (
+    CheckpointStore,
+    ShardHealth,
+    restore_pipeline,
+)
 from repro.sensor.pointcloud import PointCloud
 from repro.sensor.scaninsert import trace_scan, trace_scan_rt
 from repro.service.metrics import MetricsRegistry
@@ -51,6 +76,7 @@ __all__ = [
     "BackpressureError",
     "IngestReceipt",
     "OccupancyMapService",
+    "QueryResult",
     "ServiceConfig",
 ]
 
@@ -63,8 +89,9 @@ _STOP = object()
 class BackpressureError(RuntimeError):
     """Raised when a submission that must succeed was rejected.
 
-    Only ``submit(..., must_accept=True)`` under the ``reject`` policy
-    raises this; the default contract reports drops in the receipt.
+    Only ``submit(..., must_accept=True)`` raises this, and it is
+    all-or-nothing: when it raises, *no* slice of the submission was
+    enqueued and the map is untouched.
     """
 
 
@@ -76,13 +103,29 @@ class ServiceConfig:
         resolution: finest voxel edge length (metres).
         depth: octree depth.
         num_shards: spatial shard count (worker thread per shard).
-        queue_capacity: bound on each shard's ingest queue (sub-batches).
+        queue_capacity: bound on each shard's ingest queue (sub-batches);
+            enforced by per-shard slot reservation at submit time.
         backpressure: ``"block"`` or ``"reject"`` (see module docstring).
         coalesce: max queued sub-batches merged into one apply cycle;
             1 disables coalescing.
         max_range: sensor range clamp during ray tracing.
         rt: duplicate-free (OctoMap-RT) ray tracing.
         cache_config: per-shard cache shape (defaults per shard).
+        default_deadline: default per-request deadline (seconds) applied
+            to every submission that doesn't carry its own; ``None``
+            (default) waits indefinitely under ``block`` backpressure.
+        retry_attempts: total apply attempts per batch (1 = no retry).
+        retry_base_delay / retry_max_delay: jittered exponential backoff
+            shape between apply attempts.
+        retry_seed: RNG seed for backoff jitter (per-shard offset is
+            added); ``None`` for nondeterministic jitter.
+        snapshot_interval: applied batches between shard checkpoints;
+            0 disables checkpointing (recovery then replays the whole
+            journal).
+        max_recoveries: rebuilds a shard may undergo before it is
+            declared ``dead`` and starts discarding its traffic.
+        checkpoint_dir: when set, shard snapshots are also persisted as
+            ``<dir>/shard-<id>.oct`` files.
     """
 
     resolution: float
@@ -94,6 +137,14 @@ class ServiceConfig:
     max_range: float = float("inf")
     rt: bool = False
     cache_config: Optional[CacheConfig] = None
+    default_deadline: Optional[float] = None
+    retry_attempts: int = 3
+    retry_base_delay: float = 0.002
+    retry_max_delay: float = 0.1
+    retry_seed: Optional[int] = 0
+    snapshot_interval: int = 16
+    max_recoveries: int = 3
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.resolution <= 0:
@@ -111,6 +162,24 @@ class ServiceConfig:
             )
         if self.coalesce < 1:
             raise ValueError(f"coalesce must be >= 1, got {self.coalesce}")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be positive, got {self.default_deadline}"
+            )
+        if self.retry_attempts < 1:
+            raise ValueError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}"
+            )
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.snapshot_interval < 0:
+            raise ValueError(
+                f"snapshot_interval must be >= 0, got {self.snapshot_interval}"
+            )
+        if self.max_recoveries < 0:
+            raise ValueError(
+                f"max_recoveries must be >= 0, got {self.max_recoveries}"
+            )
 
 
 @dataclass(frozen=True)
@@ -120,7 +189,8 @@ class IngestReceipt:
     Attributes:
         observations: voxel observations the scan traced to.
         enqueued: observations accepted onto shard queues.
-        rejected: observations dropped by the ``reject`` policy.
+        rejected: observations dropped by the ``reject`` policy (or
+            routed to a dead shard).
         trace_seconds: ray-tracing time (the critical-path stage).
     """
 
@@ -134,8 +204,27 @@ class IngestReceipt:
         return self.rejected == 0
 
 
+@dataclass(frozen=True)
+class QueryResult:
+    """A point query answer plus the serving shard's health.
+
+    ``stale`` is set while the owning shard is recovering (the old map
+    keeps serving self-consistent but possibly out-of-date answers) or
+    dead (the map stopped advancing entirely).
+    """
+
+    value: Optional[float]
+    occupied: Optional[bool]
+    shard: int
+    health: str
+
+    @property
+    def stale(self) -> bool:
+        return self.health != ShardHealth.HEALTHY.value
+
+
 class OccupancyMapService:
-    """A sharded, concurrent occupancy-map server with built-in metrics.
+    """A sharded, concurrent, crash-resilient occupancy-map server.
 
     Typical use::
 
@@ -144,10 +233,18 @@ class OccupancyMapService:
             service.is_occupied((1.0, 0.0, 0.5))       # consumers
             service.flush()                            # barrier
             print(service.stats_report())
+
+    Args:
+        config: service shape and policy.
+        fault_plan: deterministic fault injection for chaos testing
+            (inert empty plan by default — safe in production).
     """
 
-    def __init__(self, config: ServiceConfig) -> None:
+    def __init__(
+        self, config: ServiceConfig, fault_plan: Optional[FaultPlan] = None
+    ) -> None:
         self.config = config
+        self.fault_plan = fault_plan or FaultPlan()
         self.metrics = MetricsRegistry()
         # The service's own always-on tracer: metrics work without global
         # tracing, and the ForwardSink mirrors the same spans/counts into
@@ -163,25 +260,70 @@ class OccupancyMapService:
             cache_config=config.cache_config,
             rt=config.rt,
         )
+        self.map.fault_plan = self.fault_plan
+        self.store = CheckpointStore(
+            config.num_shards,
+            directory=config.checkpoint_dir,
+            fault_plan=self.fault_plan,
+        )
         self._queues: List["queue.Queue"] = [
-            queue.Queue(maxsize=config.queue_capacity)
+            queue.Queue() for _ in range(config.num_shards)
+        ]
+        # One slot per queueable sub-batch; reserved at submit time,
+        # released at dequeue.  Reserving before enqueueing is what makes
+        # must_accept submissions all-or-nothing.
+        self._slots: List[threading.Semaphore] = [
+            threading.Semaphore(config.queue_capacity)
             for _ in range(config.num_shards)
         ]
         self._outstanding_cv = threading.Condition()
         self._outstanding = 0
         self._errors: List[BaseException] = []
         self._closed = False
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                args=(shard_id,),
-                name=f"octocache-shard-{shard_id}",
-                daemon=True,
+        self._health: List[ShardHealth] = [
+            ShardHealth.HEALTHY for _ in range(config.num_shards)
+        ]
+        self._recoveries = [0] * config.num_shards
+        self._applied_since_snapshot = [0] * config.num_shards
+        self._retry: List[RetryPolicy] = [
+            RetryPolicy(
+                max_attempts=config.retry_attempts,
+                base_delay=config.retry_base_delay,
+                max_delay=config.retry_max_delay,
+                seed=(
+                    None
+                    if config.retry_seed is None
+                    else config.retry_seed + shard_id
+                ),
             )
+            for shard_id in range(config.num_shards)
+        ]
+        for shard_id in range(config.num_shards):
+            self.metrics.state(
+                f"shard_health.shard{shard_id}",
+                initial=ShardHealth.HEALTHY.value,
+            )
+        self._workers: List[threading.Thread] = [
+            self._make_worker(shard_id)
             for shard_id in range(config.num_shards)
         ]
         for worker in self._workers:
             worker.start()
+
+    def _make_worker(
+        self,
+        shard_id: int,
+        generation: int = 0,
+        recover_from: Optional[BaseException] = None,
+    ) -> threading.Thread:
+        suffix = f"-r{generation}" if generation else ""
+        return threading.Thread(
+            target=self._worker_main,
+            args=(shard_id,),
+            kwargs={"recover_from": recover_from},
+            name=f"octocache-shard-{shard_id}{suffix}",
+            daemon=True,
+        )
 
     # ------------------------------------------------------------------
     # Ingestion path (producers).
@@ -192,6 +334,7 @@ class OccupancyMapService:
         points,
         origin: Tuple[float, float, float] = (0.0, 0.0, 0.0),
         must_accept: bool = False,
+        deadline: Union[None, float, Deadline] = None,
     ) -> IngestReceipt:
         """Trace one scan and enqueue its per-shard slices.
 
@@ -199,8 +342,11 @@ class OccupancyMapService:
         stage and needs no shard lock); the octree-bound work is deferred
         to the shard workers.  Under ``reject`` backpressure a full shard
         queue drops that shard's slice and the receipt reports it —
-        unless ``must_accept`` is set, which turns a drop into a
-        :class:`BackpressureError` (slices already enqueued still apply).
+        unless ``must_accept`` is set, in which case the submission is
+        all-or-nothing: a :class:`BackpressureError` guarantees nothing
+        was enqueued.  ``deadline`` (seconds, or a
+        :class:`~repro.resilience.Deadline`) bounds how long a blocked
+        submission may wait for queue space.
         """
         self._check_open()
         self._raise_worker_errors()
@@ -224,6 +370,7 @@ class OccupancyMapService:
             batch.observations,
             trace_seconds=trace_seconds,
             must_accept=must_accept,
+            deadline=deadline,
         )
         self.tracer.count("ingest.scans", category="service")
         return receipt
@@ -233,36 +380,89 @@ class OccupancyMapService:
         observations: Sequence[Tuple[VoxelKey, bool]],
         trace_seconds: float = 0.0,
         must_accept: bool = False,
+        deadline: Union[None, float, Deadline] = None,
     ) -> IngestReceipt:
-        """Enqueue pre-traced observations (the post-trace half of submit)."""
+        """Enqueue pre-traced observations (the post-trace half of submit).
+
+        Capacity is reserved on **every** target shard before anything is
+        enqueued.  For ``must_accept`` submissions this makes rejection
+        atomic: if any shard has no room (or the deadline expires, or a
+        slice routes to a dead shard), every reservation is rolled back,
+        nothing is enqueued, and the map state is untouched.
+        """
         self._check_open()
+        if not isinstance(deadline, Deadline):
+            timeout = (
+                deadline if deadline is not None
+                else self.config.default_deadline
+            )
+            deadline = Deadline(timeout)
         enqueued = 0
         rejected = 0
         with self.tracer.span(
             "ingest.enqueue", category="service", observations=len(observations)
         ) as span:
+            targets: List[Tuple[int, List[Tuple[VoxelKey, bool]]]] = []
+            failed: List[Tuple[int, List[Tuple[VoxelKey, bool]]]] = []
             for shard_id, part in enumerate(
                 self.map.router.partition(observations)
             ):
                 if not part:
                     continue
-                if self._enqueue(shard_id, part):
-                    enqueued += len(part)
-                else:
-                    rejected += len(part)
-            span.set(enqueued=enqueued, rejected=rejected)
-        self.tracer.count(
-            "ingest.observations", len(observations), category="service"
-        )
-        if rejected:
-            self.tracer.count(
-                "ingest.rejected_observations", rejected, category="service"
-            )
-            self.tracer.count("ingest.rejected_batches", category="service")
-            if must_accept:
+                if self._health[shard_id] is ShardHealth.DEAD:
+                    failed.append((shard_id, part))
+                    self.tracer.count(
+                        "ingest.dead_shard_observations",
+                        len(part),
+                        category="service",
+                    )
+                    continue
+                targets.append((shard_id, part))
+            # Phase 1: reserve a queue slot on every live target shard.
+            reserved: List[Tuple[int, List[Tuple[VoxelKey, bool]]]] = []
+            try:
+                for shard_id, part in targets:
+                    if (
+                        self.fault_plan.check("queue.enqueue", shard=shard_id)
+                        == "drop"
+                    ):
+                        failed.append((shard_id, part))
+                        continue
+                    if self._reserve_slot(shard_id, deadline):
+                        reserved.append((shard_id, part))
+                    else:
+                        failed.append((shard_id, part))
+                        if must_accept:
+                            break  # all-or-nothing: stop reserving
+            except BaseException as error:
+                for shard_id, _part in reserved:
+                    self._slots[shard_id].release()
+                if isinstance(error, DeadlineExceeded):
+                    self.tracer.count(
+                        "ingest.deadline_exceeded", category="service"
+                    )
+                raise
+            if failed and must_accept:
+                # Roll back: not a single slice reaches a queue.
+                for shard_id, _part in reserved:
+                    self._slots[shard_id].release()
+                rejected = sum(len(part) for _sid, part in failed)
+                rejected += sum(len(part) for _sid, part in reserved)
+                span.set(enqueued=0, rejected=rejected)
+                self._count_rejected(len(observations), rejected)
                 raise BackpressureError(
-                    f"{rejected} observation(s) rejected by full shard queues"
+                    f"{rejected} observation(s) could not be accepted "
+                    f"atomically ({len(failed)} shard slice(s) rejected); "
+                    f"nothing was enqueued"
                 )
+            # Phase 2: enqueue the reserved slices (queues are unbounded;
+            # the reservation *is* the capacity check, so this cannot fail).
+            for shard_id, part in reserved:
+                self._enqueue_reserved(shard_id, part)
+                enqueued += len(part)
+            rejected = sum(len(part) for _sid, part in failed)
+            span.set(enqueued=enqueued, rejected=rejected)
+        self._count_rejected(len(observations), rejected)
         return IngestReceipt(
             observations=len(observations),
             enqueued=enqueued,
@@ -270,33 +470,72 @@ class OccupancyMapService:
             trace_seconds=trace_seconds,
         )
 
-    def _enqueue(
+    def _count_rejected(self, observations: int, rejected: int) -> None:
+        self.tracer.count(
+            "ingest.observations", observations, category="service"
+        )
+        if rejected:
+            self.tracer.count(
+                "ingest.rejected_observations", rejected, category="service"
+            )
+            self.tracer.count("ingest.rejected_batches", category="service")
+
+    def _reserve_slot(self, shard_id: int, deadline: Deadline) -> bool:
+        """Claim one queue slot; False means the slice is rejected."""
+        slot = self._slots[shard_id]
+        if self.config.backpressure == "reject":
+            return slot.acquire(blocking=False)
+        remaining = deadline.remaining()
+        if remaining is None:
+            slot.acquire()
+            return True
+        if not slot.acquire(timeout=remaining):
+            raise DeadlineExceeded(
+                f"deadline exceeded waiting for queue space on shard {shard_id}"
+            )
+        return True
+
+    def _enqueue_reserved(
         self, shard_id: int, part: List[Tuple[VoxelKey, bool]]
-    ) -> bool:
-        shard_queue = self._queues[shard_id]
+    ) -> None:
         with self._outstanding_cv:
             self._outstanding += 1
-        try:
-            # Items carry their enqueue timestamp so the worker can emit
-            # the slice's queue-wait span (map-freshness delay).
-            item = (part, time.perf_counter())
-            if self.config.backpressure == "block":
-                shard_queue.put(item)
-            else:
-                shard_queue.put_nowait(item)
-        except queue.Full:
-            with self._outstanding_cv:
-                self._outstanding -= 1
-                self._outstanding_cv.notify_all()
-            return False
+        # Items carry their enqueue timestamp so the worker can emit the
+        # slice's queue-wait span (map-freshness delay).
+        self._queues[shard_id].put((part, time.perf_counter()))
         self.metrics.gauge(f"queue_depth.shard{shard_id}").set(
-            shard_queue.qsize()
+            self._queues[shard_id].qsize()
         )
-        return True
 
     # ------------------------------------------------------------------
     # Shard workers.
     # ------------------------------------------------------------------
+
+    def _worker_main(
+        self, shard_id: int, recover_from: Optional[BaseException] = None
+    ) -> None:
+        if recover_from is not None:
+            try:
+                self._recover_shard(shard_id, recover_from)
+            except BaseException as error:  # rebuild itself failed
+                with self._outstanding_cv:
+                    self._errors.append(error)
+                    self._outstanding_cv.notify_all()
+                self._set_health(shard_id, ShardHealth.DEAD)
+        try:
+            self._worker_loop(shard_id)
+        except InjectedCrash as error:
+            # The worker thread dies with its shard; a replacement thread
+            # rebuilds the shard from snapshot + journal, then takes over
+            # the queue.
+            self.tracer.count("shard.worker_restarts", category="service")
+            replacement = self._make_worker(
+                shard_id,
+                generation=self._recoveries[shard_id] + 1,
+                recover_from=error,
+            )
+            self._workers[shard_id] = replacement
+            replacement.start()
 
     def _worker_loop(self, shard_id: int) -> None:
         shard_queue = self._queues[shard_id]
@@ -319,6 +558,9 @@ class OccupancyMapService:
                     stop = True
                     break
                 parts.append(extra)
+            # Dequeued sub-batches free their reserved slots immediately:
+            # queue_capacity bounds *queued* work, not in-flight work.
+            self._slots[shard_id].release(len(parts))
             depth_gauge.set(shard_queue.qsize())
             dequeued_at = time.perf_counter()
             for part, enqueued_at in parts:
@@ -336,6 +578,14 @@ class OccupancyMapService:
                 else [obs for part, _ts in parts for obs in part]
             )
             try:
+                if self._health[shard_id] is ShardHealth.DEAD:
+                    self.tracer.count(
+                        "shard.discarded_batches", category="service"
+                    )
+                    continue
+                # Journal before applying: a crash mid-apply rebuilds
+                # from the journal, so accepted work is never lost.
+                self.store.append(shard_id, observations)
                 with self.tracer.span(
                     "shard.apply",
                     category="service",
@@ -343,7 +593,7 @@ class OccupancyMapService:
                     parts=len(parts),
                     observations=len(observations),
                 ):
-                    self.map.apply_to_shard(shard_id, observations)
+                    self._apply_with_retry(shard_id, observations)
                 self.tracer.count("shard.batches_applied", category="service")
                 if len(parts) > 1:
                     self.tracer.count(
@@ -351,16 +601,135 @@ class OccupancyMapService:
                         len(parts) - 1,
                         category="service",
                     )
+                self._applied_since_snapshot[shard_id] += 1
+                interval = self.config.snapshot_interval
+                if interval and self._applied_since_snapshot[shard_id] >= interval:
+                    self._write_checkpoint(shard_id)
+            except InjectedCrash:
+                # Flag the shard *before* outstanding work is released so
+                # flush() keeps waiting until the rebuilt shard is
+                # swapped in; then let the crash kill this worker.
+                self._set_health(shard_id, ShardHealth.RECOVERING)
+                if stop:
+                    # Don't lose the shutdown signal with the thread.
+                    shard_queue.put(_STOP)
+                raise
             except BaseException as error:
                 with self._outstanding_cv:
                     self._errors.append(error)
                     self._outstanding_cv.notify_all()
-                # Keep draining so producers and flush() never hang on
-                # work that will no longer be applied.
+                # Surface the error (flush raises) *and* repair the
+                # shard in place: the failed batch is journaled, so the
+                # rebuild re-applies it instead of silently dropping it.
+                try:
+                    self._recover_shard(shard_id, error)
+                except BaseException as rebuild_error:
+                    with self._outstanding_cv:
+                        self._errors.append(rebuild_error)
+                        self._outstanding_cv.notify_all()
+                    self._set_health(shard_id, ShardHealth.DEAD)
             finally:
                 with self._outstanding_cv:
                     self._outstanding -= len(parts)
                     self._outstanding_cv.notify_all()
+
+    def _apply_with_retry(
+        self, shard_id: int, observations: List[Tuple[VoxelKey, bool]]
+    ) -> None:
+        """Apply one batch, retrying transient failures with backoff.
+
+        :class:`InjectedCrash` is never retried — it models a fatal
+        worker failure and escalates straight to recovery.
+        """
+        policy = self._retry[shard_id]
+        attempt = 0
+        while True:
+            try:
+                if (
+                    self.fault_plan.check("shard.apply", shard=shard_id)
+                    == "drop"
+                ):
+                    self.tracer.count(
+                        "shard.dropped_batches", category="service"
+                    )
+                    return
+                self.map.apply_to_shard(shard_id, observations)
+                return
+            except InjectedCrash:
+                raise
+            except BaseException:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise
+                self.tracer.count("shard.retries", category="service")
+                policy.sleep(attempt - 1)
+
+    def _write_checkpoint(self, shard_id: int) -> None:
+        """Snapshot one shard's authoritative tree at a journal boundary.
+
+        Runs on the shard's worker thread, which is the only appender to
+        the shard's journal — so ``journal_length`` here equals exactly
+        the entries already applied, and the snapshot is a precise prefix
+        of the shard's history.
+        """
+        upto = self.store.journal_length(shard_id)
+        tree = self.map.shard_snapshot_tree(shard_id)
+        try:
+            with self.tracer.span(
+                "shard.snapshot", category="service", shard=shard_id
+            ):
+                self.store.write_snapshot(shard_id, tree, upto)
+        except InjectedCrash:
+            raise
+        except BaseException:
+            # A failed checkpoint is not fatal: the previous snapshot
+            # stays valid and the journal keeps growing, so recovery just
+            # replays a longer tail.
+            self.tracer.count("shard.snapshot_failures", category="service")
+            return
+        self._applied_since_snapshot[shard_id] = 0
+        self.tracer.count("shard.snapshots", category="service")
+
+    def _recover_shard(self, shard_id: int, cause: BaseException) -> None:
+        """Rebuild one shard exactly from snapshot + journal replay.
+
+        The rebuild runs off-lock — the old pipeline keeps serving
+        (stale) queries — and the finished replacement is swapped in
+        atomically under the shard lock.  A shard that exceeds its
+        recovery budget is declared dead instead.
+        """
+        self._set_health(shard_id, ShardHealth.RECOVERING)
+        self._recoveries[shard_id] += 1
+        self.tracer.count("shard.recoveries", category="service")
+        if self._recoveries[shard_id] > self.config.max_recoveries:
+            self.tracer.count("shard.deaths", category="service")
+            self._set_health(shard_id, ShardHealth.DEAD)
+            return
+        with self.tracer.span(
+            "shard.recover", category="service", shard=shard_id
+        ) as span:
+            checkpoint, tail = self.store.recovery_state(shard_id)
+            pipeline = restore_pipeline(
+                self.map.make_shard_pipeline, checkpoint, tail
+            )
+            self.map.replace_shard(shard_id, pipeline)
+            span.set(
+                replayed=len(tail),
+                from_snapshot=checkpoint is not None,
+                cause=type(cause).__name__,
+            )
+        self._applied_since_snapshot[shard_id] = 0
+        self._set_health(shard_id, ShardHealth.HEALTHY)
+
+    def _set_health(self, shard_id: int, health: ShardHealth) -> None:
+        with self._outstanding_cv:
+            self._health[shard_id] = health
+            self._outstanding_cv.notify_all()
+        self.metrics.state(f"shard_health.shard{shard_id}").set(health.value)
+
+    def shard_health(self, shard_id: int) -> ShardHealth:
+        """Current health of one shard."""
+        return self._health[shard_id]
 
     def _raise_worker_errors(self) -> None:
         with self._outstanding_cv:
@@ -380,13 +749,21 @@ class OccupancyMapService:
     # ------------------------------------------------------------------
 
     def flush(self) -> None:
-        """Block until every enqueued sub-batch has been applied.
+        """Block until every enqueued sub-batch has been applied and no
+        shard is mid-recovery.
 
-        Raises if any shard worker failed (the failed work is dropped and
-        counted against ``outstanding`` so this never hangs).
+        Raises if any shard worker failed (the failed work is journaled
+        and re-applied by recovery, so the error report never implies
+        data loss — and the wait never hangs).
         """
         with self._outstanding_cv:
-            while self._outstanding > 0 and not self._errors:
+            while not self._errors and (
+                self._outstanding > 0
+                or any(
+                    health is ShardHealth.RECOVERING
+                    for health in self._health
+                )
+            ):
                 self._outstanding_cv.wait()
         self._raise_worker_errors()
 
@@ -397,8 +774,14 @@ class OccupancyMapService:
         self._closed = True
         for shard_queue in self._queues:
             shard_queue.put(_STOP)
-        for worker in self._workers:
-            worker.join()
+        # A crashing worker hands its queue to a replacement thread, so
+        # join until the roster is stable.
+        while True:
+            current = list(self._workers)
+            for worker in current:
+                worker.join()
+            if list(self._workers) == current:
+                break
         self.map.finalize()
         self._raise_worker_errors()
 
@@ -418,6 +801,29 @@ class OccupancyMapService:
             value = self.map.query(coord)
         self.tracer.count("query.points", category="service")
         return value
+
+    def query_detailed(self, coord: Tuple[float, float, float]) -> QueryResult:
+        """Point query that also reports shard health and staleness."""
+        return self.query_key_detailed(self.map._key_of(coord))
+
+    def query_key_detailed(self, key: VoxelKey) -> QueryResult:
+        """Keyed query with the serving shard's health and staleness."""
+        with self.tracer.span("query.point", category="service"):
+            shard_id = self.map.router.shard_of(key)
+            value = self.map.query_key(key)
+        self.tracer.count("query.points", category="service")
+        health = self._health[shard_id]
+        if health is not ShardHealth.HEALTHY:
+            self.tracer.count("query.stale", category="service")
+        occupied = (
+            None if value is None else self.map.params.is_occupied(value)
+        )
+        return QueryResult(
+            value=value,
+            occupied=occupied,
+            shard=shard_id,
+            health=health.value,
+        )
 
     def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
         """Occupancy decision at a metric coordinate (``None`` = unknown)."""
@@ -471,6 +877,7 @@ class OccupancyMapService:
         hit_ratios = self.map.hit_ratios()
         shards = []
         for shard_id, shard in enumerate(self.map.shards):
+            durability = self.store.stats(shard_id)
             with self.map.shard_lock(shard_id):
                 shards.append(
                     {
@@ -480,6 +887,9 @@ class OccupancyMapService:
                         "octree_nodes": shard.octree.num_nodes,
                         "batches": len(shard.batches),
                         "queue_depth": self._queues[shard_id].qsize(),
+                        "health": self._health[shard_id].value,
+                        "recoveries": self._recoveries[shard_id],
+                        **durability,
                     }
                 )
         return {"metrics": self.metrics.to_dict(), "shards": shards}
@@ -497,11 +907,22 @@ class OccupancyMapService:
                 entry["octree_nodes"],
                 entry["batches"],
                 entry["queue_depth"],
+                entry["health"],
+                entry["recoveries"],
             ]
             for entry in stats["shards"]
         ]
         shard_table = format_table(
-            ["shard", "hit ratio", "resident", "octree nodes", "batches", "queue"],
+            [
+                "shard",
+                "hit ratio",
+                "resident",
+                "octree nodes",
+                "batches",
+                "queue",
+                "health",
+                "recoveries",
+            ],
             shard_rows,
         )
         return self.metrics.render() + "\n\n" + shard_table

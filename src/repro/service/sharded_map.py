@@ -38,6 +38,7 @@ from repro.octree.rayquery import RayHit
 from repro.octree.tree import OccupancyOctree
 from repro.sensor.pointcloud import PointCloud
 from repro.sensor.raycast import compute_ray_keys
+from repro.resilience.faults import FaultPlan
 from repro.sensor.scaninsert import ScanBatch, trace_scan, trace_scan_rt
 from repro.service.sharding import ShardRouter
 from repro.telemetry import get_tracer
@@ -107,15 +108,10 @@ class ShardedMap:
         self.rt = rt
         self.router = ShardRouter(num_shards, depth, prefix_levels)
         self.params = params or OccupancyParams()
+        self._pipeline_cls = pipeline_cls
+        self._cache_config = cache_config
         self.shards: List[OctoCacheMap] = [
-            pipeline_cls(
-                resolution=resolution,
-                depth=depth,
-                params=self.params,
-                max_range=max_range,
-                cache_config=cache_config,
-            )
-            for _ in range(num_shards)
+            self.make_shard_pipeline() for _ in range(num_shards)
         ]
         self._locks: List[threading.RLock] = [
             threading.RLock() for _ in range(num_shards)
@@ -124,6 +120,10 @@ class ShardedMap:
         #: Telemetry tracer for per-shard ingest spans (the global one by
         #: default; shard pipelines carry their own ``tracer`` attribute).
         self.tracer = get_tracer()
+        #: Fault-injection plan evaluated at the ``octree.update`` site
+        #: inside :meth:`apply_to_shard`.  Empty (inert) by default; the
+        #: service installs its own for chaos runs.
+        self.fault_plan = FaultPlan()
 
     @property
     def num_shards(self) -> int:
@@ -132,6 +132,30 @@ class ShardedMap:
     def shard_lock(self, shard_id: int) -> threading.RLock:
         """The lock guarding one shard (exposed for the service layer)."""
         return self._locks[shard_id]
+
+    def make_shard_pipeline(self) -> OctoCacheMap:
+        """A fresh pipeline shaped like the resident shards.
+
+        Crash recovery uses this as the factory for the replacement
+        pipeline a snapshot + journal replay is rebuilt into.
+        """
+        return self._pipeline_cls(
+            resolution=self.resolution,
+            depth=self.depth,
+            params=self.params,
+            max_range=self.max_range,
+            cache_config=self._cache_config,
+        )
+
+    def replace_shard(self, shard_id: int, pipeline: OctoCacheMap) -> None:
+        """Swap in a rebuilt shard pipeline (under the shard lock).
+
+        Until this call the old pipeline keeps serving queries — stale
+        but self-consistent reads — which is why recovery rebuilds
+        off-lock and swaps atomically at the end.
+        """
+        with self._locks[shard_id]:
+            self.shards[shard_id] = pipeline
 
     # ------------------------------------------------------------------
     # Update path.
@@ -185,7 +209,8 @@ class ShardedMap:
         lock, so ingestion workers and queriers serialise per shard while
         different shards proceed in parallel.
         """
-        shard = self.shards[shard_id]
+        if self.fault_plan.check("octree.update", shard=shard_id) == "drop":
+            return 0.0
         batch = ScanBatch(observations=list(observations), num_rays=0)
         with self.tracer.span(
             "shard.ingest",
@@ -194,6 +219,9 @@ class ShardedMap:
             observations=len(batch),
         ):
             with self._locks[shard_id]:
+                # Resolve the pipeline under the lock: recovery may have
+                # swapped in a rebuilt one since the caller routed here.
+                shard = self.shards[shard_id]
                 batch_record: BatchRecord = shard.insert_batch(batch)
         return shard.record_busy_seconds(batch_record)
 
@@ -331,6 +359,23 @@ class ShardedMap:
     # ------------------------------------------------------------------
     # Global snapshot export.
     # ------------------------------------------------------------------
+
+    def shard_snapshot_tree(self, shard_id: int) -> OccupancyOctree:
+        """One shard's authoritative tree: octree + cache overlay.
+
+        This is the per-shard slice of :meth:`snapshot` — the exact
+        accumulated values the shard would answer queries with right
+        now — and the payload crash-recovery checkpoints serialise.
+        """
+        tree = OccupancyOctree(
+            resolution=self.resolution, depth=self.depth, params=self.params
+        )
+        with self._locks[shard_id]:
+            shard = self.shards[shard_id]
+            merge_tree(tree, shard.octree, strategy="overwrite")
+            for key, value in shard.cache.iter_cells():
+                tree.set_leaf(key, value)
+        return tree
 
     def snapshot(self) -> OccupancyOctree:
         """Export one octree holding the whole map's current answers.

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 from repro.core.morton import morton_encode3
-from repro.octree.key import VoxelKey
+from repro.octree.key import VoxelKey, validate_key
 
 __all__ = ["ShardRouter"]
 
@@ -37,6 +37,14 @@ class ShardRouter:
             still spans few enough blocks that shard caches keep their
             locality.  Fewer levels = coarser blocks (more per-shard
             locality, worse balance on concentrated scenes).
+
+    Raises:
+        ValueError: when the tree is too shallow to give the modulo room
+            to balance — even the full key (``prefix_levels = depth``,
+            ``8**depth`` routing cells) yields fewer than
+            ``8 * num_shards`` cells, which would collapse routing onto a
+            fraction of the shards.  Use a deeper tree or fewer shards
+            (at most ``8**depth // 8``).
     """
 
     def __init__(
@@ -49,12 +57,27 @@ class ShardRouter:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
+        if num_shards > 1 and (8 ** depth) < 8 * num_shards:
+            # Even routing on full keys cannot spread the map: with fewer
+            # than 8 cells per shard the modulo leaves some shards nearly
+            # (or completely) empty, silently serialising the service.
+            raise ValueError(
+                f"depth {depth} is too shallow for {num_shards} shards: "
+                f"8**{depth} = {8 ** depth} routing cells < "
+                f"8 * num_shards = {8 * num_shards}; use a deeper tree or "
+                f"at most {max(1, (8 ** depth) // 8)} shard(s)"
+            )
         if prefix_levels is None:
             prefix_levels = 1
             # 8**levels cells must give the modulo room to balance.
             while (8 ** prefix_levels) < 8 * num_shards:
                 prefix_levels += 1
-            prefix_levels = min(depth, max(prefix_levels, (2 * depth + 2) // 3))
+            # Prefer ~2/3 of the depth for locality, but never clamp back
+            # below the balance requirement established above.
+            prefix_levels = max(
+                prefix_levels, min(depth, (2 * depth + 2) // 3)
+            )
+            prefix_levels = min(depth, prefix_levels)
         if not 1 <= prefix_levels <= depth:
             raise ValueError(
                 f"prefix_levels must be in [1, {depth}], got {prefix_levels}"
@@ -66,7 +89,13 @@ class ShardRouter:
 
     def prefix_of(self, key: VoxelKey) -> int:
         """The routing prefix: the top ``prefix_levels`` 3-bit groups."""
-        return morton_encode3(key[0], key[1], key[2]) >> self._shift
+        try:
+            return morton_encode3(key[0], key[1], key[2]) >> self._shift
+        except ValueError:
+            # Name the key and the map bounds instead of surfacing the
+            # encoder's bare coordinate error.
+            validate_key(key, self.depth)
+            raise
 
     def shard_of(self, key: VoxelKey) -> int:
         """Shard index owning ``key`` (deterministic, 0-based).

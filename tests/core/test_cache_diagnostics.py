@@ -32,6 +32,29 @@ class TestCollisionHistogram:
         median, p90, largest = cache.occupancy_quantiles()
         assert 0 < median <= p90 <= largest
 
+    def test_quantiles_nearest_rank_exact(self):
+        """Nearest-rank quantiles for 1-, 2-, 10-, and 11-element lists.
+
+        Regression for the p90 off-by-one: ``(10 * 9) // 10`` indexed the
+        maximum (rank 10) instead of the nearest-rank p90 (rank 9), and
+        the even-length median picked the upper middle.
+        """
+
+        def quantiles_of(sizes):
+            cache = make_cache(buckets=16)
+            for index, size in enumerate(sizes):
+                cache._buckets[index] = [((index, 0, 0), 0.0)] * size
+            return cache.occupancy_quantiles()
+
+        # n=1: every quantile is the single value.
+        assert quantiles_of([3]) == (3.0, 3.0, 3.0)
+        # n=2: median rank ceil(0.5*2)=1 -> lower middle; p90 rank 2.
+        assert quantiles_of([1, 5]) == (1.0, 5.0, 5.0)
+        # n=10: median rank 5 -> 5; p90 rank 9 -> 9 (not the max, 10).
+        assert quantiles_of(list(range(1, 11))) == (5.0, 9.0, 10.0)
+        # n=11: median rank 6 -> 6; p90 rank ceil(9.9)=10 -> 10.
+        assert quantiles_of(list(range(1, 12))) == (6.0, 10.0, 11.0)
+
     def test_paper_claim_most_buckets_small(self):
         """§6.2.4: with w near the non-duplicate count, most buckets hold
         <=4 voxels thanks to the Morton spreading."""

@@ -1,0 +1,87 @@
+"""Out-of-bounds voxel keys must fail clearly at the map API boundary.
+
+Regression: negative or >21-bit key components used to surface as a bare
+``ValueError`` from ``morton_encode3`` deep inside ``bucket_index``; the
+insert/query entry points now name the offending key and the map bounds
+on both the cached and the plain-octree paths.
+"""
+
+import pytest
+
+from repro.baselines.octomap import OctoMapPipeline
+from repro.core.octocache import OctoCacheMap
+from repro.octree.key import validate_key
+from repro.sensor.scaninsert import ScanBatch
+from repro.service.sharded_map import ShardedMap
+
+RES = 0.2
+DEPTH = 8
+
+BAD_KEYS = [
+    (-1, 0, 0),  # negative: the old error said "coordinate must be non-negative"
+    (0, -7, 3),
+    (1 << DEPTH, 0, 0),  # above the map, still encodable
+    (1 << 22, 0, 0),  # above the 21-bit encoder limit
+]
+
+
+class TestValidateKey:
+    def test_accepts_in_bounds(self):
+        validate_key((0, 0, 0), DEPTH)
+        validate_key((255, 255, 255), DEPTH)
+
+    def test_names_key_and_bounds(self):
+        with pytest.raises(ValueError) as excinfo:
+            validate_key((-1, 2, 3), DEPTH)
+        message = str(excinfo.value)
+        assert "(-1, 2, 3)" in message
+        assert f"[0, {1 << DEPTH})" in message
+
+
+class TestCachedPath:
+    def make_map(self):
+        return OctoCacheMap(resolution=RES, depth=DEPTH)
+
+    @pytest.mark.parametrize("key", BAD_KEYS)
+    def test_insert_rejects_with_clear_error(self, key):
+        mapping = self.make_map()
+        batch = ScanBatch(observations=[(key, True)], num_rays=0)
+        with pytest.raises(ValueError, match="outside the map bounds"):
+            mapping.insert_batch(batch)
+
+    @pytest.mark.parametrize("key", BAD_KEYS)
+    def test_query_rejects_with_clear_error(self, key):
+        mapping = self.make_map()
+        with pytest.raises(ValueError, match="outside the map bounds"):
+            mapping.query_key(key)
+
+    def test_error_names_offending_key(self):
+        mapping = self.make_map()
+        with pytest.raises(ValueError, match=r"\(-1, 0, 0\)"):
+            mapping.query_key((-1, 0, 0))
+
+
+class TestPlainOctreePath:
+    def make_map(self):
+        return OctoMapPipeline(resolution=RES, depth=DEPTH)
+
+    @pytest.mark.parametrize("key", BAD_KEYS)
+    def test_insert_rejects_with_clear_error(self, key):
+        mapping = self.make_map()
+        batch = ScanBatch(observations=[(key, True)], num_rays=0)
+        with pytest.raises(ValueError, match="outside the map"):
+            mapping.insert_batch(batch)
+
+    @pytest.mark.parametrize("key", BAD_KEYS)
+    def test_query_rejects_with_clear_error(self, key):
+        mapping = self.make_map()
+        with pytest.raises(ValueError, match="outside the map"):
+            mapping.query_key(key)
+
+
+class TestShardedPath:
+    @pytest.mark.parametrize("key", BAD_KEYS)
+    def test_query_key_rejects_before_routing(self, key):
+        sharded = ShardedMap(resolution=RES, depth=DEPTH, num_shards=2)
+        with pytest.raises(ValueError, match="outside the map"):
+            sharded.query_key(key)

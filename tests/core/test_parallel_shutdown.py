@@ -109,6 +109,58 @@ class TestErrorShutdown:
         mapping.finalize()
         assert mapping.octree.num_nodes > 0
 
+    def test_error_then_continued_use_and_second_finalize(self):
+        """Worker error, then continued use, then a second finalize():
+        no hang and no leaked ``_pending`` count."""
+        config = CacheConfig(num_buckets=2, bucket_threshold=1)
+        mapping = ParallelOctoCacheMap(
+            resolution=RES, depth=DEPTH, cache_config=config, buffer_capacity=4
+        )
+        original = type(mapping)._apply_evicted.__get__(mapping)
+        calls = {"n": 0}
+
+        def flaky(evicted):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise _Boom("first chunk fails")
+            original(evicted)
+
+        mapping._apply_evicted = flaky
+        mapping.insert_point_cloud(small_cloud(0))
+        with pytest.raises(RuntimeError, match="octree updater thread failed"):
+            mapping.finalize()
+        assert mapping._pending == 0
+        # Continued use through the bounded buffer must not hang even
+        # though the capacity is far below the eviction chunk count.
+        for seed in range(1, 4):
+            mapping.insert_point_cloud(small_cloud(seed))
+        mapping.finalize()
+        assert mapping._pending == 0
+        mapping.finalize()  # second finalize: clean no-op
+        assert mapping._pending == 0
+        assert mapping.octree.num_nodes > 0
+
+    def test_buffer_capacity_configurable_and_bounded(self):
+        with pytest.raises(ValueError):
+            ParallelOctoCacheMap(resolution=RES, depth=DEPTH, buffer_capacity=0)
+        config = CacheConfig(num_buckets=2, bucket_threshold=1)
+        mapping = ParallelOctoCacheMap(
+            resolution=RES, depth=DEPTH, cache_config=config, buffer_capacity=1
+        )
+        assert mapping._buffer.maxsize == 1
+        # A capacity-1 buffer forces thread 1 to wait for the updater on
+        # every chunk; the run must still complete and agree with serial.
+        for seed in range(3):
+            mapping.insert_point_cloud(small_cloud(seed))
+        mapping.finalize()
+        serial = OctoCacheMap(resolution=RES, depth=DEPTH, cache_config=config)
+        for seed in range(3):
+            serial.insert_point_cloud(small_cloud(seed))
+        serial.finalize()
+        from repro.octree.merge import map_agreement
+
+        assert map_agreement(serial.octree, mapping.octree).decision_agreement == 1.0
+
     def test_queries_usable_after_error_shutdown(self):
         mapping = ParallelOctoCacheMap(resolution=RES, depth=DEPTH)
 

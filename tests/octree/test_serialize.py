@@ -97,3 +97,41 @@ class TestErrors:
         blob = tree_to_bytes(tree) + b"extra"
         with pytest.raises(ValueError):
             tree_from_bytes(blob)
+
+
+class TestChecksum:
+    """Version-2 blobs carry a CRC-32 footer over the payload."""
+
+    def make_blob(self):
+        tree = OccupancyOctree(resolution=0.2, depth=DEPTH)
+        tree.update_node((1, 2, 3), True)
+        tree.update_node((4, 5, 6), False)
+        return tree, tree_to_bytes(tree)
+
+    def test_corrupted_payload_byte_detected(self):
+        _tree, blob = self.make_blob()
+        corrupted = bytearray(blob)
+        corrupted[len(blob) // 2] ^= 0xFF  # flip one payload byte
+        with pytest.raises(ValueError, match="CRC-32 mismatch"):
+            tree_from_bytes(bytes(corrupted))
+
+    def test_corrupted_footer_detected(self):
+        _tree, blob = self.make_blob()
+        corrupted = bytearray(blob)
+        corrupted[-1] ^= 0xFF  # flip a checksum byte
+        with pytest.raises(ValueError, match="CRC-32 mismatch"):
+            tree_from_bytes(bytes(corrupted))
+
+    def test_v1_blob_without_checksum_still_loads(self):
+        tree, blob = self.make_blob()
+        legacy = bytearray(blob[:-4])  # strip the CRC footer
+        legacy[4] = 1  # version byte follows the 4-byte magic
+        clone = tree_from_bytes(bytes(legacy))
+        assert all_leaves(clone) == all_leaves(tree)
+
+    def test_unsupported_version_rejected(self):
+        _tree, blob = self.make_blob()
+        future = bytearray(blob)
+        future[4] = 9
+        with pytest.raises(ValueError, match="version"):
+            tree_from_bytes(bytes(future))

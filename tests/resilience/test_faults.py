@@ -1,0 +1,112 @@
+"""Tests for deterministic fault injection."""
+
+import time
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="warp.core")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec(site="shard.apply", mode="explode")
+
+    def test_negative_after(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(site="shard.apply", after=-1)
+
+    def test_zero_times(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="shard.apply", times=0)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            FaultSpec(site="shard.apply", mode="delay", delay=-0.1)
+
+    def test_all_sites_accepted(self):
+        for site in FAULT_SITES:
+            FaultSpec(site=site)
+
+
+class TestPlanMatching:
+    def test_empty_plan_is_inert(self):
+        plan = FaultPlan()
+        for _ in range(100):
+            assert plan.check("shard.apply", shard=0) is None
+        assert plan.fired == []
+
+    def test_error_raises_injected_fault(self):
+        plan = FaultPlan([FaultSpec(site="shard.apply", mode="error")])
+        with pytest.raises(InjectedFault):
+            plan.check("shard.apply")
+
+    def test_crash_is_a_fault_subclass(self):
+        plan = FaultPlan([FaultSpec(site="shard.apply", mode="crash")])
+        with pytest.raises(InjectedCrash):
+            plan.check("shard.apply")
+        assert issubclass(InjectedCrash, InjectedFault)
+
+    def test_after_and_times_window(self):
+        plan = FaultPlan(
+            [FaultSpec(site="shard.apply", mode="error", after=1, times=2)]
+        )
+        assert plan.check("shard.apply") is None  # call 1: skipped
+        with pytest.raises(InjectedFault):
+            plan.check("shard.apply")  # call 2: fires
+        with pytest.raises(InjectedFault):
+            plan.check("shard.apply")  # call 3: fires
+        assert plan.check("shard.apply") is None  # call 4: spent
+        assert plan.fired_at("shard.apply") == 2
+
+    def test_shard_filter(self):
+        plan = FaultPlan(
+            [FaultSpec(site="shard.apply", mode="error", shard=1)]
+        )
+        assert plan.check("shard.apply", shard=0) is None
+        with pytest.raises(InjectedFault):
+            plan.check("shard.apply", shard=1)
+
+    def test_site_filter(self):
+        plan = FaultPlan([FaultSpec(site="queue.enqueue", mode="error")])
+        assert plan.check("shard.apply") is None
+        with pytest.raises(InjectedFault):
+            plan.check("queue.enqueue")
+
+    def test_drop_mode(self):
+        plan = FaultPlan([FaultSpec(site="queue.enqueue", mode="drop")])
+        assert plan.check("queue.enqueue", shard=3) == "drop"
+        assert plan.check("queue.enqueue", shard=3) is None
+
+    def test_delay_mode_sleeps(self):
+        plan = FaultPlan(
+            [FaultSpec(site="octree.update", mode="delay", delay=0.02)]
+        )
+        start = time.perf_counter()
+        assert plan.check("octree.update") is None
+        assert time.perf_counter() - start >= 0.02
+
+    def test_fired_log_records_site_mode_shard(self):
+        plan = FaultPlan([FaultSpec(site="shard.apply", mode="crash")])
+        with pytest.raises(InjectedCrash):
+            plan.check("shard.apply", shard=2)
+        assert plan.fired == [
+            {"site": "shard.apply", "mode": "crash", "shard": 2, "ordinal": 1}
+        ]
+
+    def test_message_carried(self):
+        plan = FaultPlan(
+            [FaultSpec(site="shard.apply", mode="error", message="boom")]
+        )
+        with pytest.raises(InjectedFault, match="boom"):
+            plan.check("shard.apply")

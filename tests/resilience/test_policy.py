@@ -1,0 +1,75 @@
+"""Tests for deadlines and retry backoff."""
+
+import time
+
+import pytest
+
+from repro.resilience.policy import Deadline, DeadlineExceeded, RetryPolicy
+
+
+class TestDeadline:
+    def test_unbounded(self):
+        deadline = Deadline(None)
+        assert deadline.unbounded
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.raise_if_expired("noop")  # must not raise
+
+    def test_zero_timeout_expires_immediately(self):
+        deadline = Deadline(0.0)
+        assert not deadline.unbounded
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded, match="ingest"):
+            deadline.raise_if_expired("ingest")
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            Deadline(-0.5)
+
+    def test_remaining_counts_down(self):
+        deadline = Deadline(10.0)
+        first = deadline.remaining()
+        time.sleep(0.01)
+        second = deadline.remaining()
+        assert first is not None and second is not None
+        assert second < first
+        assert not deadline.expired()
+
+    def test_deadline_exceeded_is_timeout_error(self):
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(max_delay=-1.0)
+
+    def test_backoff_is_seeded_and_deterministic(self):
+        a = RetryPolicy(max_attempts=5, seed=7)
+        b = RetryPolicy(max_attempts=5, seed=7)
+        assert [a.backoff(i) for i in range(5)] == [
+            b.backoff(i) for i in range(5)
+        ]
+
+    def test_backoff_bounded_by_exponential_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.01, max_delay=0.05, seed=3
+        )
+        for attempt in range(6):
+            delay = policy.backoff(attempt)
+            assert 0.0 <= delay <= min(0.05, 0.01 * 2**attempt)
+
+    def test_sleep_truncated_by_deadline(self):
+        policy = RetryPolicy(base_delay=5.0, max_delay=5.0, seed=0)
+        start = time.perf_counter()
+        policy.sleep(0, deadline=Deadline(0.0))
+        assert time.perf_counter() - start < 1.0
+
+    def test_sleep_without_deadline(self):
+        policy = RetryPolicy(base_delay=0.001, max_delay=0.001, seed=0)
+        policy.sleep(0)  # just must not raise

@@ -72,3 +72,36 @@ class TestRouter:
         # Huge shard counts force enough prefix cells.
         router = ShardRouter(512, 12)
         assert 8 ** router.prefix_levels >= 8 * 512
+
+    def test_shallow_tree_many_shards_rejected(self):
+        """depth=2 offers 64 routing cells; 64 shards would collapse
+        routing onto a fraction of them — must be a clear error."""
+        with pytest.raises(ValueError, match="too shallow"):
+            ShardRouter(64, 2)
+        with pytest.raises(ValueError, match="too shallow"):
+            ShardRouter(9, 2)  # 8*9 = 72 > 64 cells
+
+    def test_shallow_tree_boundary_balances(self):
+        """The largest legal shard count for a shallow tree still routes
+        work onto every shard (the shallow-tree/many-shards corner)."""
+        depth = 2
+        num_shards = 8  # 8 * 8 = 64 == 8**depth: exactly at the bound
+        router = ShardRouter(num_shards, depth)
+        assert 8 ** router.prefix_levels >= 8 * num_shards
+        counts = [0] * num_shards
+        limit = 1 << depth
+        for x in range(limit):
+            for y in range(limit):
+                for z in range(limit):
+                    counts[router.shard_of((x, y, z))] += 1
+        assert all(count > 0 for count in counts)
+        # The heaviest shard holds at most 4x its fair share.
+        fair = (limit ** 3) / num_shards
+        assert max(counts) <= 4 * fair
+
+    def test_out_of_bounds_key_names_key_and_bounds(self):
+        router = ShardRouter(4, DEPTH)
+        with pytest.raises(ValueError, match=r"\(-1, 0, 0\).*\[0, 256\)"):
+            router.shard_of((-1, 0, 0))
+        with pytest.raises(ValueError, match=r"outside the map bounds"):
+            router.shard_of((1 << 22, 0, 0))
