@@ -6,9 +6,11 @@ Subcommands mirror the main experiment families, plus the service layer::
     python -m repro mission     --environment room --pipeline octomap
     python -m repro ordering    --keys 20000
     python -m repro stats       --dataset new_college --resolution 0.2
-    python -m repro serve-bench --shards 4 --clients 8
+    python -m repro serve-bench --shards 4 --clients 8 --admin-port 9464
     python -m repro trace-bench --chrome-trace out.trace.json
     python -m repro chaos-bench --crash-shard 0 --report-out chaos.json
+    python -m repro perf-bench  --quick
+    python -m repro perf-check  --baseline benchmarks/perf_baseline.json
 
 Each prints the same style of table the benchmark harness writes to
 ``benchmarks/results/``.
@@ -34,6 +36,31 @@ PIPELINES = {
     "octocache-rt": OctoCacheRTMap,
     "octocache-parallel": ParallelOctoCacheMap,
 }
+
+_DATASETS = ("fr079_corridor", "freiburg_campus", "new_college")
+
+
+def _add_bench_workload_args(
+    parser: argparse.ArgumentParser,
+    resolution: float = 0.3,
+    depth: int = 10,
+    ray_scale: float = 0.5,
+    batches=None,
+    include_batches: bool = True,
+) -> None:
+    """The workload knobs every ``*-bench`` command shares.
+
+    One definition keeps ``serve-bench`` / ``trace-bench`` /
+    ``chaos-bench`` / ``perf-bench`` in lock-step about what a workload
+    is (dataset choices, truncation, ray scaling) — they all feed
+    :func:`repro.datasets.workload.load_bench_workload`.
+    """
+    parser.add_argument("--dataset", default="fr079_corridor", choices=_DATASETS)
+    parser.add_argument("--resolution", type=float, default=resolution)
+    parser.add_argument("--depth", type=int, default=depth)
+    parser.add_argument("--ray-scale", type=float, default=ray_scale)
+    if include_batches:
+        parser.add_argument("--batches", type=int, default=batches)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,23 +134,31 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-bench",
         help="sharded concurrent map service under synthetic multi-client load",
     )
-    serve.add_argument(
-        "--dataset",
-        default="fr079_corridor",
-        choices=("fr079_corridor", "freiburg_campus", "new_college"),
-    )
+    _add_bench_workload_args(serve)
     serve.add_argument("--shards", type=int, default=4)
     serve.add_argument("--clients", type=int, default=8)
-    serve.add_argument("--resolution", type=float, default=0.3)
-    serve.add_argument("--depth", type=int, default=10)
-    serve.add_argument("--batches", type=int, default=None)
     serve.add_argument("--queue-capacity", type=int, default=8)
     serve.add_argument(
         "--backpressure", default="block", choices=("block", "reject")
     )
     serve.add_argument("--coalesce", type=int, default=4)
     serve.add_argument("--queries-per-scan", type=int, default=4)
-    serve.add_argument("--ray-scale", type=float, default=0.5)
+    serve.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="mount the /metrics //healthz //readyz //snapshot admin "
+        "endpoint on this port during the run (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--admin-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the admin endpoint (and service) up this long after "
+        "the workload drains, so an external scraper can probe it",
+    )
     serve.add_argument(
         "--verify",
         action="store_true",
@@ -137,17 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-bench",
         help="traced pipeline+service+simcache run with stage decomposition",
     )
-    trace.add_argument(
-        "--dataset",
-        default="fr079_corridor",
-        choices=("fr079_corridor", "freiburg_campus", "new_college"),
-    )
-    trace.add_argument("--batches", type=int, default=6)
-    trace.add_argument("--resolution", type=float, default=0.3)
-    trace.add_argument("--depth", type=int, default=10)
+    _add_bench_workload_args(trace, batches=6)
     trace.add_argument("--shards", type=int, default=2)
     trace.add_argument("--queries-per-scan", type=int, default=2)
-    trace.add_argument("--ray-scale", type=float, default=0.5)
     trace.add_argument(
         "--trace-out",
         default=None,
@@ -165,15 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos-bench",
         help="crash a shard worker mid-workload and verify exact recovery",
     )
-    chaos.add_argument(
-        "--dataset",
-        default="fr079_corridor",
-        choices=("fr079_corridor", "freiburg_campus", "new_college"),
-    )
+    _add_bench_workload_args(chaos, batches=12)
     chaos.add_argument("--shards", type=int, default=4)
-    chaos.add_argument("--resolution", type=float, default=0.3)
-    chaos.add_argument("--depth", type=int, default=10)
-    chaos.add_argument("--batches", type=int, default=12)
     chaos.add_argument(
         "--crash-shard", type=int, default=0,
         help="shard whose worker the fault plan kills",
@@ -185,7 +205,6 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--snapshot-interval", type=int, default=3)
     chaos.add_argument("--queue-capacity", type=int, default=8)
     chaos.add_argument("--coalesce", type=int, default=2)
-    chaos.add_argument("--ray-scale", type=float, default=0.5)
     chaos.add_argument(
         "--fault",
         action="append",
@@ -202,6 +221,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--json", action="store_true", help="emit the report dict as JSON"
+    )
+
+    perf = sub.add_parser(
+        "perf-bench",
+        help="run the pinned perf suite and append to BENCH_<host>.json",
+    )
+    _add_bench_workload_args(perf, include_batches=False)
+    perf.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload and fewer repeats (the CI smoke profile)",
+    )
+    perf.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="median-of-N repeats per timed metric (default 3, quick 2)",
+    )
+    perf.add_argument(
+        "--out",
+        default=None,
+        metavar="BENCH.JSON",
+        help="append to this file instead of benchmarks/BENCH_<host>.json",
+    )
+    perf.add_argument(
+        "--json", action="store_true", help="also print the entry as JSON"
+    )
+
+    check = sub.add_parser(
+        "perf-check",
+        help="compare the latest BENCH entry against the committed baseline",
+    )
+    check.add_argument(
+        "--bench",
+        default=None,
+        metavar="BENCH.JSON",
+        help="time-series file to read (default benchmarks/BENCH_<host>.json)",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="BASELINE.JSON",
+        help="baseline to gate against (default benchmarks/perf_baseline.json)",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the latest entry instead of checking",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="emit the check results as JSON"
     )
 
     return parser
@@ -354,6 +424,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         queries_per_scan=args.queries_per_scan,
         ray_scale=args.ray_scale,
         verify_snapshot=args.verify,
+        admin_port=args.admin_port,
+        admin_hold=args.admin_hold,
     )
     if args.json:
         import json
@@ -509,6 +581,90 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     return 0 if report.recovered_exactly else 1
 
 
+def _cmd_perf_bench(args: argparse.Namespace) -> int:
+    from repro.obs.perf import append_bench_entry, bench_path_for_host, run_perf_bench
+
+    run = run_perf_bench(
+        dataset_name=args.dataset,
+        quick=args.quick,
+        repeats=args.repeats,
+        resolution=args.resolution,
+        depth=args.depth,
+    )
+    path = args.out or bench_path_for_host("benchmarks")
+    length = append_bench_entry(run, path)
+    rows = [
+        [name, f"{value:g}", run.units.get(name, ""), run.directions.get(name, "")]
+        for name, value in sorted(run.metrics.items())
+    ]
+    print(
+        f"perf-bench: {'quick' if run.quick else 'full'} suite on "
+        f"{run.env.get('host', '?')}, median of {run.repeats}, "
+        f"{run.elapsed_seconds:.1f}s"
+    )
+    print(format_table(["metric", "value", "unit", "better"], rows))
+    print(f"\nentry {length} appended to {path}")
+    if args.json:
+        import json
+
+        print(json.dumps(run.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.perf import (
+        bench_path_for_host,
+        check_regressions,
+        default_baseline,
+        load_latest_entry,
+        write_baseline,
+    )
+
+    bench_path = args.bench or bench_path_for_host("benchmarks")
+    baseline_path = args.baseline or default_baseline()
+    entry = load_latest_entry(bench_path)
+    if args.update_baseline:
+        write_baseline(entry, baseline_path)
+        print(f"baseline rewritten at {baseline_path} from {bench_path}")
+        return 0
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    result = check_regressions(entry, baseline)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    rows = [
+        [
+            check.name,
+            "-" if check.measured is None else f"{check.measured:g}",
+            f"{check.baseline:g}",
+            f"{check.allowed:g}",
+            check.direction,
+            "REGRESSED" if check.regressed else "ok",
+        ]
+        for check in result.checks
+    ]
+    print(f"perf-check: {bench_path} vs {baseline_path}")
+    print(
+        format_table(
+            ["metric", "measured", "baseline", "allowed", "better", ""], rows
+        )
+    )
+    if result.missing_baseline:
+        print(
+            "\nunbaselined metrics (measured, not gated): "
+            + ", ".join(result.missing_baseline)
+        )
+    if result.ok:
+        print("\nno regressions")
+        return 0
+    names = ", ".join(check.name for check in result.regressions)
+    print(f"\nREGRESSION in: {names}")
+    return 1
+
+
 _COMMANDS = {
     "construct": _cmd_construct,
     "mission": _cmd_mission,
@@ -518,6 +674,8 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "trace-bench": _cmd_trace_bench,
     "chaos-bench": _cmd_chaos_bench,
+    "perf-bench": _cmd_perf_bench,
+    "perf-check": _cmd_perf_check,
 }
 
 

@@ -28,7 +28,34 @@ from repro.octree.key import VoxelKey, validate_key
 from repro.octree.occupancy import OccupancyParams
 from repro.octree.tree import OccupancyOctree
 
-__all__ = ["VoxelCache", "CacheStats", "EvictedCell"]
+__all__ = ["VoxelCache", "CacheStats", "EvictedCell", "aggregate_cache_stats"]
+
+
+def aggregate_cache_stats(stats_dicts: "Iterable[dict]") -> "dict[str, float]":
+    """Fold several ``VoxelCache.stats_dict()`` snapshots into one.
+
+    Counters add; the ratios are recomputed from the summed counters (a
+    mean of per-shard hit ratios would weight an idle shard equally with
+    a loaded one).  Used by the service layer to report a fleet-wide
+    Fig-23 hit ratio next to the per-shard ones.
+    """
+    totals: "dict[str, float]" = {
+        "hits": 0,
+        "misses": 0,
+        "insertions": 0,
+        "evictions": 0,
+        "octree_fills": 0,
+        "query_hits": 0,
+        "query_misses": 0,
+        "resident_voxels": 0,
+    }
+    for stats in stats_dicts:
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    totals["hit_ratio"] = (
+        totals["hits"] / totals["insertions"] if totals["insertions"] else 0.0
+    )
+    return totals
 
 #: An evicted voxel: key plus its accumulated log-odds occupancy, destined
 #: to overwrite the octree's copy.

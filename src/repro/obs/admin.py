@@ -1,0 +1,183 @@
+"""A stdlib HTTP admin endpoint mounted next to an ``OccupancyMapService``.
+
+``AdminServer`` wraps :class:`http.server.ThreadingHTTPServer` (no
+dependencies, daemon thread, ephemeral port by default) and serves the
+four operational routes a scraper/orchestrator expects:
+
+- ``GET /metrics`` — the service registry in Prometheus text exposition
+  format (``text/plain; version=0.0.4``); counter totals equal the JSON
+  snapshot by construction (same registry, one lock per metric).
+- ``GET /healthz`` — liveness: ``200 ok`` while the service accepts
+  work, ``503`` once it is closed.  Restarting the process is the only
+  cure for a failing liveness probe, so it stays deliberately dumb.
+- ``GET /readyz`` — readiness: ``200`` only while *every* shard's
+  resilience :class:`~repro.service.metrics.StateGauge` reads
+  ``healthy``; ``503`` with a JSON body naming the ``recovering`` /
+  ``dead`` shards otherwise.  A load balancer should stop routing to a
+  replica that is rebuilding a shard — its answers are stale.
+- ``GET /snapshot`` — the full JSON operational state: metrics registry
+  snapshot, per-shard queue depths, health, and the per-shard voxel-cache
+  ``stats_dict()`` (hit ratios, residency, evictions).
+
+Typical use::
+
+    with OccupancyMapService(config) as service:
+        with AdminServer(service, port=9464) as admin:
+            print("scrape", admin.url + "/metrics")
+            ...
+
+or, equivalently, ``service.serve_admin(port=9464)``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Tuple
+from urllib.parse import urlsplit
+
+from repro.obs.exposition import CONTENT_TYPE
+from repro.resilience.recovery import ShardHealth
+
+__all__ = ["AdminServer", "readiness"]
+
+_LOG = logging.getLogger("repro.obs.admin")
+
+
+def readiness(service) -> Tuple[bool, Dict[str, str]]:
+    """Per-shard readiness from the resilience state gauges.
+
+    Returns ``(ready, shard_states)`` where ``shard_states`` maps the
+    ``shard_health.*`` gauge names to their current state.  Ready means
+    every shard reads ``healthy`` — a shard mid-recovery serves stale
+    answers and a dead shard serves frozen ones, and a scraper can't
+    tell the difference from a ``200``.
+    """
+    _counters, _gauges, _histograms, states = service.metrics.collect()
+    shard_states = {
+        name: gauge.state
+        for name, gauge in sorted(states.items())
+        if name.startswith("shard_health.")
+    }
+    ready = bool(shard_states) and all(
+        state == ShardHealth.HEALTHY.value for state in shard_states.values()
+    )
+    return ready, shard_states
+
+
+class _AdminHandler(BaseHTTPRequestHandler):
+    server_version = "repro-admin"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        route = urlsplit(self.path).path
+        admin: "AdminServer" = self.server.admin  # type: ignore[attr-defined]
+        try:
+            if route == "/metrics":
+                body = admin.service.metrics.to_prometheus_text(
+                    namespace=admin.namespace
+                ).encode()
+                self._reply(200, CONTENT_TYPE, body)
+            elif route == "/healthz":
+                if admin.service.closed:
+                    self._reply(503, "text/plain", b"closed\n")
+                else:
+                    self._reply(200, "text/plain", b"ok\n")
+            elif route == "/readyz":
+                ready, shard_states = readiness(admin.service)
+                body = json.dumps(
+                    {"ready": ready, "shards": shard_states}, indent=2
+                ).encode() + b"\n"
+                self._reply(200 if ready else 503, "application/json", body)
+            elif route == "/snapshot":
+                body = json.dumps(
+                    admin.service.stats_dict(), indent=2, default=str
+                ).encode() + b"\n"
+                self._reply(200, "application/json", body)
+            else:
+                self._reply(
+                    404,
+                    "text/plain",
+                    b"routes: /metrics /healthz /readyz /snapshot\n",
+                )
+        except BrokenPipeError:  # client went away mid-reply
+            pass
+        except Exception as error:  # surface, never kill the server thread
+            _LOG.warning("admin handler failed", exc_info=True)
+            try:
+                self._reply(500, "text/plain", f"{error!r}\n".encode())
+            except OSError:
+                pass
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+
+class AdminServer:
+    """Serve ``/metrics`` ``/healthz`` ``/readyz`` ``/snapshot`` for a service.
+
+    Args:
+        service: the :class:`~repro.service.OccupancyMapService` to expose.
+        host: bind address (loopback by default — put a real proxy in
+            front before exposing it wider).
+        port: TCP port; ``0`` picks an ephemeral one (see :attr:`port`).
+        namespace: metric-name prefix in the Prometheus text.
+
+    The listener starts in the constructor; requests are handled on
+    daemon threads, so an abandoned server never blocks interpreter exit.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        namespace: str = "repro",
+    ) -> None:
+        self.service = service
+        self.namespace = namespace
+        self._httpd = ThreadingHTTPServer((host, port), _AdminHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.admin = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-admin",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop accepting requests and release the socket.  Idempotent."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "AdminServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdminServer({self.url})"

@@ -1,0 +1,115 @@
+"""Prometheus text exposition for :class:`~repro.service.metrics.MetricsRegistry`.
+
+Renders the registry in the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(``text/plain; version=0.0.4``), the wire format every Prometheus-
+compatible scraper understands:
+
+- :class:`~repro.service.metrics.Counter` ``ingest.scans`` →
+  ``repro_ingest_scans_total`` (a ``counter``).
+- :class:`~repro.service.metrics.Gauge` ``queue_depth.shard0`` → the
+  current value plus the high-water mark as ``..._max`` (two ``gauge``
+  series).
+- :class:`~repro.service.metrics.Histogram` ``shard.apply_seconds`` →
+  cumulative ``repro_shard_apply_seconds_bucket{le="..."}`` series ending
+  in ``le="+Inf"``, plus ``_sum`` and ``_count``.  Bucket counts are
+  exact (recorded outside the percentile reservoir) and read atomically,
+  so one exposition is always internally consistent.
+- :class:`~repro.service.metrics.StateGauge` ``shard_health.shard0`` → a
+  one-hot labeled family (``{state="healthy"} 1``, every other state this
+  gauge has held ``0``) plus a ``..._transitions_total`` counter — the
+  idiomatic Prometheus encoding of an enum, alertable with
+  ``repro_shard_health_shard0{state="dead"} == 1``.
+
+Metric names are sanitised onto the Prometheus grammar at registration
+time (dots → underscores; the registry rejects two names that would
+collide after sanitisation), label *values* are escaped here
+(backslash, double-quote, newline — the three characters the format
+reserves).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.service.metrics import MetricsRegistry, sanitize_metric_name
+
+__all__ = ["escape_label_value", "format_bound", "render_prometheus"]
+
+#: Content type an HTTP endpoint should serve this text under.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def format_bound(bound: float) -> str:
+    """Render one bucket bound the way Prometheus clients conventionally do."""
+    if bound == int(bound) and abs(bound) < 1e15:
+        return f"{bound:.1f}"
+    return repr(bound)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value; integers stay integral for readability."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value == int(value) and abs(value) < 1e15
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Render every metric in ``registry`` as Prometheus exposition text.
+
+    Families come out name-sorted within each kind (counters, gauges,
+    states, histograms) so successive scrapes of an unchanged registry
+    are byte-identical — diffable, cacheable, testable.
+    """
+    prefix = sanitize_metric_name(namespace) + "_" if namespace else ""
+    counters, gauges, histograms, states = registry.collect()
+    lines: List[str] = []
+
+    for name, counter in sorted(counters.items()):
+        base = prefix + sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {_format_value(counter.value)}")
+
+    for name, gauge in sorted(gauges.items()):
+        base = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_format_value(gauge.value)}")
+        lines.append(f"# TYPE {base}_max gauge")
+        lines.append(f"{base}_max {_format_value(gauge.max)}")
+
+    for name, state in sorted(states.items()):
+        base = prefix + sanitize_metric_name(name)
+        current, transitions, seen = state.snapshot()
+        lines.append(f"# TYPE {base} gauge")
+        for label in seen:
+            active = 1 if label == current else 0
+            lines.append(
+                f'{base}{{state="{escape_label_value(label)}"}} {active}'
+            )
+        lines.append(f"# TYPE {base}_transitions_total counter")
+        lines.append(f"{base}_transitions_total {transitions}")
+
+    for name, histogram in sorted(histograms.items()):
+        base = prefix + sanitize_metric_name(name)
+        bounds, cumulative, count, total = histogram.exposition_state()
+        lines.append(f"# TYPE {base} histogram")
+        for bound, bucket_count in zip(bounds, cumulative):
+            lines.append(
+                f'{base}_bucket{{le="{format_bound(bound)}"}} {bucket_count}'
+            )
+        lines.append(f'{base}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{base}_sum {repr(float(total))}")
+        lines.append(f"{base}_count {count}")
+
+    return "\n".join(lines) + "\n" if lines else ""

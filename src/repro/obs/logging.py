@@ -1,0 +1,140 @@
+"""Structured JSON logging correlated with the telemetry span stream.
+
+Every record a :class:`JsonLogFormatter` renders is one JSON object per
+line — machine-parseable, greppable — and is stamped with the innermost
+open telemetry span on the emitting thread
+(:func:`repro.telemetry.current_span_info`): ``span_id``, ``span_name``,
+``span_category``.  Because span ids are process-unique and exported by
+every trace sink (JSON-lines records, Chrome-trace ``args``), a slow span
+spotted in a Perfetto timeline can be joined *by id* against the log
+lines emitted inside it — and, through the
+:class:`~repro.telemetry.MetricsSink` bridge, against the metric deltas
+the same batch produced.
+
+Usage::
+
+    from repro.obs import configure_json_logging
+
+    configure_json_logging()                      # stderr, INFO
+    log = logging.getLogger("repro.service")
+    log.info("shard recovered", extra={"shard": 3, "replayed": 17})
+
+emits::
+
+    {"ts": ..., "level": "INFO", "logger": "repro.service",
+     "message": "shard recovered", "shard": 3, "replayed": 17,
+     "span_id": 91, "span_name": "shard.recover", "span_category": "service"}
+
+The service layer logs its rare, operator-relevant events (worker
+crashes, recoveries, shard deaths, checkpoint failures) through
+``logging.getLogger("repro.service")`` — silent until a handler is
+configured, so the hot path never pays for formatting.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.telemetry.tracer import current_span_info
+
+__all__ = [
+    "JsonLogFormatter",
+    "SpanContextFilter",
+    "configure_json_logging",
+    "service_logger",
+]
+
+#: ``logging.LogRecord`` attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class SpanContextFilter(logging.Filter):
+    """Stamps records with the active telemetry span (id/name/category).
+
+    Attached as a *filter* so the stamp happens on the emitting thread —
+    a handler running on another thread (``QueueHandler``) would read the
+    wrong thread-local.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        info = current_span_info()
+        if info is not None:
+            record.span_id, record.span_name, record.span_category = info
+        return True
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Formats each record as one JSON object on one line.
+
+    The payload carries ``ts`` (epoch seconds), ``level``, ``logger``,
+    ``message``, ``thread``, every ``extra=`` field the call site
+    attached, the span stamp added by :class:`SpanContextFilter`, and —
+    for records logged with ``exc_info`` — a rendered ``exc`` traceback.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "thread": record.threadName,
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in payload or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(", ", ": "))
+
+
+def configure_json_logging(
+    stream: Optional[io.TextIOBase] = None,
+    level: int = logging.INFO,
+    logger: Optional[logging.Logger] = None,
+) -> logging.Handler:
+    """Attach a span-correlated JSON handler; returns it (for removal).
+
+    Configures the ``"repro"`` logger by default so application logging
+    is untouched; pass ``logger=logging.getLogger()`` to take over the
+    root.  Calling it twice replaces the previous handler rather than
+    duplicating output.
+    """
+    target = logger if logger is not None else logging.getLogger("repro")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    handler.addFilter(SpanContextFilter())
+    handler.set_name("repro-json")
+    for existing in list(target.handlers):
+        if existing.get_name() == "repro-json":
+            target.removeHandler(existing)
+    target.addHandler(handler)
+    target.setLevel(level)
+    return handler
+
+
+def service_logger() -> logging.Logger:
+    """The logger the service layer emits its lifecycle events through."""
+    return logging.getLogger("repro.service")
+
+
+def _utc_stamp() -> str:  # pragma: no cover - debugging aid
+    """Human-readable UTC timestamp (log file naming)."""
+    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())

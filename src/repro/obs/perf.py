@@ -1,0 +1,521 @@
+"""The performance-regression watchdog: ``perf-bench`` + ``perf-check``.
+
+``run_perf_bench`` runs a pinned suite of the hot-path measurements the
+paper's evaluation revolves around and reduces each to one number
+(median of N runs — single runs of sub-second Python workloads are far
+too noisy to gate on):
+
+- ``scan_insert_throughput`` — voxel observations per second through the
+  serial ``OctoCacheMap`` insert path (ray trace → cache → evict →
+  octree), the paper's headline workload.
+- ``cache_hit_ratio`` — the insert-path voxel-cache hit ratio of that
+  same construction (Fig. 23's metric; deterministic).
+- ``modeled_pipeline_speedup`` — the §4.4 two-thread modeled speedup
+  (serial stage sum / modeled parallel makespan) from the measured
+  per-batch stage times.
+- ``simcache_hit_ratio`` — innermost-level hit ratio of a recorded
+  octree-update trace replayed through the modeled Jetson-TX2 hierarchy
+  (fully deterministic: same trace, same hierarchy, same ratio).
+- ``serve_throughput`` — scans per second through a sharded
+  ``OccupancyMapService`` under multi-client load (queues, locks,
+  backpressure included).
+- ``trace_overhead_ratio`` — insert-path wall time with tracing enabled
+  (ring sink) over tracing disabled; guards the "observability is
+  near-free" budget.
+
+``append_bench_entry`` writes each run into an append-only
+``BENCH_<host>.json`` time series (with an environment fingerprint, so
+numbers from different machines are never naively compared), and
+``check_regressions`` compares the latest entry against a committed
+baseline with per-metric direction + tolerance — the CI gate that makes
+a silent hot-path regression loud.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.octocache import OctoCacheMap
+from repro.core.pipeline_model import PipelineModel
+from repro.datasets.workload import BenchWorkload, load_bench_workload
+
+__all__ = [
+    "CheckResult",
+    "MetricCheck",
+    "PerfRun",
+    "append_bench_entry",
+    "bench_path_for_host",
+    "check_regressions",
+    "default_baseline",
+    "load_latest_entry",
+    "run_perf_bench",
+    "write_baseline",
+]
+
+#: Default per-metric relative tolerances for ``--update-baseline``.
+#: Throughputs swing with machine load; modeled ratios barely move.
+_DEFAULT_TOLERANCE = {
+    "scan_insert_throughput": 0.45,
+    "serve_throughput": 0.45,
+    "trace_overhead_ratio": 0.40,
+    "modeled_pipeline_speedup": 0.30,
+    "cache_hit_ratio": 0.10,
+    "simcache_hit_ratio": 0.10,
+}
+
+_DIRECTIONS = {
+    "scan_insert_throughput": "higher",
+    "cache_hit_ratio": "higher",
+    "modeled_pipeline_speedup": "higher",
+    "simcache_hit_ratio": "higher",
+    "serve_throughput": "higher",
+    "trace_overhead_ratio": "lower",
+}
+
+_UNITS = {
+    "scan_insert_throughput": "obs/s",
+    "cache_hit_ratio": "ratio",
+    "modeled_pipeline_speedup": "x",
+    "simcache_hit_ratio": "ratio",
+    "serve_throughput": "scans/s",
+    "trace_overhead_ratio": "x",
+}
+
+
+@dataclass
+class PerfRun:
+    """One complete suite run (one time-series entry).
+
+    Attributes:
+        metrics: metric name → median value.
+        samples: metric name → every repeat's value (the median's input).
+        directions / units: per-metric metadata, embedded so the series
+            file is self-describing.
+        env: environment fingerprint (host, python, platform, commit).
+        quick: whether the reduced CI-sized workload was used.
+        repeats: runs per measured metric (median-of-N).
+        elapsed_seconds: suite wall time.
+        timestamp: epoch seconds at suite start.
+    """
+
+    metrics: Dict[str, float] = field(default_factory=dict)
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+    directions: Dict[str, str] = field(default_factory=dict)
+    units: Dict[str, str] = field(default_factory=dict)
+    env: Dict[str, object] = field(default_factory=dict)
+    quick: bool = False
+    repeats: int = 3
+    elapsed_seconds: float = 0.0
+    timestamp: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "timestamp": self.timestamp,
+            "quick": self.quick,
+            "repeats": self.repeats,
+            "elapsed_seconds": self.elapsed_seconds,
+            "env": dict(self.env),
+            "metrics": {
+                name: {
+                    "value": value,
+                    "unit": self.units.get(name, ""),
+                    "direction": self.directions.get(name, "higher"),
+                    "samples": list(self.samples.get(name, [value])),
+                }
+                for name, value in sorted(self.metrics.items())
+            },
+        }
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """Who/where produced a measurement (never compare across these)."""
+    env: Dict[str, object] = {
+        "host": socket.gethostname(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        env["commit"] = (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        env["commit"] = None
+    return env
+
+
+def _record(run: PerfRun, name: str, samples: Sequence[float]) -> None:
+    run.samples[name] = [float(sample) for sample in samples]
+    run.metrics[name] = float(statistics.median(samples))
+    run.directions[name] = _DIRECTIONS[name]
+    run.units[name] = _UNITS[name]
+
+
+def _construction_samples(
+    workload: BenchWorkload,
+    resolution: float,
+    depth: int,
+    repeats: int,
+):
+    """(throughput, hit_ratio, speedup) samples from repeated builds."""
+    throughputs: List[float] = []
+    hit_ratios: List[float] = []
+    speedups: List[float] = []
+    for _ in range(repeats):
+        mapping = OctoCacheMap(
+            resolution=resolution, depth=depth, max_range=workload.max_range
+        )
+        start = time.perf_counter()
+        for cloud in workload:
+            mapping.insert_point_cloud(cloud)
+        hit_ratios.append(mapping.cache.stats.hit_ratio)
+        mapping.finalize()
+        elapsed = time.perf_counter() - start
+        observations = sum(record.observations for record in mapping.batches)
+        throughputs.append(observations / elapsed if elapsed > 0 else 0.0)
+        timeline = PipelineModel.from_records(mapping.batches).simulate()
+        speedups.append(timeline.speedup)
+    return throughputs, hit_ratios, speedups
+
+
+def _simcache_hit_ratio(
+    workload: BenchWorkload, resolution: float, depth: int
+) -> float:
+    from repro.octree.instrumented import recorded_octree
+    from repro.sensor.scaninsert import trace_scan
+    from repro.simcache.trace import replay_trace
+
+    tree, recorder = recorded_octree(resolution=resolution, depth=depth)
+    batch = trace_scan(
+        workload.scans[0], resolution, depth, max_range=workload.max_range
+    )
+    for key, occupied in batch.observations:
+        tree.update_node(key, occupied)
+    replay = replay_trace(recorder.trace[:60_000])
+    return float(replay.level_hit_ratios[0])
+
+
+def _serve_throughput_samples(
+    dataset_name: str,
+    resolution: float,
+    depth: int,
+    batches: int,
+    ray_scale: float,
+    repeats: int,
+) -> List[float]:
+    from repro.service.workload import run_serve_bench
+
+    samples: List[float] = []
+    for _ in range(repeats):
+        report = run_serve_bench(
+            dataset_name=dataset_name,
+            shards=2,
+            clients=2,
+            resolution=resolution,
+            depth=depth,
+            max_batches=batches,
+            queries_per_scan=1,
+            ray_scale=ray_scale,
+        )
+        samples.append(
+            report.scans / report.elapsed_seconds
+            if report.elapsed_seconds > 0
+            else 0.0
+        )
+    return samples
+
+
+def _trace_overhead_samples(
+    workload: BenchWorkload,
+    resolution: float,
+    depth: int,
+    repeats: int,
+) -> List[float]:
+    from repro.telemetry.sinks import RingBufferSink
+    from repro.telemetry.tracer import tracing
+
+    def build(traced: bool) -> float:
+        mapping = OctoCacheMap(
+            resolution=resolution, depth=depth, max_range=workload.max_range
+        )
+        start = time.perf_counter()
+        if traced:
+            with tracing(RingBufferSink(capacity=4096)):
+                for cloud in workload:
+                    mapping.insert_point_cloud(cloud)
+                mapping.finalize()
+        else:
+            for cloud in workload:
+                mapping.insert_point_cloud(cloud)
+            mapping.finalize()
+        return time.perf_counter() - start
+
+    samples: List[float] = []
+    for _ in range(repeats):
+        # Interleave off/on so drift (cache warmth, frequency scaling)
+        # hits both sides equally.
+        off = build(traced=False)
+        on = build(traced=True)
+        samples.append(on / off if off > 0 else 1.0)
+    return samples
+
+
+def run_perf_bench(
+    dataset_name: str = "fr079_corridor",
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    resolution: float = 0.3,
+    depth: int = 10,
+) -> PerfRun:
+    """Run the pinned perf suite; returns the time-series entry.
+
+    ``quick`` shrinks the workload (fewer scans, fewer repeats) to CI
+    smoke size; the metric *names* are identical either way, so quick
+    runs and full runs live in the same series and the same baseline
+    gates both.
+    """
+    batches = 4 if quick else 10
+    ray_scale = 0.3 if quick else 0.5
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    run = PerfRun(quick=quick, repeats=repeats)
+    run.timestamp = time.time()
+    run.env = environment_fingerprint()
+    suite_start = time.perf_counter()
+
+    workload = load_bench_workload(
+        dataset_name, ray_scale=ray_scale, max_batches=batches
+    )
+    throughputs, hit_ratios, speedups = _construction_samples(
+        workload, resolution, depth, repeats
+    )
+    _record(run, "scan_insert_throughput", throughputs)
+    _record(run, "cache_hit_ratio", hit_ratios)
+    _record(run, "modeled_pipeline_speedup", speedups)
+    _record(
+        run,
+        "simcache_hit_ratio",
+        [_simcache_hit_ratio(workload, resolution, depth)],
+    )
+    _record(
+        run,
+        "serve_throughput",
+        _serve_throughput_samples(
+            dataset_name, resolution, depth, batches, ray_scale, repeats
+        ),
+    )
+    _record(
+        run,
+        "trace_overhead_ratio",
+        _trace_overhead_samples(workload, resolution, depth, repeats),
+    )
+    run.elapsed_seconds = time.perf_counter() - suite_start
+    return run
+
+
+# ----------------------------------------------------------------------
+# The BENCH_<host>.json time series.
+# ----------------------------------------------------------------------
+
+
+def bench_path_for_host(directory: str = ".") -> str:
+    """The default series file for this machine: ``BENCH_<host>.json``."""
+    host = "".join(
+        char if (char.isalnum() or char in "-_") else "_"
+        for char in socket.gethostname()
+    )
+    return os.path.join(directory, f"BENCH_{host or 'unknown'}.json")
+
+
+def append_bench_entry(run: PerfRun, path: str) -> int:
+    """Append one entry to the series file; returns the new length.
+
+    The file is a JSON array ordered oldest-first.  Entries are only
+    ever appended — rewriting history would defeat the point of a
+    regression record.
+    """
+    series: List[Dict[str, object]] = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            series = json.load(handle)
+        if not isinstance(series, list):
+            raise ValueError(f"{path} is not a BENCH series (expected a list)")
+    series.append(run.to_dict())
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(series, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(series)
+
+
+def load_latest_entry(path: str) -> Dict[str, object]:
+    """The newest entry of a series file (raises if empty/missing)."""
+    with open(path) as handle:
+        series = json.load(handle)
+    if not isinstance(series, list) or not series:
+        raise ValueError(f"{path} holds no bench entries")
+    return series[-1]
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (the regression gate).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Verdict for one metric against the baseline."""
+
+    name: str
+    measured: Optional[float]
+    baseline: float
+    tolerance: float
+    direction: str
+    regressed: bool
+
+    @property
+    def allowed(self) -> float:
+        """The worst acceptable measured value."""
+        if self.direction == "lower":
+            return self.baseline * (1.0 + self.tolerance)
+        return self.baseline * (1.0 - self.tolerance)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one ``perf-check`` run."""
+
+    checks: List[MetricCheck] = field(default_factory=list)
+    missing_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        return [check for check in self.checks if check.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checks": [
+                {
+                    "name": check.name,
+                    "measured": check.measured,
+                    "baseline": check.baseline,
+                    "allowed": check.allowed,
+                    "tolerance": check.tolerance,
+                    "direction": check.direction,
+                    "regressed": check.regressed,
+                }
+                for check in self.checks
+            ],
+            "unbaselined_metrics": list(self.missing_baseline),
+        }
+
+
+def check_regressions(
+    entry: Dict[str, object], baseline: Dict[str, object]
+) -> CheckResult:
+    """Compare one series entry against a committed baseline.
+
+    The baseline maps metric name → ``{"value", "tolerance",
+    "direction"}``.  A metric the baseline names but the entry lacks is a
+    regression (the suite silently dropping a measurement is exactly the
+    failure mode a watchdog exists for); a measured metric the baseline
+    doesn't know is reported but never fails the check (new metrics land
+    before their baselines do).
+    """
+    measured: Dict[str, float] = {
+        name: float(info["value"])
+        for name, info in entry.get("metrics", {}).items()  # type: ignore[union-attr]
+    }
+    baseline_metrics = baseline.get("metrics", baseline)
+    result = CheckResult()
+    for name, spec in sorted(baseline_metrics.items()):  # type: ignore[union-attr]
+        target = float(spec["value"])
+        tolerance = float(spec.get("tolerance", 0.25))
+        direction = str(spec.get("direction", "higher"))
+        value = measured.get(name)
+        if value is None:
+            regressed = True
+        elif direction == "lower":
+            regressed = value > target * (1.0 + tolerance)
+        else:
+            regressed = value < target * (1.0 - tolerance)
+        result.checks.append(
+            MetricCheck(
+                name=name,
+                measured=value,
+                baseline=target,
+                tolerance=tolerance,
+                direction=direction,
+                regressed=regressed,
+            )
+        )
+    result.missing_baseline = sorted(
+        set(measured) - set(baseline_metrics)  # type: ignore[arg-type]
+    )
+    return result
+
+
+def default_baseline() -> str:
+    """The committed baseline path (relative to the repo root)."""
+    return os.path.join("benchmarks", "perf_baseline.json")
+
+
+def write_baseline(
+    entry: Dict[str, object],
+    path: str,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> Dict[str, object]:
+    """(Re)write the baseline from a series entry; returns the payload.
+
+    Per-metric tolerances default to :data:`_DEFAULT_TOLERANCE` —
+    generous for wall-clock throughputs (machines differ), tight for
+    modeled/deterministic ratios.
+    """
+    chosen = dict(_DEFAULT_TOLERANCE)
+    chosen.update(tolerances or {})
+    payload = {
+        "generated_from": {
+            "timestamp": entry.get("timestamp"),
+            "env": entry.get("env"),
+            "quick": entry.get("quick"),
+        },
+        "metrics": {
+            name: {
+                "value": info["value"],
+                "direction": info.get("direction", "higher"),
+                "tolerance": chosen.get(name, 0.25),
+            }
+            for name, info in sorted(
+                entry.get("metrics", {}).items()  # type: ignore[union-attr]
+            )
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.octocache import OctoCacheMap
-from repro.datasets.generator import make_dataset
+from repro.datasets.workload import load_bench_workload
 from repro.octree.merge import AgreementReport, map_agreement
 from repro.resilience.faults import FaultPlan, FaultSpec
 from repro.service.server import OccupancyMapService, ServiceConfig
@@ -131,10 +131,10 @@ def run_chaos_bench(
         raise ValueError(
             f"crash_shard must be in [0, {shards}), got {crash_shard}"
         )
-    dataset = make_dataset(dataset_name, pose_scale=1.0, ray_scale=ray_scale)
-    scans = list(dataset.scans())
-    if max_batches is not None:
-        scans = scans[:max_batches]
+    workload = load_bench_workload(
+        dataset_name, ray_scale=ray_scale, max_batches=max_batches
+    )
+    dataset, scans = workload.dataset, workload.scans
     plan = FaultPlan(
         [
             FaultSpec(

@@ -9,12 +9,48 @@ run without unbounded memory — total counts and sums remain exact.
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "StateGauge"]
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StateGauge",
+    "sanitize_metric_name",
+]
+
+#: Default histogram bucket upper bounds (seconds).  Spans the latencies
+#: this codebase produces — microsecond cache operations up to multi-second
+#: construction runs.  Bucket counts are exact (counted at record time,
+#: independent of the percentile sample reservoir).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus name grammar.
+
+    Prometheus names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; every other
+    character (the registry's dots, most commonly) becomes ``_``.
+    """
+    out = []
+    for index, char in enumerate(name):
+        if char.isascii() and (char.isalnum() or char in "_:"):
+            if index == 0 and char.isdigit():
+                out.append("_")
+            out.append(char)
+        else:
+            out.append("_")
+    return "".join(out) if out else "_"
 
 
 class Counter:
@@ -84,9 +120,11 @@ class StateGauge:
         self._lock = threading.Lock()
         self._state = initial
         self._transitions = 0
+        self._seen = {initial}
 
     def set(self, state: str) -> None:
         with self._lock:
+            self._seen.add(state)
             if state != self._state:
                 self._state = state
                 self._transitions += 1
@@ -101,6 +139,21 @@ class StateGauge:
         with self._lock:
             return self._transitions
 
+    @property
+    def states(self) -> Tuple[str, ...]:
+        """Every state this gauge has ever held (sorted)."""
+        with self._lock:
+            return tuple(sorted(self._seen))
+
+    def snapshot(self) -> Tuple[str, int, Tuple[str, ...]]:
+        """``(current, transitions, seen_states)`` read atomically.
+
+        One lock acquisition, so the one-hot exposition (exactly one seen
+        state carries a 1) can never show zero or two active states.
+        """
+        with self._lock:
+            return self._state, self._transitions, tuple(sorted(self._seen))
+
 
 class Histogram:
     """Latency distribution with exact count/sum and sampled percentiles.
@@ -109,11 +162,21 @@ class Histogram:
         max_samples: reservoir cap; when reached, every other retained
             sample is discarded and the sampling stride doubles, so the
             reservoir thins uniformly over the run.
+        buckets: sorted upper bounds for the cumulative bucket counts
+            (Prometheus exposition); counted exactly on every ``record``,
+            never sampled, so ``le="+Inf"`` always equals ``count``.
     """
 
-    def __init__(self, max_samples: int = 8192) -> None:
+    def __init__(
+        self,
+        max_samples: int = 8192,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
         if max_samples < 2:
             raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"buckets must be sorted and unique, got {bounds}")
         self._lock = threading.Lock()
         self._samples: List[float] = []
         self._max_samples = max_samples
@@ -123,6 +186,8 @@ class Histogram:
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
 
     def record(self, value: float) -> None:
         with self._lock:
@@ -132,6 +197,9 @@ class Histogram:
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
+            index = bisect.bisect_left(self._bounds, value)
+            if index < len(self._bounds):
+                self._bucket_counts[index] += 1
             self._since_kept += 1
             if self._since_kept >= self._stride:
                 self._since_kept = 0
@@ -202,6 +270,29 @@ class Histogram:
         """99th percentile of the retained samples (interpolated)."""
         return self.percentile(0.99)
 
+    @property
+    def bucket_bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def exposition_state(self) -> Tuple[Tuple[float, ...], List[int], int, float]:
+        """``(bounds, cumulative_counts, count, sum)`` read atomically.
+
+        Everything comes out under one lock acquisition so a concurrent
+        ``record`` can never tear the exposition: the cumulative counts
+        are monotone non-decreasing and the implicit ``+Inf`` bucket
+        (``count``) is always >= the last finite bucket.
+        """
+        with self._lock:
+            per_bucket = list(self._bucket_counts)
+            count = self._count
+            total = self._sum
+        cumulative: List[int] = []
+        running = 0
+        for bucket in per_bucket:
+            running += bucket
+            cumulative.append(running)
+        return self._bounds, cumulative, count, total
+
     def summary(self) -> Dict[str, float]:
         """count/mean/p50/p90/p95/p99/max in one dict (JSON-able)."""
         return {
@@ -219,7 +310,17 @@ class MetricsRegistry:
     """Named metrics with create-on-first-use semantics.
 
     ``counter("ingest.scans")`` returns the same object on every call, so
-    producers and reporters never need to coordinate registration order.
+    producers and reporters never need to coordinate registration order —
+    and re-registration after a restart *reuses* the existing metric
+    rather than shadowing it, so a scraper sees one stable namespace.
+
+    Two collisions are rejected at registration time (they would corrupt
+    the exposition silently otherwise):
+
+    - the same name registered as two different metric kinds
+      (``counter("x")`` then ``gauge("x")``);
+    - two distinct names that sanitise to the same Prometheus name
+      (``"a.b"`` and ``"a_b"``).
     """
 
     def __init__(self) -> None:
@@ -228,22 +329,54 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._states: Dict[str, StateGauge] = {}
+        self._kinds: Dict[str, str] = {}
+        self._sanitized: Dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        """Reserve ``name`` for ``kind``; caller holds the lock."""
+        existing = self._kinds.get(name)
+        if existing is not None:
+            if existing != kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {existing}, "
+                    f"cannot re-register it as a {kind}"
+                )
+            return
+        sanitized = sanitize_metric_name(name)
+        owner = self._sanitized.get(sanitized)
+        if owner is not None and owner != name:
+            raise ValueError(
+                f"metric {name!r} collides with {owner!r}: both expose as "
+                f"{sanitized!r} in Prometheus text"
+            )
+        self._kinds[name] = kind
+        self._sanitized[sanitized] = name
 
     def counter(self, name: str) -> Counter:
         with self._lock:
+            self._claim(name, "counter")
             return self._counters.setdefault(name, Counter())
 
     def gauge(self, name: str) -> Gauge:
         with self._lock:
+            self._claim(name, "gauge")
             return self._gauges.setdefault(name, Gauge())
 
     def histogram(self, name: str, max_samples: int = 8192) -> Histogram:
         with self._lock:
-            return self._histograms.setdefault(name, Histogram(max_samples))
+            self._claim(name, "histogram")
+            existing = self._histograms.get(name)
+            if existing is None:
+                existing = self._histograms[name] = Histogram(max_samples)
+            return existing
 
     def state(self, name: str, initial: str = "unknown") -> StateGauge:
         with self._lock:
-            return self._states.setdefault(name, StateGauge(initial))
+            self._claim(name, "state")
+            existing = self._states.get(name)
+            if existing is None:
+                existing = self._states[name] = StateGauge(initial)
+            return existing
 
     # ------------------------------------------------------------------
     # Reporting.
@@ -272,6 +405,41 @@ class MetricsRegistry:
                 for name, s in sorted(states.items())
             }
         return result
+
+    def snapshot(self) -> Dict[str, object]:
+        """Alias for :meth:`to_dict` (the scrape-shaped JSON snapshot)."""
+        return self.to_dict()
+
+    def collect(
+        self,
+    ) -> Tuple[
+        Dict[str, Counter],
+        Dict[str, Gauge],
+        Dict[str, Histogram],
+        Dict[str, StateGauge],
+    ]:
+        """Stable shallow copies of every metric family (for exporters)."""
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._histograms),
+                dict(self._states),
+            )
+
+    def to_prometheus_text(self, namespace: str = "repro") -> str:
+        """Render every metric in the Prometheus text exposition format.
+
+        Counters become ``<ns>_<name>_total``, gauges a pair of series
+        (current + ``_max`` high-water mark), histograms cumulative
+        ``_bucket{le=...}`` series plus ``_sum``/``_count``, and state
+        gauges a one-hot ``{state="..."}`` labeled family plus a
+        ``_transitions_total`` counter.  See
+        :func:`repro.obs.exposition.render_prometheus`.
+        """
+        from repro.obs.exposition import render_prometheus
+
+        return render_prometheus(self, namespace=namespace)
 
     def render(self, latency_scale: float = 1e3, latency_unit: str = "ms") -> str:
         """Text report: counters, gauges, then histogram percentiles.

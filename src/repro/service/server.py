@@ -48,6 +48,7 @@ gauges (not span-shaped) stay direct.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -84,6 +85,11 @@ _BACKPRESSURE_POLICIES = ("block", "reject")
 
 #: Sentinel telling a shard worker to exit.
 _STOP = object()
+
+#: Lifecycle events (crashes, recoveries, deaths) go through here; silent
+#: until a handler is attached — ``repro.obs.configure_json_logging()``
+#: renders them as span-correlated JSON lines (docs/observability.md).
+_LOG = logging.getLogger("repro.service")
 
 
 class BackpressureError(RuntimeError):
@@ -529,6 +535,10 @@ class OccupancyMapService:
             # rebuilds the shard from snapshot + journal, then takes over
             # the queue.
             self.tracer.count("shard.worker_restarts", category="service")
+            _LOG.warning(
+                "shard worker crashed; starting replacement",
+                extra={"shard": shard_id, "cause": repr(error)},
+            )
             replacement = self._make_worker(
                 shard_id,
                 generation=self._recoveries[shard_id] + 1,
@@ -681,11 +691,15 @@ class OccupancyMapService:
                 self.store.write_snapshot(shard_id, tree, upto)
         except InjectedCrash:
             raise
-        except BaseException:
+        except BaseException as error:
             # A failed checkpoint is not fatal: the previous snapshot
             # stays valid and the journal keeps growing, so recovery just
             # replays a longer tail.
             self.tracer.count("shard.snapshot_failures", category="service")
+            _LOG.warning(
+                "shard checkpoint failed; journal keeps growing",
+                extra={"shard": shard_id, "cause": repr(error)},
+            )
             return
         self._applied_since_snapshot[shard_id] = 0
         self.tracer.count("shard.snapshots", category="service")
@@ -703,6 +717,14 @@ class OccupancyMapService:
         self.tracer.count("shard.recoveries", category="service")
         if self._recoveries[shard_id] > self.config.max_recoveries:
             self.tracer.count("shard.deaths", category="service")
+            _LOG.error(
+                "shard exhausted its recovery budget; declaring it dead",
+                extra={
+                    "shard": shard_id,
+                    "recoveries": self._recoveries[shard_id],
+                    "max_recoveries": self.config.max_recoveries,
+                },
+            )
             self._set_health(shard_id, ShardHealth.DEAD)
             return
         with self.tracer.span(
@@ -717,6 +739,15 @@ class OccupancyMapService:
                 replayed=len(tail),
                 from_snapshot=checkpoint is not None,
                 cause=type(cause).__name__,
+            )
+            _LOG.info(
+                "shard rebuilt exactly from checkpoint + journal replay",
+                extra={
+                    "shard": shard_id,
+                    "replayed": len(tail),
+                    "from_snapshot": checkpoint is not None,
+                    "cause": type(cause).__name__,
+                },
             )
         self._applied_since_snapshot[shard_id] = 0
         self._set_health(shard_id, ShardHealth.HEALTHY)
@@ -743,6 +774,23 @@ class OccupancyMapService:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("service is closed")
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (the liveness signal)."""
+        return self._closed
+
+    def ready(self) -> bool:
+        """True while every shard is ``healthy`` (the readiness signal).
+
+        A recovering shard serves stale answers and a dead shard frozen
+        ones, so a load balancer should stop routing here until recovery
+        completes — this is what ``/readyz`` (:mod:`repro.obs.admin`)
+        reports.
+        """
+        return all(
+            health is ShardHealth.HEALTHY for health in self._health
+        )
 
     # ------------------------------------------------------------------
     # Barriers and shutdown.
@@ -873,7 +921,15 @@ class OccupancyMapService:
     # ------------------------------------------------------------------
 
     def stats_dict(self) -> Dict[str, object]:
-        """JSON-able service state: metrics plus per-shard map stats."""
+        """JSON-able service state: metrics plus per-shard map stats.
+
+        Each shard entry embeds its voxel cache's full ``stats_dict()``
+        (hits/misses/hit ratio, both paths, evictions, residency) so one
+        scrape of ``/snapshot`` carries the paper's Fig-23 signal without
+        a second call.
+        """
+        from repro.core.cache import aggregate_cache_stats
+
         hit_ratios = self.map.hit_ratios()
         shards = []
         for shard_id, shard in enumerate(self.map.shards):
@@ -889,10 +945,32 @@ class OccupancyMapService:
                         "queue_depth": self._queues[shard_id].qsize(),
                         "health": self._health[shard_id].value,
                         "recoveries": self._recoveries[shard_id],
+                        "cache": shard.cache.stats_dict(),
                         **durability,
                     }
                 )
-        return {"metrics": self.metrics.to_dict(), "shards": shards}
+        return {
+            "metrics": self.metrics.to_dict(),
+            "shards": shards,
+            "cache_totals": aggregate_cache_stats(
+                entry["cache"] for entry in shards
+            ),
+            "ready": self.ready(),
+        }
+
+    def serve_admin(
+        self, host: str = "127.0.0.1", port: int = 0, namespace: str = "repro"
+    ):
+        """Mount the HTTP admin endpoint next to this service.
+
+        Returns a started :class:`repro.obs.AdminServer` exposing
+        ``/metrics`` (Prometheus text), ``/healthz``, ``/readyz``, and
+        ``/snapshot``; the caller owns its lifetime (``close()`` or use
+        it as a context manager).
+        """
+        from repro.obs.admin import AdminServer
+
+        return AdminServer(self, host=host, port=port, namespace=namespace)
 
     def stats_report(self) -> str:
         """Human-readable report: metrics tables + per-shard table."""

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.octocache import OctoCacheMap
-from repro.datasets.generator import make_dataset
+from repro.datasets.workload import load_bench_workload
 from repro.octree.merge import AgreementReport, map_agreement
 from repro.service.server import OccupancyMapService, ServiceConfig
 
@@ -124,6 +124,8 @@ def run_serve_bench(
     ray_scale: float = 0.5,
     seed: int = 0,
     verify_snapshot: bool = False,
+    admin_port: Optional[int] = None,
+    admin_hold: float = 0.0,
 ) -> LoadReport:
     """Drive a sharded service with concurrent synthetic clients.
 
@@ -131,13 +133,20 @@ def run_serve_bench(
     ``verify_snapshot`` additionally rebuilds the map serially from the
     same scans and reports decision agreement with the service's global
     snapshot (this roughly doubles the run's mapping work).
+
+    ``admin_port`` (``0`` = ephemeral) mounts the HTTP admin endpoint
+    (``/metrics``, ``/healthz``, ``/readyz``, ``/snapshot`` — see
+    :mod:`repro.obs.admin`) next to the service for the duration of the
+    run and prints its URL; ``admin_hold`` keeps it (and the service)
+    up that many seconds after the workload drains, long enough for an
+    external scraper or a CI ``curl`` to probe a live map.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
-    dataset = make_dataset(dataset_name, pose_scale=1.0, ray_scale=ray_scale)
-    scans = list(dataset.scans())
-    if max_batches is not None:
-        scans = scans[:max_batches]
+    workload = load_bench_workload(
+        dataset_name, ray_scale=ray_scale, max_batches=max_batches
+    )
+    dataset, scans = workload.dataset, workload.scans
     # Probe coordinates stay well inside the sensed region so queries mix
     # hits (mapped space) and unknowns (unsensed gaps).
     positions = np.array([pose.position for pose in dataset.poses])
@@ -158,6 +167,10 @@ def run_serve_bench(
     lock = threading.Lock()
     start = time.perf_counter()
     with OccupancyMapService(config) as service:
+        admin = None
+        if admin_port is not None:
+            admin = service.serve_admin(port=admin_port)
+            print(f"admin endpoint listening on {admin.url}", flush=True)
         threads = []
         for client_id in range(clients):
             share = scans[client_id::clients]
@@ -194,4 +207,8 @@ def run_serve_bench(
             report.agreement = map_agreement(serial.octree, snapshot)
         report.stats = service.stats_dict()
         report.report_text = service.stats_report()
+        if admin is not None:
+            if admin_hold > 0:
+                time.sleep(admin_hold)
+            admin.close()
     return report

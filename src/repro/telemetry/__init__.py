@@ -40,6 +40,7 @@ from repro.telemetry.tracer import (
     CountEvent,
     Span,
     Tracer,
+    current_span_info,
     get_tracer,
     set_tracer,
     tracing,
@@ -58,6 +59,7 @@ __all__ = [
     "SpanSink",
     "StageProfile",
     "Tracer",
+    "current_span_info",
     "get_tracer",
     "set_tracer",
     "tracing",

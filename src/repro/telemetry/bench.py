@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.parallel import ParallelOctoCacheMap
-from repro.datasets.generator import make_dataset
+from repro.datasets.workload import load_bench_workload
 from repro.octree.instrumented import recorded_octree
 from repro.sensor.scaninsert import trace_scan
 from repro.service.server import OccupancyMapService, ServiceConfig
@@ -114,9 +114,11 @@ def run_trace_bench(
     """
     if batches < 1:
         raise ValueError(f"batches must be >= 1, got {batches}")
-    dataset = make_dataset(dataset_name, pose_scale=1.0, ray_scale=ray_scale)
-    scans = list(dataset.scans())[:batches]
-    max_range = dataset.sensor.max_range
+    workload = load_bench_workload(
+        dataset_name, ray_scale=ray_scale, max_batches=batches
+    )
+    scans = workload.scans
+    max_range = workload.max_range
 
     ring = RingBufferSink(capacity=ring_capacity)
     chrome = ChromeTraceSink()

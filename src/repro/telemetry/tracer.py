@@ -40,6 +40,7 @@ __all__ = [
     "NULL_SPAN",
     "Span",
     "Tracer",
+    "current_span_info",
     "get_tracer",
     "set_tracer",
     "tracing",
@@ -49,17 +50,33 @@ __all__ = [
 #: atomic under CPython; ids only need uniqueness, not density.
 _NEXT_ID = itertools.count(1)
 
-#: Thread-local stack of open span ids, shared across tracers so a span
-#: opened by the service's tracer parents spans opened by the global one.
+#: Thread-local stack of open ``(span_id, name, category)`` frames,
+#: shared across tracers so a span opened by the service's tracer parents
+#: spans opened by the global one — and so log records can stamp the
+#: active span (:func:`current_span_info`).
 _OPEN = threading.local()
 
 
-def _stack() -> List[int]:
+def _stack() -> List[tuple]:
     stack = getattr(_OPEN, "stack", None)
     if stack is None:
         stack = []
         _OPEN.stack = stack
     return stack
+
+
+def current_span_info() -> Optional[tuple]:
+    """The innermost open span on this thread, or ``None``.
+
+    Returns ``(span_id, name, category)`` for whichever tracer opened it —
+    the join key between a log record and the span enclosing it (see
+    :mod:`repro.obs.logging`).  Costs one thread-local read; safe to call
+    with tracing disabled (there is just never an open span then).
+    """
+    stack = getattr(_OPEN, "stack", None)
+    if stack:
+        return stack[-1]
+    return None
 
 
 class Span:
@@ -122,8 +139,8 @@ class Span:
     def __enter__(self) -> "Span":
         stack = _stack()
         if stack:
-            self.parent_id = stack[-1]
-        stack.append(self.span_id)
+            self.parent_id = stack[-1][0]
+        stack.append((self.span_id, self.name, self.category))
         self.start = time.perf_counter()
         return self
 
@@ -133,7 +150,7 @@ class Span:
         # The stack discipline only breaks if a span is exited on a
         # different thread than it entered; tolerate it rather than corrupt
         # unrelated spans.
-        if stack and stack[-1] == self.span_id:
+        if stack and stack[-1][0] == self.span_id:
             stack.pop()
         if exc_type is not None:
             self.attributes["error"] = exc_type.__name__

@@ -1,0 +1,208 @@
+"""The HTTP admin endpoint against a live service, including /readyz flips."""
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.admin import AdminServer, readiness
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.recovery import ShardHealth
+from repro.service.metrics import sanitize_metric_name
+from repro.service.server import OccupancyMapService, ServiceConfig
+
+
+def make_config(**overrides):
+    defaults = dict(
+        resolution=0.1,
+        depth=6,
+        num_shards=2,
+        queue_capacity=8,
+        coalesce=1,
+        snapshot_interval=2,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def make_batches(num_batches=6, per_batch=40, seed=11):
+    rng = random.Random(seed)
+    batches = []
+    for _ in range(num_batches):
+        batches.append(
+            [
+                ((rng.randrange(64), rng.randrange(64), rng.randrange(64)),
+                 rng.random() < 0.6)
+                for _ in range(per_batch)
+            ]
+        )
+    return batches
+
+
+def fetch(url):
+    """GET → (status, headers, body-str); 4xx/5xx don't raise."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, dict(response.headers), response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read().decode()
+
+
+def parse_samples(text):
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        samples[series] = float(value)
+    return samples
+
+
+class TestEndpoints:
+    def test_all_four_routes_serve_a_live_service(self):
+        with OccupancyMapService(make_config()) as service:
+            for batch in make_batches():
+                service.submit_observations(batch)
+            service.flush()
+            with AdminServer(service) as admin:
+                status, headers, body = fetch(admin.url + "/metrics")
+                assert status == 200
+                assert headers["Content-Type"].startswith("text/plain")
+                assert "version=0.0.4" in headers["Content-Type"]
+                assert "repro_shard_batches_applied_total" in body
+
+                status, _headers, body = fetch(admin.url + "/healthz")
+                assert (status, body) == (200, "ok\n")
+
+                status, headers, body = fetch(admin.url + "/readyz")
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["ready"] is True
+                assert set(payload["shards"]) == {
+                    "shard_health.shard0",
+                    "shard_health.shard1",
+                }
+
+                status, _headers, body = fetch(admin.url + "/snapshot")
+                assert status == 200
+                snapshot = json.loads(body)
+                assert set(snapshot) >= {
+                    "metrics", "shards", "cache_totals", "ready"
+                }
+                assert snapshot["ready"] is True
+
+                status, _headers, body = fetch(admin.url + "/nope")
+                assert status == 404
+                assert "/metrics" in body
+
+    def test_metrics_counter_totals_equal_registry_snapshot(self):
+        with OccupancyMapService(make_config()) as service:
+            for batch in make_batches():
+                service.submit_observations(batch)
+            service.flush()
+            with AdminServer(service) as admin:
+                _status, _headers, body = fetch(admin.url + "/metrics")
+                snapshot = service.metrics.snapshot()["counters"]
+        samples = parse_samples(body)
+        assert snapshot  # the workload produced counters
+        for name, value in snapshot.items():
+            series = "repro_" + sanitize_metric_name(name) + "_total"
+            assert samples[series] == value, name
+
+    def test_healthz_flips_to_503_once_the_service_closes(self):
+        service = OccupancyMapService(make_config())
+        with AdminServer(service) as admin:
+            assert fetch(admin.url + "/healthz")[0] == 200
+            service.close()
+            status, _headers, body = fetch(admin.url + "/healthz")
+            assert (status, body) == (503, "closed\n")
+
+    def test_custom_namespace_reaches_the_exposition(self):
+        with OccupancyMapService(make_config()) as service:
+            with AdminServer(service, namespace="octo") as admin:
+                _status, _headers, body = fetch(admin.url + "/metrics")
+                assert "octo_shard_health_shard0" in body
+
+    def test_serve_admin_convenience_mounts_the_same_endpoint(self):
+        with OccupancyMapService(make_config()) as service:
+            admin = service.serve_admin(port=0)
+            try:
+                assert fetch(admin.url + "/healthz")[0] == 200
+            finally:
+                admin.close()
+
+
+class TestReadiness:
+    def test_readiness_helper_reflects_shard_states(self):
+        with OccupancyMapService(make_config()) as service:
+            ready, shards = readiness(service)
+            assert ready is True
+            assert all(
+                state == ShardHealth.HEALTHY.value for state in shards.values()
+            )
+            service._set_health(1, ShardHealth.RECOVERING)
+            ready, shards = readiness(service)
+            assert ready is False
+            assert shards["shard_health.shard1"] == "recovering"
+            service._set_health(1, ShardHealth.HEALTHY)
+            assert readiness(service)[0] is True
+
+    def test_readyz_503_names_the_dead_shard(self):
+        with OccupancyMapService(make_config()) as service:
+            service._set_health(0, ShardHealth.DEAD)
+            with AdminServer(service) as admin:
+                status, _headers, body = fetch(admin.url + "/readyz")
+                assert status == 503
+                payload = json.loads(body)
+                assert payload["ready"] is False
+                assert payload["shards"]["shard_health.shard0"] == "dead"
+
+    def test_readyz_flips_during_an_injected_crash_and_recovery(self):
+        """THE acceptance scenario: a FaultPlan kills a shard worker;
+        /readyz must answer 503 while the shard rebuilds and 200 once
+        the rebuilt pipeline is swapped in.  The recovery window is held
+        open deterministically by gating the checkpoint-store read the
+        rebuild starts from."""
+        plan = FaultPlan(
+            [FaultSpec(site="shard.apply", mode="crash", shard=0, after=1)]
+        )
+        service = OccupancyMapService(make_config(), fault_plan=plan)
+        entered = threading.Event()
+        gate = threading.Event()
+        original = service.store.recovery_state
+
+        def gated_recovery_state(shard_id):
+            entered.set()
+            assert gate.wait(timeout=10.0), "readyz probe never released gate"
+            return original(shard_id)
+
+        service.store.recovery_state = gated_recovery_state
+        try:
+            with service, AdminServer(service) as admin:
+                for batch in make_batches():
+                    service.submit_observations(batch)
+                assert entered.wait(timeout=10.0), "crash never reached recovery"
+                status, _headers, body = fetch(admin.url + "/readyz")
+                assert status == 503
+                payload = json.loads(body)
+                assert payload["ready"] is False
+                assert payload["shards"]["shard_health.shard0"] == "recovering"
+
+                gate.set()
+                service.flush()
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    status, _headers, body = fetch(admin.url + "/readyz")
+                    if status == 200:
+                        break
+                    time.sleep(0.05)
+                assert status == 200
+                assert json.loads(body)["ready"] is True
+                assert service.shard_health(0) is ShardHealth.HEALTHY
+                assert plan.fired_at("shard.apply") == 1
+        finally:
+            service.store.recovery_state = original

@@ -1,0 +1,209 @@
+"""Prometheus text exposition: format, escaping, and registry guards."""
+
+import pytest
+
+from repro.obs.exposition import (
+    escape_label_value,
+    format_bound,
+    render_prometheus,
+)
+from repro.service.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    sanitize_metric_name,
+)
+
+
+def parse_samples(text):
+    """Exposition text → {series_with_labels: float_value}."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        samples[series] = float(value)
+    return samples
+
+
+class TestNameSanitisation:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("ingest.scans") == "ingest_scans"
+
+    def test_prometheus_grammar_characters_survive(self):
+        assert sanitize_metric_name("a_b:c9") == "a_b:c9"
+
+    def test_leading_digit_is_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_unicode_and_spaces_are_replaced(self):
+        assert sanitize_metric_name("q size µs") == "q_size__s"
+
+    def test_empty_name_yields_placeholder(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestCounters:
+    def test_counter_total_suffix_and_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("ingest.scans").inc(7)
+        text = registry.to_prometheus_text()
+        assert "# TYPE repro_ingest_scans_total counter" in text
+        assert parse_samples(text)["repro_ingest_scans_total"] == 7
+
+    def test_namespace_prefix_is_sanitised_and_optional(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert "my_ns_x_total" in registry.to_prometheus_text(namespace="my.ns")
+        assert registry.to_prometheus_text(namespace="").startswith(
+            "# TYPE x_total"
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestGauges:
+    def test_gauge_exposes_value_and_high_water_mark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth.shard0")
+        gauge.set(5)
+        gauge.set(2)
+        samples = parse_samples(registry.to_prometheus_text())
+        assert samples["repro_queue_depth_shard0"] == 2
+        assert samples["repro_queue_depth_shard0_max"] == 5
+
+
+class TestStateGauges:
+    def test_one_hot_over_every_seen_state(self):
+        registry = MetricsRegistry()
+        state = registry.state("shard_health.shard0", initial="healthy")
+        state.set("recovering")
+        state.set("healthy")
+        samples = parse_samples(registry.to_prometheus_text())
+        assert samples['repro_shard_health_shard0{state="healthy"}'] == 1
+        assert samples['repro_shard_health_shard0{state="recovering"}'] == 0
+        assert samples["repro_shard_health_shard0_transitions_total"] == 2
+        one_hot = [
+            value
+            for series, value in samples.items()
+            if series.startswith("repro_shard_health_shard0{")
+        ]
+        assert sum(one_hot) == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.state("s", initial='we"ird\\state\nhere')
+        text = registry.to_prometheus_text()
+        assert '{state="we\\"ird\\\\state\\nhere"}' in text
+
+    def test_escape_label_value_rules(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+
+class TestHistograms:
+    def test_cumulative_buckets_end_at_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (0.0005, 0.003, 0.003, 0.2, 99.0):
+            histogram.record(value)
+        text = registry.to_prometheus_text()
+        samples = parse_samples(text)
+        bucket_values = [
+            samples[f'repro_lat_bucket{{le="{format_bound(bound)}"}}']
+            for bound in DEFAULT_BUCKETS
+        ]
+        assert bucket_values == sorted(bucket_values)
+        # 99.0 lands only in +Inf, never in a finite bucket.
+        assert bucket_values[-1] == 4
+        assert samples['repro_lat_bucket{le="+Inf"}'] == 5
+        assert samples["repro_lat_count"] == 5
+        assert samples["repro_lat_sum"] == pytest.approx(0.0005 + 0.006 + 0.2 + 99.0)
+        assert "# TYPE repro_lat histogram" in text
+
+    def test_bucket_lines_come_out_in_bound_order(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").record(0.01)
+        lines = [
+            line
+            for line in registry.to_prometheus_text().splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        bounds = [line.split('le="')[1].split('"')[0] for line in lines]
+        assert bounds[-1] == "+Inf"
+        floats = [float(bound) for bound in bounds[:-1]]
+        assert floats == sorted(floats)
+
+    def test_exposition_state_is_internally_consistent(self):
+        histogram = Histogram()
+        for value in (1e-4, 0.5, 3.0):
+            histogram.record(value)
+        bounds, cumulative, count, total = histogram.exposition_state()
+        assert len(bounds) == len(cumulative)
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] <= count
+        assert total == pytest.approx(3.5001)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(0.1, 0.1, 0.2))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(0.2, 0.1))
+
+
+class TestFormatting:
+    def test_format_bound_integral_and_fractional(self):
+        assert format_bound(1.0) == "1.0"
+        assert format_bound(0.25) == "0.25"
+        assert format_bound(1e-5) == "1e-05"
+
+
+class TestRegistryGuards:
+    def test_reregistration_reuses_the_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.state("s") is registry.state("s")
+
+    def test_reuse_preserves_recorded_values(self):
+        # The restart scenario: a component re-registers its metrics and
+        # must land on the live series, not shadow it with a fresh zero.
+        registry = MetricsRegistry()
+        registry.counter("ingest.scans").inc(5)
+        registry.histogram("lat").record(0.1)
+        registry.state("health", initial="healthy").set("recovering")
+        assert registry.counter("ingest.scans").value == 5
+        assert registry.histogram("lat").count == 1
+        assert registry.state("health").state == "recovering"
+
+    def test_cross_kind_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_sanitised_name_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ValueError, match="collides"):
+            registry.counter("a_b")
+
+    def test_repeat_scrapes_are_byte_identical(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(0.01)
+        registry.state("s", initial="up").set("down")
+        assert registry.to_prometheus_text() == registry.to_prometheus_text()
+
+    def test_snapshot_counter_totals_match_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("ingest.scans").inc(11)
+        registry.counter("query.points").inc(4)
+        samples = parse_samples(registry.to_prometheus_text())
+        for name, value in registry.snapshot()["counters"].items():
+            series = "repro_" + sanitize_metric_name(name) + "_total"
+            assert samples[series] == value

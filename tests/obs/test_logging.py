@@ -1,0 +1,116 @@
+"""Structured JSON logging and its span-id correlation with telemetry."""
+
+import io
+import json
+import logging
+
+from repro.obs.logging import configure_json_logging, service_logger
+from repro.telemetry.sinks import RingBufferSink
+from repro.telemetry.tracer import Tracer, current_span_info
+
+
+def make_logger(name):
+    stream = io.StringIO()
+    logger = logging.getLogger(name)
+    logger.propagate = False
+    handler = configure_json_logging(stream=stream, logger=logger)
+    return stream, logger, handler
+
+
+def emitted(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonRecords:
+    def test_basic_record_shape(self):
+        stream, logger, handler = make_logger("test.obs.basic")
+        try:
+            logger.info("shard recovered", extra={"shard": 3, "replayed": 17})
+        finally:
+            logger.removeHandler(handler)
+        (record,) = emitted(stream)
+        assert record["message"] == "shard recovered"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "test.obs.basic"
+        assert record["shard"] == 3
+        assert record["replayed"] == 17
+        assert isinstance(record["ts"], float)
+        assert "thread" in record
+
+    def test_non_json_extras_fall_back_to_repr(self):
+        stream, logger, handler = make_logger("test.obs.repr")
+        try:
+            logger.info("odd payload", extra={"payload": {1, 2}})
+        finally:
+            logger.removeHandler(handler)
+        (record,) = emitted(stream)
+        assert record["payload"] == repr({1, 2})
+
+    def test_exceptions_are_rendered(self):
+        stream, logger, handler = make_logger("test.obs.exc")
+        try:
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                logger.warning("it failed", exc_info=True)
+        finally:
+            logger.removeHandler(handler)
+        (record,) = emitted(stream)
+        assert "ValueError: boom" in record["exc"]
+
+    def test_reconfiguring_replaces_rather_than_duplicates(self):
+        stream = io.StringIO()
+        logger = logging.getLogger("test.obs.dedupe")
+        logger.propagate = False
+        configure_json_logging(stream=stream, logger=logger)
+        handler = configure_json_logging(stream=stream, logger=logger)
+        try:
+            logger.info("once")
+        finally:
+            logger.removeHandler(handler)
+        assert len(emitted(stream)) == 1
+
+
+class TestSpanCorrelation:
+    def test_records_inside_a_span_carry_its_id(self):
+        stream, logger, handler = make_logger("test.obs.span")
+        tracer = Tracer(sinks=[RingBufferSink(capacity=16)])
+        try:
+            with tracer.span("shard.apply", category="service"):
+                span_id = current_span_info()[0]
+                logger.info("inside")
+        finally:
+            logger.removeHandler(handler)
+        (record,) = emitted(stream)
+        assert record["span_id"] == span_id
+        assert record["span_name"] == "shard.apply"
+        assert record["span_category"] == "service"
+
+    def test_nested_spans_stamp_the_innermost(self):
+        stream, logger, handler = make_logger("test.obs.nested")
+        tracer = Tracer(sinks=[RingBufferSink(capacity=16)])
+        try:
+            with tracer.span("outer", category="service"):
+                with tracer.span("inner", category="octree"):
+                    logger.info("deep")
+                logger.info("shallow")
+        finally:
+            logger.removeHandler(handler)
+        deep, shallow = emitted(stream)
+        assert deep["span_name"] == "inner"
+        assert deep["span_category"] == "octree"
+        assert shallow["span_name"] == "outer"
+        assert deep["span_id"] != shallow["span_id"]
+
+    def test_records_outside_any_span_have_no_stamp(self):
+        stream, logger, handler = make_logger("test.obs.nospan")
+        try:
+            logger.info("bare")
+        finally:
+            logger.removeHandler(handler)
+        (record,) = emitted(stream)
+        assert "span_id" not in record
+        assert "span_name" not in record
+
+    def test_service_logger_is_the_repro_service_channel(self):
+        assert service_logger().name == "repro.service"

@@ -1,0 +1,117 @@
+"""Scrape consistency under fire: expositions must never tear.
+
+Writers hammer every metric kind while readers scrape ``snapshot()`` and
+``to_prometheus_text()``; each individual exposition must be internally
+consistent — cumulative buckets monotone, ``+Inf`` equal to ``_count``,
+state gauges one-hot — even though the registry keeps changing under it.
+"""
+
+import re
+import threading
+
+from repro.service.metrics import MetricsRegistry
+
+WRITERS = 4
+OPS_PER_WRITER = 400
+
+
+def parse_samples(text):
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        samples[series] = float(value)
+    return samples
+
+
+def assert_consistent_exposition(text):
+    samples = parse_samples(text)
+    # Histogram: finite buckets monotone, +Inf == _count exactly.
+    buckets = sorted(
+        (series, value)
+        for series, value in samples.items()
+        if series.startswith("repro_latency_bucket{") and "+Inf" not in series
+    )
+    finite = [value for _series, value in sorted(
+        buckets, key=lambda item: float(re.search(r'le="([^"]+)"', item[0]).group(1))
+    )]
+    assert finite == sorted(finite), "cumulative buckets regressed mid-scrape"
+    inf = samples['repro_latency_bucket{le="+Inf"}']
+    assert inf == samples["repro_latency_count"]
+    assert finite[-1] <= inf
+    # State gauge: exactly one active state per exposition.
+    one_hot = [
+        value for series, value in samples.items()
+        if series.startswith("repro_flapper{")
+    ]
+    assert sum(one_hot) == 1, f"one-hot invariant broken: {one_hot}"
+    # Gauge high-water mark never below the current value.
+    assert samples["repro_level_max"] >= samples["repro_level"]
+
+
+def test_concurrent_writers_never_tear_a_scrape():
+    registry = MetricsRegistry()
+    counter = registry.counter("events")
+    gauge = registry.gauge("level")
+    histogram = registry.histogram("latency")
+    state = registry.state("flapper", initial="a")
+    stop = threading.Event()
+    errors = []
+
+    def write(worker_id):
+        try:
+            for i in range(OPS_PER_WRITER):
+                counter.inc()
+                gauge.set((worker_id + i) % 17)
+                histogram.record((i % 50) * 1e-4)
+                state.set("abc"[(worker_id + i) % 3])
+        except Exception as error:  # pragma: no cover - diagnostic path
+            errors.append(error)
+
+    def read():
+        try:
+            while not stop.is_set():
+                assert_consistent_exposition(registry.to_prometheus_text())
+                snapshot = registry.snapshot()
+                assert snapshot["counters"]["events"] >= 0
+        except Exception as error:
+            errors.append(error)
+
+    writers = [
+        threading.Thread(target=write, args=(worker_id,))
+        for worker_id in range(WRITERS)
+    ]
+    readers = [threading.Thread(target=read) for _ in range(2)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+
+    assert errors == []
+    # After the dust settles the totals are exact, not approximate.
+    assert counter.value == WRITERS * OPS_PER_WRITER
+    assert histogram.count == WRITERS * OPS_PER_WRITER
+    bounds, cumulative, count, _total = histogram.exposition_state()
+    assert count == WRITERS * OPS_PER_WRITER
+    assert cumulative[-1] == count  # every recorded value fits a finite bucket
+    final = parse_samples(registry.to_prometheus_text())
+    assert final["repro_events_total"] == WRITERS * OPS_PER_WRITER
+
+
+def test_concurrent_registration_of_the_same_name_is_single_instanced():
+    registry = MetricsRegistry()
+    seen = []
+
+    def register():
+        seen.append(registry.counter("shared"))
+
+    threads = [threading.Thread(target=register) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(instance is seen[0] for instance in seen)
