@@ -61,6 +61,21 @@ def _add_bench_workload_args(
     parser.add_argument("--ray-scale", type=float, default=ray_scale)
     if include_batches:
         parser.add_argument("--batches", type=int, default=batches)
+    parser.add_argument(
+        "--workers",
+        default="thread",
+        choices=("thread", "process"),
+        help="service worker backend: shard pipelines on threads (default) "
+        "or one child process per worker (see docs/parallelism.md)",
+    )
+    parser.add_argument(
+        "--num-procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --workers process (default: one per "
+        "shard)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -426,6 +441,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         verify_snapshot=args.verify,
         admin_port=args.admin_port,
         admin_hold=args.admin_hold,
+        workers=args.workers,
+        num_procs=args.num_procs,
     )
     if args.json:
         import json
@@ -434,7 +451,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return 0
     print(
         f"serve-bench: {result.dataset} through {result.shards} shard(s), "
-        f"{result.clients} client(s)"
+        f"{result.clients} client(s), {result.workers} workers"
     )
     rows = [
         ["scans submitted", result.scans],
@@ -471,6 +488,8 @@ def _cmd_trace_bench(args: argparse.Namespace) -> int:
         shards=args.shards,
         queries_per_scan=args.queries_per_scan,
         ray_scale=args.ray_scale,
+        workers=args.workers,
+        num_procs=args.num_procs,
     )
     profile = report.profile
     print(
@@ -533,6 +552,8 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
         coalesce=args.coalesce,
         ray_scale=args.ray_scale,
         extra_specs=[parse_fault_spec(spec) for spec in args.fault],
+        workers=args.workers,
+        num_procs=args.num_procs,
     )
     if args.report_out:
         import json
@@ -546,7 +567,7 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
         return 0 if report.recovered_exactly else 1
     print(
         f"chaos-bench: {report.dataset} through {report.shards} shard(s), "
-        f"crash on shard {args.crash_shard}"
+        f"{report.workers} workers, crash on shard {args.crash_shard}"
     )
     fired = ", ".join(
         f"{site}×{count}" for site, count in sorted(report.faults_fired.items())
@@ -590,6 +611,8 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         resolution=args.resolution,
         depth=args.depth,
+        workers=args.workers,
+        num_procs=args.num_procs,
     )
     path = args.out or bench_path_for_host("benchmarks")
     length = append_bench_entry(run, path)

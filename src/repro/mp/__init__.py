@@ -1,0 +1,34 @@
+"""``repro.mp``: the multiprocess shard execution engine.
+
+The service's thread-backed shard workers share one GIL, so their
+"parallelism" is concurrency, not speedup.  This package moves the
+compute — the cache-insert → evict → octree-update cycle — into child
+processes, one private :class:`~repro.core.octocache.OctoCacheMap` per
+shard, fed over a versioned pickle-free IPC protocol:
+
+- :mod:`repro.mp.codec` — the CRC-32-framed wire format (observations,
+  queries, snapshot blobs, telemetry relay events);
+- :mod:`repro.mp.worker` — the child-process command loop;
+- :mod:`repro.mp.supervisor` — :class:`ShardProcessSupervisor`:
+  spawn / health / heartbeat / kill / restart of worker processes;
+- :mod:`repro.mp.backend` — :class:`ProcessShardedMap`, the drop-in
+  replacement for :class:`~repro.service.sharded_map.ShardedMap` behind
+  ``OccupancyMapService(workers="process")``.
+
+See ``docs/parallelism.md`` for the backend seam, the protocol, and the
+recovery path.
+"""
+
+from repro.mp.backend import ProcessShardedMap
+from repro.mp.supervisor import (
+    ShardProcessDied,
+    ShardProcessSupervisor,
+    WorkerCommandError,
+)
+
+__all__ = [
+    "ProcessShardedMap",
+    "ShardProcessDied",
+    "ShardProcessSupervisor",
+    "WorkerCommandError",
+]

@@ -1,0 +1,625 @@
+"""``ProcessShardedMap``: the process-backed drop-in for ``ShardedMap``.
+
+Same spatial sharding, same Morton-prefix router, same public surface —
+but each shard's :class:`~repro.core.octocache.OctoCacheMap` lives in a
+child process (:mod:`repro.mp.worker`) behind a
+:class:`~repro.mp.supervisor.ShardProcessSupervisor`, so shard compute
+escapes the GIL.  The parent keeps everything that must stay
+centralised: routing, the per-shard locks, fault injection, journal
+bookkeeping, and telemetry.
+
+The backpressure story is unchanged because it never lived here: queue
+bounds, slot reservation, and two-phase ``must_accept`` all run in
+:class:`~repro.service.server.OccupancyMapService`, *before* a batch
+reaches the backend.  A dispatcher thread calling
+:meth:`apply_to_shard` blocks in an IPC round trip with the GIL
+released while the child computes — that blocking thread is exactly the
+thread-backend shape the service already schedules around.
+
+Recovery has two triggers with one mechanism (a ``RESTORE`` command
+that rebuilds the child pipeline via
+:func:`~repro.resilience.recovery.restore_pipeline`, the identical path
+a crashed worker *thread* takes):
+
+- **service-driven**: an apply raises
+  :class:`~repro.mp.supervisor.ShardProcessDied` (an ``InjectedCrash``
+  subclass), the service's existing crash handling calls
+  :meth:`restore_shard` with its checkpoint + full journal tail;
+- **backend-driven (lazy sibling restore)**: a process hosts several
+  shards when ``num_procs < num_shards``, so one death empties sibling
+  shards the service never saw fail.  The next operation touching such
+  a shard notices the process generation changed and replays
+  ``recovery_source(shard)`` — cut to the ``_applied`` prefix, because
+  the journal is appended *before* apply and the entry that was in
+  flight when the process died must not be double-applied when the
+  service later restores it with the full tail.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.config import CacheConfig
+from repro.core.octocache import OctoCacheMap
+from repro.mp import codec
+from repro.mp.supervisor import ShardProcessDied, ShardProcessSupervisor
+from repro.octree.key import VoxelKey, coord_to_key, key_to_coord
+from repro.octree.merge import merge_tree
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.rayquery import RayHit
+from repro.octree.serialize import tree_from_bytes
+from repro.octree.tree import OccupancyOctree
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import ShardCheckpoint
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.raycast import compute_ray_keys
+from repro.sensor.scaninsert import trace_scan, trace_scan_rt
+from repro.service.sharded_map import ShardedBatchRecord
+from repro.service.sharding import ShardRouter
+from repro.telemetry import get_tracer
+
+__all__ = ["ProcessShardedMap"]
+
+#: ``recovery_source`` signature: shard id -> (checkpoint, journal tail).
+RecoverySource = Callable[
+    [int],
+    Tuple[Optional[ShardCheckpoint], List[List[Tuple[VoxelKey, bool]]]],
+]
+
+
+def _empty_recovery(shard_id: int):
+    return None, []
+
+
+class ProcessShardedMap:
+    """A spatially sharded map whose shard pipelines live in processes.
+
+    Mirrors :class:`~repro.service.sharded_map.ShardedMap`'s public
+    surface (the service treats either as "the map"), plus the
+    process-specific seam the service wires up:
+
+    - ``recovery_source``: callable giving a shard's checkpoint +
+      journal tail for lazy sibling restore (the service points it at
+      ``CheckpointStore.recovery_state``);
+    - ``relay_tracer``: where relayed child spans/counters are replayed
+      (the service points it at its always-on tracer so ``/metrics``
+      sees child work; defaults to this object's own tracer);
+    - :meth:`kill_shard_process` / :meth:`restore_shard`: the chaos and
+      recovery hooks.
+
+    Args mirror ``ShardedMap``; the extras:
+        num_procs: worker process count (default one per shard); shards
+            are assigned round-robin.
+        start_method: ``multiprocessing`` start method override.
+    """
+
+    def __init__(
+        self,
+        resolution: float,
+        depth: int = 12,
+        num_shards: int = 4,
+        params: Optional[OccupancyParams] = None,
+        max_range: float = float("inf"),
+        cache_config: Optional[CacheConfig] = None,
+        rt: bool = False,
+        pipeline_cls: Type[OctoCacheMap] = OctoCacheMap,
+        prefix_levels: Optional[int] = None,
+        num_procs: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if pipeline_cls is not OctoCacheMap:
+            raise ValueError(
+                "the process backend builds its pipelines in child "
+                "processes and supports only OctoCacheMap shards"
+            )
+        self.resolution = resolution
+        self.depth = depth
+        self.max_range = max_range
+        self.rt = rt
+        self.router = ShardRouter(num_shards, depth, prefix_levels)
+        self.params = params or OccupancyParams()
+        self._cache_config = cache_config
+        self.records: List[ShardedBatchRecord] = []
+        self.tracer = get_tracer()
+        #: Where relayed child telemetry is replayed; the service points
+        #: this at its always-on tracer (registry + forward sinks).
+        self.relay_tracer = None
+        #: Checkpoint + journal-tail provider for lazy sibling restore.
+        self.recovery_source: RecoverySource = _empty_recovery
+        self.fault_plan = FaultPlan()
+        self.supervisor = ShardProcessSupervisor(
+            num_shards=num_shards,
+            num_procs=num_procs,
+            worker_config=self._worker_config(),
+            start_method=start_method,
+        )
+        self.supervisor.start()
+        self.supervisor.start_heartbeat(on_death=self._on_process_death)
+        self._locks: List[threading.RLock] = [
+            threading.RLock() for _ in range(num_shards)
+        ]
+        #: Journal entries confirmed applied per shard — the replay
+        #: horizon for lazy sibling restore (see module docstring).
+        self._applied = [0] * num_shards
+        #: Process generation each shard's state was last installed into.
+        self._restored_gen = [
+            self.supervisor.generation(shard) for shard in range(num_shards)
+        ]
+        self._close_lock = threading.Lock()
+        self._closed = False
+
+    def _worker_config(self) -> Dict[str, Any]:
+        params = self.params
+        config: Dict[str, Any] = {
+            "resolution": self.resolution,
+            "depth": self.depth,
+            "max_range": self.max_range,
+            "params": {
+                "threshold": params.threshold,
+                "delta_occupied": params.delta_occupied,
+                "delta_free": params.delta_free,
+                "min_occ": params.min_occ,
+                "max_occ": params.max_occ,
+            },
+        }
+        if self._cache_config is not None:
+            config["cache_config"] = {
+                "num_buckets": self._cache_config.num_buckets,
+                "bucket_threshold": self._cache_config.bucket_threshold,
+                "use_morton_indexing": self._cache_config.use_morton_indexing,
+            }
+        return config
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def num_procs(self) -> int:
+        return self.supervisor.num_procs
+
+    def shard_lock(self, shard_id: int) -> threading.RLock:
+        """The lock guarding one shard (exposed for the service layer)."""
+        return self._locks[shard_id]
+
+    # ------------------------------------------------------------------
+    # Telemetry relay.
+    # ------------------------------------------------------------------
+
+    def _relay_target(self):
+        return self.relay_tracer if self.relay_tracer is not None else self.tracer
+
+    def _replay(self, events: Sequence[Dict[str, Any]]) -> None:
+        """Replay a child's relayed spans/counters into the parent tracer."""
+        if not events:
+            return
+        target = self._relay_target()
+        for event in events:
+            kind = event.get("k")
+            if kind == "span":
+                target.record_span(
+                    event["n"],
+                    event["c"],
+                    event["s"],
+                    event["d"],
+                    thread_id=event.get("t"),
+                    **event.get("a", {}),
+                )
+            elif kind == "count":
+                target.count(event["n"], event["v"], category=event["c"])
+
+    def _on_process_death(
+        self, proc_index: int, shard_ids: List[int], generation: int
+    ) -> None:
+        # Telemetry only: recovery stays traffic-driven (exactly-once,
+        # budgeted by the service), never heartbeat-driven.
+        self._relay_target().count(
+            "mp.process_deaths", 1, category="service"
+        )
+
+    # ------------------------------------------------------------------
+    # Requests + readiness.
+    # ------------------------------------------------------------------
+
+    def _ensure_ready(self, shard_id: int, respawn: bool = True) -> None:
+        """Make a shard's process hold that shard's state (lock held).
+
+        With ``respawn`` a dead process is relaunched first; without it
+        (the read paths), a dead process raises ``ShardProcessDied`` so
+        callers degrade to "unknown" instead of resurrecting a process
+        behind the service's recovery accounting.
+        """
+        if respawn:
+            generation = self.supervisor.ensure_alive(shard_id)
+        else:
+            if not self.supervisor.alive(shard_id):
+                raise ShardProcessDied(
+                    f"worker process for shard {shard_id} is not running"
+                )
+            generation = self.supervisor.generation(shard_id)
+        if self._restored_gen[shard_id] == generation:
+            return
+        checkpoint, tail = self.recovery_source(shard_id)
+        upto = checkpoint.upto if checkpoint is not None else 0
+        blob = checkpoint.blob if checkpoint is not None else None
+        # Replay only what this shard had *applied*: the journal gains
+        # an entry before its apply, and an in-flight entry belongs to
+        # the service's own restore (full tail), not the lazy one.
+        replay = tail[: max(0, self._applied[shard_id] - upto)]
+        self._send_restore(shard_id, blob, upto, replay)
+        self._applied[shard_id] = upto + len(replay)
+        self._restored_gen[shard_id] = generation
+
+    def _send_restore(
+        self,
+        shard_id: int,
+        blob: Optional[bytes],
+        upto: int,
+        batches: Sequence[Sequence[Tuple[VoxelKey, bool]]],
+    ) -> None:
+        reply = self.supervisor.request(
+            shard_id, codec.MSG_RESTORE, codec.encode_restore(blob, upto, batches)
+        )
+        _body, events = codec.decode_reply(reply.payload)
+        self._replay(events)
+
+    def _exchange(
+        self, shard_id: int, msg_type: int, payload: bytes = b""
+    ) -> bytes:
+        """Ready-the-shard + one request; returns the reply body.
+
+        Caller holds the shard lock.  Relayed telemetry is replayed
+        before returning.
+        """
+        self._ensure_ready(shard_id)
+        reply = self.supervisor.request(shard_id, msg_type, payload)
+        body, events = codec.decode_reply(reply.payload)
+        self._replay(events)
+        return body
+
+    # ------------------------------------------------------------------
+    # Update path.
+    # ------------------------------------------------------------------
+
+    def insert_point_cloud(
+        self,
+        points,
+        origin: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> ShardedBatchRecord:
+        """Trace one scan (in the parent) and apply it across shards."""
+        if isinstance(points, PointCloud):
+            cloud = points
+        else:
+            cloud = PointCloud(points, origin)
+        tracer = trace_scan_rt if self.rt else trace_scan
+        start = time.perf_counter()
+        batch = tracer(
+            cloud, self.resolution, self.depth, max_range=self.max_range
+        )
+        elapsed = time.perf_counter() - start
+        return self.insert_observations(batch.observations, ray_tracing=elapsed)
+
+    def insert_observations(
+        self,
+        observations: Sequence[Tuple[VoxelKey, bool]],
+        ray_tracing: float = 0.0,
+    ) -> ShardedBatchRecord:
+        """Partition pre-traced observations and apply each shard's slice."""
+        record = ShardedBatchRecord(
+            observations=len(observations), ray_tracing=ray_tracing
+        )
+        for shard_id, part in enumerate(self.router.partition(observations)):
+            if not part:
+                continue
+            record.shard_busy[shard_id] = self.apply_to_shard(shard_id, part)
+        self.records.append(record)
+        return record
+
+    def apply_to_shard(
+        self, shard_id: int, observations: List[Tuple[VoxelKey, bool]]
+    ) -> float:
+        """Ship one shard's slice to its process; returns busy seconds.
+
+        The IPC round trip blocks with the GIL released while the child
+        runs the cache-insert → evict → octree-update cycle — this is
+        where multi-core speedup comes from.  Raises
+        :class:`ShardProcessDied` into the service's existing
+        ``InjectedCrash`` recovery path when the process is gone.
+        """
+        if self.fault_plan.check("octree.update", shard=shard_id) == "drop":
+            return 0.0
+        with self.tracer.span(
+            "shard.ingest",
+            category="service",
+            shard=shard_id,
+            observations=len(observations),
+        ):
+            with self._locks[shard_id]:
+                self._ensure_ready(shard_id)
+                reply = self.supervisor.request(
+                    shard_id,
+                    codec.MSG_APPLY,
+                    codec.encode_observations(observations),
+                )
+                self._applied[shard_id] += 1
+                body, events = codec.decode_reply(reply.payload)
+        self._replay(events)
+        return codec.decode_busy_seconds(body)
+
+    def finalize(self) -> None:
+        """Flush every live shard's cache into its octree (best effort)."""
+        for shard_id in range(self.num_shards):
+            try:
+                with self._locks[shard_id]:
+                    self._ensure_ready(shard_id, respawn=False)
+                    reply = self.supervisor.request(
+                        shard_id, codec.MSG_FINALIZE
+                    )
+                    _body, events = codec.decode_reply(reply.payload)
+                self._replay(events)
+            except ShardProcessDied:
+                continue
+
+    def close(self) -> None:
+        """Finalize live shards, then shut every worker process down.
+
+        Idempotent and teardown-safe (the service's atexit path may call
+        it while the interpreter is dismantling itself).
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self.finalize()
+        except Exception:
+            pass
+        self.supervisor.close()
+
+    def __enter__(self) -> "ProcessShardedMap":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Crash / recovery hooks (the service's seam).
+    # ------------------------------------------------------------------
+
+    def kill_shard_process(self, shard_id: int) -> bool:
+        """SIGKILL the process hosting a shard (chaos hook)."""
+        return self.supervisor.kill(shard_id)
+
+    def restore_shard(
+        self,
+        shard_id: int,
+        checkpoint: Optional[ShardCheckpoint],
+        tail: Sequence[Sequence[Tuple[VoxelKey, bool]]],
+    ) -> None:
+        """Service-driven exact restore: checkpoint + *full* journal tail.
+
+        Unlike the lazy sibling restore, the tail here includes the
+        entry that was in flight when the process died — rebuilding is
+        absolute (the child replaces the whole pipeline), so repeated
+        restores never double-apply.
+        """
+        with self._locks[shard_id]:
+            generation = self.supervisor.ensure_alive(shard_id)
+            upto = checkpoint.upto if checkpoint is not None else 0
+            blob = checkpoint.blob if checkpoint is not None else None
+            self._send_restore(shard_id, blob, upto, list(tail))
+            self._applied[shard_id] = upto + len(tail)
+            self._restored_gen[shard_id] = generation
+
+    # ------------------------------------------------------------------
+    # Query path.
+    # ------------------------------------------------------------------
+
+    def _key_of(self, coord: Tuple[float, float, float]) -> VoxelKey:
+        return coord_to_key(coord, self.resolution, self.depth)
+
+    def _coord_of(self, key: VoxelKey) -> Tuple[float, float, float]:
+        return key_to_coord(key, self.resolution, self.depth)
+
+    def _query_shard(
+        self, shard_id: int, keys: Sequence[VoxelKey]
+    ) -> List[Optional[float]]:
+        """Batched point queries against one shard; dead -> all unknown."""
+        try:
+            with self._locks[shard_id]:
+                self._ensure_ready(shard_id, respawn=False)
+                reply = self.supervisor.request(
+                    shard_id, codec.MSG_QUERY_MANY, codec.encode_keys(keys)
+                )
+                body, events = codec.decode_reply(reply.payload)
+        except ShardProcessDied:
+            return [None] * len(keys)
+        self._replay(events)
+        return codec.decode_values(body)
+
+    def query_keys(
+        self, keys: Sequence[VoxelKey]
+    ) -> Dict[VoxelKey, Optional[float]]:
+        """Point-query many keys with one IPC round trip per shard."""
+        by_shard: Dict[int, List[VoxelKey]] = {}
+        for key in keys:
+            by_shard.setdefault(self.router.shard_of(key), []).append(key)
+        answers: Dict[VoxelKey, Optional[float]] = {}
+        for shard_id, shard_keys in by_shard.items():
+            values = self._query_shard(shard_id, shard_keys)
+            answers.update(zip(shard_keys, values))
+        return answers
+
+    def query_key(self, key: VoxelKey) -> Optional[float]:
+        """Log-odds occupancy for ``key`` (``None`` = unknown)."""
+        shard_id = self.router.shard_of(key)
+        return self._query_shard(shard_id, [key])[0]
+
+    def query(self, coord: Tuple[float, float, float]) -> Optional[float]:
+        """Log-odds occupancy at a metric coordinate."""
+        return self.query_key(self._key_of(coord))
+
+    def is_occupied(self, coord: Tuple[float, float, float]) -> Optional[bool]:
+        """Occupancy decision at a metric coordinate (``None`` = unknown)."""
+        value = self.query(coord)
+        if value is None:
+            return None
+        return self.params.is_occupied(value)
+
+    def cast_ray(
+        self,
+        origin: Tuple[float, float, float],
+        direction: Tuple[float, float, float],
+        max_range: float,
+        ignore_unknown: bool = True,
+    ) -> RayHit:
+        """Walk the map along a ray (same semantics as ``ShardedMap``).
+
+        The visited keys are computed in the parent and answered with
+        one batched query per shard, then walked in order — the same
+        cache-then-octree consistent read, minus per-voxel IPC.
+        """
+        norm = math.sqrt(sum(c * c for c in direction))
+        if norm == 0.0:
+            raise ValueError("direction must be non-zero")
+        unit = tuple(c / norm for c in direction)
+        half = self.resolution * (1 << (self.depth - 1))
+        margin = self.resolution * 1e-3
+        travel = max_range
+        for o, d in zip(origin, unit):
+            if d > 0:
+                travel = min(travel, (half - margin - o) / d)
+            elif d < 0:
+                travel = min(travel, (-half + margin - o) / d)
+        travel = max(travel, 0.0)
+        endpoint = tuple(o + d * travel for o, d in zip(origin, unit))
+        keys = compute_ray_keys(origin, endpoint, self.resolution, self.depth)
+        keys.append(self._key_of(endpoint))
+        answers = self.query_keys(keys)
+        last: Optional[VoxelKey] = None
+        for key in keys:
+            value = answers.get(key)
+            if value is None:
+                if not ignore_unknown:
+                    return RayHit(
+                        hit=False,
+                        key=key,
+                        endpoint=self._coord_of(key),
+                        blocked_by_unknown=True,
+                    )
+            elif self.params.is_occupied(value):
+                return RayHit(hit=True, key=key, endpoint=self._coord_of(key))
+            last = key
+        if last is None:
+            return RayHit(hit=False, key=None, endpoint=None)
+        return RayHit(hit=False, key=last, endpoint=self._coord_of(last))
+
+    def occupied_in_box(
+        self,
+        min_coord: Tuple[float, float, float],
+        max_coord: Tuple[float, float, float],
+    ) -> List[VoxelKey]:
+        """Occupied finest-level keys inside an inclusive metric box.
+
+        Each shard answers in its own process (octree walk + resident
+        cache overlay, same rule as ``ShardedMap``); a dead shard
+        contributes nothing, matching the point-query degradation.
+        """
+        min_key = self._key_of(min_coord)
+        max_key = self._key_of(max_coord)
+        for axis in range(3):
+            if min_key[axis] > max_key[axis]:
+                raise ValueError(f"min_coord exceeds max_coord on axis {axis}")
+        payload = codec.encode_keys([min_key, max_key])
+        occupied: List[VoxelKey] = []
+        for shard_id in range(self.num_shards):
+            try:
+                with self._locks[shard_id]:
+                    self._ensure_ready(shard_id, respawn=False)
+                    reply = self.supervisor.request(
+                        shard_id, codec.MSG_BOX_QUERY, payload
+                    )
+                    body, events = codec.decode_reply(reply.payload)
+            except ShardProcessDied:
+                continue
+            self._replay(events)
+            occupied.extend(codec.decode_keys(body))
+        return sorted(occupied)
+
+    # ------------------------------------------------------------------
+    # Global snapshot export.
+    # ------------------------------------------------------------------
+
+    def shard_snapshot_blob(self, shard_id: int) -> bytes:
+        """One shard's authoritative tree as serialize-v2 bytes.
+
+        The child exports it (octree merged with its cache overlay) —
+        this is the payload crash-recovery checkpoints store verbatim.
+        """
+        with self._locks[shard_id]:
+            return self._exchange(shard_id, codec.MSG_SNAPSHOT)
+
+    def shard_snapshot_tree(self, shard_id: int) -> OccupancyOctree:
+        """One shard's authoritative tree: octree + cache overlay."""
+        return tree_from_bytes(self.shard_snapshot_blob(shard_id))
+
+    def snapshot(self) -> OccupancyOctree:
+        """Export one octree holding the whole map's current answers.
+
+        Per-shard blobs are exported in the children and combined here
+        with :func:`merge_tree` (shards are disjoint, so the union is
+        exact) — bit-for-bit what the thread backend's snapshot holds
+        for the same accepted batches.
+        """
+        snapshot = OccupancyOctree(
+            resolution=self.resolution, depth=self.depth, params=self.params
+        )
+        for shard_id in range(self.num_shards):
+            merge_tree(
+                snapshot, self.shard_snapshot_tree(shard_id), strategy="overwrite"
+            )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def shard_stats(self, shard_id: int) -> Dict[str, Any]:
+        """One shard's pipeline stats, fetched from its process."""
+        with self._locks[shard_id]:
+            return codec.decode_json(self._exchange(shard_id, codec.MSG_STATS))
+
+    def hit_ratios(self) -> List[float]:
+        """Per-shard insert-path cache hit ratios."""
+        return [
+            self.shard_stats(shard_id)["hit_ratio"]
+            for shard_id in range(self.num_shards)
+        ]
+
+    def resident_voxels(self) -> int:
+        """Cache-resident voxels summed over shards."""
+        return sum(
+            self.shard_stats(shard_id)["resident_voxels"]
+            for shard_id in range(self.num_shards)
+        )
+
+    def octree_nodes(self) -> int:
+        """Octree nodes summed over shards."""
+        return sum(
+            self.shard_stats(shard_id)["octree_nodes"]
+            for shard_id in range(self.num_shards)
+        )
+
+    def modeled_total_cost(self) -> float:
+        """Sum of per-batch modeled costs (max-over-shards execution)."""
+        return sum(record.modeled_cost for record in self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessShardedMap(res={self.resolution}, depth={self.depth}, "
+            f"shards={self.num_shards}, procs={self.num_procs}, "
+            f"batches={len(self.records)})"
+        )

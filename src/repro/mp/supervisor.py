@@ -1,0 +1,451 @@
+"""``ShardProcessSupervisor``: lifecycle of the shard worker processes.
+
+The supervisor owns everything about worker *processes* and nothing
+about shard *state*: it spawns them (shards are assigned round-robin,
+``shard % num_procs``, so ``num_procs=1`` serialises every shard through
+one process — the baseline the ``multicore_speedup`` metric divides
+by), frames and sequences every request/reply exchange, monitors
+liveness (an optional heartbeat thread plus per-request detection), and
+respawns dead processes on demand.  What the replacement process should
+*contain* is the backend's job (:class:`~repro.mp.backend.ProcessShardedMap`
+replays checkpoint + journal through a ``RESTORE`` command).
+
+Failure surface:
+
+- :class:`ShardProcessDied` — the process hosting a shard is gone
+  (SIGKILL, OOM, broken pipe, request timeout).  It subclasses
+  :class:`~repro.resilience.faults.InjectedCrash` **on purpose**: the
+  service's dispatcher already treats ``InjectedCrash`` as "this shard's
+  worker is fatally gone, start recovery", so a real process death rides
+  the exact thread-crash recovery path chaos testing exercises.
+- :class:`WorkerCommandError` — the process is alive but one command
+  failed (it replied with an ``ERROR`` frame).  Retryable; carries the
+  child traceback.
+
+Each process's pipe is guarded by a lock, making every send/recv
+exchange atomic; per-process sequence numbers catch desynchronised
+replies (a reply for a stale request fails loudly instead of being
+attributed to the wrong command).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.mp import codec
+from repro.mp.worker import shard_worker_main
+from repro.resilience.faults import InjectedCrash
+
+__all__ = [
+    "ShardProcessDied",
+    "ShardProcessSupervisor",
+    "WorkerCommandError",
+]
+
+#: Per-request reply deadline.  Generous: the slowest command is a
+#: snapshot of a large shard tree, still far under a second in practice.
+_DEFAULT_REQUEST_TIMEOUT = 120.0
+
+
+class ShardProcessDied(InjectedCrash):
+    """The worker process hosting a shard died (or stopped responding)."""
+
+
+class WorkerCommandError(RuntimeError):
+    """A command failed inside a live worker (carries its traceback)."""
+
+
+def _pick_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    # fork is ~100x cheaper than spawn and the worker entry touches only
+    # objects it builds after the fork; fall back where fork is absent
+    # (or deprecated to the point of removal).
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class _WorkerProcess:
+    """One live (or dead) worker process and its parent-side pipe end."""
+
+    def __init__(self, process, conn, generation: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.generation = generation
+        self.events_reported = False  # heartbeat de-duplication
+
+
+class ShardProcessSupervisor:
+    """Spawn, talk to, monitor, kill, and respawn shard worker processes.
+
+    Args:
+        num_shards: shard count (shard ids index requests).
+        num_procs: worker process count; shard ``s`` lives in process
+            ``s % num_procs``.  Defaults to one process per shard.
+        worker_config: shard shape forwarded to every worker (resolution,
+            depth, params/cache fields — see
+            :func:`repro.mp.worker.shard_worker_main`).
+        start_method: ``multiprocessing`` start method override
+            (default: ``fork`` where available, else ``spawn``).
+        request_timeout: per-request reply deadline in seconds; an
+            overdue worker is declared dead and killed.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        num_procs: Optional[int] = None,
+        worker_config: Optional[dict] = None,
+        start_method: Optional[str] = None,
+        request_timeout: float = _DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if num_procs is None:
+            num_procs = num_shards
+        if not 1 <= num_procs <= num_shards:
+            raise ValueError(
+                f"num_procs must be in [1, num_shards={num_shards}], "
+                f"got {num_procs}"
+            )
+        if request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
+        self.num_shards = num_shards
+        self.num_procs = num_procs
+        self.request_timeout = request_timeout
+        self._ctx = _pick_context(start_method)
+        self._worker_config = dict(worker_config or {})
+        self._workers: List[Optional[_WorkerProcess]] = [None] * num_procs
+        self._locks = [threading.RLock() for _ in range(num_procs)]
+        self._seqs = [itertools.count(1) for _ in range(num_procs)]
+        self._spawns = [0] * num_procs
+        self._closed = False
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._heartbeat_stop = threading.Event()
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Topology.
+    # ------------------------------------------------------------------
+
+    def process_of(self, shard_id: int) -> int:
+        """The process index hosting ``shard_id``."""
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard {shard_id} out of range")
+        return shard_id % self.num_procs
+
+    def shards_of(self, proc_index: int) -> List[int]:
+        """The shard ids hosted by process ``proc_index``."""
+        return list(range(proc_index, self.num_shards, self.num_procs))
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker process (idempotent per process slot)."""
+        for proc_index in range(self.num_procs):
+            with self._locks[proc_index]:
+                if self._workers[proc_index] is None:
+                    self._spawn(proc_index)
+
+    def _spawn(self, proc_index: int) -> _WorkerProcess:
+        """Start one worker process (caller holds the process lock)."""
+        if self._closed:
+            raise RuntimeError("supervisor is closed")
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        config = dict(self._worker_config)
+        config["shard_ids"] = self.shards_of(proc_index)
+        self._spawns[proc_index] += 1
+        generation = self._spawns[proc_index]
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, codec.encode_json(config)),
+            name=f"octocache-mp-{proc_index}-g{generation}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _WorkerProcess(process, parent_conn, generation)
+        self._workers[proc_index] = worker
+        if generation > 1:
+            self.restarts += 1
+        return worker
+
+    def ensure_alive(self, shard_id: int) -> int:
+        """Respawn the hosting process if dead; returns its generation.
+
+        The fresh process starts with *empty* shards — the caller is
+        responsible for restoring state before routing work to it.
+        """
+        proc_index = self.process_of(shard_id)
+        with self._locks[proc_index]:
+            worker = self._workers[proc_index]
+            if worker is None or not worker.process.is_alive():
+                if worker is not None:
+                    self._reap(worker)
+                worker = self._spawn(proc_index)
+            return worker.generation
+
+    def generation(self, shard_id: int) -> int:
+        """Current spawn generation of the process hosting ``shard_id``."""
+        proc_index = self.process_of(shard_id)
+        with self._locks[proc_index]:
+            worker = self._workers[proc_index]
+            return worker.generation if worker is not None else 0
+
+    def alive(self, shard_id: int) -> bool:
+        """True while the process hosting ``shard_id`` is running."""
+        proc_index = self.process_of(shard_id)
+        with self._locks[proc_index]:
+            worker = self._workers[proc_index]
+            return worker is not None and worker.process.is_alive()
+
+    def pid_of(self, shard_id: int) -> Optional[int]:
+        """The hosting process's pid (``None`` when not running)."""
+        proc_index = self.process_of(shard_id)
+        with self._locks[proc_index]:
+            worker = self._workers[proc_index]
+            return worker.process.pid if worker is not None else None
+
+    def kill(self, shard_id: int) -> bool:
+        """SIGKILL the process hosting ``shard_id``; True if one died.
+
+        This is *real* process death — the chaos path behind
+        ``chaos-bench --workers process`` — not a polite shutdown.
+        """
+        proc_index = self.process_of(shard_id)
+        with self._locks[proc_index]:
+            worker = self._workers[proc_index]
+            if worker is None or not worker.process.is_alive():
+                return False
+            pid = worker.process.pid
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):  # pragma: no cover - race
+                pass
+            worker.process.join(timeout=10.0)
+            self._reap(worker)
+            return True
+
+    def _reap(self, worker: _WorkerProcess) -> None:
+        """Release a dead worker's resources (caller holds its lock)."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if not worker.process.is_alive():
+            worker.process.join(timeout=0)
+
+    # ------------------------------------------------------------------
+    # Requests.
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        shard_id: int,
+        msg_type: int,
+        payload: bytes = b"",
+        timeout: Optional[float] = None,
+    ) -> codec.Frame:
+        """One atomic framed exchange with the process hosting a shard.
+
+        Raises :class:`ShardProcessDied` when the process is gone (or
+        misses the reply deadline — it is then killed, so "slow" and
+        "dead" converge to one recovery path) and
+        :class:`WorkerCommandError` when the live worker reports a
+        command failure.
+        """
+        proc_index = self.process_of(shard_id)
+        deadline = timeout if timeout is not None else self.request_timeout
+        with self._locks[proc_index]:
+            worker = self._workers[proc_index]
+            if worker is None or not worker.process.is_alive():
+                raise ShardProcessDied(
+                    f"worker process for shard {shard_id} is not running"
+                )
+            seq = next(self._seqs[proc_index])
+            frame = codec.encode_frame(msg_type, shard_id, seq, payload)
+            try:
+                worker.conn.send_bytes(frame)
+                if not worker.conn.poll(deadline):
+                    raise TimeoutError(
+                        f"no reply within {deadline:.1f}s to "
+                        f"{codec.message_name(msg_type)}"
+                    )
+                data = worker.conn.recv_bytes()
+            except (
+                BrokenPipeError,
+                ConnectionResetError,
+                EOFError,
+                OSError,
+                TimeoutError,
+            ) as error:
+                # Unresponsive == dead: kill so the next ensure_alive
+                # respawns cleanly instead of talking to a wedged pipe.
+                if worker.process.is_alive():
+                    try:
+                        os.kill(worker.process.pid, signal.SIGKILL)
+                    except (ProcessLookupError, OSError):  # pragma: no cover
+                        pass
+                    worker.process.join(timeout=10.0)
+                self._reap(worker)
+                raise ShardProcessDied(
+                    f"worker process for shard {shard_id} died during "
+                    f"{codec.message_name(msg_type)}: {error!r}"
+                ) from error
+        reply = codec.decode_frame(data)
+        if reply.seq != seq:
+            raise WorkerCommandError(
+                f"desynchronised reply for shard {shard_id}: "
+                f"expected seq {seq}, got {reply.seq}"
+            )
+        if reply.type == codec.MSG_ERROR:
+            body, _events = codec.decode_reply(reply.payload)
+            raise WorkerCommandError(
+                f"{codec.message_name(msg_type)} failed in worker for "
+                f"shard {shard_id}:\n{body.decode('utf-8', 'replace')}"
+            )
+        if reply.type != codec.MSG_OK:
+            raise WorkerCommandError(
+                f"unexpected reply {codec.message_name(reply.type)} to "
+                f"{codec.message_name(msg_type)}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # Heartbeat.
+    # ------------------------------------------------------------------
+
+    def start_heartbeat(
+        self,
+        interval: float = 0.5,
+        on_death: Optional[Callable[[int, List[int], int], None]] = None,
+    ) -> None:
+        """Monitor worker liveness on a daemon thread.
+
+        ``on_death(proc_index, shard_ids, generation)`` fires once per
+        died generation.  The heartbeat never respawns by itself —
+        recovery is state-bearing and belongs to the backend/service
+        (traffic-driven, exactly-once).
+        """
+        if self._heartbeat_thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._heartbeat_stop.wait(interval):
+                for proc_index in range(self.num_procs):
+                    with self._locks[proc_index]:
+                        worker = self._workers[proc_index]
+                        dead = (
+                            worker is not None
+                            and not worker.process.is_alive()
+                            and not worker.events_reported
+                        )
+                        if dead:
+                            worker.events_reported = True
+                            generation = worker.generation
+                    if dead and on_death is not None:
+                        try:
+                            on_death(
+                                proc_index,
+                                self.shards_of(proc_index),
+                                generation,
+                            )
+                        except Exception:  # pragma: no cover - callback bug
+                            pass
+
+        self._heartbeat_thread = threading.Thread(
+            target=loop, name="octocache-mp-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def ping(self, proc_index: int, timeout: float = 5.0) -> bool:
+        """Round-trip liveness probe of one process."""
+        shard_ids = self.shards_of(proc_index)
+        if not shard_ids:
+            return False
+        try:
+            self.request(shard_ids[0], codec.MSG_PING, timeout=timeout)
+            return True
+        except (ShardProcessDied, WorkerCommandError):
+            return False
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able supervisor state (for reports and debugging)."""
+        return {
+            "num_procs": self.num_procs,
+            "num_shards": self.num_shards,
+            "restarts": self.restarts,
+            "spawns": list(self._spawns),
+            "alive": [
+                worker is not None and worker.process.is_alive()
+                for worker in self._workers
+            ],
+            "start_method": self._ctx.get_start_method(),
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown.
+    # ------------------------------------------------------------------
+
+    def close(self, shutdown_timeout: float = 10.0) -> None:
+        """Stop the heartbeat, shut workers down, reap every process.
+
+        Idempotent and teardown-safe: a polite ``SHUTDOWN`` exchange
+        first, escalating to SIGKILL for anything still alive.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._heartbeat_stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5.0)
+            self._heartbeat_thread = None
+        deadline = time.monotonic() + shutdown_timeout
+        for proc_index in range(self.num_procs):
+            with self._locks[proc_index]:
+                worker = self._workers[proc_index]
+                if worker is None:
+                    continue
+                if worker.process.is_alive():
+                    try:
+                        seq = next(self._seqs[proc_index])
+                        worker.conn.send_bytes(
+                            codec.encode_frame(
+                                codec.MSG_SHUTDOWN, -1, seq
+                            )
+                        )
+                        remaining = max(0.1, deadline - time.monotonic())
+                        if worker.conn.poll(remaining):
+                            worker.conn.recv_bytes()
+                    except (BrokenPipeError, EOFError, OSError):
+                        pass
+                    worker.process.join(
+                        timeout=max(0.1, deadline - time.monotonic())
+                    )
+                    if worker.process.is_alive():
+                        try:
+                            os.kill(worker.process.pid, signal.SIGKILL)
+                        except (ProcessLookupError, OSError):
+                            pass
+                        worker.process.join(timeout=5.0)
+                self._reap(worker)
+                self._workers[proc_index] = None
+
+    def __enter__(self) -> "ShardProcessSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

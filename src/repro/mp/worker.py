@@ -1,0 +1,320 @@
+"""The shard worker process: a command loop over private OctoCache maps.
+
+:func:`shard_worker_main` is the child-process entry point (a
+module-level function, so it works under both ``fork`` and ``spawn``
+start methods).  Each worker owns one private
+:class:`~repro.core.octocache.OctoCacheMap` per assigned shard and
+executes framed commands from the parent (:mod:`repro.mp.codec`):
+apply a batch, answer point/box queries, export a snapshot blob,
+rebuild a shard from checkpoint + journal tail
+(:func:`~repro.resilience.recovery.restore_pipeline` — the same exact
+recovery path a crashed worker *thread* takes), report stats, finalize,
+shut down.
+
+The worker never answers with pickles and never logs: it computes,
+replies, and relays telemetry.  A fresh always-on tracer (installed with
+``set_tracer`` *before* the pipelines are built, so they capture it)
+buffers the child's spans and counter events in a relay sink, and every
+reply envelope carries the drained buffer back to the parent, which
+replays the events into the service's registry — cross-process metrics
+without a second channel.
+
+Any per-command failure is reported as an ``ERROR`` frame carrying the
+traceback; only a broken pipe (the parent went away) or an explicit
+``SHUTDOWN`` ends the loop.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import CacheConfig
+from repro.core.octocache import OctoCacheMap
+from repro.mp import codec
+from repro.octree.iterators import occupied_keys_in_box
+from repro.octree.key import VoxelKey
+from repro.octree.merge import merge_tree
+from repro.octree.occupancy import OccupancyParams
+from repro.octree.serialize import tree_to_bytes
+from repro.octree.tree import OccupancyOctree
+from repro.resilience.recovery import ShardCheckpoint, restore_pipeline
+from repro.sensor.scaninsert import ScanBatch
+from repro.telemetry.tracer import CountEvent, Span, Tracer, set_tracer
+
+__all__ = ["shard_worker_main"]
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+class _RelaySink:
+    """Buffers the child's spans/counts for piggybacking onto replies."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+
+    def on_span(self, span: Span) -> None:
+        attrs = {
+            key: (value if isinstance(value, _JSON_SCALARS) else str(value))
+            for key, value in span.attributes.items()
+        }
+        event = {
+            "k": "span",
+            "n": span.name,
+            "c": span.category,
+            "s": span.start,
+            "d": span.duration,
+            "t": span.thread_id,
+        }
+        if attrs:
+            event["a"] = attrs
+        with self._lock:
+            self._events.append(event)
+
+    def on_count(self, event: CountEvent) -> None:
+        with self._lock:
+            self._events.append(
+                {
+                    "k": "count",
+                    "n": event.name,
+                    "c": event.category,
+                    "v": event.value,
+                }
+            )
+
+    def drain(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+
+def _build_params(config: Dict[str, Any]) -> OccupancyParams:
+    fields = config.get("params")
+    if not fields:
+        return OccupancyParams()
+    return OccupancyParams(
+        threshold=fields["threshold"],
+        delta_occupied=fields["delta_occupied"],
+        delta_free=fields["delta_free"],
+        min_occ=fields["min_occ"],
+        max_occ=fields["max_occ"],
+    )
+
+
+def _build_cache_config(config: Dict[str, Any]) -> Optional[CacheConfig]:
+    fields = config.get("cache_config")
+    if not fields:
+        return None
+    return CacheConfig(
+        num_buckets=fields["num_buckets"],
+        bucket_threshold=fields["bucket_threshold"],
+        use_morton_indexing=fields["use_morton_indexing"],
+    )
+
+
+class _ShardWorker:
+    """Per-process state: one pipeline per assigned shard."""
+
+    def __init__(self, config: Dict[str, Any]) -> None:
+        self.resolution = float(config["resolution"])
+        self.depth = int(config["depth"])
+        self.max_range = float(config["max_range"])
+        self.params = _build_params(config)
+        self.cache_config = _build_cache_config(config)
+        self.shard_ids = [int(shard) for shard in config["shard_ids"]]
+        self.pipelines: Dict[int, OctoCacheMap] = {
+            shard: self._make_pipeline() for shard in self.shard_ids
+        }
+
+    def _make_pipeline(self) -> OctoCacheMap:
+        return OctoCacheMap(
+            resolution=self.resolution,
+            depth=self.depth,
+            params=self.params,
+            max_range=self.max_range,
+            cache_config=self.cache_config,
+        )
+
+    def pipeline(self, shard: int) -> OctoCacheMap:
+        try:
+            return self.pipelines[shard]
+        except KeyError:
+            raise ValueError(
+                f"shard {shard} is not assigned to this worker "
+                f"(owns {self.shard_ids})"
+            ) from None
+
+    # -- commands ------------------------------------------------------
+
+    def apply(self, shard: int, payload: bytes) -> bytes:
+        observations = codec.decode_observations(payload)
+        pipeline = self.pipeline(shard)
+        batch = ScanBatch(observations=observations, num_rays=0)
+        record = pipeline.insert_batch(batch)
+        return codec.encode_busy_seconds(
+            pipeline.record_busy_seconds(record)
+        )
+
+    def query_many(self, shard: int, payload: bytes) -> bytes:
+        pipeline = self.pipeline(shard)
+        keys = codec.decode_keys(payload)
+        return codec.encode_values(
+            [pipeline.query_key(key) for key in keys]
+        )
+
+    def box_query(self, shard: int, payload: bytes) -> bytes:
+        min_key, max_key = codec.decode_keys(payload)
+        pipeline = self.pipeline(shard)
+
+        def in_box(key: VoxelKey) -> bool:
+            return all(
+                min_key[axis] <= key[axis] <= max_key[axis]
+                for axis in range(3)
+            )
+
+        # Same cache-is-authoritative overlay as ShardedMap.occupied_in_box.
+        cached = {
+            key: value
+            for key, value in pipeline.cache.iter_cells()
+            if in_box(key)
+        }
+        occupied = [
+            key
+            for key in occupied_keys_in_box(pipeline.octree, min_key, max_key)
+            if key not in cached
+        ]
+        occupied.extend(
+            key
+            for key, value in cached.items()
+            if self.params.is_occupied(value)
+        )
+        return codec.encode_keys(sorted(occupied))
+
+    def snapshot(self, shard: int) -> bytes:
+        pipeline = self.pipeline(shard)
+        tree = OccupancyOctree(
+            resolution=self.resolution, depth=self.depth, params=self.params
+        )
+        merge_tree(tree, pipeline.octree, strategy="overwrite")
+        for key, value in pipeline.cache.iter_cells():
+            tree.set_leaf(key, value)
+        return tree_to_bytes(tree)
+
+    def restore(self, shard: int, payload: bytes) -> bytes:
+        blob, upto, batches = codec.decode_restore(payload)
+        checkpoint = (
+            ShardCheckpoint(blob=blob, upto=upto) if blob is not None else None
+        )
+        self.pipeline(shard)  # validate ownership before replacing
+        self.pipelines[shard] = restore_pipeline(
+            self._make_pipeline, checkpoint, batches
+        )
+        return codec.encode_json({"replayed": len(batches)})
+
+    def stats(self, shard: int) -> bytes:
+        pipeline = self.pipeline(shard)
+        return codec.encode_json(
+            {
+                "hit_ratio": pipeline.hit_ratio,
+                "resident_voxels": pipeline.cache.resident_voxels,
+                "octree_nodes": pipeline.octree.num_nodes,
+                "batches": len(pipeline.batches),
+                "cache": pipeline.cache.stats_dict(),
+            }
+        )
+
+    def finalize(self, shard: int) -> bytes:
+        self.pipeline(shard).finalize()
+        return b""
+
+
+def shard_worker_main(conn, config_blob: bytes) -> None:
+    """Child-process entry: build the pipelines, serve framed commands.
+
+    ``conn`` is the worker end of a ``multiprocessing.Pipe``;
+    ``config_blob`` a JSON payload (:func:`repro.mp.codec.encode_json`)
+    with the shard shape (resolution/depth/params/cache) and the shard
+    ids this process owns.
+    """
+    # The parent owns lifecycle: SIGINT (a user's Ctrl-C reaches the
+    # whole process group) must not tear the worker down mid-command —
+    # the parent's close()/SHUTDOWN does that in order.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    relay = _RelaySink()
+    # A fresh tracer *before* pipelines are built (they capture it at
+    # construction).  Under fork we would otherwise inherit the parent's
+    # global tracer and feed parent-copied sinks nobody reads.
+    set_tracer(Tracer(enabled=True, sinks=[relay]))
+    config = codec.decode_json(config_blob)
+    worker = _ShardWorker(config)
+    handlers = {
+        codec.MSG_APPLY: worker.apply,
+        codec.MSG_QUERY_MANY: worker.query_many,
+        codec.MSG_BOX_QUERY: worker.box_query,
+        codec.MSG_RESTORE: worker.restore,
+    }
+    no_payload = {
+        codec.MSG_SNAPSHOT: worker.snapshot,
+        codec.MSG_STATS: worker.stats,
+        codec.MSG_FINALIZE: worker.finalize,
+    }
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            # Parent went away without SHUTDOWN (killed, crashed): exit
+            # quietly; the supervisor treats us as dead either way.
+            return
+        frame: Optional[codec.Frame] = None
+        try:
+            frame = codec.decode_frame(data)
+            if frame.type == codec.MSG_SHUTDOWN:
+                reply = codec.encode_frame(
+                    codec.MSG_OK,
+                    frame.shard,
+                    frame.seq,
+                    codec.encode_reply(b"", relay.drain()),
+                )
+                try:
+                    conn.send_bytes(reply)
+                except (BrokenPipeError, OSError):
+                    pass
+                return
+            if frame.type == codec.MSG_PING:
+                body = b""
+            elif frame.type in handlers:
+                body = handlers[frame.type](frame.shard, frame.payload)
+            elif frame.type in no_payload:
+                body = no_payload[frame.type](frame.shard)
+            else:
+                raise ValueError(
+                    f"unexpected message {codec.message_name(frame.type)}"
+                )
+            reply = codec.encode_frame(
+                codec.MSG_OK,
+                frame.shard,
+                frame.seq,
+                codec.encode_reply(body, relay.drain()),
+            )
+        except BaseException:
+            # Per-command failure: report, keep serving.  The parent maps
+            # this to a retryable WorkerCommandError.
+            reply = codec.encode_frame(
+                codec.MSG_ERROR,
+                frame.shard if frame is not None else -1,
+                frame.seq if frame is not None else 0,
+                codec.encode_reply(
+                    traceback.format_exc().encode("utf-8", "replace"),
+                    relay.drain(),
+                ),
+            )
+        try:
+            conn.send_bytes(reply)
+        except (BrokenPipeError, OSError):
+            return

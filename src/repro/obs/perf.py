@@ -12,7 +12,17 @@ too noisy to gate on):
   same construction (Fig. 23's metric; deterministic).
 - ``modeled_pipeline_speedup`` — the §4.4 two-thread modeled speedup
   (serial stage sum / modeled parallel makespan) from the measured
-  per-batch stage times.
+  per-batch stage times.  Informational since the multiprocess backend
+  landed: the *measured* ``multicore_speedup`` supersedes it in the
+  baseline gate.
+- ``multicore_speedup`` — measured, not modeled: wall clock of the same
+  pre-traced workload through a process-backed
+  ``OccupancyMapService`` with one worker process vs. one per core
+  (capped), same shard count both sides.  Floor-gated at 1.0 so 1-core
+  CI still passes; a multi-core host should clear 1.4×.
+- ``multicore_map_agreement`` — occupancy-decision agreement of the
+  multi-process run's snapshot against a serially built map; gated at
+  exactly 1.0 (the speedup only counts if the answers stay bit-exact).
 - ``simcache_hit_ratio`` — innermost-level hit ratio of a recorded
   octree-update trace replayed through the modeled Jetson-TX2 hierarchy
   (fully deterministic: same trace, same hierarchy, same ratio).
@@ -67,6 +77,8 @@ _DEFAULT_TOLERANCE = {
     "serve_throughput": 0.45,
     "trace_overhead_ratio": 0.40,
     "modeled_pipeline_speedup": 0.30,
+    "multicore_speedup": 0.30,
+    "multicore_map_agreement": 0.0,
     "cache_hit_ratio": 0.10,
     "simcache_hit_ratio": 0.10,
 }
@@ -75,6 +87,8 @@ _DIRECTIONS = {
     "scan_insert_throughput": "higher",
     "cache_hit_ratio": "higher",
     "modeled_pipeline_speedup": "higher",
+    "multicore_speedup": "higher",
+    "multicore_map_agreement": "higher",
     "simcache_hit_ratio": "higher",
     "serve_throughput": "higher",
     "trace_overhead_ratio": "lower",
@@ -84,6 +98,8 @@ _UNITS = {
     "scan_insert_throughput": "obs/s",
     "cache_hit_ratio": "ratio",
     "modeled_pipeline_speedup": "x",
+    "multicore_speedup": "x",
+    "multicore_map_agreement": "ratio",
     "simcache_hit_ratio": "ratio",
     "serve_throughput": "scans/s",
     "trace_overhead_ratio": "x",
@@ -135,8 +151,16 @@ class PerfRun:
         }
 
 
-def environment_fingerprint() -> Dict[str, object]:
-    """Who/where produced a measurement (never compare across these)."""
+def environment_fingerprint(
+    workers: Optional[str] = None, num_procs: Optional[int] = None
+) -> Dict[str, object]:
+    """Who/where produced a measurement (never compare across these).
+
+    ``workers``/``num_procs`` record the service worker backend a run
+    drove, next to ``cpu_count`` — a process-mode number on a 1-core
+    runner and a thread-mode number on a 16-core box must never be
+    naively compared any more than two different hosts.
+    """
     env: Dict[str, object] = {
         "host": socket.gethostname(),
         "python": platform.python_version(),
@@ -145,6 +169,9 @@ def environment_fingerprint() -> Dict[str, object]:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
     }
+    if workers is not None:
+        env["workers"] = workers
+        env["num_procs"] = num_procs
     try:
         env["commit"] = (
             subprocess.run(
@@ -219,6 +246,8 @@ def _serve_throughput_samples(
     batches: int,
     ray_scale: float,
     repeats: int,
+    workers: str = "thread",
+    num_procs: Optional[int] = None,
 ) -> List[float]:
     from repro.service.workload import run_serve_bench
 
@@ -233,6 +262,8 @@ def _serve_throughput_samples(
             max_batches=batches,
             queries_per_scan=1,
             ray_scale=ray_scale,
+            workers=workers,
+            num_procs=num_procs,
         )
         samples.append(
             report.scans / report.elapsed_seconds
@@ -240,6 +271,78 @@ def _serve_throughput_samples(
             else 0.0
         )
     return samples
+
+
+def _multicore_samples(
+    workload: BenchWorkload,
+    resolution: float,
+    depth: int,
+    repeats: int,
+):
+    """Measured multi-core gain: 1 worker process vs. one per core.
+
+    Both sides run the *same* process-backed service shape (same shard
+    count, same pre-traced observation stream, checkpointing off), so
+    the only variable is how many cores execute shard compute.  Returns
+    ``(speedups, agreements, procs)`` where each agreement sample is the
+    multi-process snapshot's occupancy-decision agreement against a
+    serially built map — the speedup is meaningless unless it is 1.0.
+    """
+    from repro.octree.merge import map_agreement
+    from repro.sensor.scaninsert import ScanBatch, trace_scan
+    from repro.service.server import OccupancyMapService, ServiceConfig
+
+    procs = max(1, min(os.cpu_count() or 1, 4))
+    shards = max(2, procs)
+    # Pre-trace once so the timed section is pure shard compute + IPC
+    # (ray tracing runs on the producer thread in both configurations
+    # and would only dilute the contrast).
+    batches = [
+        trace_scan(
+            cloud, resolution, depth, max_range=workload.max_range
+        ).observations
+        for cloud in workload
+    ]
+
+    def run_once(num_procs: int):
+        config = ServiceConfig(
+            resolution=resolution,
+            depth=depth,
+            num_shards=shards,
+            queue_capacity=16,
+            coalesce=1,
+            max_range=workload.max_range,
+            snapshot_interval=0,
+            workers="process",
+            num_procs=num_procs,
+        )
+        with OccupancyMapService(config) as service:
+            start = time.perf_counter()
+            for observations in batches:
+                service.submit_observations(observations, must_accept=True)
+            service.flush()
+            elapsed = time.perf_counter() - start
+            snapshot = service.snapshot()
+        return elapsed, snapshot
+
+    serial = OctoCacheMap(
+        resolution=resolution, depth=depth, max_range=workload.max_range
+    )
+    for observations in batches:
+        serial.insert_batch(
+            ScanBatch(observations=list(observations), num_rays=0)
+        )
+    serial.finalize()
+    speedups: List[float] = []
+    agreements: List[float] = []
+    for _ in range(repeats):
+        single, _snapshot = run_once(1)
+        multi, snapshot = run_once(procs)
+        speedups.append(single / multi if multi > 0 else 0.0)
+        agreements.append(
+            float(map_agreement(serial.octree, snapshot).decision_agreement)
+        )
+    return speedups, agreements, procs
 
 
 def _trace_overhead_samples(
@@ -283,6 +386,8 @@ def run_perf_bench(
     repeats: Optional[int] = None,
     resolution: float = 0.3,
     depth: int = 10,
+    workers: str = "thread",
+    num_procs: Optional[int] = None,
 ) -> PerfRun:
     """Run the pinned perf suite; returns the time-series entry.
 
@@ -290,6 +395,12 @@ def run_perf_bench(
     smoke size; the metric *names* are identical either way, so quick
     runs and full runs live in the same series and the same baseline
     gates both.
+
+    ``workers``/``num_procs`` pick the service backend for the
+    ``serve_throughput`` phase and are stamped into the environment
+    fingerprint.  The ``multicore_speedup`` phase always runs the
+    process backend (1 process vs. one per core) regardless — that
+    contrast *is* the metric.
     """
     batches = 4 if quick else 10
     ray_scale = 0.3 if quick else 0.5
@@ -299,7 +410,7 @@ def run_perf_bench(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     run = PerfRun(quick=quick, repeats=repeats)
     run.timestamp = time.time()
-    run.env = environment_fingerprint()
+    run.env = environment_fingerprint(workers=workers, num_procs=num_procs)
     suite_start = time.perf_counter()
 
     workload = load_bench_workload(
@@ -320,7 +431,14 @@ def run_perf_bench(
         run,
         "serve_throughput",
         _serve_throughput_samples(
-            dataset_name, resolution, depth, batches, ray_scale, repeats
+            dataset_name,
+            resolution,
+            depth,
+            batches,
+            ray_scale,
+            repeats,
+            workers=workers,
+            num_procs=num_procs,
         ),
     )
     _record(
@@ -328,6 +446,12 @@ def run_perf_bench(
         "trace_overhead_ratio",
         _trace_overhead_samples(workload, resolution, depth, repeats),
     )
+    mc_speedups, mc_agreements, mc_procs = _multicore_samples(
+        workload, resolution, depth, repeats
+    )
+    run.env["multicore_procs"] = mc_procs
+    _record(run, "multicore_speedup", mc_speedups)
+    _record(run, "multicore_map_agreement", mc_agreements)
     run.elapsed_seconds = time.perf_counter() - suite_start
     return run
 

@@ -38,6 +38,10 @@ class ChaosReport:
     Attributes:
         dataset: dataset driven through the service.
         shards: service shard count.
+        workers: worker backend (``"thread"`` or ``"process"`` — in
+            process mode the injected crash SIGKILLs the real worker
+            process, so recovery is exercised against actual process
+            death, not a simulated one).
         scans / observations: workload volume submitted.
         rejected_observations: observations dropped (reject policy,
             dead shards, or injected enqueue drops).
@@ -53,6 +57,7 @@ class ChaosReport:
 
     dataset: str
     shards: int
+    workers: str = "thread"
     scans: int = 0
     observations: int = 0
     rejected_observations: int = 0
@@ -89,6 +94,7 @@ class ChaosReport:
         return {
             "dataset": self.dataset,
             "shards": self.shards,
+            "workers": self.workers,
             "scans": self.scans,
             "observations": self.observations,
             "rejected_observations": self.rejected_observations,
@@ -118,6 +124,8 @@ def run_chaos_bench(
     coalesce: int = 2,
     ray_scale: float = 0.5,
     extra_specs: Sequence[FaultSpec] = (),
+    workers: str = "thread",
+    num_procs: Optional[int] = None,
 ) -> ChaosReport:
     """Run the chaos workload and verify recovery exactness.
 
@@ -126,6 +134,11 @@ def run_chaos_bench(
     additional injections (transient errors, enqueue drops, snapshot
     failures).  Returns a :class:`ChaosReport`; inspect
     ``recovered_exactly`` for the verdict.
+
+    With ``workers="process"`` the same crash plan SIGKILLs the shard's
+    actual worker process mid-workload (the service makes injected
+    crashes real in process mode), so the verdict certifies exact
+    recovery from genuine process death.
     """
     if not 0 <= crash_shard < shards:
         raise ValueError(
@@ -154,8 +167,10 @@ def run_chaos_bench(
         coalesce=coalesce,
         max_range=dataset.sensor.max_range,
         snapshot_interval=snapshot_interval,
+        workers=workers,
+        num_procs=num_procs,
     )
-    report = ChaosReport(dataset=dataset_name, shards=shards)
+    report = ChaosReport(dataset=dataset_name, shards=shards, workers=workers)
     start = time.perf_counter()
     with OccupancyMapService(config, fault_plan=plan) as service:
         for cloud in scans:

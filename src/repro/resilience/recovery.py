@@ -144,8 +144,20 @@ class CheckpointStore:
         fault plan injects at ``snapshot.write``; the previous snapshot
         stays in place when that happens.
         """
+        return self.write_snapshot_blob(shard_id, tree_to_bytes(tree), upto)
+
+    def write_snapshot_blob(
+        self, shard_id: int, blob: bytes, upto: int
+    ) -> ShardCheckpoint:
+        """Store an already-serialised snapshot (serialize-v2 bytes).
+
+        The process-backed map exports shard snapshots in the worker
+        process as bytes; storing them verbatim avoids a decode/encode
+        round trip.  Same contract as :meth:`write_snapshot` otherwise
+        (fault site, journal-position check, optional disk write).
+        """
         self.fault_plan.check("snapshot.write", shard=shard_id)
-        checkpoint = ShardCheckpoint(blob=tree_to_bytes(tree), upto=upto)
+        checkpoint = ShardCheckpoint(blob=blob, upto=upto)
         with self._locks[shard_id]:
             if upto > len(self._journals[shard_id]):
                 raise ValueError(

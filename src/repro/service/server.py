@@ -48,6 +48,7 @@ gauges (not span-shaped) stay direct.
 
 from __future__ import annotations
 
+import atexit
 import logging
 import queue
 import threading
@@ -62,11 +63,7 @@ from repro.octree.rayquery import RayHit
 from repro.octree.tree import OccupancyOctree
 from repro.resilience.faults import FaultPlan, InjectedCrash
 from repro.resilience.policy import Deadline, DeadlineExceeded, RetryPolicy
-from repro.resilience.recovery import (
-    CheckpointStore,
-    ShardHealth,
-    restore_pipeline,
-)
+from repro.resilience.recovery import CheckpointStore, ShardHealth
 from repro.sensor.pointcloud import PointCloud
 from repro.sensor.scaninsert import trace_scan, trace_scan_rt
 from repro.service.metrics import MetricsRegistry
@@ -82,6 +79,8 @@ __all__ = [
 ]
 
 _BACKPRESSURE_POLICIES = ("block", "reject")
+
+_WORKER_BACKENDS = ("thread", "process")
 
 #: Sentinel telling a shard worker to exit.
 _STOP = object()
@@ -132,6 +131,14 @@ class ServiceConfig:
             declared ``dead`` and starts discarding its traffic.
         checkpoint_dir: when set, shard snapshots are also persisted as
             ``<dir>/shard-<id>.oct`` files.
+        workers: ``"thread"`` (default — shard pipelines live in this
+            process, workers contend on the GIL) or ``"process"`` —
+            shard pipelines live in child processes behind
+            :class:`~repro.mp.backend.ProcessShardedMap`, so shard
+            compute runs on real cores.  Queueing, backpressure,
+            journaling, and recovery semantics are identical.
+        num_procs: worker process count for ``workers="process"``
+            (default: one per shard); shards are assigned round-robin.
     """
 
     resolution: float
@@ -151,6 +158,8 @@ class ServiceConfig:
     snapshot_interval: int = 16
     max_recoveries: int = 3
     checkpoint_dir: Optional[str] = None
+    workers: str = "thread"
+    num_procs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.resolution <= 0:
@@ -186,6 +195,21 @@ class ServiceConfig:
             raise ValueError(
                 f"max_recoveries must be >= 0, got {self.max_recoveries}"
             )
+        if self.workers not in _WORKER_BACKENDS:
+            raise ValueError(
+                f"workers must be one of {_WORKER_BACKENDS}, "
+                f"got {self.workers!r}"
+            )
+        if self.num_procs is not None:
+            if self.workers != "process":
+                raise ValueError(
+                    "num_procs only applies to workers='process'"
+                )
+            if not 1 <= self.num_procs <= self.num_shards:
+                raise ValueError(
+                    f"num_procs must be in [1, num_shards="
+                    f"{self.num_shards}], got {self.num_procs}"
+                )
 
 
 @dataclass(frozen=True)
@@ -258,20 +282,41 @@ class OccupancyMapService:
         self.tracer = Tracer(
             sinks=[MetricsSink(self.metrics), ForwardSink(get_tracer())]
         )
-        self.map = ShardedMap(
-            resolution=config.resolution,
-            depth=config.depth,
-            num_shards=config.num_shards,
-            max_range=config.max_range,
-            cache_config=config.cache_config,
-            rt=config.rt,
-        )
+        if config.workers == "process":
+            # Imported lazily: the thread backend must not pay for (or
+            # depend on) the multiprocessing machinery.
+            from repro.mp.backend import ProcessShardedMap
+
+            self.map = ProcessShardedMap(
+                resolution=config.resolution,
+                depth=config.depth,
+                num_shards=config.num_shards,
+                max_range=config.max_range,
+                cache_config=config.cache_config,
+                rt=config.rt,
+                num_procs=config.num_procs,
+            )
+        else:
+            self.map = ShardedMap(
+                resolution=config.resolution,
+                depth=config.depth,
+                num_shards=config.num_shards,
+                max_range=config.max_range,
+                cache_config=config.cache_config,
+                rt=config.rt,
+            )
         self.map.fault_plan = self.fault_plan
         self.store = CheckpointStore(
             config.num_shards,
             directory=config.checkpoint_dir,
             fault_plan=self.fault_plan,
         )
+        if config.workers == "process":
+            # Child-process spans/counters relay into the service tracer
+            # (registry + forward sinks), and a process that died taking
+            # sibling shards with it lazily restores them from the store.
+            self.map.relay_tracer = self.tracer
+            self.map.recovery_source = self.store.recovery_state
         self._queues: List["queue.Queue"] = [
             queue.Queue() for _ in range(config.num_shards)
         ]
@@ -285,6 +330,7 @@ class OccupancyMapService:
         self._outstanding_cv = threading.Condition()
         self._outstanding = 0
         self._errors: List[BaseException] = []
+        self._close_lock = threading.RLock()
         self._closed = False
         self._health: List[ShardHealth] = [
             ShardHealth.HEALTHY for _ in range(config.num_shards)
@@ -315,6 +361,12 @@ class OccupancyMapService:
         ]
         for worker in self._workers:
             worker.start()
+        # Last: close this service at interpreter exit if the owner never
+        # did.  Registering *after* multiprocessing has initialised (the
+        # process backend spawned its workers above) means atexit's LIFO
+        # order runs our handler before multiprocessing's own teardown —
+        # a clean drain/flush instead of racing dying daemon children.
+        atexit.register(self._close_at_exit)
 
     def _make_worker(
         self,
@@ -618,8 +670,12 @@ class OccupancyMapService:
             except InjectedCrash:
                 # Flag the shard *before* outstanding work is released so
                 # flush() keeps waiting until the rebuilt shard is
-                # swapped in; then let the crash kill this worker.
+                # swapped in; then let the crash kill this worker.  In
+                # process mode the crash is made *real*: the shard's
+                # worker process is SIGKILLed, so recovery rebuilds an
+                # actually-empty process, not a pretend-crashed one.
                 self._set_health(shard_id, ShardHealth.RECOVERING)
+                self._kill_worker_process(shard_id)
                 if stop:
                     # Don't lose the shutdown signal with the thread.
                     shard_queue.put(_STOP)
@@ -674,21 +730,37 @@ class OccupancyMapService:
                 self.tracer.count("shard.retries", category="service")
                 policy.sleep(attempt - 1)
 
+    def _kill_worker_process(self, shard_id: int) -> None:
+        """SIGKILL a shard's worker process, if the backend has one.
+
+        No-op for the thread backend and for a process that already
+        died (a real death *is* the crash being handled).
+        """
+        kill = getattr(self.map, "kill_shard_process", None)
+        if kill is None:
+            return
+        try:
+            kill(shard_id)
+        except Exception:  # pragma: no cover - racing a dying process
+            pass
+
     def _write_checkpoint(self, shard_id: int) -> None:
         """Snapshot one shard's authoritative tree at a journal boundary.
 
         Runs on the shard's worker thread, which is the only appender to
         the shard's journal — so ``journal_length`` here equals exactly
         the entries already applied, and the snapshot is a precise prefix
-        of the shard's history.
+        of the shard's history.  The snapshot is exported as serialize-v2
+        bytes by the map backend (in the worker process, for the process
+        backend) and stored verbatim.
         """
         upto = self.store.journal_length(shard_id)
-        tree = self.map.shard_snapshot_tree(shard_id)
         try:
+            blob = self.map.shard_snapshot_blob(shard_id)
             with self.tracer.span(
                 "shard.snapshot", category="service", shard=shard_id
             ):
-                self.store.write_snapshot(shard_id, tree, upto)
+                self.store.write_snapshot_blob(shard_id, blob, upto)
         except InjectedCrash:
             raise
         except BaseException as error:
@@ -731,10 +803,7 @@ class OccupancyMapService:
             "shard.recover", category="service", shard=shard_id
         ) as span:
             checkpoint, tail = self.store.recovery_state(shard_id)
-            pipeline = restore_pipeline(
-                self.map.make_shard_pipeline, checkpoint, tail
-            )
-            self.map.replace_shard(shard_id, pipeline)
+            self.map.restore_shard(shard_id, checkpoint, tail)
             span.set(
                 replayed=len(tail),
                 from_snapshot=checkpoint is not None,
@@ -816,12 +885,25 @@ class OccupancyMapService:
         self._raise_worker_errors()
 
     def close(self) -> None:
-        """Drain queues, stop workers, flush shard caches.  Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
+        """Drain queues, stop workers, release the map backend.
+
+        Idempotent, concurrency-safe, and teardown-safe: the winner of
+        the close race does the work, every other caller returns
+        immediately, and the version atexit runs (when the owner never
+        closed) survives interpreter teardown — enqueueing the stop
+        sentinels is wrapped so a torn-down queue cannot wedge the
+        handler before the worker processes are reaped.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        atexit.unregister(self._close_at_exit)
         for shard_queue in self._queues:
-            shard_queue.put(_STOP)
+            try:
+                shard_queue.put(_STOP)
+            except BaseException:  # pragma: no cover - teardown only
+                pass
         # A crashing worker hands its queue to a replacement thread, so
         # join until the roster is stable.
         while True:
@@ -830,8 +912,15 @@ class OccupancyMapService:
                 worker.join()
             if list(self._workers) == current:
                 break
-        self.map.finalize()
+        self.map.close()
         self._raise_worker_errors()
+
+    def _close_at_exit(self) -> None:
+        """atexit fallback close; never raises into interpreter exit."""
+        try:
+            self.close()
+        except BaseException:  # pragma: no cover - teardown only
+            pass
 
     def __enter__(self) -> "OccupancyMapService":
         return self
@@ -930,25 +1019,24 @@ class OccupancyMapService:
         """
         from repro.core.cache import aggregate_cache_stats
 
-        hit_ratios = self.map.hit_ratios()
         shards = []
-        for shard_id, shard in enumerate(self.map.shards):
+        for shard_id in range(self.config.num_shards):
             durability = self.store.stats(shard_id)
-            with self.map.shard_lock(shard_id):
-                shards.append(
-                    {
-                        "shard": shard_id,
-                        "hit_ratio": hit_ratios[shard_id],
-                        "resident_voxels": shard.cache.resident_voxels,
-                        "octree_nodes": shard.octree.num_nodes,
-                        "batches": len(shard.batches),
-                        "queue_depth": self._queues[shard_id].qsize(),
-                        "health": self._health[shard_id].value,
-                        "recoveries": self._recoveries[shard_id],
-                        "cache": shard.cache.stats_dict(),
-                        **durability,
-                    }
-                )
+            shard_stats = self.map.shard_stats(shard_id)
+            shards.append(
+                {
+                    "shard": shard_id,
+                    "hit_ratio": shard_stats["hit_ratio"],
+                    "resident_voxels": shard_stats["resident_voxels"],
+                    "octree_nodes": shard_stats["octree_nodes"],
+                    "batches": shard_stats["batches"],
+                    "queue_depth": self._queues[shard_id].qsize(),
+                    "health": self._health[shard_id].value,
+                    "recoveries": self._recoveries[shard_id],
+                    "cache": shard_stats["cache"],
+                    **durability,
+                }
+            )
         return {
             "metrics": self.metrics.to_dict(),
             "shards": shards,

@@ -35,10 +35,12 @@ from repro.octree.key import VoxelKey, coord_to_key, key_to_coord
 from repro.octree.merge import merge_tree
 from repro.octree.occupancy import OccupancyParams
 from repro.octree.rayquery import RayHit
+from repro.octree.serialize import tree_to_bytes
 from repro.octree.tree import OccupancyOctree
 from repro.sensor.pointcloud import PointCloud
 from repro.sensor.raycast import compute_ray_keys
 from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import ShardCheckpoint, restore_pipeline
 from repro.sensor.scaninsert import ScanBatch, trace_scan, trace_scan_rt
 from repro.service.sharding import ShardRouter
 from repro.telemetry import get_tracer
@@ -156,6 +158,24 @@ class ShardedMap:
         """
         with self._locks[shard_id]:
             self.shards[shard_id] = pipeline
+
+    def restore_shard(
+        self,
+        shard_id: int,
+        checkpoint: Optional[ShardCheckpoint],
+        tail: Sequence[Sequence[Tuple[VoxelKey, bool]]],
+    ) -> None:
+        """Rebuild one shard exactly from a checkpoint + journal tail.
+
+        The backend-agnostic recovery entry point the service calls
+        (:class:`~repro.mp.backend.ProcessShardedMap` implements the
+        same method by shipping a ``RESTORE`` command to the worker
+        process).  The rebuild runs off-lock — the old pipeline keeps
+        serving stale-but-consistent queries — and the replacement is
+        swapped in atomically.
+        """
+        pipeline = restore_pipeline(self.make_shard_pipeline, checkpoint, tail)
+        self.replace_shard(shard_id, pipeline)
 
     # ------------------------------------------------------------------
     # Update path.
@@ -377,6 +397,15 @@ class ShardedMap:
                 tree.set_leaf(key, value)
         return tree
 
+    def shard_snapshot_blob(self, shard_id: int) -> bytes:
+        """One shard's authoritative tree as serialize-v2 bytes.
+
+        The checkpoint payload :class:`CheckpointStore` stores verbatim
+        (``write_snapshot_blob``); the process backend answers this from
+        the worker process without an extra decode/encode round trip.
+        """
+        return tree_to_bytes(self.shard_snapshot_tree(shard_id))
+
     def snapshot(self) -> OccupancyOctree:
         """Export one octree holding the whole map's current answers.
 
@@ -400,6 +429,23 @@ class ShardedMap:
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
+
+    def shard_stats(self, shard_id: int) -> Dict[str, object]:
+        """One shard's pipeline stats (the service's ``/snapshot`` slice).
+
+        Backend-agnostic shape shared with
+        :meth:`~repro.mp.backend.ProcessShardedMap.shard_stats`, so the
+        service never reaches into shard pipelines directly.
+        """
+        with self._locks[shard_id]:
+            shard = self.shards[shard_id]
+            return {
+                "hit_ratio": shard.hit_ratio,
+                "resident_voxels": shard.cache.resident_voxels,
+                "octree_nodes": shard.octree.num_nodes,
+                "batches": len(shard.batches),
+                "cache": shard.cache.stats_dict(),
+            }
 
     def hit_ratios(self) -> List[float]:
         """Per-shard insert-path cache hit ratios."""

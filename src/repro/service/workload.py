@@ -36,6 +36,7 @@ class LoadReport:
         dataset: dataset name driven through the service.
         clients: client thread count.
         shards: service shard count.
+        workers: worker backend (``"thread"`` or ``"process"``).
         scans: scans submitted across all clients.
         observations: voxel observations submitted.
         rejected_observations: observations dropped by backpressure.
@@ -50,6 +51,7 @@ class LoadReport:
     dataset: str
     clients: int
     shards: int
+    workers: str = "thread"
     scans: int = 0
     observations: int = 0
     rejected_observations: int = 0
@@ -126,6 +128,8 @@ def run_serve_bench(
     verify_snapshot: bool = False,
     admin_port: Optional[int] = None,
     admin_hold: float = 0.0,
+    workers: str = "thread",
+    num_procs: Optional[int] = None,
 ) -> LoadReport:
     """Drive a sharded service with concurrent synthetic clients.
 
@@ -140,6 +144,11 @@ def run_serve_bench(
     run and prints its URL; ``admin_hold`` keeps it (and the service)
     up that many seconds after the workload drains, long enough for an
     external scraper or a CI ``curl`` to probe a live map.
+
+    ``workers``/``num_procs`` select the service's worker backend
+    (``"process"`` runs each shard pipeline in a child process — see
+    ``docs/parallelism.md``); the ingest/query semantics and the
+    snapshot-vs-serial agreement contract are identical in both modes.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -162,8 +171,12 @@ def run_serve_bench(
         backpressure=backpressure,
         coalesce=coalesce,
         max_range=dataset.sensor.max_range,
+        workers=workers,
+        num_procs=num_procs,
     )
-    report = LoadReport(dataset=dataset_name, clients=clients, shards=shards)
+    report = LoadReport(
+        dataset=dataset_name, clients=clients, shards=shards, workers=workers
+    )
     lock = threading.Lock()
     start = time.perf_counter()
     with OccupancyMapService(config) as service:

@@ -106,11 +106,18 @@ def run_trace_bench(
     queries_per_scan: int = 2,
     ray_scale: float = 0.5,
     ring_capacity: Optional[int] = None,
+    workers: str = "thread",
+    num_procs: Optional[int] = None,
 ) -> TraceBenchReport:
     """Run the three traced phases and aggregate the span stream.
 
     Returns a :class:`TraceBenchReport`; the caller decides what to print
     or export (see ``python -m repro trace-bench``).
+
+    ``workers="process"`` runs the service phase on the multiprocess
+    backend; child-process spans are relayed into the service tracer and
+    mirrored to the global one, so the consistency cross-check (metric
+    totals vs. span counts from the same events) holds in both modes.
     """
     if batches < 1:
         raise ValueError(f"batches must be >= 1, got {batches}")
@@ -136,6 +143,8 @@ def run_trace_bench(
             depth=depth,
             num_shards=shards,
             max_range=max_range,
+            workers=workers,
+            num_procs=num_procs,
         )
         with OccupancyMapService(config) as service:
             for index, cloud in enumerate(scans):

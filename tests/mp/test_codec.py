@@ -1,0 +1,139 @@
+"""The multiprocess wire codec: round trips and corruption rejection.
+
+The codec is the trust boundary between the service parent and shard
+worker processes — every payload kind must survive a round trip
+bit-exactly, and every structural violation (flipped bytes, truncation,
+version skew) must fail loudly with :class:`CodecError`, never misparse.
+"""
+
+import pytest
+
+from repro.mp import codec
+from repro.mp.codec import CodecError
+
+
+class TestFrames:
+    def test_frame_round_trip(self):
+        payload = b"hello shard"
+        data = codec.encode_frame(codec.MSG_APPLY, 3, 17, payload)
+        frame = codec.decode_frame(data)
+        assert frame.type == codec.MSG_APPLY
+        assert frame.shard == 3
+        assert frame.seq == 17
+        assert frame.payload == payload
+
+    def test_empty_payload_round_trip(self):
+        frame = codec.decode_frame(codec.encode_frame(codec.MSG_PING, 0, 1))
+        assert frame.type == codec.MSG_PING
+        assert frame.payload == b""
+
+    @pytest.mark.parametrize("position", [0, 5, 10, -5, -1])
+    def test_flipped_byte_fails_crc(self, position):
+        data = bytearray(
+            codec.encode_frame(codec.MSG_APPLY, 1, 2, b"payload bytes")
+        )
+        data[position] ^= 0xFF
+        with pytest.raises(CodecError):
+            codec.decode_frame(bytes(data))
+
+    def test_truncated_frame_rejected(self):
+        data = codec.encode_frame(codec.MSG_STATS, 0, 1, b"x" * 32)
+        with pytest.raises(CodecError, match="truncated"):
+            codec.decode_frame(data[:6])
+
+    def test_version_mismatch_rejected(self):
+        import struct
+        import zlib
+
+        head = struct.pack(
+            "<4sBBiII", b"RMPC", codec.WIRE_VERSION + 1, codec.MSG_PING, 0, 1, 0
+        )
+        data = head + struct.pack("<I", zlib.crc32(head) & 0xFFFFFFFF)
+        with pytest.raises(CodecError, match="version mismatch"):
+            codec.decode_frame(data)
+
+    def test_unknown_message_type_rejected_on_encode(self):
+        with pytest.raises(CodecError, match="unknown message type"):
+            codec.encode_frame(99, 0, 1)
+
+
+class TestPayloads:
+    def test_observations_round_trip(self):
+        observations = [
+            ((1, 2, 3), True),
+            ((0, 0, 0), False),
+            ((4095, 17, 2048), True),
+        ]
+        payload = codec.encode_observations(observations)
+        assert codec.decode_observations(payload) == observations
+
+    def test_empty_observations(self):
+        assert codec.decode_observations(codec.encode_observations([])) == []
+
+    def test_observations_length_mismatch_rejected(self):
+        payload = codec.encode_observations([((1, 2, 3), True)])
+        with pytest.raises(CodecError, match="length mismatch"):
+            codec.decode_observations(payload + b"\x00")
+
+    def test_keys_round_trip(self):
+        keys = [(9, 8, 7), (0, 1, 2), (100, 200, 300)]
+        assert codec.decode_keys(codec.encode_keys(keys)) == keys
+
+    def test_values_round_trip_with_missing(self):
+        values = [0.25, None, -3.5, None, 0.0]
+        assert codec.decode_values(codec.encode_values(values)) == values
+
+    def test_json_round_trip(self):
+        obj = {"hit_ratio": 0.5, "cache": {"hits": 3}, "names": ["a", "b"]}
+        assert codec.decode_json(codec.encode_json(obj)) == obj
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(CodecError, match="bad JSON"):
+            codec.decode_json(b"{not json")
+
+    def test_busy_seconds_round_trip(self):
+        body = codec.encode_busy_seconds(0.125)
+        assert codec.decode_busy_seconds(body) == 0.125
+        with pytest.raises(CodecError):
+            codec.decode_busy_seconds(body + b"\x00")
+
+
+class TestReplyEnvelope:
+    def test_reply_round_trip(self):
+        events = [{"k": "count", "n": "cache.hits", "c": "cache", "v": 2}]
+        payload = codec.encode_reply(b"body-bytes", events)
+        body, decoded = codec.decode_reply(payload)
+        assert body == b"body-bytes"
+        assert decoded == events
+
+    def test_reply_without_events(self):
+        body, events = codec.decode_reply(codec.encode_reply(b"abc"))
+        assert body == b"abc"
+        assert events == []
+
+    def test_truncated_reply_rejected(self):
+        payload = codec.encode_reply(b"some body", [])
+        with pytest.raises(CodecError):
+            codec.decode_reply(payload[:2])
+
+
+class TestRestore:
+    def test_restore_round_trip_with_blob(self):
+        blob = b"serialized-octree-v2"
+        batches = [
+            [((1, 1, 1), True), ((2, 2, 2), False)],
+            [((3, 3, 3), True)],
+        ]
+        decoded = codec.decode_restore(codec.encode_restore(blob, 7, batches))
+        assert decoded == (blob, 7, batches)
+
+    def test_restore_round_trip_without_blob(self):
+        decoded = codec.decode_restore(
+            codec.encode_restore(None, 0, [[((5, 5, 5), True)]])
+        )
+        assert decoded == (None, 0, [[((5, 5, 5), True)]])
+
+    def test_restore_trailing_bytes_rejected(self):
+        payload = codec.encode_restore(b"blob", 1, [])
+        with pytest.raises(CodecError, match="trailing bytes"):
+            codec.decode_restore(payload + b"\x00")

@@ -20,6 +20,8 @@ REQUIRED_METRICS = {
     "scan_insert_throughput",
     "cache_hit_ratio",
     "modeled_pipeline_speedup",
+    "multicore_speedup",
+    "multicore_map_agreement",
     "simcache_hit_ratio",
     "serve_throughput",
     "trace_overhead_ratio",
@@ -41,6 +43,9 @@ class TestSuite:
         assert 0.0 < quick_run.metrics["simcache_hit_ratio"] <= 1.0
         assert quick_run.metrics["serve_throughput"] > 0
         assert quick_run.metrics["trace_overhead_ratio"] > 0
+        assert quick_run.metrics["multicore_speedup"] > 0
+        assert quick_run.metrics["multicore_map_agreement"] == 1.0
+        assert quick_run.env["multicore_procs"] >= 1
         assert quick_run.env["host"]
         assert quick_run.quick is True
 

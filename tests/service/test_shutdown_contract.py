@@ -1,0 +1,145 @@
+"""The shutdown contract both worker backends share.
+
+``close()`` must be idempotent, safe to call concurrently, safe from the
+atexit hook during interpreter teardown, and must leave nothing running:
+worker threads joined, and (process mode) every child process dead.  A
+service used as a context manager and then closed again must not raise.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.service.server import OccupancyMapService, ServiceConfig
+
+BACKENDS = ["thread", "process"]
+
+
+def make_config(workers):
+    return ServiceConfig(
+        resolution=0.1,
+        depth=6,
+        num_shards=2,
+        queue_capacity=4,
+        coalesce=1,
+        snapshot_interval=0,
+        workers=workers,
+    )
+
+
+def submit_some(service):
+    service.submit_observations(
+        [((1, 2, 3), True), ((40, 40, 40), False), ((7, 9, 11), True)]
+    )
+    service.flush()
+
+
+class TestCloseContract:
+    @pytest.mark.parametrize("workers", BACKENDS)
+    def test_close_is_idempotent(self, workers):
+        service = OccupancyMapService(make_config(workers))
+        submit_some(service)
+        service.close()
+        service.close()
+        service.close()
+
+    @pytest.mark.parametrize("workers", BACKENDS)
+    def test_context_manager_then_explicit_close(self, workers):
+        with OccupancyMapService(make_config(workers)) as service:
+            submit_some(service)
+        service.close()
+
+    @pytest.mark.parametrize("workers", BACKENDS)
+    def test_concurrent_close_races_cleanly(self, workers):
+        service = OccupancyMapService(make_config(workers))
+        submit_some(service)
+        errors = []
+
+        def closer():
+            try:
+                service.close()
+            except BaseException as error:  # noqa: BLE001 - recording all
+                errors.append(error)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert not any(thread.is_alive() for thread in threads)
+
+    @pytest.mark.parametrize("workers", BACKENDS)
+    def test_atexit_hook_is_reentrant_and_silent(self, workers):
+        """The atexit fallback swallows everything (interpreter teardown
+        is no place to raise) and is a no-op after a normal close."""
+        service = OccupancyMapService(make_config(workers))
+        submit_some(service)
+        service._close_at_exit()
+        service._close_at_exit()
+        service.close()
+
+    def test_process_children_dead_after_close(self):
+        service = OccupancyMapService(make_config("process"))
+        submit_some(service)
+        supervisor = service.map.supervisor
+        assert all(
+            supervisor.alive(shard)
+            for shard in range(service.config.num_shards)
+        )
+        service.close()
+        assert not any(
+            supervisor.alive(shard)
+            for shard in range(service.config.num_shards)
+        )
+
+    def test_worker_threads_joined_after_close(self):
+        service = OccupancyMapService(make_config("thread"))
+        submit_some(service)
+        service.close()
+        assert not any(worker.is_alive() for worker in service._workers)
+
+    @pytest.mark.parametrize("workers", BACKENDS)
+    def test_interpreter_teardown_without_close(self, workers):
+        """A script that abandons a live service must still exit 0 with a
+        quiet stderr: the atexit hook (registered after multiprocessing
+        initialises, so it runs before mp's own teardown) drains and
+        closes instead of racing dying daemon children."""
+        script = (
+            "from repro.service.server import OccupancyMapService, "
+            "ServiceConfig\n"
+            "service = OccupancyMapService(ServiceConfig(resolution=0.1, "
+            f"depth=6, num_shards=2, coalesce=1, workers={workers!r}))\n"
+            "service.submit_observations([((1, 2, 3), True)])\n"
+            "service.flush()\n"
+            "# No close(): interpreter teardown must handle it.\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Traceback" not in result.stderr, result.stderr
+
+    def test_backend_close_is_idempotent_standalone(self):
+        from repro.mp.backend import ProcessShardedMap
+
+        pmap = ProcessShardedMap(resolution=0.1, depth=6, num_shards=2)
+        pmap.apply_to_shard(0, [((1, 1, 1), True)])
+        pmap.close()
+        pmap.close()
+        with ProcessShardedMap(resolution=0.1, depth=6, num_shards=2) as other:
+            other.apply_to_shard(0, [((2, 2, 2), True)])
+        other.close()
