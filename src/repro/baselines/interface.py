@@ -12,6 +12,7 @@ import abc
 from typing import List, Optional, Tuple
 
 from repro.analysis.decomposition import StageTimings
+from repro.kernels import validate_kernel
 from repro.telemetry import get_tracer
 from repro.octree.key import VoxelKey
 from repro.octree.occupancy import OccupancyParams
@@ -64,6 +65,10 @@ class MappingSystem(abc.ABC):
         params: occupancy-update parameters.
         max_range: sensor range clamp applied during ray tracing.
         rt: use duplicate-free (OctoMap-RT style) ray tracing.
+        kernel: ``"scalar"`` (per-ray Python reference) or ``"vector"``
+            (the batched numpy kernels of :mod:`repro.kernels` — same
+            map, bit for bit).  Selects both the tracer variant and, for
+            pipelines that support it, the bulk apply path.
     """
 
     #: Human-readable pipeline name, set by subclasses.
@@ -76,12 +81,15 @@ class MappingSystem(abc.ABC):
         params: Optional[OccupancyParams] = None,
         max_range: float = float("inf"),
         rt: bool = False,
+        kernel: str = "scalar",
     ) -> None:
+        validate_kernel(kernel)
         self.resolution = resolution
         self.depth = depth
         self.params = params or OccupancyParams()
         self.max_range = max_range
         self.rt = rt
+        self.kernel = kernel
         self.timings = StageTimings()
         #: Telemetry tracer stage spans report to.  Defaults to the
         #: process-global tracer (disabled unless someone opts in, e.g.
@@ -109,7 +117,11 @@ class MappingSystem(abc.ABC):
         """Ray-trace one point cloud into a voxel observation batch."""
         tracer = trace_scan_rt if self.rt else trace_scan
         return tracer(
-            cloud, self.resolution, self.depth, max_range=self.max_range
+            cloud,
+            self.resolution,
+            self.depth,
+            max_range=self.max_range,
+            kernel=self.kernel,
         )
 
     # ------------------------------------------------------------------

@@ -24,6 +24,11 @@ class OctoMapPipeline(MappingSystem):
         with self.timings.stage("octree_update") as watch, self.tracer.span(
             "octree_update", category="octree", voxels=len(batch)
         ):
-            for key, occupied in batch.observations:
-                tree.update_node(key, occupied)
+            if self.kernel == "vector":
+                tree.update_batch_bulk(
+                    batch.keys_array(), batch.occupied_array()
+                )
+            else:
+                for key, occupied in batch.observations:
+                    tree.update_node(key, occupied)
         record.octree_update = watch.elapsed

@@ -76,6 +76,13 @@ def _add_bench_workload_args(
         help="worker processes for --workers process (default: one per "
         "shard)",
     )
+    parser.add_argument(
+        "--kernel",
+        default="scalar",
+        choices=("scalar", "vector"),
+        help="ingest kernel: per-ray scalar reference (default) or "
+        "numpy batch array passes — bit-identical maps (docs/kernels.md)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -443,6 +450,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         admin_hold=args.admin_hold,
         workers=args.workers,
         num_procs=args.num_procs,
+        kernel=args.kernel,
     )
     if args.json:
         import json
@@ -490,6 +498,7 @@ def _cmd_trace_bench(args: argparse.Namespace) -> int:
         ray_scale=args.ray_scale,
         workers=args.workers,
         num_procs=args.num_procs,
+        kernel=args.kernel,
     )
     profile = report.profile
     print(
@@ -554,6 +563,7 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
         extra_specs=[parse_fault_spec(spec) for spec in args.fault],
         workers=args.workers,
         num_procs=args.num_procs,
+        kernel=args.kernel,
     )
     if args.report_out:
         import json
@@ -613,6 +623,7 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         depth=args.depth,
         workers=args.workers,
         num_procs=args.num_procs,
+        kernel=args.kernel,
     )
     path = args.out or bench_path_for_host("benchmarks")
     length = append_bench_entry(run, path)

@@ -52,6 +52,7 @@ class AdaptiveOctoCacheMap(OctoCacheMap):
         max_range: float = float("inf"),
         cache_config: Optional[CacheConfig] = None,
         rt: bool = False,
+        kernel: str = "scalar",
         target_hit_ratio: float = 0.9,
         min_gain: float = 0.01,
         max_memory_bytes: int = 14 * 1024 * 1024,  # the paper's 14MB budget
@@ -64,6 +65,7 @@ class AdaptiveOctoCacheMap(OctoCacheMap):
             max_range=max_range,
             cache_config=cache_config,
             rt=rt,
+            kernel=kernel,
         )
         if not 0.0 < target_hit_ratio <= 1.0:
             raise ValueError(
@@ -102,12 +104,16 @@ class AdaptiveOctoCacheMap(OctoCacheMap):
             use_morton_indexing=old_cache.config.use_morton_indexing,
         )
         new_cache = VoxelCache(new_config, params=self.params, backend=self._tree)
-        for bucket in old_cache._buckets:
-            for key, value in bucket:
-                new_cache._buckets[new_cache.bucket_index(key)].append(
-                    (key, value)
-                )
-                new_cache._resident += 1
+        threshold = new_config.bucket_threshold
+        for code, cell in old_cache._cell_index.items():
+            # Move the live cell object: bucket and index share it.
+            index = new_cache.bucket_index(cell[0])
+            bucket = new_cache._buckets[index]
+            bucket.append(cell)
+            if len(bucket) > threshold:
+                new_cache._overfull.add(index)
+            new_cache._cell_index[code] = cell
+            new_cache._resident += 1
         # Carry the lifetime counters so hit-ratio reporting stays global.
         new_cache.stats = old_cache.stats
         self.cache = new_cache

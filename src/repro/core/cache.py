@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.config import CacheConfig
 from repro.core.morton import MAX_COORD_BITS, morton_encode3
@@ -58,7 +60,8 @@ def aggregate_cache_stats(stats_dicts: "Iterable[dict]") -> "dict[str, float]":
     return totals
 
 #: An evicted voxel: key plus its accumulated log-odds occupancy, destined
-#: to overwrite the octree's copy.
+#: to overwrite the octree's copy.  (Handed out as the cache's internal
+#: two-element cells — unpack like a tuple.)
 EvictedCell = Tuple[VoxelKey, float]
 
 
@@ -114,9 +117,19 @@ class VoxelCache:
         self.backend = backend
         self.stats = CacheStats()
         self._mask = config.num_buckets - 1
-        self._buckets: List[List[Tuple[VoxelKey, float]]] = [
+        # A cell is a mutable ``[key, value]`` pair shared between its
+        # bucket and ``_cell_index`` (Morton code → cell), so residency
+        # checks are one dict probe instead of a bucket scan and value
+        # updates hit both views at once.  Bucket position still encodes
+        # insertion order — eviction semantics are unchanged.
+        self._buckets: List[List[List]] = [
             [] for _ in range(config.num_buckets)
         ]
+        self._cell_index: Dict[int, List] = {}
+        # Bucket indices that may exceed τ, updated on every append so
+        # eviction visits only candidate buckets instead of scanning the
+        # whole array (the scan itself dominated eviction cost).
+        self._overfull: set = set()
         self._resident = 0
         # Keys are validated at the insert/query boundary against the
         # backend map's bounds (or the encoder's limit for a standalone
@@ -152,13 +165,13 @@ class VoxelCache:
         limit = self._key_limit
         if not (0 <= key[0] < limit and 0 <= key[1] < limit and 0 <= key[2] < limit):
             validate_key(key, self._key_depth)
-        bucket = self._buckets[self.bucket_index(key)]
-        for position, (cell_key, value) in enumerate(bucket):
-            if cell_key == key:
-                new_value = self.params.update(value, occupied)
-                bucket[position] = (key, new_value)
-                self.stats.hits += 1
-                return new_value
+        code = morton_encode3(key[0], key[1], key[2])
+        cell = self._cell_index.get(code)
+        if cell is not None:
+            new_value = self.params.update(cell[1], occupied)
+            cell[1] = new_value
+            self.stats.hits += 1
+            return new_value
         self.stats.misses += 1
         base = None
         if self.backend is not None:
@@ -168,14 +181,123 @@ class VoxelCache:
         else:
             self.stats.octree_fills += 1
         new_value = self.params.update(base, occupied)
-        bucket.append((key, new_value))
+        cell = [key, new_value]
+        if self.config.use_morton_indexing:
+            index = code & self._mask
+        else:
+            index = hash(key) & self._mask
+        bucket = self._buckets[index]
+        bucket.append(cell)
+        if len(bucket) > self.config.bucket_threshold:
+            self._overfull.add(index)
+        self._cell_index[code] = cell
         self._resident += 1
         return new_value
 
     def insert_batch(self, items: Iterable[Tuple[VoxelKey, bool]]) -> None:
         """Insert a sequence of ``(key, occupied)`` observations."""
+        insert = self.insert
         for key, occupied in items:
-            self.insert(key, occupied)
+            insert(key, occupied)
+
+    def update_batch_bulk(self, keys: np.ndarray, occupied: np.ndarray) -> None:
+        """Apply a whole observation batch in grouped array passes.
+
+        ``keys`` is ``(M, 3)`` int64 and ``occupied`` ``(M,)`` bool — the
+        array form of the stream :meth:`insert_batch` consumes one tuple
+        at a time.  The batch is grouped by unique voxel
+        (:func:`repro.kernels.dedup.group_observations`), residency is
+        probed once per *voxel* through ``_cell_index``, miss bases come
+        from one shared-path octree sweep
+        (:meth:`~repro.octree.tree.OccupancyOctree.search_batch`), and the
+        per-voxel observation runs are folded with
+        :func:`repro.kernels.logodds.fold_logodds`.
+
+        Bit-exact with the scalar loop: same bases, the same clamped
+        update sequence per voxel, new cells appended in first-touch
+        order (= the scalar append order), and identical
+        hit/miss/octree-fill counters.
+        """
+        from repro.kernels.dedup import group_observations
+        from repro.kernels.logodds import fold_logodds
+
+        total = int(keys.shape[0])
+        if total == 0:
+            return
+        limit = self._key_limit
+        bad = (keys < 0) | (keys >= limit)
+        if bad.any():
+            index = int(np.argmax(bad.any(axis=1)))
+            validate_key(tuple(keys[index].tolist()), self._key_depth)
+        groups = group_observations(keys, occupied)
+        code_list = groups.codes.tolist()
+        cell_get = self._cell_index.get
+
+        num_groups = len(code_list)
+        bases = np.empty(num_groups, dtype=np.float64)
+        threshold = self.params.threshold
+        octree_fills = 0
+        cells = []
+        cells_append = cells.append
+        miss_positions = []
+        miss_append = miss_positions.append
+        for group, code in enumerate(code_list):
+            cell = cell_get(code)
+            cells_append(cell)
+            if cell is not None:
+                bases[group] = cell[1]
+            else:
+                miss_append(group)
+        if miss_positions:
+            if self.backend is not None:
+                found = self.backend.search_batch(groups.keys[miss_positions])
+                for group, value in zip(miss_positions, found):
+                    if value is None:
+                        bases[group] = threshold
+                    else:
+                        bases[group] = value
+                        octree_fills += 1
+            else:
+                bases[miss_positions] = threshold
+
+        finals = fold_logodds(
+            bases, groups.occ_sorted, groups.seg_starts, groups.counts, self.params
+        ).tolist()
+
+        # Hits first (no per-group index bookkeeping), then the misses by
+        # their recorded positions — the appends still happen in group
+        # (= first-touch = scalar insertion) order.
+        for cell, final in zip(cells, finals):
+            if cell is not None:
+                cell[1] = final
+        new_cells = len(miss_positions)
+        if miss_positions:
+            buckets = self._buckets
+            mask = self._mask
+            bucket_threshold = self.config.bucket_threshold
+            use_morton = self.config.use_morton_indexing
+            cell_index = self._cell_index
+            overfull_add = self._overfull.add
+            key_list = groups.keys.tolist()
+            for group in miss_positions:
+                row = key_list[group]
+                key = (row[0], row[1], row[2])
+                cell = [key, finals[group]]
+                code = code_list[group]
+                if use_morton:
+                    index = code & mask
+                else:
+                    index = hash(key) & mask
+                bucket = buckets[index]
+                bucket.append(cell)
+                if len(bucket) > bucket_threshold:
+                    overfull_add(index)
+                cell_index[code] = cell
+        self._resident += new_cells
+        stats = self.stats
+        stats.misses += new_cells
+        stats.hits += total - new_cells
+        stats.octree_fills += octree_fills
 
     # ------------------------------------------------------------------
     # Read path.
@@ -190,10 +312,9 @@ class VoxelCache:
         limit = self._key_limit
         if not (0 <= key[0] < limit and 0 <= key[1] < limit and 0 <= key[2] < limit):
             validate_key(key, self._key_depth)
-        bucket = self._buckets[self.bucket_index(key)]
-        for cell_key, value in bucket:
-            if cell_key == key:
-                return value
+        cell = self._cell_index.get(morton_encode3(key[0], key[1], key[2]))
+        if cell is not None:
+            return cell[1]
         return None
 
     def query(self, key: VoxelKey) -> Optional[float]:
@@ -233,12 +354,19 @@ class VoxelCache:
         sequence (exact whenever resident codes span less than ``w``).
         """
         threshold = self.config.bucket_threshold
+        cell_index = self._cell_index
+        buckets = self._buckets
         evicted: List[EvictedCell] = []
-        for index, bucket in enumerate(self._buckets):
+        for index in sorted(self._overfull):
+            bucket = buckets[index]
             overflow = len(bucket) - threshold
             if overflow > 0:
-                evicted.extend(bucket[:overflow])
-                self._buckets[index] = bucket[overflow:]
+                dropped = bucket[:overflow]
+                for cell_key, _value in dropped:
+                    del cell_index[morton_encode3(*cell_key)]
+                evicted.extend(dropped)
+                buckets[index] = bucket[overflow:]
+        self._overfull.clear()
         self._resident -= len(evicted)
         self.stats.evicted += len(evicted)
         return evicted
@@ -252,11 +380,20 @@ class VoxelCache:
         Chunk order equals :meth:`evict`'s output order.
         """
         threshold = self.config.bucket_threshold
-        for index, bucket in enumerate(self._buckets):
+        cell_index = self._cell_index
+        buckets = self._buckets
+        overfull = self._overfull
+        for index in sorted(overfull):
+            # Dropped per index (not cleared up front) so abandoning the
+            # generator mid-stream keeps the remaining candidates tracked.
+            overfull.discard(index)
+            bucket = buckets[index]
             overflow = len(bucket) - threshold
             if overflow > 0:
                 chunk = bucket[:overflow]
-                self._buckets[index] = bucket[overflow:]
+                for cell_key, _value in chunk:
+                    del cell_index[morton_encode3(*cell_key)]
+                buckets[index] = bucket[overflow:]
                 self._resident -= len(chunk)
                 self.stats.evicted += len(chunk)
                 yield chunk
@@ -267,6 +404,8 @@ class VoxelCache:
         for index, bucket in enumerate(self._buckets):
             evicted.extend(bucket)
             self._buckets[index] = []
+        self._cell_index.clear()
+        self._overfull.clear()
         self._resident = 0
         self.stats.evicted += len(evicted)
         return evicted

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.baselines.interface import BatchRecord, MappingSystem
 from repro.core.cache import EvictedCell, VoxelCache
 from repro.core.config import CacheConfig
@@ -40,6 +42,7 @@ class OctoCacheMap(MappingSystem):
         max_range: float = float("inf"),
         cache_config: Optional[CacheConfig] = None,
         rt: bool = False,
+        kernel: str = "scalar",
     ) -> None:
         super().__init__(
             resolution=resolution,
@@ -47,6 +50,7 @@ class OctoCacheMap(MappingSystem):
             params=params,
             max_range=max_range,
             rt=rt,
+            kernel=kernel,
         )
         self.cache = VoxelCache(
             cache_config or CacheConfig(),
@@ -66,8 +70,13 @@ class OctoCacheMap(MappingSystem):
         with self.timings.stage("cache_insertion") as watch, tracer.span(
             "cache_insertion", category="cache", observations=len(batch)
         ) as span:
-            for key, occupied in batch.observations:
-                cache.insert(key, occupied)
+            if self.kernel == "vector":
+                cache.update_batch_bulk(
+                    batch.keys_array(), batch.occupied_array()
+                )
+            else:
+                for key, occupied in batch.observations:
+                    cache.insert(key, occupied)
             span.set(
                 hits=stats.hits - hits_before,
                 misses=stats.misses - misses_before,
@@ -96,6 +105,15 @@ class OctoCacheMap(MappingSystem):
     def _apply_evicted(self, evicted: List[EvictedCell]) -> None:
         """Overwrite the octree with the accumulated values of a batch."""
         tree = self._tree
+        if self.kernel == "vector" and evicted:
+            keys = np.array([cell[0] for cell in evicted], dtype=np.int64)
+            values = np.fromiter(
+                (cell[1] for cell in evicted),
+                dtype=np.float64,
+                count=len(evicted),
+            )
+            tree.set_leaves_bulk(keys, values)
+            return
         for key, value in evicted:
             tree.set_leaf(key, value)
 
@@ -158,6 +176,7 @@ class OctoCacheRTMap(OctoCacheMap):
         params: Optional[OccupancyParams] = None,
         max_range: float = float("inf"),
         cache_config: Optional[CacheConfig] = None,
+        kernel: str = "scalar",
     ) -> None:
         super().__init__(
             resolution=resolution,
@@ -166,4 +185,5 @@ class OctoCacheRTMap(OctoCacheMap):
             max_range=max_range,
             cache_config=cache_config,
             rt=True,
+            kernel=kernel,
         )

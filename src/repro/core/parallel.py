@@ -188,8 +188,13 @@ class ParallelOctoCacheMap(OctoCacheMap):
             "cache_insertion", category="cache", observations=len(batch)
         ) as span:
             with self._octree_lock:  # insertion misses read the octree
-                for key, occupied in batch.observations:
-                    cache.insert(key, occupied)
+                if self.kernel == "vector":
+                    cache.update_batch_bulk(
+                        batch.keys_array(), batch.occupied_array()
+                    )
+                else:
+                    for key, occupied in batch.observations:
+                        cache.insert(key, occupied)
             span.set(
                 hits=stats.hits - hits_before,
                 misses=stats.misses - misses_before,

@@ -1,0 +1,51 @@
+"""Array-parallel kernels for the ingest hot path (ROADMAP item 2).
+
+The scalar ingest path traces one ray at a time through a pure-Python
+Amanatides–Woo loop and applies one observation at a time to the cache
+and octree.  The kernels in this package replace those per-element loops
+with numpy array passes — the same strategy the GPU voxel-grid mapper of
+Toumieh & Lambert and OctoMap-RT (Min et al.) use to win their
+order-of-magnitude speedups — while staying **bit-exact** with the
+scalar path, which remains the reference oracle:
+
+- :mod:`repro.kernels.raytrace` — batched Amanatides–Woo: a whole
+  :class:`~repro.sensor.pointcloud.PointCloud` is traced as ``(N, 3)``
+  arrays, producing the identical observation stream (keys, flags and
+  order) as per-ray scalar tracing.
+- :mod:`repro.kernels.dedup` — the paper's §4 duplication elimination as
+  one Morton-sort/unique array pass with an occupied-wins reduction
+  (``trace_scan_rt`` semantics by construction).
+- :mod:`repro.kernels.logodds` — bulk clamped log-odds application:
+  observations grouped per unique voxel and folded with the exact
+  per-observation clamp sequence, vectorised round by round.
+
+Selection is by the ``kernel`` switch (``"scalar"`` | ``"vector"``)
+threaded through :func:`repro.sensor.scaninsert.trace_scan`,
+:class:`repro.baselines.interface.MappingSystem`, the service layer and
+every bench CLI (``--kernel``).  See ``docs/kernels.md``.
+"""
+
+from repro.kernels.dedup import dedup_observations, group_observations
+from repro.kernels.logodds import fold_logodds
+from repro.kernels.raytrace import trace_cloud_arrays
+
+KERNELS = ("scalar", "vector")
+
+
+def validate_kernel(kernel: str) -> str:
+    """Return ``kernel`` if it names a known kernel, else raise."""
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of {KERNELS}"
+        )
+    return kernel
+
+
+__all__ = [
+    "KERNELS",
+    "dedup_observations",
+    "fold_logodds",
+    "group_observations",
+    "trace_cloud_arrays",
+    "validate_kernel",
+]

@@ -1,0 +1,211 @@
+"""Batched Amanatides–Woo ray traversal (the vector tracing kernel).
+
+Traces every ray of a point cloud in one set of array passes and emits
+the **identical observation stream** — same voxel keys, same occupied
+flags, same order — as the scalar reference
+(:func:`repro.sensor.raycast.compute_ray_keys` driven by
+:func:`repro.sensor.scaninsert.trace_scan`).  Bit-exactness is the
+contract: the scalar path stays the oracle, and the parity fuzz suite
+(``tests/kernels/``) compares the two key-for-key.
+
+How the scalar loop becomes array passes
+----------------------------------------
+
+The scalar stepper repeatedly picks ``argmin(t_max)`` (ties break to the
+lowest axis index), steps that axis and advances its ``t_max`` by
+``t_delta``.  That is exactly a 3-way merge of the per-axis border
+crossing sequences ``t0, t0+dt, (t0+dt)+dt, ...``:
+
+1. Each axis's crossing sequence is materialised by a **row-wise
+   cumsum** over ``[t0, dt, dt, ...]`` — numpy's cumsum performs the
+   same left-to-right repeated addition as the scalar ``t_max +=
+   t_delta``, so every crossing value is bit-identical, not just close.
+2. A per-ray **stable argsort** over the three concatenated sequences
+   (axis 0's block first) merges them; for equal ``t`` values stability
+   keeps the lower axis first, matching the scalar tie-break, and
+   within one axis keeps crossings in order.
+3. Per-axis **cumulative step counts** along the merged order give the
+   voxel key after every step, and the scalar's two break conditions
+   become array tests: ``key == end_key`` is a per-axis count match and
+   the overshoot test ``min(t_max) > 1`` is simply "the next merged
+   event's ``t`` exceeds 1" (the merged order is sorted, so the next
+   event *is* the minimum of the three axis heads).
+4. The scalar per-ray step budget (Manhattan key distance + 3, which
+   absorbs float corner ties) is applied as a per-ray column cutoff.
+
+``max_range`` truncation is vectorised with the same arithmetic as the
+scalar path (same operation order, so the truncated endpoints are
+bit-identical), and truncated rays contribute only free space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.octree.key import coord_to_key
+from repro.sensor.pointcloud import PointCloud
+
+__all__ = ["trace_cloud_arrays"]
+
+
+def trace_cloud_arrays(
+    cloud: PointCloud,
+    resolution: float,
+    depth: int,
+    max_range: float = float("inf"),
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Trace all rays of ``cloud``; return ``(keys, occupied, num_rays)``.
+
+    ``keys`` is ``(M, 3)`` int64 and ``occupied`` ``(M,)`` bool, in the
+    scalar emission order: per ray, free voxels from the origin outward
+    followed by the endpoint voxel (occupied unless the ray was
+    truncated at ``max_range``).  Raises :class:`ValueError` for
+    endpoints (after truncation) or an origin outside the map, exactly
+    like the scalar path.
+    """
+    points = cloud.as_array()
+    num_rays = points.shape[0]
+    if num_rays == 0:
+        return np.empty((0, 3), dtype=np.int64), np.empty(0, dtype=bool), 0
+    origin = np.asarray(cloud.origin, dtype=np.float64)
+
+    deltas = points - origin
+    truncated = np.zeros(num_rays, dtype=bool)
+    endpoints = points
+    if max_range != math.inf:
+        # Same association as the scalar path: (dx*dx + dy*dy) + dz*dz.
+        dist = np.sqrt(
+            deltas[:, 0] * deltas[:, 0]
+            + deltas[:, 1] * deltas[:, 1]
+            + deltas[:, 2] * deltas[:, 2]
+        )
+        truncated = dist > max_range
+        if truncated.any():
+            endpoints = points.copy()
+            scale = max_range / dist[truncated]
+            endpoints[truncated] = origin + deltas[truncated] * scale[:, None]
+            deltas = endpoints - origin
+
+    offset = 1 << (depth - 1)
+    limit = 1 << depth
+    start_key = coord_to_key(cloud.origin, resolution, depth)
+    sk = np.array(start_key, dtype=np.int64)
+
+    with np.errstate(invalid="ignore"):
+        end_keys = np.floor(endpoints / resolution).astype(np.int64) + offset
+    bad = (end_keys < 0) | (end_keys >= limit)
+    if bad.any():
+        index = int(np.argmax(bad.any(axis=1)))
+        # Re-raise through the scalar converter for the identical error.
+        coord_to_key(tuple(endpoints[index].tolist()), resolution, depth)
+
+    degenerate = (deltas == 0.0).all(axis=1)
+    same_voxel = (end_keys == sk).all(axis=1)
+    active = ~(degenerate | same_voxel)
+    idx = np.flatnonzero(active)
+
+    free_counts = np.zeros(num_rays, dtype=np.int64)
+    if idx.size:
+        d = deltas[idx]
+        ek = end_keys[idx]
+        n_steps = np.abs(ek - sk)              # crossings per axis
+        budget = n_steps.sum(axis=1) + 3       # scalar max_steps
+        emitted, emit_keys, positions_grid, flat_mask = _trace_cohort(
+            d, n_steps, budget, sk, origin, resolution, offset
+        )
+        free_counts[idx] = 1 + emitted         # start voxel + steps
+
+    totals = free_counts + 1                   # + endpoint observation
+    ends_pos = np.cumsum(totals) - 1
+    seg_off = ends_pos - free_counts
+    total = int(ends_pos[-1]) + 1
+
+    out_keys = np.empty((total, 3), dtype=np.int64)
+    out_occ = np.zeros(total, dtype=bool)
+    out_keys[ends_pos] = end_keys
+    out_occ[ends_pos] = ~truncated
+    if idx.size:
+        starts = seg_off[idx]
+        out_keys[starts] = sk
+        positions = (starts[:, None] + positions_grid).ravel()[flat_mask]
+        out_keys[positions] = emit_keys
+    return out_keys, out_occ, num_rays
+
+
+def _trace_cohort(
+    d: np.ndarray,
+    n_steps: np.ndarray,
+    budget: np.ndarray,
+    sk: np.ndarray,
+    origin: np.ndarray,
+    resolution: float,
+    offset: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Trace one cohort of active rays; see :func:`trace_cloud_arrays`.
+
+    Returns ``(emitted, emit_keys, positions_grid, flat_mask)``:
+    emitted steps per ray, the emitted free-voxel keys in row-major
+    (scalar) order, and the per-(ray, column) output-offset grid plus
+    flattened emission mask the caller uses to scatter the keys into the
+    observation stream.
+    """
+    count = d.shape[0]
+    stp = np.sign(d).astype(np.int64)
+    nonzero = stp != 0
+    border = (sk[None, :] - offset + (d > 0.0).astype(np.int64)) * resolution
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t0 = np.where(nonzero, (border - origin) / d, np.inf)
+        dt = np.where(nonzero, resolution / np.abs(d), np.inf)
+
+    num_events = int(budget.max()) + 1         # need step i's successor t
+    width = int(n_steps.max()) + 4             # per-axis slack ≥ budget tail
+
+    # Crossing values per (ray, axis): cumsum over [t0, dt, dt, ...]
+    # reproduces the scalar repeated addition bit-for-bit.
+    events = np.empty((count, 3, width))
+    events[:, :, 0] = t0
+    events[:, :, 1:] = dt[:, :, None]
+    np.cumsum(events, axis=2, out=events)
+    events = events.reshape(count, 3 * width)
+
+    order = np.argsort(events, axis=1, kind="stable")[:, :num_events]
+
+    columns = np.arange(num_events, dtype=np.int64)
+    cx = (order < width).cumsum(axis=1, dtype=np.int64)
+    cxy = (order < 2 * width).cumsum(axis=1, dtype=np.int64)
+    cy = cxy - cx
+    # Column j has seen j+1 events in total, so the third count is
+    # implied — no third compare-and-cumsum pass needed.
+    cz = columns + 1 - cxy
+
+    # The scalar break conditions, without materialising the merged
+    # t values or a stop grid:
+    # - overshoot ("next event's t > 1"): the merge is sorted, so the
+    #   first such column is just the count of crossings with t <= 1
+    #   (minus the one consumed by the stop test's +1 lookahead);
+    # - end-voxel arrival: counts sum to j+1 per column, so all three
+    #   can equal ``n_steps`` (which sums to the Manhattan distance)
+    #   only at column manhattan-1 — one gather checks it.
+    manhattan = budget - 3
+    reach = np.count_nonzero(events <= 1.0, axis=1)
+    overshoot = np.clip(reach - 1, 0, num_events - 1)
+    end_col = manhattan - 1
+    flat_end = np.arange(count, dtype=np.int64) * num_events + end_col
+    at_end = (
+        (np.take(cx, flat_end) == n_steps[:, 0])
+        & (np.take(cy, flat_end) == n_steps[:, 1])
+        & (np.take(cz, flat_end) == n_steps[:, 2])
+    )
+    emitted = np.minimum(overshoot, budget)    # steps emitted per ray
+    np.minimum(emitted, np.where(at_end, end_col, emitted), out=emitted)
+
+    mask = columns[None, :] < emitted[:, None]
+    flat_mask = mask.ravel()                   # row-major = scalar order
+    emit_keys = np.empty((int(emitted.sum()), 3), dtype=np.int64)
+    emit_keys[:, 0] = (sk[0] + stp[:, 0:1] * cx).ravel()[flat_mask]
+    emit_keys[:, 1] = (sk[1] + stp[:, 1:2] * cy).ravel()[flat_mask]
+    emit_keys[:, 2] = (sk[2] + stp[:, 2:3] * cz).ravel()[flat_mask]
+    return emitted, emit_keys, 1 + columns, flat_mask

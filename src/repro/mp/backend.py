@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.config import CacheConfig
 from repro.core.octocache import OctoCacheMap
+from repro.kernels import validate_kernel
 from repro.mp import codec
 from repro.mp.supervisor import ShardProcessDied, ShardProcessSupervisor
 from repro.octree.key import VoxelKey, coord_to_key, key_to_coord
@@ -105,6 +106,7 @@ class ProcessShardedMap:
         max_range: float = float("inf"),
         cache_config: Optional[CacheConfig] = None,
         rt: bool = False,
+        kernel: str = "scalar",
         pipeline_cls: Type[OctoCacheMap] = OctoCacheMap,
         prefix_levels: Optional[int] = None,
         num_procs: Optional[int] = None,
@@ -115,10 +117,12 @@ class ProcessShardedMap:
                 "the process backend builds its pipelines in child "
                 "processes and supports only OctoCacheMap shards"
             )
+        validate_kernel(kernel)
         self.resolution = resolution
         self.depth = depth
         self.max_range = max_range
         self.rt = rt
+        self.kernel = kernel
         self.router = ShardRouter(num_shards, depth, prefix_levels)
         self.params = params or OccupancyParams()
         self._cache_config = cache_config
@@ -157,6 +161,7 @@ class ProcessShardedMap:
             "resolution": self.resolution,
             "depth": self.depth,
             "max_range": self.max_range,
+            "kernel": self.kernel,
             "params": {
                 "threshold": params.threshold,
                 "delta_occupied": params.delta_occupied,
@@ -297,7 +302,11 @@ class ProcessShardedMap:
         tracer = trace_scan_rt if self.rt else trace_scan
         start = time.perf_counter()
         batch = tracer(
-            cloud, self.resolution, self.depth, max_range=self.max_range
+            cloud,
+            self.resolution,
+            self.depth,
+            max_range=self.max_range,
+            kernel=self.kernel,
         )
         elapsed = time.perf_counter() - start
         return self.insert_observations(batch.observations, ray_tracing=elapsed)

@@ -122,6 +122,7 @@ class _ShardWorker:
         self.resolution = float(config["resolution"])
         self.depth = int(config["depth"])
         self.max_range = float(config["max_range"])
+        self.kernel = str(config.get("kernel", "scalar"))
         self.params = _build_params(config)
         self.cache_config = _build_cache_config(config)
         self.shard_ids = [int(shard) for shard in config["shard_ids"]]
@@ -136,6 +137,7 @@ class _ShardWorker:
             params=self.params,
             max_range=self.max_range,
             cache_config=self.cache_config,
+            kernel=self.kernel,
         )
 
     def pipeline(self, shard: int) -> OctoCacheMap:

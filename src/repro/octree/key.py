@@ -18,7 +18,11 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.core.morton import morton_encode3, morton_encode3_array
+from repro.core.morton import (
+    MAX_COORD_BITS,
+    morton_encode3,
+    morton_encode3_array,
+)
 
 __all__ = [
     "VoxelKey",
@@ -113,9 +117,27 @@ def key_to_morton(key: VoxelKey) -> int:
 
 
 def keys_to_morton(keys: np.ndarray) -> np.ndarray:
-    """Vectorised :func:`key_to_morton` over an ``(N, 3)`` int array."""
+    """Vectorised :func:`key_to_morton` over an ``(N, 3)`` int array.
+
+    Dilates all three coordinate columns in one ``(N, 3)`` pass — a third
+    of the array-op count of three per-axis
+    :func:`~repro.core.morton.morton_encode3_array` calls, which matters
+    for the small per-batch unique-key arrays on the ingest hot path.
+    """
     keys = np.asarray(keys)
-    return morton_encode3_array(keys[:, 0], keys[:, 1], keys[:, 2])
+    if (keys < 0).any():
+        raise ValueError("coordinates must be non-negative")
+    if (keys >> MAX_COORD_BITS).any():
+        raise ValueError(f"coordinates exceed {MAX_COORD_BITS} bits")
+    v = keys.astype(np.uint64)
+    v = (v | (v << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return (
+        (v[:, 0] << np.uint64(2)) | (v[:, 1] << np.uint64(1)) | v[:, 2]
+    )
 
 
 def child_index(key: VoxelKey, level: int) -> int:

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.octree.key import (
     VoxelKey,
     child_index,
     coord_to_key,
     key_to_coord,
+    keys_to_morton,
 )
 from repro.octree.node import OctreeNode
 from repro.octree.occupancy import OccupancyParams
@@ -183,6 +186,179 @@ class OccupancyOctree:
         for key, occupied in items:
             self.update_node(key, occupied)
 
+    def _check_keys_array(self, keys: np.ndarray) -> None:
+        """Vectorised :meth:`_check_key` over ``(U, 3)`` keys.
+
+        Raises for the first offending row (stream order) with the exact
+        per-key message; unlike the scalar batch loops the check runs
+        up-front, so a bulk call is all-or-nothing.
+        """
+        limit = self._key_limit
+        bad = (keys < 0) | (keys >= limit)
+        if bad.any():
+            index = int(np.argmax(bad.any(axis=1)))
+            self._check_key(tuple(keys[index].tolist()))
+
+    def update_batch_bulk(self, keys: np.ndarray, occupied: np.ndarray) -> None:
+        """Array form of :meth:`update_batch`: grouped fold + bulk write.
+
+        ``keys`` is ``(M, 3)`` int64 and ``occupied`` ``(M,)`` bool.  The
+        stream is grouped by unique voxel, each voxel's base is read in
+        one shared-path sweep (:meth:`search_batch`), its observation run
+        is folded with the vector log-odds kernel, and the finals are
+        written with :meth:`set_leaves_bulk`.  The resulting tree —
+        values, pruning structure and node count — is identical to the
+        sequential loop: per-voxel folds replay the same clamped updates,
+        and intermediate prunes/expansions are value-preserving, so only
+        the final leaf values (equal by construction) determine the tree.
+        """
+        from repro.kernels.dedup import group_observations
+        from repro.kernels.logodds import fold_logodds
+
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.shape[0] == 0:
+            return
+        self._check_keys_array(keys)
+        occupied = np.asarray(occupied, dtype=bool)
+        groups = group_observations(keys, occupied)
+        bases_list = self.search_batch(groups.keys)
+        threshold = self.params.threshold
+        bases = np.fromiter(
+            (threshold if value is None else value for value in bases_list),
+            dtype=np.float64,
+            count=len(bases_list),
+        )
+        finals = fold_logodds(
+            bases, groups.occ_sorted, groups.seg_starts, groups.counts, self.params
+        )
+        self.set_leaves_bulk(groups.keys, finals)
+
+    def set_leaves_bulk(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Bulk :meth:`set_leaf`: same final tree, one shared-path sweep.
+
+        ``keys`` is ``(U, 3)`` int64 with *distinct* rows, ``values`` the
+        absolute log-odds to store.  Keys are applied in Morton order, so
+        consecutive descents share their common-prefix path (the
+        traversal the paper's Morton-ordered eviction is designed to
+        exploit); max-of-children propagation and pruning are deferred
+        into one bottom-up pass over the touched interior nodes instead
+        of a full root round-trip per key.  The final tree is identical
+        to sequential :meth:`set_leaf` calls: a parent's value/prune
+        state is a function of its children's final values, which this
+        computes children-first.  Change tracking is preserved;
+        node-visit accounting is aggregate (the visit hook, a
+        scalar-path instrument, does not fire here).
+        """
+        count = len(values)
+        if count == 0:
+            return
+        keys = np.asarray(keys, dtype=np.int64)
+        self._check_keys_array(keys)
+        codes = keys_to_morton(keys)
+        order = np.argsort(codes, kind="stable")
+        sorted_arr = keys[order]
+        sorted_keys = sorted_arr.tolist()
+        sorted_values = np.asarray(values, dtype=np.float64)[order].tolist()
+
+        depth = self.depth
+        # Descent octants come straight out of the Morton code — bits
+        # [3L, 3L+3) are the level-L child slot — so one vectorised
+        # shift/mask replaces per-level bit fiddling inside the walk.
+        shifts = (3 * np.arange(depth - 1, -1, -1)).astype(np.uint64)
+        digit_rows = (
+            ((codes[order][:, None] >> shifts) & np.uint64(7))
+            .astype(np.int64)
+            .tolist()
+        )
+        resumes: List[int] = []
+        if count > 1:
+            # Shared-prefix depth of consecutive keys, vectorised: the
+            # frexp exponent of an exactly-represented positive integer
+            # is its bit length (coords are < 2**21, well inside float64
+            # exactness; rows are distinct so the XOR is never zero).
+            diff = sorted_arr[1:] ^ sorted_arr[:-1]
+            ored = (diff[:, 0] | diff[:, 1] | diff[:, 2]).astype(np.float64)
+            resumes = (depth - np.frexp(ored)[1]).tolist()
+        changed = self._changed_keys
+        threshold = self.params.threshold
+        # Allocation inlined (same node-id sequence as _alloc): the bulk
+        # walk creates thousands of nodes, and the per-call overhead of
+        # the helper plus two counter increments is measurable here.
+        node_cls = OctreeNode
+        node_id = self._next_node_id
+        fresh_root = False
+        if self._root is None:
+            self._root = node_cls(threshold, node_id)
+            node_id += 1
+            fresh_root = True
+        path = [self._root]
+        # touched[j]: interior nodes at descent index j (root = 0) whose
+        # subtree gained new leaf values.  Morton order walks the key set
+        # as a depth-first trie traversal, so a node leaves ``path`` for
+        # good once passed — every interior node is appended exactly once
+        # and recording at append time needs no dedup.
+        touched: List[List[OctreeNode]] = [[] for _ in range(depth)]
+        touched[0].append(self._root)
+        depth_m1 = depth - 1
+        visits = 1
+        for index, value in enumerate(sorted_values):
+            if index:
+                resume = resumes[index - 1]
+                if resume > len(path) - 1:
+                    resume = len(path) - 1
+                else:
+                    del path[resume + 1:]
+                fresh = False
+            else:
+                resume = 0
+                fresh = fresh_root
+            digits = digit_rows[index]
+            node = path[resume]
+            for level_index in range(resume, depth):
+                children = node.children
+                if children is None:
+                    if fresh:
+                        children = node.children = [None] * 8
+                    else:
+                        # Expand a pruned subtree: descendants inherit.
+                        inherited = node.value
+                        children = node.children = [
+                            node_cls(inherited, node_id + s)
+                            for s in range(8)
+                        ]
+                        node_id += 8
+                slot = digits[level_index]
+                child = children[slot]
+                if child is None:
+                    child = node_cls(threshold, node_id)
+                    node_id += 1
+                    children[slot] = child
+                    fresh = True
+                node = child
+                path.append(node)
+                if level_index < depth_m1:
+                    touched[level_index + 1].append(node)
+                visits += 1
+            if changed is not None and node.value != value:
+                changed.add(tuple(sorted_keys[index]))
+            node.value = value
+        self._num_nodes += node_id - self._next_node_id
+        self._next_node_id = node_id
+
+        # Deferred propagation: deepest interior level first, so every
+        # node sees its children's final values (cascading prunes
+        # included) exactly as the per-key ascend would have left them.
+        try_prune = self._try_prune
+        for level_nodes in reversed(touched):
+            visits += len(level_nodes)
+            for node in level_nodes:
+                if try_prune(node):
+                    continue
+                node.value = max(
+                    child.value for child in node.children if child is not None
+                )
+        self.node_visits += visits
+
     def _descend(self, key: VoxelKey, create: bool) -> List[OctreeNode]:
         """Walk root→leaf along ``key``; return the visited node path.
 
@@ -284,6 +460,70 @@ class OccupancyOctree:
             node = child
             self._visit(node)
         return node.value
+
+    def search_batch(self, keys: np.ndarray) -> List[Optional[float]]:
+        """:meth:`search` for a whole ``(U, 3)`` key batch, in input order.
+
+        Keys are walked in Morton order so consecutive descents reuse
+        their common-prefix path instead of restarting at the root.
+        Results are bit-exact with per-key :meth:`search` (pruned-node
+        value, ``None`` for unknown, leaf value otherwise); node-visit
+        accounting is aggregate and the visit hook does not fire.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        count = keys.shape[0]
+        out: List[Optional[float]] = [None] * count
+        if count == 0:
+            return out
+        self._check_keys_array(keys)
+        if self._root is None:
+            return out
+        codes = keys_to_morton(keys)
+        order = np.argsort(codes, kind="stable")
+        sorted_keys = keys[order].tolist()
+        positions = order.tolist()
+        depth = self.depth
+        path = [self._root]
+        prev_x = prev_y = prev_z = -1
+        prev_value: Optional[float] = None
+        visits = 1
+        for position, (kx, ky, kz) in zip(positions, sorted_keys):
+            if prev_x >= 0:
+                diff = (kx ^ prev_x) | (ky ^ prev_y) | (kz ^ prev_z)
+                if diff == 0:
+                    out[position] = prev_value
+                    continue
+                resume = depth - diff.bit_length()
+                if resume > len(path) - 1:
+                    resume = len(path) - 1
+                else:
+                    del path[resume + 1:]
+            else:
+                resume = 0
+            node = path[resume]
+            value: Optional[float] = None
+            for level in range(depth - 1 - resume, -1, -1):
+                children = node.children
+                if children is None:
+                    value = node.value  # pruned subtree: uniform occupancy
+                    break
+                child = children[
+                    (((kx >> level) & 1) << 2)
+                    | (((ky >> level) & 1) << 1)
+                    | ((kz >> level) & 1)
+                ]
+                if child is None:
+                    break
+                node = child
+                path.append(node)
+                visits += 1
+            else:
+                value = node.value
+            out[position] = value
+            prev_x, prev_y, prev_z = kx, ky, kz
+            prev_value = value
+        self.node_visits += visits
+        return out
 
     def search_at_level(self, key: VoxelKey, level: int) -> Optional[float]:
         """Occupancy of the size-``2**level`` voxel containing ``key``.

@@ -126,6 +126,7 @@ def run_chaos_bench(
     extra_specs: Sequence[FaultSpec] = (),
     workers: str = "thread",
     num_procs: Optional[int] = None,
+    kernel: str = "scalar",
 ) -> ChaosReport:
     """Run the chaos workload and verify recovery exactness.
 
@@ -169,6 +170,7 @@ def run_chaos_bench(
         snapshot_interval=snapshot_interval,
         workers=workers,
         num_procs=num_procs,
+        kernel=kernel,
     )
     report = ChaosReport(dataset=dataset_name, shards=shards, workers=workers)
     start = time.perf_counter()

@@ -33,12 +33,21 @@ class PointCloud:
             array = array.reshape(0, 3)
         if array.ndim != 2 or array.shape[1] != 3:
             raise ValueError(f"points must have shape (N, 3), got {array.shape}")
-        self.points = array
+        self.points = np.ascontiguousarray(array)
         self.points.setflags(write=False)
         self.origin = (float(origin[0]), float(origin[1]), float(origin[2]))
 
     def __len__(self) -> int:
         return self.points.shape[0]
+
+    def as_array(self) -> np.ndarray:
+        """The points as a zero-copy ``(N, 3)`` float64 array.
+
+        The array is validated, contiguous and read-only (enforced at
+        construction); kernels and consumers use this accessor instead
+        of re-tupling or re-converting points element by element.
+        """
+        return self.points
 
     def transformed(self, rotation: np.ndarray, translation: np.ndarray) -> "PointCloud":
         """Apply a rigid transform to points *and* origin."""

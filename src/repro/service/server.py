@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CacheConfig
+from repro.kernels import validate_kernel
 from repro.octree.key import VoxelKey
 from repro.octree.occupancy import OccupancyParams
 from repro.octree.rayquery import RayHit
@@ -115,6 +116,11 @@ class ServiceConfig:
             1 disables coalescing.
         max_range: sensor range clamp during ray tracing.
         rt: duplicate-free (OctoMap-RT) ray tracing.
+        kernel: ``"scalar"`` or ``"vector"`` — the tracing/apply kernel
+            for ingest tracing and every shard pipeline (see
+            ``docs/kernels.md``; both kernels build bit-identical maps,
+            the vector one batches each scan through numpy array
+            passes).
         cache_config: per-shard cache shape (defaults per shard).
         default_deadline: default per-request deadline (seconds) applied
             to every submission that doesn't carry its own; ``None``
@@ -149,6 +155,7 @@ class ServiceConfig:
     coalesce: int = 4
     max_range: float = float("inf")
     rt: bool = False
+    kernel: str = "scalar"
     cache_config: Optional[CacheConfig] = None
     default_deadline: Optional[float] = None
     retry_attempts: int = 3
@@ -177,6 +184,7 @@ class ServiceConfig:
             )
         if self.coalesce < 1:
             raise ValueError(f"coalesce must be >= 1, got {self.coalesce}")
+        validate_kernel(self.kernel)
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ValueError(
                 f"default_deadline must be positive, got {self.default_deadline}"
@@ -294,6 +302,7 @@ class OccupancyMapService:
                 max_range=config.max_range,
                 cache_config=config.cache_config,
                 rt=config.rt,
+                kernel=config.kernel,
                 num_procs=config.num_procs,
             )
         else:
@@ -304,6 +313,7 @@ class OccupancyMapService:
                 max_range=config.max_range,
                 cache_config=config.cache_config,
                 rt=config.rt,
+                kernel=config.kernel,
             )
         self.map.fault_plan = self.fault_plan
         self.store = CheckpointStore(
@@ -421,6 +431,7 @@ class OccupancyMapService:
                 self.config.resolution,
                 self.config.depth,
                 max_range=self.config.max_range,
+                kernel=self.config.kernel,
             )
             span.set(observations=len(batch))
         trace_seconds = span.duration

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 from repro.baselines.interface import BatchRecord
 from repro.core.config import CacheConfig
 from repro.core.octocache import OctoCacheMap
+from repro.kernels import validate_kernel
 from repro.octree.iterators import occupied_keys_in_box
 from repro.octree.key import VoxelKey, coord_to_key, key_to_coord
 from repro.octree.merge import merge_tree
@@ -85,6 +86,9 @@ class ShardedMap:
         max_range: sensor range clamp for :meth:`insert_point_cloud`.
         cache_config: per-shard cache shape; defaults per shard.
         rt: duplicate-free ray tracing for :meth:`insert_point_cloud`.
+        kernel: ``"scalar"`` or ``"vector"`` — the tracing/apply kernel
+            used by :meth:`insert_point_cloud` and every shard pipeline
+            (see ``docs/kernels.md``; both produce bit-identical maps).
         pipeline_cls: per-shard pipeline class (an ``OctoCacheMap``
             subclass; the serial one is the right default since shard
             parallelism replaces the two-thread schedule).
@@ -101,13 +105,16 @@ class ShardedMap:
         max_range: float = float("inf"),
         cache_config: Optional[CacheConfig] = None,
         rt: bool = False,
+        kernel: str = "scalar",
         pipeline_cls: Type[OctoCacheMap] = OctoCacheMap,
         prefix_levels: Optional[int] = None,
     ) -> None:
+        validate_kernel(kernel)
         self.resolution = resolution
         self.depth = depth
         self.max_range = max_range
         self.rt = rt
+        self.kernel = kernel
         self.router = ShardRouter(num_shards, depth, prefix_levels)
         self.params = params or OccupancyParams()
         self._pipeline_cls = pipeline_cls
@@ -147,6 +154,7 @@ class ShardedMap:
             params=self.params,
             max_range=self.max_range,
             cache_config=self._cache_config,
+            kernel=self.kernel,
         )
 
     def replace_shard(self, shard_id: int, pipeline: OctoCacheMap) -> None:
@@ -194,7 +202,11 @@ class ShardedMap:
         tracer = trace_scan_rt if self.rt else trace_scan
         start = time.perf_counter()
         batch = tracer(
-            cloud, self.resolution, self.depth, max_range=self.max_range
+            cloud,
+            self.resolution,
+            self.depth,
+            max_range=self.max_range,
+            kernel=self.kernel,
         )
         elapsed = time.perf_counter() - start
         return self.insert_observations(batch.observations, ray_tracing=elapsed)

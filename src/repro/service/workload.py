@@ -130,6 +130,7 @@ def run_serve_bench(
     admin_hold: float = 0.0,
     workers: str = "thread",
     num_procs: Optional[int] = None,
+    kernel: str = "scalar",
 ) -> LoadReport:
     """Drive a sharded service with concurrent synthetic clients.
 
@@ -173,6 +174,7 @@ def run_serve_bench(
         max_range=dataset.sensor.max_range,
         workers=workers,
         num_procs=num_procs,
+        kernel=kernel,
     )
     report = LoadReport(
         dataset=dataset_name, clients=clients, shards=shards, workers=workers

@@ -108,6 +108,7 @@ def run_trace_bench(
     ring_capacity: Optional[int] = None,
     workers: str = "thread",
     num_procs: Optional[int] = None,
+    kernel: str = "scalar",
 ) -> TraceBenchReport:
     """Run the three traced phases and aggregate the span stream.
 
@@ -132,7 +133,10 @@ def run_trace_bench(
     with tracing(ring, chrome):
         # Phase 1: the paper's two-thread pipeline.
         with ParallelOctoCacheMap(
-            resolution=resolution, depth=depth, max_range=max_range
+            resolution=resolution,
+            depth=depth,
+            max_range=max_range,
+            kernel=kernel,
         ) as pipeline:
             for cloud in scans:
                 pipeline.insert_point_cloud(cloud)
@@ -145,6 +149,7 @@ def run_trace_bench(
             max_range=max_range,
             workers=workers,
             num_procs=num_procs,
+            kernel=kernel,
         )
         with OccupancyMapService(config) as service:
             for index, cloud in enumerate(scans):

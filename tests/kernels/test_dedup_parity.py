@@ -1,0 +1,111 @@
+"""Parity for the §4 array-pass duplication elimination.
+
+:func:`repro.kernels.dedup.group_observations` must reproduce what a
+first-touch-ordered dict grouping produces, and
+:func:`~repro.kernels.dedup.dedup_observations` must emit exactly the
+stream the scalar :func:`repro.sensor.scaninsert.trace_scan_rt`
+produces — same keys, same occupied-wins flags, same first-touch order.
+Both the uint16-radix fast path (coordinates < 1024) and the wide
+packed-code fallback are exercised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dedup import dedup_observations, group_observations
+from repro.octree.key import keys_to_morton
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.scaninsert import trace_scan, trace_scan_rt
+
+
+def brute_force_groups(keys, occupied):
+    """First-touch-ordered per-voxel observation sequences, via a dict."""
+    groups = {}
+    for row, flag in zip(map(tuple, keys.tolist()), occupied.tolist()):
+        groups.setdefault(row, []).append(flag)
+    return groups
+
+
+def random_stream(rng, num_obs, coord_high):
+    keys = rng.integers(0, coord_high, size=(num_obs, 3), dtype=np.int64)
+    # Force heavy duplication: collapse to few distinct voxels.
+    pool = keys[: max(1, num_obs // 8)]
+    keys = pool[rng.integers(0, pool.shape[0], size=num_obs)]
+    occupied = rng.random(num_obs) < 0.3
+    return keys, occupied
+
+
+def assert_grouping_matches(keys, occupied):
+    grouped = group_observations(keys, occupied)
+    expected = brute_force_groups(keys, occupied)
+    assert grouped.keys.shape[0] == len(expected)
+    assert [tuple(k) for k in grouped.keys.tolist()] == list(expected)
+    np.testing.assert_array_equal(
+        grouped.codes, keys_to_morton(grouped.keys)
+    )
+    for index, flags in enumerate(expected.values()):
+        start = int(grouped.seg_starts[index])
+        count = int(grouped.counts[index])
+        assert count == len(flags)
+        assert grouped.occ_sorted[start : start + count].tolist() == flags
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_grouping_fuzz_radix_path(seed):
+    rng = np.random.default_rng(seed)
+    keys, occupied = random_stream(rng, int(rng.integers(1, 400)), 1023)
+    assert_grouping_matches(keys, occupied)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_grouping_fuzz_wide_fallback(seed):
+    # Coordinates >= 1024 leave the 30-bit radix range: the wide packed
+    # code path must produce identical groups.
+    rng = np.random.default_rng(100 + seed)
+    keys, occupied = random_stream(rng, 200, 200_000)
+    assert_grouping_matches(keys, occupied)
+
+
+def test_grouping_empty_stream():
+    grouped = group_observations(
+        np.empty((0, 3), dtype=np.int64), np.empty(0, dtype=bool)
+    )
+    assert grouped.keys.shape == (0, 3)
+    assert grouped.counts.shape == (0,)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_dedup_occupied_wins_first_touch(seed):
+    rng = np.random.default_rng(200 + seed)
+    keys, occupied = random_stream(rng, int(rng.integers(1, 300)), 1023)
+    unique_keys, unique_occ = dedup_observations(keys, occupied)
+    expected = brute_force_groups(keys, occupied)
+    assert [tuple(k) for k in unique_keys.tolist()] == list(expected)
+    assert unique_occ.tolist() == [any(f) for f in expected.values()]
+
+
+def test_dedup_matches_scalar_trace_scan_rt():
+    """Regression: vector trace_scan_rt == the scalar stream, exactly."""
+    rng = np.random.default_rng(42)
+    for _ in range(4):
+        origin = tuple(rng.uniform(-2.0, 2.0, size=3))
+        points = rng.uniform(-8.0, 8.0, size=(25, 3))
+        cloud = PointCloud(points=points, origin=origin)
+        scalar = trace_scan_rt(cloud, 0.2, 9, max_range=7.0)
+        vector = trace_scan_rt(cloud, 0.2, 9, max_range=7.0, kernel="vector")
+        assert vector.observations == scalar.observations
+        assert vector.num_rays == scalar.num_rays
+        # Deduped by construction: exactly one observation per voxel.
+        assert vector.duplication_ratio == 1.0
+
+
+def test_dedup_agrees_with_raw_trace_counts():
+    """The deduped stream covers exactly the raw stream's unique voxels."""
+    rng = np.random.default_rng(43)
+    cloud = PointCloud(
+        points=rng.uniform(-6.0, 6.0, size=(20, 3)), origin=(0.0, 0.0, 0.0)
+    )
+    raw = trace_scan(cloud, 0.25, 9, kernel="vector")
+    rt = trace_scan_rt(cloud, 0.25, 9, kernel="vector")
+    assert len(rt) == len(raw.unique_keys())
+    assert set(rt.unique_keys()) == raw.unique_keys()

@@ -1,0 +1,126 @@
+"""Parity for the bulk clamped log-odds fold.
+
+The clamped update is order-dependent and non-associative in floating
+point, so :func:`repro.kernels.logodds.fold_logodds` promises to be
+bit-identical — not just close — to replaying ``params.update`` one
+observation at a time.  The fuzz here spans group counts on both sides
+of the vector/scalar-tail crossover and long uniform runs that pin
+values to the clamp bounds (the fixed-point skip path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.logodds import fold_logodds
+from repro.octree.occupancy import OccupancyParams
+
+
+def replay_scalar(base, occ_sorted, seg_starts, counts, params):
+    finals = np.array(base, dtype=np.float64, copy=True)
+    for group in range(counts.shape[0]):
+        value = float(finals[group])
+        start = int(seg_starts[group])
+        for flag in occ_sorted[start : start + int(counts[group])].tolist():
+            value = params.update(value, flag)
+        finals[group] = value
+    return finals
+
+
+def random_segments(rng, num_groups, max_count):
+    counts = rng.integers(1, max_count + 1, size=num_groups).astype(np.int64)
+    seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    total = int(counts.sum())
+    occ_sorted = rng.random(total) < 0.35
+    base = rng.uniform(-2.5, 2.5, size=num_groups)
+    return base, occ_sorted, seg_starts, counts
+
+
+def assert_fold_matches(base, occ_sorted, seg_starts, counts, params):
+    got = fold_logodds(base, occ_sorted, seg_starts, counts, params)
+    want = replay_scalar(base, occ_sorted, seg_starts, counts, params)
+    np.testing.assert_array_equal(got, want)  # bit-exact, not approx
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_default_params(seed):
+    rng = np.random.default_rng(seed)
+    # Group counts spanning both the vectorised rounds and the scalar
+    # tail (crossover at _SCALAR_TAIL active groups).
+    num_groups = int(rng.integers(1, 300))
+    base, occ_sorted, seg_starts, counts = random_segments(
+        rng, num_groups, int(rng.integers(1, 40))
+    )
+    assert_fold_matches(
+        base, occ_sorted, seg_starts, counts, OccupancyParams()
+    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_custom_params(seed):
+    rng = np.random.default_rng(500 + seed)
+    params = OccupancyParams(
+        threshold=0.1,
+        delta_occupied=0.9,
+        delta_free=0.6,
+        min_occ=-1.5,
+        max_occ=2.5,
+    )
+    base, occ_sorted, seg_starts, counts = random_segments(rng, 120, 25)
+    base = np.clip(base, params.min_occ, params.max_occ)
+    assert_fold_matches(base, occ_sorted, seg_starts, counts, params)
+
+
+def test_long_uniform_runs_pin_to_clamps():
+    # The origin-voxel pattern: one voxel freed (or hit) hundreds of
+    # times in a row.  The scalar tail's fixed-point skip must land on
+    # exactly the clamp value the naive replay produces.
+    params = OccupancyParams()
+    counts = np.array([400, 400, 7], dtype=np.int64)
+    seg_starts = np.array([0, 400, 800], dtype=np.int64)
+    occ_sorted = np.concatenate(
+        [
+            np.zeros(400, dtype=bool),  # all free → pins to min_occ
+            np.ones(400, dtype=bool),  # all hits → pins to max_occ
+            np.array([True, False, True, True, False, False, True]),
+        ]
+    )
+    base = np.array([0.3, -0.3, 0.0])
+    assert_fold_matches(base, occ_sorted, seg_starts, counts, params)
+
+
+def test_alternating_after_clamp():
+    # Hit a clamp, then reverse direction: the skip must stop exactly at
+    # the next opposite-flag observation.
+    params = OccupancyParams()
+    flags = [True] * 50 + [False] * 3 + [True] * 50 + [False] * 80 + [True]
+    occ_sorted = np.array(flags)
+    counts = np.array([len(flags)], dtype=np.int64)
+    seg_starts = np.array([0], dtype=np.int64)
+    base = np.array([0.0])
+    assert_fold_matches(base, occ_sorted, seg_starts, counts, params)
+
+
+def test_empty_inputs():
+    params = OccupancyParams()
+    out = fold_logodds(
+        np.empty(0),
+        np.empty(0, dtype=bool),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        params,
+    )
+    assert out.shape == (0,)
+
+
+def test_base_values_are_not_mutated():
+    params = OccupancyParams()
+    base = np.array([0.5, -0.5])
+    keep = base.copy()
+    fold_logodds(
+        base,
+        np.array([True, False]),
+        np.array([0, 1], dtype=np.int64),
+        np.array([1, 1], dtype=np.int64),
+        params,
+    )
+    np.testing.assert_array_equal(base, keep)

@@ -1,0 +1,106 @@
+"""End-to-end kernel parity: full map builds and the sharded service.
+
+The unit parity tests pin each kernel against its scalar counterpart;
+these tests pin the *composition* — trace → dedup/group → bulk log-odds
+→ cache → octree — by building whole maps both ways and demanding
+perfect decision agreement (and identical tree shape).  The service
+tests confirm the vector kernels ride the shard pipelines unchanged
+under both worker backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.octocache import OctoCacheMap, OctoCacheRTMap
+from repro.datasets.workload import load_bench_workload
+from repro.octree.merge import map_agreement
+from repro.service.workload import run_serve_bench
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_bench_workload(
+        "fr079_corridor", ray_scale=0.25, max_batches=3
+    )
+
+
+def build(workload, kernel, rt=False, cache_config=None):
+    cls = OctoCacheRTMap if rt else OctoCacheMap
+    mapping = cls(
+        resolution=0.3,
+        depth=10,
+        max_range=workload.max_range,
+        cache_config=cache_config,
+        kernel=kernel,
+    )
+    for cloud in workload:
+        mapping.insert_point_cloud(cloud)
+    mapping.finalize()
+    return mapping
+
+
+def assert_same_map(scalar, vector):
+    report = map_agreement(scalar.octree, vector.octree)
+    assert report.decision_agreement == 1.0
+    assert report.missing == 0
+    assert vector.octree.num_nodes == scalar.octree.num_nodes
+
+
+def test_full_build_parity(workload):
+    assert_same_map(
+        build(workload, "scalar"), build(workload, "vector")
+    )
+
+
+def test_full_build_parity_rt_mode(workload):
+    assert_same_map(
+        build(workload, "scalar", rt=True), build(workload, "vector", rt=True)
+    )
+
+
+def test_full_build_parity_hash_indexing(workload):
+    # use_morton_indexing=False exercises the hash bucket-placement arm
+    # of the bulk cache write-back.
+    config = CacheConfig(num_buckets=512, use_morton_indexing=False)
+    assert_same_map(
+        build(workload, "scalar", cache_config=config),
+        build(workload, "vector", cache_config=config),
+    )
+
+
+def test_full_build_parity_tiny_cache_heavy_eviction(workload):
+    # A cache far smaller than the working set forces eviction (and the
+    # bulk octree apply) on nearly every batch.
+    config = CacheConfig(num_buckets=64, bucket_threshold=2)
+    assert_same_map(
+        build(workload, "scalar", cache_config=config),
+        build(workload, "vector", cache_config=config),
+    )
+
+
+def test_vector_map_matches_scalar_cache_statistics(workload):
+    scalar = build(workload, "scalar")
+    vector = build(workload, "vector")
+    assert vector.cache.stats_dict() == scalar.cache.stats_dict()
+
+
+@pytest.mark.parametrize("workers", ["thread", "process"])
+def test_service_pipeline_vector_kernel(workers):
+    report = run_serve_bench(
+        shards=2,
+        clients=2,
+        max_batches=2,
+        ray_scale=0.2,
+        queries_per_scan=1,
+        verify_snapshot=True,
+        workers=workers,
+        num_procs=2 if workers == "process" else None,
+        kernel="vector",
+    )
+    # The serial verification rebuild runs the scalar kernel, so full
+    # agreement here is a cross-kernel, cross-backend exactness check.
+    assert report.agreement is not None
+    assert report.agreement.decision_agreement == 1.0
+    assert report.agreement.missing == 0
+    assert report.scans > 0

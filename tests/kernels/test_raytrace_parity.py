@@ -1,0 +1,199 @@
+"""Property-based parity: vector ray tracing vs the scalar oracle.
+
+The contract of :mod:`repro.kernels.raytrace` is *bit-exactness*: the
+batched tracer must emit the identical observation stream — same voxel
+keys, same occupied flags, same order — as the per-ray scalar path.
+These tests fuzz randomized clouds across resolutions, depths and range
+clamps, then hammer the known corner cases (degenerate rays, same-voxel
+endpoints, axis-aligned rays, exact voxel-corner ties, ``max_range``
+truncation, out-of-bounds errors).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sensor.pointcloud import PointCloud
+from repro.sensor.scaninsert import trace_scan
+
+
+def assert_streams_equal(cloud, resolution, depth, max_range=math.inf):
+    scalar = trace_scan(cloud, resolution, depth, max_range=max_range)
+    vector = trace_scan(
+        cloud, resolution, depth, max_range=max_range, kernel="vector"
+    )
+    assert vector.num_rays == scalar.num_rays
+    assert vector.observations == scalar.observations
+    return scalar, vector
+
+
+def random_cloud(rng, span, num_points):
+    origin = tuple(rng.uniform(-span * 0.3, span * 0.3, size=3))
+    points = rng.uniform(-span, span, size=(num_points, 3))
+    return PointCloud(points=points, origin=origin)
+
+
+class TestFuzzParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clouds(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(4):
+            resolution = float(rng.choice([0.05, 0.1, 0.25, 0.5]))
+            depth = int(rng.choice([6, 8, 10]))
+            span = resolution * (1 << (depth - 1)) * 0.8
+            cloud = random_cloud(rng, span, int(rng.integers(1, 40)))
+            assert_streams_equal(cloud, resolution, depth)
+
+
+class TestMaxRangeParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_truncated_rays_match_and_contribute_free_only(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        resolution = 0.2
+        depth = 9
+        span = resolution * (1 << (depth - 1)) * 0.8
+        cloud = random_cloud(rng, span, 30)
+        scalar, vector = assert_streams_equal(
+            cloud, resolution, depth, max_range=span * 0.3
+        )
+        # Some rays truncated (free endpoint), some not.
+        assert scalar.num_occupied < 30
+        assert vector.num_occupied == scalar.num_occupied
+
+    def test_all_rays_truncated(self):
+        cloud = PointCloud(
+            points=np.array([[5.0, 5.0, 5.0], [-6.0, 0.0, 3.0]]),
+            origin=(0.0, 0.0, 0.0),
+        )
+        scalar, vector = assert_streams_equal(
+            cloud, 0.25, 8, max_range=1.5
+        )
+        assert scalar.num_occupied == 0
+        assert vector.num_occupied == 0
+
+
+class TestCornerCases:
+    def test_empty_cloud(self):
+        cloud = PointCloud(points=np.empty((0, 3)), origin=(0.0, 0.0, 0.0))
+        scalar, vector = assert_streams_equal(cloud, 0.1, 8)
+        assert len(vector) == 0
+
+    def test_degenerate_rays_point_equals_origin(self):
+        origin = (0.37, -0.81, 0.05)
+        points = np.array([list(origin)] * 3)
+        assert_streams_equal(
+            PointCloud(points=points, origin=origin), 0.1, 8
+        )
+
+    def test_same_voxel_endpoints(self):
+        # Endpoint inside the origin voxel but not equal to the origin.
+        origin = (0.02, 0.03, 0.04)
+        points = np.array([[0.08, 0.01, 0.09], [0.01, 0.09, 0.01]])
+        scalar, vector = assert_streams_equal(
+            PointCloud(points=points, origin=origin), 0.1, 8
+        )
+        assert len(scalar) == 2  # endpoint observations only
+
+    def test_axis_aligned_rays(self):
+        origin = (0.05, 0.05, 0.05)
+        points = np.array(
+            [
+                [2.05, 0.05, 0.05],
+                [0.05, -1.95, 0.05],
+                [0.05, 0.05, 3.05],
+                [-1.95, 0.05, 0.05],
+            ]
+        )
+        assert_streams_equal(
+            PointCloud(points=points, origin=origin), 0.1, 8
+        )
+
+    def test_voxel_corner_ties(self):
+        # Endpoints and origin on exact multiples of the resolution: the
+        # diagonal rays cross voxel corners, where two or three axis
+        # crossings share one t value and the tie-break order matters.
+        origin = (0.0, 0.0, 0.0)
+        points = np.array(
+            [
+                [1.0, 1.0, 1.0],
+                [2.0, 2.0, 0.0],
+                [-1.0, -1.0, -1.0],
+                [0.5, 0.5, 0.5],
+            ]
+        )
+        for resolution in (0.1, 0.25, 0.5):
+            assert_streams_equal(
+                PointCloud(points=points, origin=origin), resolution, 8
+            )
+
+    def test_mixed_batch(self):
+        origin = (0.11, 0.0, -0.07)
+        points = np.array(
+            [
+                [0.11, 0.0, -0.07],  # degenerate
+                [0.13, 0.01, -0.05],  # same voxel
+                [3.0, 0.0, -0.07],  # axis-aligned
+                [2.7, -1.9, 1.4],  # generic
+                [40.0, 40.0, 40.0],  # truncated under max_range
+            ]
+        )
+        assert_streams_equal(
+            PointCloud(points=points, origin=origin), 0.2, 9, max_range=6.0
+        )
+
+
+class TestErrorParity:
+    def test_endpoint_outside_map_raises_like_scalar(self):
+        # depth 6 at 0.1 m spans ±3.2 m; 10 m is out of bounds.
+        cloud = PointCloud(
+            points=np.array([[10.0, 0.0, 0.0]]), origin=(0.0, 0.0, 0.0)
+        )
+        with pytest.raises(ValueError) as scalar_err:
+            trace_scan(cloud, 0.1, 6)
+        with pytest.raises(ValueError) as vector_err:
+            trace_scan(cloud, 0.1, 6, kernel="vector")
+        assert str(vector_err.value) == str(scalar_err.value)
+
+    def test_origin_outside_map_raises_like_scalar(self):
+        cloud = PointCloud(
+            points=np.array([[0.0, 0.0, 0.0]]), origin=(10.0, 0.0, 0.0)
+        )
+        with pytest.raises(ValueError) as scalar_err:
+            trace_scan(cloud, 0.1, 6)
+        with pytest.raises(ValueError) as vector_err:
+            trace_scan(cloud, 0.1, 6, kernel="vector")
+        assert str(vector_err.value) == str(scalar_err.value)
+
+    def test_truncation_can_rescue_out_of_range_endpoint(self):
+        # The scalar path truncates before converting: so must the
+        # vector path — no spurious bounds error for clamped rays.
+        cloud = PointCloud(
+            points=np.array([[10.0, 0.0, 0.0]]), origin=(0.0, 0.0, 0.0)
+        )
+        assert_streams_equal(cloud, 0.1, 6, max_range=1.0)
+
+    def test_unknown_kernel_rejected(self):
+        cloud = PointCloud(
+            points=np.array([[1.0, 0.0, 0.0]]), origin=(0.0, 0.0, 0.0)
+        )
+        with pytest.raises(ValueError, match="unknown kernel"):
+            trace_scan(cloud, 0.1, 6, kernel="simd")
+
+
+class TestBatchCounters:
+    """Satellite: counts computed once, identical across representations."""
+
+    def test_counts_match_between_array_and_tuple_batches(self):
+        rng = np.random.default_rng(7)
+        cloud = random_cloud(rng, 8.0, 25)
+        scalar = trace_scan(cloud, 0.2, 8)
+        vector = trace_scan(cloud, 0.2, 8, kernel="vector")
+        assert vector.num_occupied == scalar.num_occupied
+        assert vector.num_free == scalar.num_free
+        assert vector.duplication_ratio == pytest.approx(
+            scalar.duplication_ratio
+        )
+        # Cached after first access: same object back, no rescan.
+        assert vector.duplication_ratio is not None
+        assert vector._num_unique == len(scalar.unique_keys())

@@ -25,6 +25,8 @@ REQUIRED_METRICS = {
     "simcache_hit_ratio",
     "serve_throughput",
     "trace_overhead_ratio",
+    "vector_ingest_speedup",
+    "vector_map_agreement",
 }
 
 
@@ -45,6 +47,8 @@ class TestSuite:
         assert quick_run.metrics["trace_overhead_ratio"] > 0
         assert quick_run.metrics["multicore_speedup"] > 0
         assert quick_run.metrics["multicore_map_agreement"] == 1.0
+        assert quick_run.metrics["vector_ingest_speedup"] > 0
+        assert quick_run.metrics["vector_map_agreement"] == 1.0
         assert quick_run.env["multicore_procs"] >= 1
         assert quick_run.env["host"]
         assert quick_run.quick is True
