@@ -9,6 +9,7 @@ Subcommands mirror the main experiment families, plus the service layer::
     python -m repro serve-bench --shards 4 --clients 8 --admin-port 9464
     python -m repro trace-bench --chrome-trace out.trace.json
     python -m repro chaos-bench --crash-shard 0 --report-out chaos.json
+    python -m repro load-bench  --quick --json
     python -m repro perf-bench  --quick
     python -m repro perf-check  --baseline benchmarks/perf_baseline.json
 
@@ -209,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.TRACE.JSON",
         help="write a chrome://tracing / Perfetto trace_event file",
     )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the report dict as JSON"
+    )
 
     chaos = sub.add_parser(
         "chaos-bench",
@@ -242,6 +246,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the chaos report as JSON (the CI artifact)",
     )
     chaos.add_argument(
+        "--json", action="store_true", help="emit the report dict as JSON"
+    )
+
+    load = sub.add_parser(
+        "load-bench",
+        help="open-loop client ramp to the SLO-burning saturation knee",
+    )
+    _add_bench_workload_args(load, batches=6, ray_scale=0.3)
+    load.add_argument("--shards", type=int, default=2)
+    load.add_argument("--queue-capacity", type=int, default=4)
+    load.add_argument("--coalesce", type=int, default=4)
+    load.add_argument(
+        "--steps",
+        default=None,
+        metavar="N,N,...",
+        help="ascending client counts to hold (default 1,2,4,...,32; "
+        "quick stops at 16)",
+    )
+    load.add_argument(
+        "--rate",
+        type=float,
+        default=40.0,
+        metavar="SCANS/S",
+        help="per-client open-loop submit rate (offered = clients x rate)",
+    )
+    load.add_argument(
+        "--step-seconds",
+        type=float,
+        default=2.0,
+        help="how long each client count is held before evaluation",
+    )
+    load.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter steps and a smaller ramp (the CI smoke profile)",
+    )
+    load.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="mount the admin endpoint (/slo included) during the ramp "
+        "(0 = ephemeral)",
+    )
+    load.add_argument(
+        "--admin-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the admin endpoint (and service) up this long after "
+        "the ramp, so an external prober can scrape /slo",
+    )
+    load.add_argument(
+        "--out",
+        default=None,
+        metavar="BENCH.JSON",
+        help="append to this file instead of benchmarks/BENCH_<host>.json",
+    )
+    load.add_argument(
+        "--no-append",
+        action="store_true",
+        help="skip the BENCH series append (exploratory runs)",
+    )
+    load.add_argument(
         "--json", action="store_true", help="emit the report dict as JSON"
     )
 
@@ -291,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline from the latest entry instead of checking",
+    )
+    check.add_argument(
+        "--metrics",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="gate only these baseline metrics (for entries that carry "
+        "a subset, e.g. load-bench: capacity_scans_per_s,ingest_p99_ms)",
     )
     check.add_argument(
         "--json", action="store_true", help="emit the check results as JSON"
@@ -501,6 +576,18 @@ def _cmd_trace_bench(args: argparse.Namespace) -> int:
         kernel=args.kernel,
     )
     profile = report.profile
+    if args.trace_out:
+        import json
+
+        with open(args.trace_out, "w") as handle:
+            json.dump(profile.to_dict(), handle, indent=2)
+    if args.chrome_trace:
+        report.chrome.write(args.chrome_trace)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.consistent else 1
     print(
         f"trace-bench: {report.dataset}, {report.batches} batch(es) through "
         f"pipeline + service + simcache"
@@ -531,18 +618,75 @@ def _cmd_trace_bench(args: argparse.Namespace) -> int:
         print()
         print(format_table(["event", "metrics total", "span count", ""], rows))
     if args.trace_out:
-        import json
-
-        with open(args.trace_out, "w") as handle:
-            json.dump(profile.to_dict(), handle, indent=2)
         print(f"\nprofile written to {args.trace_out}")
     if args.chrome_trace:
-        report.chrome.write(args.chrome_trace)
         print(
             f"chrome trace written to {args.chrome_trace} "
             "(load in chrome://tracing or ui.perfetto.dev)"
         )
     return 0 if report.consistent else 1
+
+
+def _cmd_load_bench(args: argparse.Namespace) -> int:
+    from repro.loadgen import run_load_bench
+    from repro.obs.perf import append_bench_entry, bench_path_for_host
+
+    steps = None
+    if args.steps:
+        steps = [int(part) for part in args.steps.split(",") if part.strip()]
+    report = run_load_bench(
+        dataset_name=args.dataset,
+        shards=args.shards,
+        resolution=args.resolution,
+        depth=args.depth,
+        max_batches=args.batches,
+        ray_scale=args.ray_scale,
+        queue_capacity=args.queue_capacity,
+        coalesce=args.coalesce,
+        workers=args.workers,
+        num_procs=args.num_procs,
+        kernel=args.kernel,
+        client_steps=steps,
+        rate_per_client=args.rate,
+        step_seconds=args.step_seconds,
+        quick=args.quick,
+        admin_port=args.admin_port,
+        admin_hold=args.admin_hold,
+    )
+    appended_to = None
+    if not args.no_append:
+        appended_to = args.out or bench_path_for_host("benchmarks")
+        append_bench_entry(report.to_bench_entry(), appended_to)
+    if args.json:
+        import json
+
+        payload = report.to_dict()
+        payload["appended_to"] = appended_to
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"load-bench: {report.dataset} through {report.shards} shard(s), "
+        f"{report.workers} workers, {report.kernel} kernel, "
+        f"{report.rate_per_client:g} scans/s per client"
+    )
+    print()
+    print(report.table())
+    print()
+    if report.saturated:
+        print(
+            f"saturation knee at {report.knee_clients} client(s); "
+            f"capacity {report.capacity_scans_per_s:.1f} scans/s "
+            f"@ p99 {report.ingest_p99_ms:.1f} ms"
+        )
+    else:
+        print(
+            "no SLO burned on this ramp; capacity (fastest step) "
+            f"{report.capacity_scans_per_s:.1f} scans/s "
+            f"@ p99 {report.ingest_p99_ms:.1f} ms"
+        )
+    if appended_to:
+        print(f"capacity curve appended to {appended_to}")
+    return 0
 
 
 def _cmd_chaos_bench(args: argparse.Namespace) -> int:
@@ -665,7 +809,10 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
         return 0
     with open(baseline_path) as handle:
         baseline = json.load(handle)
-    result = check_regressions(entry, baseline)
+    only = None
+    if args.metrics:
+        only = [part.strip() for part in args.metrics.split(",") if part.strip()]
+    result = check_regressions(entry, baseline, only=only)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0 if result.ok else 1
@@ -708,6 +855,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "trace-bench": _cmd_trace_bench,
     "chaos-bench": _cmd_chaos_bench,
+    "load-bench": _cmd_load_bench,
     "perf-bench": _cmd_perf_bench,
     "perf-check": _cmd_perf_check,
 }

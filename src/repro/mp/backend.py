@@ -61,6 +61,7 @@ from repro.sensor.scaninsert import trace_scan, trace_scan_rt
 from repro.service.sharded_map import ShardedBatchRecord
 from repro.service.sharding import ShardRouter
 from repro.telemetry import get_tracer
+from repro.telemetry.tracer import current_span_info
 
 __all__ = ["ProcessShardedMap"]
 
@@ -73,6 +74,12 @@ RecoverySource = Callable[
 
 def _empty_recovery(shard_id: int):
     return None, []
+
+
+def _wire_parent() -> int:
+    """The ambient span id to propagate as wire trace context (0 = none)."""
+    info = current_span_info()
+    return info[0] if info else 0
 
 
 class ProcessShardedMap:
@@ -205,12 +212,17 @@ class ProcessShardedMap:
         for event in events:
             kind = event.get("k")
             if kind == "span":
+                # Child ids are pid-disjoint (the worker reseeds its
+                # allocator), so they install verbatim — parent links to
+                # wire-propagated parent spans survive the relay.
                 target.record_span(
                     event["n"],
                     event["c"],
                     event["s"],
                     event["d"],
                     thread_id=event.get("t"),
+                    span_id=event.get("i"),
+                    parent_id=event.get("p"),
                     **event.get("a", {}),
                 )
             elif kind == "count":
@@ -266,7 +278,10 @@ class ProcessShardedMap:
         batches: Sequence[Sequence[Tuple[VoxelKey, bool]]],
     ) -> None:
         reply = self.supervisor.request(
-            shard_id, codec.MSG_RESTORE, codec.encode_restore(blob, upto, batches)
+            shard_id,
+            codec.MSG_RESTORE,
+            codec.encode_restore(blob, upto, batches),
+            parent_span=_wire_parent(),
         )
         _body, events = codec.decode_reply(reply.payload)
         self._replay(events)
@@ -280,7 +295,9 @@ class ProcessShardedMap:
         before returning.
         """
         self._ensure_ready(shard_id)
-        reply = self.supervisor.request(shard_id, msg_type, payload)
+        reply = self.supervisor.request(
+            shard_id, msg_type, payload, parent_span=_wire_parent()
+        )
         body, events = codec.decode_reply(reply.payload)
         self._replay(events)
         return body
@@ -345,13 +362,14 @@ class ProcessShardedMap:
             category="service",
             shard=shard_id,
             observations=len(observations),
-        ):
+        ) as span:
             with self._locks[shard_id]:
                 self._ensure_ready(shard_id)
                 reply = self.supervisor.request(
                     shard_id,
                     codec.MSG_APPLY,
                     codec.encode_observations(observations),
+                    parent_span=span.span_id,
                 )
                 self._applied[shard_id] += 1
                 body, events = codec.decode_reply(reply.payload)
@@ -365,7 +383,7 @@ class ProcessShardedMap:
                 with self._locks[shard_id]:
                     self._ensure_ready(shard_id, respawn=False)
                     reply = self.supervisor.request(
-                        shard_id, codec.MSG_FINALIZE
+                        shard_id, codec.MSG_FINALIZE, parent_span=_wire_parent()
                     )
                     _body, events = codec.decode_reply(reply.payload)
                 self._replay(events)
@@ -441,7 +459,10 @@ class ProcessShardedMap:
             with self._locks[shard_id]:
                 self._ensure_ready(shard_id, respawn=False)
                 reply = self.supervisor.request(
-                    shard_id, codec.MSG_QUERY_MANY, codec.encode_keys(keys)
+                    shard_id,
+                    codec.MSG_QUERY_MANY,
+                    codec.encode_keys(keys),
+                    parent_span=_wire_parent(),
                 )
                 body, events = codec.decode_reply(reply.payload)
         except ShardProcessDied:
@@ -549,7 +570,10 @@ class ProcessShardedMap:
                 with self._locks[shard_id]:
                     self._ensure_ready(shard_id, respawn=False)
                     reply = self.supervisor.request(
-                        shard_id, codec.MSG_BOX_QUERY, payload
+                        shard_id,
+                        codec.MSG_BOX_QUERY,
+                        payload,
+                        parent_span=_wire_parent(),
                     )
                     body, events = codec.decode_reply(reply.payload)
             except ShardProcessDied:

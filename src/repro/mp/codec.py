@@ -70,8 +70,9 @@ __all__ = [
 _MAGIC = b"RMPC"
 
 #: Wire protocol version; a mismatched worker fails the handshake loudly
-#: instead of misparsing frames.
-WIRE_VERSION = 1
+#: instead of misparsing frames.  v2 added the trace-context field
+#: (``parent_span``) to the fixed header.
+WIRE_VERSION = 2
 
 # Request types (parent -> worker).
 MSG_APPLY = 1
@@ -101,7 +102,8 @@ _NAMES = {
     MSG_ERROR: "ERROR",
 }
 
-_HEADER = struct.Struct("<4sBBiII")
+# magic, version, type, shard, seq, payload length, parent span id.
+_HEADER = struct.Struct("<4sBBiIIQ")
 _CRC = struct.Struct("<I")
 _U32 = struct.Struct("<I")
 _F64 = struct.Struct("<d")
@@ -119,21 +121,40 @@ def message_name(msg_type: int) -> str:
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded wire frame."""
+    """One decoded wire frame.
+
+    ``parent_span`` is the sender's active span id (0 = none): the
+    trace context that lets a worker process parent its spans under the
+    request span that crossed the pipe, so process-mode waterfalls join
+    into one tree.
+    """
 
     type: int
     shard: int
     seq: int
     payload: bytes
+    parent_span: int = 0
 
 
 def encode_frame(
-    msg_type: int, shard: int, seq: int, payload: bytes = b""
+    msg_type: int,
+    shard: int,
+    seq: int,
+    payload: bytes = b"",
+    parent_span: int = 0,
 ) -> bytes:
     """Frame one message: header + payload + CRC-32 trailer."""
     if msg_type not in _NAMES:
         raise CodecError(f"unknown message type {msg_type}")
-    head = _HEADER.pack(_MAGIC, WIRE_VERSION, msg_type, shard, seq, len(payload))
+    head = _HEADER.pack(
+        _MAGIC,
+        WIRE_VERSION,
+        msg_type,
+        shard,
+        seq,
+        len(payload),
+        parent_span & 0xFFFFFFFFFFFFFFFF,
+    )
     body = head + payload
     return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
 
@@ -150,7 +171,9 @@ def decode_frame(data: bytes) -> Frame:
             f"corrupt frame: CRC-32 mismatch "
             f"(stored {stored_crc:#010x}, computed {actual_crc:#010x})"
         )
-    magic, version, msg_type, shard, seq, length = _HEADER.unpack_from(body, 0)
+    magic, version, msg_type, shard, seq, length, parent_span = (
+        _HEADER.unpack_from(body, 0)
+    )
     if magic != _MAGIC:
         raise CodecError(f"bad magic {magic!r}; not an mp wire frame")
     if version != WIRE_VERSION:
@@ -162,7 +185,13 @@ def decode_frame(data: bytes) -> Frame:
         raise CodecError(
             f"frame length mismatch: header says {length}, got {len(payload)}"
         )
-    return Frame(type=msg_type, shard=shard, seq=seq, payload=payload)
+    return Frame(
+        type=msg_type,
+        shard=shard,
+        seq=seq,
+        payload=payload,
+        parent_span=parent_span,
+    )
 
 
 # ----------------------------------------------------------------------

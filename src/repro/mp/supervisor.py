@@ -257,8 +257,13 @@ class ShardProcessSupervisor:
         msg_type: int,
         payload: bytes = b"",
         timeout: Optional[float] = None,
+        parent_span: int = 0,
     ) -> codec.Frame:
         """One atomic framed exchange with the process hosting a shard.
+
+        ``parent_span`` rides the frame header as wire trace context:
+        the worker parents its spans under that id, so process-mode
+        request waterfalls join into one span tree (0 = no context).
 
         Raises :class:`ShardProcessDied` when the process is gone (or
         misses the reply deadline — it is then killed, so "slow" and
@@ -275,7 +280,9 @@ class ShardProcessSupervisor:
                     f"worker process for shard {shard_id} is not running"
                 )
             seq = next(self._seqs[proc_index])
-            frame = codec.encode_frame(msg_type, shard_id, seq, payload)
+            frame = codec.encode_frame(
+                msg_type, shard_id, seq, payload, parent_span=parent_span
+            )
             try:
                 worker.conn.send_bytes(frame)
                 if not worker.conn.poll(deadline):

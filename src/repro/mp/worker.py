@@ -26,6 +26,8 @@ traceback; only a broken pipe (the parent went away) or an explicit
 
 from __future__ import annotations
 
+import contextlib
+import os
 import signal
 import threading
 import traceback
@@ -42,7 +44,14 @@ from repro.octree.serialize import tree_to_bytes
 from repro.octree.tree import OccupancyOctree
 from repro.resilience.recovery import ShardCheckpoint, restore_pipeline
 from repro.sensor.scaninsert import ScanBatch
-from repro.telemetry.tracer import CountEvent, Span, Tracer, set_tracer
+from repro.telemetry.tracer import (
+    CountEvent,
+    Span,
+    Tracer,
+    seed_span_ids,
+    set_tracer,
+    span_context,
+)
 
 __all__ = ["shard_worker_main"]
 
@@ -68,7 +77,10 @@ class _RelaySink:
             "s": span.start,
             "d": span.duration,
             "t": span.thread_id,
+            "i": span.span_id,
         }
+        if span.parent_id is not None:
+            event["p"] = span.parent_id
         if attrs:
             event["a"] = attrs
         with self._lock:
@@ -249,6 +261,10 @@ def shard_worker_main(conn, config_blob: bytes) -> None:
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     relay = _RelaySink()
+    # Relayed span ids land in the parent's span tree verbatim, so each
+    # worker allocates from a pid-disjoint range: ids from different
+    # processes (and the parent, which counts up from 1) never collide.
+    seed_span_ids(((os.getpid() & 0x3FFFFF) << 40) | 1)
     # A fresh tracer *before* pipelines are built (they capture it at
     # construction).  Under fork we would otherwise inherit the parent's
     # global tracer and feed parent-copied sinks nobody reads.
@@ -288,16 +304,25 @@ def shard_worker_main(conn, config_blob: bytes) -> None:
                 except (BrokenPipeError, OSError):
                     pass
                 return
-            if frame.type == codec.MSG_PING:
-                body = b""
-            elif frame.type in handlers:
-                body = handlers[frame.type](frame.shard, frame.payload)
-            elif frame.type in no_payload:
-                body = no_payload[frame.type](frame.shard)
-            else:
-                raise ValueError(
-                    f"unexpected message {codec.message_name(frame.type)}"
-                )
+            # Adopt the wire-propagated trace context (pushed only after
+            # a frame fully decodes, popped via __exit__ even on handler
+            # failure — a corrupt frame can never orphan the span stack).
+            parent = (
+                span_context(frame.parent_span, "wire.request", "service")
+                if frame.parent_span
+                else contextlib.nullcontext()
+            )
+            with parent:
+                if frame.type == codec.MSG_PING:
+                    body = b""
+                elif frame.type in handlers:
+                    body = handlers[frame.type](frame.shard, frame.payload)
+                elif frame.type in no_payload:
+                    body = no_payload[frame.type](frame.shard)
+                else:
+                    raise ValueError(
+                        f"unexpected message {codec.message_name(frame.type)}"
+                    )
             reply = codec.encode_frame(
                 codec.MSG_OK,
                 frame.shard,

@@ -8,8 +8,11 @@ makes those internals *operational*:
 - :mod:`repro.obs.exposition` — the registry rendered in the Prometheus
   text format (``MetricsRegistry.to_prometheus_text()`` delegates here).
 - :mod:`repro.obs.admin` — a stdlib-``http.server`` admin endpoint
-  (``/metrics``, ``/healthz``, ``/readyz``, ``/snapshot``) mounted next
-  to an :class:`~repro.service.OccupancyMapService`.
+  (``/metrics``, ``/healthz``, ``/readyz``, ``/slo``, ``/snapshot``)
+  mounted next to an :class:`~repro.service.OccupancyMapService`.
+- :mod:`repro.obs.slo` — declarative service-level objectives evaluated
+  over rolling windows: SLIs, multi-window burn-rate alerts, error
+  budgets, and the end-to-end latency waterfall.
 - :mod:`repro.obs.logging` — structured JSON log records stamped with
   the active telemetry span id/category, so traces, logs, and metric
   deltas from the same batch join on one key.
@@ -20,7 +23,7 @@ makes those internals *operational*:
 See ``docs/observability.md`` for the operating guide.
 """
 
-from repro.obs.admin import AdminServer, readiness
+from repro.obs.admin import AdminServer, liveness, readiness
 from repro.obs.exposition import render_prometheus
 from repro.obs.logging import (
     JsonLogFormatter,
@@ -37,17 +40,28 @@ from repro.obs.perf import (
     run_perf_bench,
     write_baseline,
 )
+from repro.obs.slo import (
+    SLOEngine,
+    SLObjective,
+    default_objectives,
+    latency_waterfall,
+)
 
 __all__ = [
     "AdminServer",
     "CheckResult",
     "JsonLogFormatter",
     "PerfRun",
+    "SLOEngine",
+    "SLObjective",
     "SpanContextFilter",
     "append_bench_entry",
     "bench_path_for_host",
     "check_regressions",
     "configure_json_logging",
+    "default_objectives",
+    "latency_waterfall",
+    "liveness",
     "load_latest_entry",
     "readiness",
     "render_prometheus",

@@ -2,19 +2,27 @@
 
 ``AdminServer`` wraps :class:`http.server.ThreadingHTTPServer` (no
 dependencies, daemon thread, ephemeral port by default) and serves the
-four operational routes a scraper/orchestrator expects:
+operational routes a scraper/orchestrator expects:
 
 - ``GET /metrics`` — the service registry in Prometheus text exposition
   format (``text/plain; version=0.0.4``); counter totals equal the JSON
   snapshot by construction (same registry, one lock per metric).
-- ``GET /healthz`` — liveness: ``200 ok`` while the service accepts
-  work, ``503`` once it is closed.  Restarting the process is the only
-  cure for a failing liveness probe, so it stays deliberately dumb.
+- ``GET /healthz`` — liveness: ``200`` with a small JSON identity body
+  (status, uptime, pid, worker mode, kernel, shard count) while the
+  service accepts work, ``503`` once it is closed.  Restarting the
+  process is the only cure for a failing liveness probe, so the
+  *decision* stays deliberately dumb — the body just saves the operator
+  one ``/snapshot`` round trip.
 - ``GET /readyz`` — readiness: ``200`` only while *every* shard's
   resilience :class:`~repro.service.metrics.StateGauge` reads
   ``healthy``; ``503`` with a JSON body naming the ``recovering`` /
   ``dead`` shards otherwise.  A load balancer should stop routing to a
-  replica that is rebuilding a shard — its answers are stale.
+  replica that is rebuilding a shard — its answers are stale.  The body
+  also carries per-shard ingest queue depths, the early saturation
+  signal (queues pinned at capacity = backpressure imminent).
+- ``GET /slo`` — the :class:`~repro.obs.slo.SLOEngine` status document:
+  windowed SLIs, burn rates, multi-window alerts, error budgets, and
+  the p99 latency waterfall (see ``docs/observability.md``).
 - ``GET /snapshot`` — the full JSON operational state: metrics registry
   snapshot, per-shard queue depths, health, and the per-shard voxel-cache
   ``stats_dict()`` (hit ratios, residency, evictions).
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Tuple
@@ -41,9 +50,28 @@ from urllib.parse import urlsplit
 from repro.obs.exposition import CONTENT_TYPE
 from repro.resilience.recovery import ShardHealth
 
-__all__ = ["AdminServer", "readiness"]
+__all__ = ["AdminServer", "liveness", "readiness"]
 
 _LOG = logging.getLogger("repro.obs.admin")
+
+
+def liveness(service) -> Dict[str, object]:
+    """The ``/healthz`` identity body: who is answering, for how long.
+
+    ``status`` is the probe verdict (``ok`` / ``closed``); the rest is
+    deployment identity — uptime, pid, worker backend, kernel, shard
+    count — so an operator staring at a fleet of replicas can tell
+    *which build shape* each probe hit without a second request.
+    """
+    config = service.config
+    return {
+        "status": "closed" if service.closed else "ok",
+        "uptime_seconds": round(service.uptime_seconds, 3),
+        "pid": os.getpid(),
+        "workers": config.workers,
+        "kernel": config.kernel,
+        "shards": config.num_shards,
+    }
 
 
 def readiness(service) -> Tuple[bool, Dict[str, str]]:
@@ -80,16 +108,27 @@ class _AdminHandler(BaseHTTPRequestHandler):
                 ).encode()
                 self._reply(200, CONTENT_TYPE, body)
             elif route == "/healthz":
-                if admin.service.closed:
-                    self._reply(503, "text/plain", b"closed\n")
-                else:
-                    self._reply(200, "text/plain", b"ok\n")
+                body = json.dumps(
+                    liveness(admin.service), indent=2
+                ).encode() + b"\n"
+                status = 503 if admin.service.closed else 200
+                self._reply(status, "application/json", body)
             elif route == "/readyz":
                 ready, shard_states = readiness(admin.service)
                 body = json.dumps(
-                    {"ready": ready, "shards": shard_states}, indent=2
+                    {
+                        "ready": ready,
+                        "shards": shard_states,
+                        "queue_depths": admin.service.queue_depths(),
+                    },
+                    indent=2,
                 ).encode() + b"\n"
                 self._reply(200 if ready else 503, "application/json", body)
+            elif route == "/slo":
+                body = json.dumps(
+                    admin.service.slo_engine().status_dict(), indent=2
+                ).encode() + b"\n"
+                self._reply(200, "application/json", body)
             elif route == "/snapshot":
                 body = json.dumps(
                     admin.service.stats_dict(), indent=2, default=str
@@ -99,7 +138,7 @@ class _AdminHandler(BaseHTTPRequestHandler):
                 self._reply(
                     404,
                     "text/plain",
-                    b"routes: /metrics /healthz /readyz /snapshot\n",
+                    b"routes: /metrics /healthz /readyz /slo /snapshot\n",
                 )
         except BrokenPipeError:  # client went away mid-reply
             pass
@@ -122,7 +161,7 @@ class _AdminHandler(BaseHTTPRequestHandler):
 
 
 class AdminServer:
-    """Serve ``/metrics`` ``/healthz`` ``/readyz`` ``/snapshot`` for a service.
+    """Serve ``/metrics`` ``/healthz`` ``/readyz`` ``/slo`` ``/snapshot``.
 
     Args:
         service: the :class:`~repro.service.OccupancyMapService` to expose.

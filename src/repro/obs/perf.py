@@ -41,6 +41,11 @@ too noisy to gate on):
 - ``trace_overhead_ratio`` — insert-path wall time with tracing enabled
   (ring sink) over tracing disabled; guards the "observability is
   near-free" budget.
+- ``capacity_scans_per_s`` / ``ingest_p99_ms`` — the saturation knee
+  from a :func:`repro.loadgen.run_load_bench` open-loop ramp: the
+  fastest SLO-clean throughput step and its end-to-end p99.  The floor
+  gate that catches "still correct, but the machine saturates at half
+  the load it used to".
 
 ``append_bench_entry`` writes each run into an append-only
 ``BENCH_<host>.json`` time series (with an environment fingerprint, so
@@ -92,6 +97,8 @@ _DEFAULT_TOLERANCE = {
     "vector_map_agreement": 0.0,
     "cache_hit_ratio": 0.10,
     "simcache_hit_ratio": 0.10,
+    "capacity_scans_per_s": 0.45,
+    "ingest_p99_ms": 0.45,
 }
 
 _DIRECTIONS = {
@@ -105,6 +112,8 @@ _DIRECTIONS = {
     "simcache_hit_ratio": "higher",
     "serve_throughput": "higher",
     "trace_overhead_ratio": "lower",
+    "capacity_scans_per_s": "higher",
+    "ingest_p99_ms": "lower",
 }
 
 _UNITS = {
@@ -118,6 +127,8 @@ _UNITS = {
     "simcache_hit_ratio": "ratio",
     "serve_throughput": "scans/s",
     "trace_overhead_ratio": "x",
+    "capacity_scans_per_s": "scans/s",
+    "ingest_p99_ms": "ms",
 }
 
 
@@ -467,6 +478,37 @@ def _trace_overhead_samples(
     return samples
 
 
+def _capacity_samples(
+    dataset_name: str,
+    resolution: float,
+    depth: int,
+    quick: bool,
+    workers: str = "thread",
+    num_procs: Optional[int] = None,
+    kernel: str = "scalar",
+):
+    """One open-loop ramp → ``(capacity_scans_per_s, ingest_p99_ms)``.
+
+    A single ramp, not median-of-N: each ramp already holds multiple
+    steps and the capacity number comes from the fastest *clean* step,
+    which is itself a maximum over the ramp — repeating whole ramps
+    would triple the suite's wall time for little extra stability, and
+    the baseline tolerance is sized for machine-to-machine swing anyway.
+    """
+    from repro.loadgen import run_load_bench
+
+    report = run_load_bench(
+        dataset_name=dataset_name,
+        resolution=resolution,
+        depth=depth,
+        quick=quick,
+        workers=workers,
+        num_procs=num_procs,
+        kernel=kernel,
+    )
+    return [report.capacity_scans_per_s], [report.ingest_p99_ms]
+
+
 def run_perf_bench(
     dataset_name: str = "fr079_corridor",
     quick: bool = False,
@@ -556,6 +598,17 @@ def run_perf_bench(
     run.env["multicore_procs"] = mc_procs
     _record(run, "multicore_speedup", mc_speedups)
     _record(run, "multicore_map_agreement", mc_agreements)
+    capacities, p99s = _capacity_samples(
+        dataset_name,
+        resolution,
+        depth,
+        quick,
+        workers=workers,
+        num_procs=num_procs,
+        kernel=kernel,
+    )
+    _record(run, "capacity_scans_per_s", capacities)
+    _record(run, "ingest_p99_ms", p99s)
     run.elapsed_seconds = time.perf_counter() - suite_start
     return run
 
@@ -574,20 +627,24 @@ def bench_path_for_host(directory: str = ".") -> str:
     return os.path.join(directory, f"BENCH_{host or 'unknown'}.json")
 
 
-def append_bench_entry(run: PerfRun, path: str) -> int:
+def append_bench_entry(run, path: str) -> int:
     """Append one entry to the series file; returns the new length.
 
-    The file is a JSON array ordered oldest-first.  Entries are only
-    ever appended — rewriting history would defeat the point of a
-    regression record.
+    ``run`` is a :class:`PerfRun` or an already-shaped entry dict (the
+    ``load-bench`` report emits one directly).  The file is a JSON array
+    ordered oldest-first.  Entries are only ever appended — rewriting
+    history would defeat the point of a regression record.
     """
+    entry = run.to_dict() if hasattr(run, "to_dict") else dict(run)
+    if "metrics" not in entry:
+        raise ValueError("bench entry must carry a 'metrics' mapping")
     series: List[Dict[str, object]] = []
     if os.path.exists(path):
         with open(path) as handle:
             series = json.load(handle)
         if not isinstance(series, list):
             raise ValueError(f"{path} is not a BENCH series (expected a list)")
-    series.append(run.to_dict())
+    series.append(entry)
     tmp = path + ".tmp"
     with open(tmp, "w") as handle:
         json.dump(series, handle, indent=2)
@@ -664,7 +721,9 @@ class CheckResult:
 
 
 def check_regressions(
-    entry: Dict[str, object], baseline: Dict[str, object]
+    entry: Dict[str, object],
+    baseline: Dict[str, object],
+    only: Optional[Sequence[str]] = None,
 ) -> CheckResult:
     """Compare one series entry against a committed baseline.
 
@@ -674,12 +733,33 @@ def check_regressions(
     failure mode a watchdog exists for); a measured metric the baseline
     doesn't know is reported but never fails the check (new metrics land
     before their baselines do).
+
+    ``only`` restricts the gate to those metric names — for entries
+    that deliberately carry a subset (a ``load-bench`` entry holds only
+    the capacity metrics; checking it against the full baseline would
+    flag the perf suite's metrics as dropped).  Naming a metric the
+    baseline lacks is an error, not a silent pass.
     """
     measured: Dict[str, float] = {
         name: float(info["value"])
         for name, info in entry.get("metrics", {}).items()  # type: ignore[union-attr]
     }
     baseline_metrics = baseline.get("metrics", baseline)
+    if only is not None:
+        unknown = sorted(set(only) - set(baseline_metrics))  # type: ignore[arg-type]
+        if unknown:
+            raise ValueError(
+                f"metrics not in baseline: {', '.join(unknown)}"
+            )
+        baseline_metrics = {
+            name: spec
+            for name, spec in baseline_metrics.items()  # type: ignore[union-attr]
+            if name in set(only)
+        }
+        measured = {
+            name: value for name, value in measured.items()
+            if name in set(only)
+        }
     result = CheckResult()
     for name, spec in sorted(baseline_metrics.items()):  # type: ignore[union-attr]
         target = float(spec["value"])

@@ -1,0 +1,448 @@
+"""Declarative SLOs over the metrics registry: windowed SLIs, burn rates.
+
+The service layer emits the raw signals — ``ingest.e2e_seconds`` (client
+submit → applied in a shard map), ``ingest.freshness_seconds`` (enqueue →
+visible in the shard snapshot), and the accept/reject counters.  This
+module turns them into *objectives*:
+
+- :class:`SLObjective` — a declarative target ("99% of ingests complete
+  within 250 ms over the window"), one of three kinds:
+
+  - ``latency``  — fraction of ``ingest.e2e_seconds`` samples at or
+    under ``threshold`` seconds;
+  - ``staleness`` — the same over ``ingest.freshness_seconds`` (how old
+    can a just-queried map cell be);
+  - ``availability`` — ``1 - (rejected + deadline-missed) / requests``.
+
+- :class:`SLOEngine` — evaluates every objective over rolling windows
+  (reset-safe :meth:`~repro.service.metrics.Histogram.state_snapshot`
+  deltas, so the cumulative Prometheus series and the windowed SLI view
+  coexist without double-counting), derives **burn rates** (how fast the
+  error budget is being spent; ``1.0`` = exactly at target) and fires a
+  multi-window alert only when *both* the short and the long window burn
+  above the factor — the Google-SRE shape that ignores one-sample blips
+  but still pages within the short window on a real outage.
+
+- :func:`latency_waterfall` — decomposes the end-to-end percentile into
+  per-stage budgets (trace → enqueue → queue wait → apply + residual)
+  scaled so the stages **sum to the end-to-end percentile exactly**;
+  feed it to capacity planning ("queue wait owns 60% of p99 — add a
+  shard, not a faster kernel").
+
+Every evaluation also publishes ``slo.*`` gauges back into the registry,
+so ``/metrics`` scrapes carry the SLI/burn series and ``/slo`` renders
+the human view from the same numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.metrics import HistogramState, MetricsRegistry
+
+__all__ = [
+    "SLObjective",
+    "SLOEngine",
+    "default_objectives",
+    "latency_waterfall",
+    "sli_from_window",
+]
+
+_KINDS = ("latency", "staleness", "availability")
+
+# Signal sources per objective kind.
+_LATENCY_HISTOGRAM = "ingest.e2e_seconds"
+_STALENESS_HISTOGRAM = "ingest.freshness_seconds"
+_REQUEST_COUNTER = "ingest.requests"
+_BAD_COUNTERS = ("ingest.rejected_batches", "ingest.deadline_exceeded")
+
+# Stage histograms for the latency waterfall, in pipeline order.
+WATERFALL_STAGES: Tuple[Tuple[str, str], ...] = (
+    ("trace", "ingest.trace_seconds"),
+    ("enqueue", "ingest.enqueue_seconds"),
+    ("queue_wait", "shard.queue_wait_seconds"),
+    ("apply", "shard.apply_seconds"),
+)
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declarative objective: ``target`` fraction of good events.
+
+    Args:
+        name: stable identifier (also the ``slo.<name>.*`` gauge prefix).
+        kind: ``latency`` | ``staleness`` | ``availability``.
+        target: good-event fraction in ``(0, 1)`` — e.g. ``0.99``.
+        threshold: the good/bad cut in seconds (latency/staleness kinds;
+            ignored for availability).
+        description: one operator-facing line.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r} (expected one of {_KINDS})"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+        if self.kind in ("latency", "staleness") and self.threshold <= 0.0:
+            raise ValueError(
+                f"{self.kind} objective {self.name!r} needs threshold > 0"
+            )
+
+
+def default_objectives() -> Tuple[SLObjective, ...]:
+    """The stock service objectives (used by ``service.slo_engine()``)."""
+    return (
+        SLObjective(
+            name="ingest_latency",
+            kind="latency",
+            target=0.99,
+            threshold=0.25,
+            description="99% of ingests applied within 250 ms of submit",
+        ),
+        SLObjective(
+            name="ingest_freshness",
+            kind="staleness",
+            target=0.99,
+            threshold=0.50,
+            description="99% of batches visible within 500 ms of enqueue",
+        ),
+        SLObjective(
+            name="availability",
+            kind="availability",
+            target=0.999,
+            description="99.9% of requests neither rejected nor past deadline",
+        ),
+    )
+
+
+def sli_from_window(
+    objective: SLObjective,
+    window=None,
+    total: int = 0,
+    bad: int = 0,
+) -> float:
+    """The good-event fraction for one objective over one window.
+
+    ``window`` is a :class:`~repro.service.metrics.HistogramWindow` for
+    latency/staleness kinds; ``total``/``bad`` are request counter
+    deltas for availability.  No events → ``1.0`` (an idle service is
+    not in violation).  Shared by :class:`SLOEngine` and the load-bench
+    step evaluation so "burning" means the same thing in both.
+    """
+    if objective.kind == "availability":
+        if total <= 0:
+            return 1.0
+        return max(0.0, 1.0 - bad / total)
+    if window is None:
+        return 1.0
+    return window.fraction_le(objective.threshold)
+
+
+class _Snapshot:
+    """Cumulative registry state at one instant (cheap, copy-on-read)."""
+
+    __slots__ = ("at", "histograms", "counters")
+
+    def __init__(
+        self,
+        at: float,
+        histograms: Dict[str, HistogramState],
+        counters: Dict[str, int],
+    ) -> None:
+        self.at = at
+        self.histograms = histograms
+        self.counters = counters
+
+
+class SLOEngine:
+    """Evaluate objectives over rolling windows of registry snapshots.
+
+    Each :meth:`evaluate` call snapshots the cumulative state, appends it
+    to a ring of past snapshots, and computes per-window deltas against
+    the snapshot closest to ``window`` seconds ago (the whole history
+    when younger than the window — the delta degrades gracefully to
+    "since start").  Snapshot cost is O(metrics), so calling it from a
+    scrape handler or a 1 Hz loop is fine.
+
+    Args:
+        registry: the service :class:`MetricsRegistry` (read *and*
+            written — ``slo.*`` gauges are published on evaluation).
+        objectives: objectives to track; :func:`default_objectives` when
+            omitted.
+        windows: rolling window lengths in seconds, ascending.  The
+            first/last pair drives the multi-window alert; the last is
+            the error-budget window.
+        alert_factor: burn rate both windows must exceed to fire
+            (``1.0`` = spending budget exactly as fast as allowed).
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        objectives: Optional[Sequence[SLObjective]] = None,
+        windows: Sequence[float] = (60.0, 300.0, 3600.0),
+        alert_factor: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if not windows or list(windows) != sorted(windows):
+            raise ValueError("windows must be non-empty and ascending")
+        self.registry = registry
+        self.objectives: Tuple[SLObjective, ...] = tuple(
+            objectives if objectives is not None else default_objectives()
+        )
+        names = [objective.name for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.windows: Tuple[float, ...] = tuple(float(w) for w in windows)
+        self.alert_factor = float(alert_factor)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._snapshots: Deque[_Snapshot] = deque()
+
+    # -- snapshotting --------------------------------------------------
+
+    def _tracked_histograms(self) -> Tuple[str, ...]:
+        names = [_LATENCY_HISTOGRAM, _STALENESS_HISTOGRAM]
+        names.extend(histogram for _stage, histogram in WATERFALL_STAGES)
+        return tuple(names)
+
+    def _take_snapshot(self, now: float) -> _Snapshot:
+        histograms = {
+            name: self.registry.histogram(name).state_snapshot()
+            for name in self._tracked_histograms()
+        }
+        counters = {
+            name: self.registry.counter(name).value
+            for name in (_REQUEST_COUNTER, *_BAD_COUNTERS)
+        }
+        return _Snapshot(now, histograms, counters)
+
+    def _baseline(self, now: float, window: float) -> Optional[_Snapshot]:
+        """Newest snapshot at least ``window`` old, else the oldest one."""
+        best: Optional[_Snapshot] = None
+        for snapshot in self._snapshots:
+            if snapshot.at <= now - window:
+                best = snapshot
+            else:
+                break
+        if best is None and self._snapshots:
+            best = self._snapshots[0]
+        return best
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.windows[-1] * 1.25
+        while len(self._snapshots) > 2 and self._snapshots[1].at < horizon:
+            self._snapshots.popleft()
+
+    # -- SLI math ------------------------------------------------------
+
+    def _sli(
+        self,
+        objective: SLObjective,
+        current: _Snapshot,
+        baseline: Optional[_Snapshot],
+    ) -> Tuple[float, int]:
+        """Return ``(good_fraction, event_count)`` for one window."""
+        if objective.kind == "availability":
+            def delta(name: str) -> int:
+                earlier = baseline.counters.get(name, 0) if baseline else 0
+                late = current.counters.get(name, 0)
+                # Counter reset (new registry behind the same engine):
+                # fall back to the cumulative value.
+                return late - earlier if late >= earlier else late
+
+            total = delta(_REQUEST_COUNTER)
+            bad = sum(delta(name) for name in _BAD_COUNTERS)
+            return sli_from_window(objective, total=total, bad=bad), total
+        histogram = (
+            _LATENCY_HISTOGRAM
+            if objective.kind == "latency"
+            else _STALENESS_HISTOGRAM
+        )
+        earlier = baseline.histograms.get(histogram) if baseline else None
+        window = current.histograms[histogram].since(earlier)
+        return sli_from_window(objective, window=window), window.count
+
+    @staticmethod
+    def _burn(sli: float, target: float) -> float:
+        return (1.0 - sli) / (1.0 - target)
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Snapshot, compute every objective over every window, publish.
+
+        Returns the full status document (the ``/slo`` body); also
+        writes ``slo.<name>.sli`` / ``slo.<name>.burn`` /
+        ``slo.<name>.budget_remaining`` gauges into the registry.
+        """
+        at = self._clock() if now is None else now
+        with self._lock:
+            current = self._take_snapshot(at)
+            baselines = {
+                window: self._baseline(at, window) for window in self.windows
+            }
+            self._snapshots.append(current)
+            self._trim(at)
+        short, long_ = self.windows[0], self.windows[-1]
+        objectives: List[Dict[str, object]] = []
+        for objective in self.objectives:
+            per_window: Dict[str, Dict[str, float]] = {}
+            for window in self.windows:
+                sli, events = self._sli(
+                    objective, current, baselines[window]
+                )
+                per_window[self._window_key(window)] = {
+                    "sli": sli,
+                    "burn_rate": self._burn(sli, objective.target),
+                    "events": events,
+                }
+            burn_short = per_window[self._window_key(short)]["burn_rate"]
+            burn_long = per_window[self._window_key(long_)]["burn_rate"]
+            burning = (
+                burn_short >= self.alert_factor
+                and burn_long >= self.alert_factor
+            )
+            budget_remaining = 1.0 - burn_long
+            entry = {
+                "name": objective.name,
+                "kind": objective.kind,
+                "target": objective.target,
+                "threshold_seconds": objective.threshold,
+                "description": objective.description,
+                "windows": per_window,
+                "burning": burning,
+                "budget_remaining": budget_remaining,
+            }
+            objectives.append(entry)
+            prefix = f"slo.{objective.name}"
+            self.registry.gauge(f"{prefix}.sli").set(
+                float(per_window[self._window_key(short)]["sli"])
+            )
+            self.registry.gauge(f"{prefix}.burn_rate").set(float(burn_short))
+            self.registry.gauge(f"{prefix}.budget_remaining").set(
+                float(budget_remaining)
+            )
+            self.registry.gauge(f"{prefix}.burning").set(1.0 if burning else 0.0)
+        waterfall = latency_waterfall(self.registry)
+        return {
+            "windows_seconds": list(self.windows),
+            "alert_factor": self.alert_factor,
+            "burning": any(entry["burning"] for entry in objectives),
+            "objectives": objectives,
+            "waterfall": waterfall,
+        }
+
+    @staticmethod
+    def _window_key(window: float) -> str:
+        return f"{int(window)}s"
+
+    # -- presentation --------------------------------------------------
+
+    def status_dict(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Alias of :meth:`evaluate` (the ``/slo`` endpoint body)."""
+        return self.evaluate(now)
+
+    def report(self, now: Optional[float] = None) -> str:
+        """Human-readable multi-line summary of :meth:`evaluate`."""
+        status = self.evaluate(now)
+        lines = ["SLO status"]
+        for entry in status["objectives"]:  # type: ignore[union-attr]
+            flag = "BURNING" if entry["burning"] else "ok"
+            lines.append(
+                f"  {entry['name']:<18} [{entry['kind']}] "
+                f"target={entry['target']:.4f} "
+                f"budget_remaining={entry['budget_remaining']:+.3f} {flag}"
+            )
+            for key, window in entry["windows"].items():
+                lines.append(
+                    f"    {key:>6}: sli={window['sli']:.5f} "
+                    f"burn={window['burn_rate']:.2f} "
+                    f"events={window['events']}"
+                )
+        waterfall = status["waterfall"]
+        lines.append(
+            "  p99 waterfall "
+            f"(e2e {waterfall['e2e_seconds'] * 1e3:.2f} ms):"
+        )
+        for stage, budget in waterfall["stage_budgets_seconds"].items():
+            lines.append(f"    {stage:>10}: {budget * 1e3:.3f} ms")
+        lines.append(
+            f"    {'residual':>10}: "
+            f"{waterfall['residual_seconds'] * 1e3:.3f} ms"
+        )
+        return "\n".join(lines)
+
+
+def latency_waterfall(
+    registry: MetricsRegistry,
+    fraction: float = 0.99,
+    baseline: Optional[Dict[str, HistogramState]] = None,
+) -> Dict[str, object]:
+    """Decompose the end-to-end latency percentile into stage budgets.
+
+    The end-to-end percentile comes from ``ingest.e2e_seconds``; each
+    stage's *share* is its fraction of total measured stage time, and
+    budgets are the percentile split by share — so the stage budgets
+    plus the explicit ``residual_seconds`` (un-instrumented time: lock
+    handoffs, scheduler latency, coalescing holds) **sum to the
+    end-to-end percentile exactly**.  Pass ``baseline`` (a dict of
+    earlier :class:`HistogramState` by histogram name) to decompose a
+    window instead of the cumulative series.
+    """
+    def window_for(name: str):
+        state = registry.histogram(name).state_snapshot()
+        earlier = baseline.get(name) if baseline else None
+        return state.since(earlier)
+
+    e2e = window_for(_LATENCY_HISTOGRAM)
+    percentile = e2e.percentile(fraction)
+    raw = {
+        stage: window_for(histogram)
+        for stage, histogram in WATERFALL_STAGES
+    }
+    stage_sums = {stage: window.sum for stage, window in raw.items()}
+    total_stage = sum(stage_sums.values())
+    e2e_sum = e2e.sum
+    # Shares against whichever is larger: when stages overlap or batch
+    # work is shared across coalesced requests, stage time can exceed
+    # end-to-end time — normalising by the max keeps shares <= 1 and the
+    # residual >= 0, and budgets always sum to the percentile exactly.
+    denominator = max(total_stage, e2e_sum)
+    if denominator <= 0.0:
+        shares = {stage: 0.0 for stage in stage_sums}
+    else:
+        shares = {
+            stage: stage_sum / denominator
+            for stage, stage_sum in stage_sums.items()
+        }
+    budgets = {
+        stage: percentile * share for stage, share in shares.items()
+    }
+    residual = percentile - sum(budgets.values())
+    return {
+        "percentile": fraction,
+        "e2e_seconds": percentile,
+        "e2e_count": e2e.count,
+        "stage_budgets_seconds": budgets,
+        "stage_shares": shares,
+        "stage_counts": {
+            stage: window.count for stage, window in raw.items()
+        },
+        "residual_seconds": max(0.0, residual),
+    }

@@ -20,6 +20,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "HistogramState",
+    "HistogramWindow",
     "MetricsRegistry",
     "StateGauge",
     "sanitize_metric_name",
@@ -153,6 +155,128 @@ class StateGauge:
         """
         with self._lock:
             return self._state, self._transitions, tuple(sorted(self._seen))
+
+
+class HistogramWindow:
+    """The exact distribution recorded *between* two histogram states.
+
+    Produced by :meth:`HistogramState.since`; this is how rolling SLO
+    windows read a histogram without resetting it — the cumulative
+    Prometheus exposition and the windowed SLI read the same exact
+    per-bucket counts, so neither double-counts the other.  Percentiles
+    here are bucket-interpolated (no sample reservoir exists for a
+    window), which is exactly the estimate a Prometheus
+    ``histogram_quantile`` would compute from the same series.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        bounds: Tuple[float, ...],
+        bucket_counts: Tuple[int, ...],
+        count: int,
+        total: float,
+    ) -> None:
+        self.bounds = bounds
+        self.bucket_counts = bucket_counts
+        self.count = count
+        self.sum = total
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def fraction_le(self, threshold: float) -> float:
+        """Fraction of windowed values ``<= threshold``.
+
+        Linear-interpolates within the bucket containing ``threshold``;
+        an empty window returns 1.0 (no events means no bad events — the
+        SLI convention for idle windows).
+        """
+        if self.count <= 0:
+            return 1.0
+        covered = 0.0
+        lower = 0.0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            if bound <= threshold:
+                covered += bucket
+                lower = bound
+            else:
+                if threshold > lower and bucket:
+                    covered += bucket * (threshold - lower) / (bound - lower)
+                break
+        return min(1.0, covered / self.count)
+
+    def percentile(self, fraction: float) -> float:
+        """Bucket-interpolated percentile, ``fraction`` in [0, 1].
+
+        Values beyond the last finite bound clamp to that bound (the
+        same saturation Prometheus applies to the ``+Inf`` bucket);
+        0.0 when the window is empty.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.count <= 0:
+            return 0.0
+        rank = fraction * self.count
+        running = 0
+        lower = 0.0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            if bucket and running + bucket >= rank:
+                weight = max(0.0, rank - running) / bucket
+                return lower + (bound - lower) * weight
+            running += bucket
+            lower = bound
+        return self.bounds[-1] if self.bounds else 0.0
+
+
+class HistogramState:
+    """A point-in-time copy of a histogram's exact cumulative state.
+
+    Taken atomically by :meth:`Histogram.state_snapshot`; two states
+    subtract into a :class:`HistogramWindow` via :meth:`since`.  The
+    subtraction is *reset-safe*: if the later state's count went
+    backwards (the histogram was replaced/restarted) or the bucket
+    layout changed, the earlier state is discarded and the window falls
+    back to the full cumulative distribution rather than producing
+    negative counts.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        bounds: Tuple[float, ...],
+        bucket_counts: Sequence[int],
+        count: int,
+        total: float,
+    ) -> None:
+        self.bounds = bounds
+        self.bucket_counts = tuple(bucket_counts)
+        self.count = count
+        self.sum = total
+
+    def since(self, earlier: Optional["HistogramState"]) -> HistogramWindow:
+        """The exact distribution recorded after ``earlier`` (reset-safe)."""
+        if (
+            earlier is None
+            or earlier.bounds != self.bounds
+            or earlier.count > self.count
+        ):
+            return HistogramWindow(
+                self.bounds, self.bucket_counts, self.count, self.sum
+            )
+        counts = tuple(
+            max(0, late - soon)
+            for late, soon in zip(self.bucket_counts, earlier.bucket_counts)
+        )
+        return HistogramWindow(
+            self.bounds,
+            counts,
+            self.count - earlier.count,
+            max(0.0, self.sum - earlier.sum),
+        )
 
 
 class Histogram:
@@ -292,6 +416,18 @@ class Histogram:
             running += bucket
             cumulative.append(running)
         return self._bounds, cumulative, count, total
+
+    def state_snapshot(self) -> HistogramState:
+        """Atomic exact-state copy for reset-safe windowed deltas.
+
+        One lock acquisition covers the per-bucket counts, count, and
+        sum together, so a window subtracted from two snapshots can
+        never see a torn state (count advanced but buckets not).
+        """
+        with self._lock:
+            return HistogramState(
+                self._bounds, list(self._bucket_counts), self._count, self._sum
+            )
 
     def summary(self) -> Dict[str, float]:
         """count/mean/p50/p90/p95/p99/max in one dict (JSON-able)."""

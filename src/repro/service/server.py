@@ -70,6 +70,7 @@ from repro.sensor.scaninsert import trace_scan, trace_scan_rt
 from repro.service.metrics import MetricsRegistry
 from repro.service.sharded_map import ShardedMap
 from repro.telemetry import ForwardSink, MetricsSink, Tracer, get_tracer
+from repro.telemetry.tracer import current_span_info
 
 __all__ = [
     "BackpressureError",
@@ -284,6 +285,11 @@ class OccupancyMapService:
         self.config = config
         self.fault_plan = fault_plan or FaultPlan()
         self.metrics = MetricsRegistry()
+        #: Wall-clock start (``/healthz`` uptime) and the lazily built
+        #: SLO engine (see :meth:`slo_engine`).
+        self.started_at = time.time()
+        self._slo = None
+        self._slo_lock = threading.Lock()
         # The service's own always-on tracer: metrics work without global
         # tracing, and the ForwardSink mirrors the same spans/counts into
         # the global tracer's sinks whenever someone enables it.
@@ -415,6 +421,11 @@ class OccupancyMapService:
         was enqueued.  ``deadline`` (seconds, or a
         :class:`~repro.resilience.Deadline`) bounds how long a blocked
         submission may wait for queue space.
+
+        The whole call runs under an ``ingest.request`` root span whose
+        id and start stamp ride every enqueued slice, so the downstream
+        queue-wait / apply / end-to-end spans all parent to the request
+        that produced them (the latency waterfall).
         """
         self._check_open()
         self._raise_worker_errors()
@@ -424,23 +435,27 @@ class OccupancyMapService:
             cloud = PointCloud(points, origin)
         trace_fn = trace_scan_rt if self.config.rt else trace_scan
         with self.tracer.span(
-            "ingest.trace", category="service", points=len(cloud.points)
-        ) as span:
-            batch = trace_fn(
-                cloud,
-                self.config.resolution,
-                self.config.depth,
-                max_range=self.config.max_range,
-                kernel=self.config.kernel,
+            "ingest.request", category="service", points=len(cloud.points)
+        ) as request_span:
+            with self.tracer.span(
+                "ingest.trace", category="service", points=len(cloud.points)
+            ) as span:
+                batch = trace_fn(
+                    cloud,
+                    self.config.resolution,
+                    self.config.depth,
+                    max_range=self.config.max_range,
+                    kernel=self.config.kernel,
+                )
+                span.set(observations=len(batch))
+            trace_seconds = span.duration
+            receipt = self.submit_observations(
+                batch.observations,
+                trace_seconds=trace_seconds,
+                must_accept=must_accept,
+                deadline=deadline,
+                request_context=(request_span.span_id, request_span.start),
             )
-            span.set(observations=len(batch))
-        trace_seconds = span.duration
-        receipt = self.submit_observations(
-            batch.observations,
-            trace_seconds=trace_seconds,
-            must_accept=must_accept,
-            deadline=deadline,
-        )
         self.tracer.count("ingest.scans", category="service")
         return receipt
 
@@ -450,6 +465,7 @@ class OccupancyMapService:
         trace_seconds: float = 0.0,
         must_accept: bool = False,
         deadline: Union[None, float, Deadline] = None,
+        request_context: Optional[Tuple[int, float]] = None,
     ) -> IngestReceipt:
         """Enqueue pre-traced observations (the post-trace half of submit).
 
@@ -458,14 +474,24 @@ class OccupancyMapService:
         atomic: if any shard has no room (or the deadline expires, or a
         slice routes to a dead shard), every reservation is rolled back,
         nothing is enqueued, and the map state is untouched.
+
+        ``request_context`` is ``(request_span_id, submitted_at)`` — the
+        client-submit stamp that flows with every enqueued slice so the
+        shard workers can attribute queue-wait and end-to-end latency
+        back to the request.  Defaults to the caller's ambient span (or
+        an anonymous stamp taken now).
         """
         self._check_open()
+        if request_context is None:
+            info = current_span_info()
+            request_context = (info[0] if info else 0, time.perf_counter())
         if not isinstance(deadline, Deadline):
             timeout = (
                 deadline if deadline is not None
                 else self.config.default_deadline
             )
             deadline = Deadline(timeout)
+        self.tracer.count("ingest.requests", category="service")
         enqueued = 0
         rejected = 0
         with self.tracer.span(
@@ -527,7 +553,7 @@ class OccupancyMapService:
             # Phase 2: enqueue the reserved slices (queues are unbounded;
             # the reservation *is* the capacity check, so this cannot fail).
             for shard_id, part in reserved:
-                self._enqueue_reserved(shard_id, part)
+                self._enqueue_reserved(shard_id, part, request_context)
                 enqueued += len(part)
             rejected = sum(len(part) for _sid, part in failed)
             span.set(enqueued=enqueued, rejected=rejected)
@@ -565,13 +591,20 @@ class OccupancyMapService:
         return True
 
     def _enqueue_reserved(
-        self, shard_id: int, part: List[Tuple[VoxelKey, bool]]
+        self,
+        shard_id: int,
+        part: List[Tuple[VoxelKey, bool]],
+        request_context: Tuple[int, float],
     ) -> None:
         with self._outstanding_cv:
             self._outstanding += 1
-        # Items carry their enqueue timestamp so the worker can emit the
-        # slice's queue-wait span (map-freshness delay).
-        self._queues[shard_id].put((part, time.perf_counter()))
+        # Items carry their enqueue timestamp plus the request context
+        # (span id + client-submit stamp) so the worker can emit the
+        # slice's queue-wait and end-to-end spans parented to the
+        # request that produced them.
+        self._queues[shard_id].put(
+            (part, time.perf_counter(), request_context)
+        )
         self.metrics.gauge(f"queue_depth.shard{shard_id}").set(
             self._queues[shard_id].qsize()
         )
@@ -613,6 +646,7 @@ class OccupancyMapService:
     def _worker_loop(self, shard_id: int) -> None:
         shard_queue = self._queues[shard_id]
         depth_gauge = self.metrics.gauge(f"queue_depth.shard{shard_id}")
+        freshness_gauge = self.metrics.gauge("ingest.freshness_lag")
         stop = False
         while not stop:
             item = shard_queue.get()
@@ -636,19 +670,20 @@ class OccupancyMapService:
             self._slots[shard_id].release(len(parts))
             depth_gauge.set(shard_queue.qsize())
             dequeued_at = time.perf_counter()
-            for part, enqueued_at in parts:
+            for part, enqueued_at, (request_id, _submitted_at) in parts:
                 self.tracer.record_span(
                     "shard.queue_wait",
                     "service",
                     start=enqueued_at,
                     duration=max(0.0, dequeued_at - enqueued_at),
+                    parent_id=request_id or None,
                     shard=shard_id,
                     observations=len(part),
                 )
             observations = (
                 parts[0][0]
                 if len(parts) == 1
-                else [obs for part, _ts in parts for obs in part]
+                else [obs for part, _ts, _ctx in parts for obs in part]
             )
             try:
                 if self._health[shard_id] is ShardHealth.DEAD:
@@ -668,6 +703,30 @@ class OccupancyMapService:
                 ):
                     self._apply_with_retry(shard_id, observations)
                 self.tracer.count("shard.batches_applied", category="service")
+                # The batch is visible to queries now: close each slice's
+                # end-to-end latency (client submit -> applied) and its
+                # ingest-freshness lag (accepted -> applied), both
+                # parented to the originating request span.
+                applied_at = time.perf_counter()
+                for part, enqueued_at, (request_id, submitted_at) in parts:
+                    self.tracer.record_span(
+                        "ingest.e2e",
+                        "service",
+                        start=submitted_at,
+                        duration=max(0.0, applied_at - submitted_at),
+                        parent_id=request_id or None,
+                        shard=shard_id,
+                        observations=len(part),
+                    )
+                    self.tracer.record_span(
+                        "ingest.freshness",
+                        "service",
+                        start=enqueued_at,
+                        duration=max(0.0, applied_at - enqueued_at),
+                        parent_id=request_id or None,
+                        shard=shard_id,
+                    )
+                    freshness_gauge.set(max(0.0, applied_at - submitted_at))
                 if len(parts) > 1:
                     self.tracer.count(
                         "shard.batches_coalesced",
@@ -871,6 +930,44 @@ class OccupancyMapService:
         return all(
             health is ShardHealth.HEALTHY for health in self._health
         )
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Current per-shard ingest queue depths (``shard<i> -> items``).
+
+        The instantaneous backlog a scan accepted *now* would wait
+        behind — the readiness detail ``/readyz`` reports next to shard
+        health.
+        """
+        return {
+            f"shard{shard_id}": shard_queue.qsize()
+            for shard_id, shard_queue in enumerate(self._queues)
+        }
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Wall-clock seconds since the service was constructed."""
+        return max(0.0, time.time() - self.started_at)
+
+    def slo_engine(self, objectives=None):
+        """This service's SLO engine (built lazily, one per service).
+
+        Evaluates the default ingest objectives (or ``objectives``, a
+        sequence of :class:`repro.obs.slo.SLObjective`, on first call)
+        against the service's own metrics registry.  The admin
+        endpoint's ``/slo`` route and the load-bench knee detector both
+        read through here, so they always agree.
+        """
+        from repro.obs.slo import SLOEngine, default_objectives
+
+        with self._slo_lock:
+            if self._slo is None:
+                self._slo = SLOEngine(
+                    self.metrics,
+                    objectives
+                    if objectives is not None
+                    else default_objectives(),
+                )
+            return self._slo
 
     # ------------------------------------------------------------------
     # Barriers and shutdown.

@@ -70,6 +70,22 @@ class TraceBenchReport:
         """True when every metrics total equals its span/event count."""
         return all(a == b for a, b in self.consistency.values())
 
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable summary (``trace-bench --json``)."""
+        return {
+            "dataset": self.dataset,
+            "batches": self.batches,
+            "consistent": self.consistent,
+            "consistency": {
+                name: {"metrics_total": metric, "span_count": spans}
+                for name, (metric, spans) in sorted(self.consistency.items())
+            },
+            "sim_accesses": self.sim_accesses,
+            "sim_mean_cycles": self.sim_mean_cycles,
+            "cache": self.profile.cache_summary(),
+            "profile": self.profile.to_dict(),
+        }
+
 
 def _consistency_pairs(
     profile: PipelineProfile, service_stats: Dict[str, object]

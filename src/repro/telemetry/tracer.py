@@ -42,7 +42,9 @@ __all__ = [
     "Tracer",
     "current_span_info",
     "get_tracer",
+    "seed_span_ids",
     "set_tracer",
+    "span_context",
     "tracing",
 ]
 
@@ -63,6 +65,51 @@ def _stack() -> List[tuple]:
         stack = []
         _OPEN.stack = stack
     return stack
+
+
+def seed_span_ids(base: int) -> None:
+    """Restart the process-wide span-id allocator at ``base``.
+
+    Ids only need process-uniqueness *within one process* — but when
+    child processes relay their spans to a parent (``repro.mp``), ids
+    from every process land in one span tree.  Each worker therefore
+    reseeds its allocator into a disjoint range (derived from its pid)
+    right after fork/spawn, so relayed child ids can be installed in the
+    parent verbatim without a remapping table.  Call this only at
+    process start, before any span exists.
+    """
+    global _NEXT_ID
+    if base < 1:
+        raise ValueError(f"span id base must be >= 1, got {base}")
+    _NEXT_ID = itertools.count(base)
+
+
+class span_context:
+    """Adopt a foreign span id as the current parent on this thread.
+
+    Pushes ``(span_id, name, category)`` onto the open-span stack without
+    timing anything, so spans opened inside the ``with`` block parent to
+    a span that lives in *another process* (the wire-propagated trace
+    context of ``repro.mp``) or was closed long ago.  Pops exactly what
+    it pushed, even on exceptions — a failed handler can never orphan
+    the stack.
+    """
+
+    __slots__ = ("_frame",)
+
+    def __init__(
+        self, span_id: int, name: str = "remote", category: str = "remote"
+    ) -> None:
+        self._frame = (span_id, name, category)
+
+    def __enter__(self) -> tuple:
+        _stack().append(self._frame)
+        return self._frame
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = _stack()
+        if stack and stack[-1] is self._frame:
+            stack.pop()
 
 
 def current_span_info() -> Optional[tuple]:
@@ -286,6 +333,8 @@ class Tracer:
         start: float,
         duration: float,
         thread_id: Optional[int] = None,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
         **attributes: Any,
     ) -> None:
         """Emit an already-measured span retroactively.
@@ -293,12 +342,20 @@ class Tracer:
         Used where the duration is only known after the fact — e.g. the
         queue-wait of a buffered eviction batch is measured by the
         *consumer*, from a timestamp stamped by the producer.  Retroactive
-        spans never join the open-span stack (they are roots unless
-        ``thread_id`` matches nothing anyway).
+        spans never join the open-span stack.
+
+        ``span_id``/``parent_id`` install explicit ids instead of the
+        defaults (fresh id, no parent) — how relayed child-process spans
+        (``repro.mp``) and producer-stamped waterfall stages keep their
+        cross-process parent links.
         """
         if not self.enabled:
             return
         span = Span(self, name, category, attributes, thread_id=thread_id)
+        if span_id is not None:
+            span.span_id = span_id
+        if parent_id is not None:
+            span.parent_id = parent_id
         span.start = start
         span.duration = duration
         self._dispatch_span(span)

@@ -1,0 +1,157 @@
+"""The open-loop load bench: ramp mechanics, knee detection, BENCH entry.
+
+Full-size ramps belong to CI's load-smoke job; these tests run miniature
+ramps (fractions of a second per step) and verify the *mechanics* —
+monotone offered load, SLI evaluation per step, knee/capacity plumbing,
+and the series-entry/regression-gate integration.
+"""
+
+import json
+
+import pytest
+
+from repro.loadgen import LoadStep, run_load_bench
+from repro.obs.perf import append_bench_entry, check_regressions
+from repro.obs.slo import SLObjective
+
+
+def run_tiny(**overrides):
+    kwargs = dict(
+        shards=2,
+        resolution=0.3,
+        depth=8,
+        max_batches=3,
+        ray_scale=0.15,
+        client_steps=(1, 2),
+        rate_per_client=20.0,
+        step_seconds=0.3,
+    )
+    kwargs.update(overrides)
+    return run_load_bench(**kwargs)
+
+
+class TestRamp:
+    def test_ramp_produces_a_monotone_capacity_curve(self):
+        report = run_tiny()
+        assert [step.clients for step in report.steps] == [1, 2]
+        offered = [step.offered_scans_per_s for step in report.steps]
+        assert offered == sorted(offered)
+        for step in report.steps:
+            assert step.submitted >= step.accepted
+            assert step.accepted + step.rejected == step.submitted
+            assert 0.0 <= step.availability <= 1.0
+            assert step.p99_ms >= 0.0
+        assert report.capacity_scans_per_s > 0.0
+        assert report.elapsed_seconds > 0.0
+
+    def test_tight_objective_forces_a_knee_at_the_first_step(self):
+        # A 1 µs p99 target is unmeetable: the very first step burns,
+        # so the knee lands there and the ramp stops early
+        # (stop_after_knee=1 → at most two steps run).
+        impossible = (
+            SLObjective("strict_latency", "latency", 0.5, threshold=1e-6),
+        )
+        report = run_tiny(
+            client_steps=(1, 2, 4, 8), objectives=impossible
+        )
+        assert report.saturated
+        assert report.knee_clients == 1
+        assert len(report.steps) <= 2
+        assert "strict_latency" in report.steps[0].burning
+
+    def test_unreachable_objectives_mean_no_knee(self):
+        lax = (SLObjective("lax", "availability", 0.01),)
+        report = run_tiny(objectives=lax)
+        assert not report.saturated
+        assert report.knee_clients is None
+        # Capacity falls back to the fastest step overall.
+        assert report.capacity_scans_per_s == pytest.approx(
+            max(s.achieved_scans_per_s for s in report.steps)
+        )
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="step_seconds"):
+            run_tiny(step_seconds=0.0)
+        with pytest.raises(ValueError, match="rate_per_client"):
+            run_tiny(rate_per_client=-1.0)
+        with pytest.raises(ValueError, match="ascending"):
+            run_tiny(client_steps=(4, 2))
+
+    def test_process_workers_drive_the_same_ramp(self):
+        report = run_tiny(workers="process", num_procs=1)
+        assert report.workers == "process"
+        assert report.steps
+        assert report.capacity_scans_per_s > 0.0
+
+
+class TestReportShapes:
+    def test_to_dict_carries_the_full_curve(self):
+        report = run_tiny()
+        payload = report.to_dict()
+        assert payload["capacity_curve"]
+        assert set(payload["capacity_curve"][0]) >= {
+            "clients",
+            "achieved_scans_per_s",
+            "p99_ms",
+            "staleness_p99_ms",
+            "availability",
+            "burning",
+        }
+        json.dumps(payload)  # JSON-serialisable end to end
+
+    def test_bench_entry_gates_through_perf_check(self, tmp_path):
+        report = run_tiny()
+        entry = report.to_bench_entry()
+        assert set(entry["metrics"]) == {
+            "capacity_scans_per_s",
+            "ingest_p99_ms",
+        }
+        path = tmp_path / "BENCH_test.json"
+        assert append_bench_entry(entry, str(path)) == 1
+        latest = json.loads(path.read_text())[-1]
+        baseline = {
+            "metrics": {
+                "capacity_scans_per_s": {
+                    "value": report.capacity_scans_per_s / 2,
+                    "direction": "higher",
+                    "tolerance": 0.45,
+                },
+                "ingest_p99_ms": {
+                    "value": max(1.0, report.ingest_p99_ms * 4),
+                    "direction": "lower",
+                    "tolerance": 0.45,
+                },
+                "serve_throughput": {"value": 1e9, "direction": "higher"},
+            }
+        }
+        # Unfiltered: the load entry lacks serve_throughput → regression.
+        assert not check_regressions(latest, baseline).ok
+        # Filtered to the capacity metrics: clean.
+        result = check_regressions(
+            latest,
+            baseline,
+            only=("capacity_scans_per_s", "ingest_p99_ms"),
+        )
+        assert result.ok, [c.name for c in result.regressions]
+        with pytest.raises(ValueError, match="not in baseline"):
+            check_regressions(latest, baseline, only=("nope",))
+
+    def test_append_rejects_shapeless_entries(self, tmp_path):
+        with pytest.raises(ValueError, match="metrics"):
+            append_bench_entry({}, str(tmp_path / "b.json"))
+
+    def test_step_dict_round_trips(self):
+        step = LoadStep(
+            clients=2,
+            offered_scans_per_s=80.0,
+            achieved_scans_per_s=75.0,
+            submitted=40,
+            accepted=38,
+            rejected=2,
+            availability=0.95,
+            p99_ms=12.0,
+            staleness_p99_ms=8.0,
+            burning=("availability",),
+            elapsed_seconds=0.5,
+        )
+        assert step.to_dict()["burning"] == ["availability"]

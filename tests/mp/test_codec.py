@@ -21,6 +21,14 @@ class TestFrames:
         assert frame.shard == 3
         assert frame.seq == 17
         assert frame.payload == payload
+        assert frame.parent_span == 0
+
+    def test_parent_span_round_trip(self):
+        parent = (4242 << 40) | 7
+        data = codec.encode_frame(
+            codec.MSG_APPLY, 1, 2, b"obs", parent_span=parent
+        )
+        assert codec.decode_frame(data).parent_span == parent
 
     def test_empty_payload_round_trip(self):
         frame = codec.decode_frame(codec.encode_frame(codec.MSG_PING, 0, 1))
@@ -46,7 +54,14 @@ class TestFrames:
         import zlib
 
         head = struct.pack(
-            "<4sBBiII", b"RMPC", codec.WIRE_VERSION + 1, codec.MSG_PING, 0, 1, 0
+            "<4sBBiIIQ",
+            b"RMPC",
+            codec.WIRE_VERSION + 1,
+            codec.MSG_PING,
+            0,
+            1,
+            0,
+            0,
         )
         data = head + struct.pack("<I", zlib.crc32(head) & 0xFFFFFFFF)
         with pytest.raises(CodecError, match="version mismatch"):

@@ -63,7 +63,7 @@ def parse_samples(text):
 
 
 class TestEndpoints:
-    def test_all_four_routes_serve_a_live_service(self):
+    def test_all_routes_serve_a_live_service(self):
         with OccupancyMapService(make_config()) as service:
             for batch in make_batches():
                 service.submit_observations(batch)
@@ -76,7 +76,14 @@ class TestEndpoints:
                 assert "repro_shard_batches_applied_total" in body
 
                 status, _headers, body = fetch(admin.url + "/healthz")
-                assert (status, body) == (200, "ok\n")
+                assert status == 200
+                health = json.loads(body)
+                assert health["status"] == "ok"
+                assert health["uptime_seconds"] >= 0.0
+                assert health["pid"] > 0
+                assert health["workers"] == "thread"
+                assert health["kernel"] == "scalar"
+                assert health["shards"] == 2
 
                 status, headers, body = fetch(admin.url + "/readyz")
                 assert status == 200
@@ -86,6 +93,27 @@ class TestEndpoints:
                     "shard_health.shard0",
                     "shard_health.shard1",
                 }
+                assert set(payload["queue_depths"]) == {"shard0", "shard1"}
+                assert all(
+                    depth >= 0 for depth in payload["queue_depths"].values()
+                )
+
+                status, _headers, body = fetch(admin.url + "/slo")
+                assert status == 200
+                slo = json.loads(body)
+                assert {o["name"] for o in slo["objectives"]} == {
+                    "ingest_latency",
+                    "ingest_freshness",
+                    "availability",
+                }
+                assert slo["burning"] is False  # light load, SLOs intact
+                waterfall = slo["waterfall"]
+                budgets = sum(
+                    waterfall["stage_budgets_seconds"].values()
+                ) + waterfall["residual_seconds"]
+                assert budgets == pytest.approx(
+                    waterfall["e2e_seconds"], rel=0.05
+                )
 
                 status, _headers, body = fetch(admin.url + "/snapshot")
                 assert status == 200
@@ -119,7 +147,8 @@ class TestEndpoints:
             assert fetch(admin.url + "/healthz")[0] == 200
             service.close()
             status, _headers, body = fetch(admin.url + "/healthz")
-            assert (status, body) == (503, "closed\n")
+            assert status == 503
+            assert json.loads(body)["status"] == "closed"
 
     def test_custom_namespace_reaches_the_exposition(self):
         with OccupancyMapService(make_config()) as service:

@@ -27,6 +27,8 @@ REQUIRED_METRICS = {
     "trace_overhead_ratio",
     "vector_ingest_speedup",
     "vector_map_agreement",
+    "capacity_scans_per_s",
+    "ingest_p99_ms",
 }
 
 
@@ -49,6 +51,8 @@ class TestSuite:
         assert quick_run.metrics["multicore_map_agreement"] == 1.0
         assert quick_run.metrics["vector_ingest_speedup"] > 0
         assert quick_run.metrics["vector_map_agreement"] == 1.0
+        assert quick_run.metrics["capacity_scans_per_s"] > 0
+        assert quick_run.metrics["ingest_p99_ms"] > 0
         assert quick_run.env["multicore_procs"] >= 1
         assert quick_run.env["host"]
         assert quick_run.quick is True

@@ -1,0 +1,265 @@
+"""SLO engine: windowed SLIs, burn-rate alerts, waterfall reconciliation.
+
+The windowed-histogram fix (reset-safe ``state_snapshot``/``since``
+deltas) is load-bearing for everything here: the same cumulative series
+must serve Prometheus (only ever grows) and the SLO windows (deltas)
+without double-counting, so those semantics get their own test class.
+"""
+
+import pytest
+
+from repro.obs.slo import (
+    SLOEngine,
+    SLObjective,
+    default_objectives,
+    latency_waterfall,
+    sli_from_window,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+class TestHistogramWindows:
+    def test_state_snapshot_delta_isolates_new_samples(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds")
+        for value in (0.01, 0.02, 0.03):
+            hist.record(value)
+        earlier = hist.state_snapshot()
+        for value in (5.0, 5.0, 5.0):
+            hist.record(value)
+        window = hist.state_snapshot().since(earlier)
+        assert window.count == 3
+        # Only the slow samples are in the window: the old fast ones
+        # must not dilute the windowed percentile.
+        assert window.percentile(0.5) > 1.0
+        # Cumulative view is untouched.
+        assert hist.state_snapshot().count == 6
+
+    def test_since_none_or_mismatched_baseline_degrades_to_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("a_seconds")
+        hist.record(0.1)
+        state = hist.state_snapshot()
+        assert state.since(None).count == 1
+        other = MetricsRegistry().histogram("b_seconds")
+        other.record(0.1)
+        other.record(0.2)
+        bigger = other.state_snapshot()
+        # Same bounds and later >= earlier: a legitimate delta.
+        assert bigger.since(state).count == 1
+        # earlier.count > later.count means a reset happened in between:
+        # the delta would be negative, so fall back to cumulative.
+        assert state.since(bigger).count == 1
+        # Different bucket bounds: never comparable, fall back.
+        from repro.service.metrics import HistogramState
+
+        alien = HistogramState((1.0,), [0], 0, 0.0)
+        assert bigger.since(alien).count == 2
+
+    def test_fraction_le_interpolates_within_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds")
+        for _ in range(100):
+            hist.record(0.015)  # lands in the (0.01, 0.025] bucket
+        window = hist.state_snapshot().since(None)
+        assert window.fraction_le(0.01) == pytest.approx(0.0)
+        assert window.fraction_le(0.025) == pytest.approx(1.0)
+        between = window.fraction_le(0.02)
+        assert 0.0 < between < 1.0
+
+    def test_percentile_bounds_and_empty_window(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("p_seconds")
+        empty = hist.state_snapshot().since(None)
+        assert empty.percentile(0.99) == 0.0
+        assert empty.fraction_le(1.0) == 1.0
+        hist.record(100.0)  # beyond the last bound -> overflow bucket
+        window = hist.state_snapshot().since(None)
+        assert window.percentile(0.99) == window.bounds[-1]
+        with pytest.raises(ValueError):
+            window.percentile(1.5)
+
+
+class TestObjectives:
+    def test_kind_and_target_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLObjective("x", "throughput", 0.99, 0.1)
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("x", "latency", 1.0, 0.1)
+        with pytest.raises(ValueError, match="threshold"):
+            SLObjective("x", "latency", 0.99, 0.0)
+        SLObjective("ok", "availability", 0.999)  # no threshold needed
+
+    def test_default_objectives_cover_all_three_kinds(self):
+        kinds = {objective.kind for objective in default_objectives()}
+        assert kinds == {"latency", "staleness", "availability"}
+
+    def test_sli_from_window_idle_means_compliant(self):
+        objective = SLObjective("a", "availability", 0.999)
+        assert sli_from_window(objective, total=0, bad=0) == 1.0
+        assert sli_from_window(objective, total=10, bad=1) == pytest.approx(0.9)
+
+
+class TestSLOEngine:
+    def make_engine(self, registry, **overrides):
+        kwargs = dict(
+            windows=(10.0, 60.0),
+            clock=lambda: self.now,
+        )
+        kwargs.update(overrides)
+        self.now = 0.0
+        return SLOEngine(registry, **kwargs)
+
+    def test_windowed_sli_recovers_after_a_bad_burst(self):
+        registry = MetricsRegistry()
+        engine = self.make_engine(registry)
+        hist = registry.histogram("ingest.e2e_seconds")
+        requests = registry.counter("ingest.requests")
+        self.now = 0.0
+        engine.evaluate()  # clean pre-burst snapshot anchors the ring
+        # t=1: a burst of SLO-violating latencies.
+        self.now = 1.0
+        for _ in range(50):
+            hist.record(2.0)
+            requests.inc()
+        status = engine.evaluate()
+        latency = next(
+            o for o in status["objectives"] if o["name"] == "ingest_latency"
+        )
+        assert latency["windows"]["10s"]["sli"] < 0.5
+        assert latency["burning"] is True
+        # t=30: the burst has aged out of the 10s window, good traffic since.
+        self.now = 30.0
+        for _ in range(50):
+            hist.record(0.005)
+            requests.inc()
+        status = engine.evaluate()
+        latency = next(
+            o for o in status["objectives"] if o["name"] == "ingest_latency"
+        )
+        assert latency["windows"]["10s"]["sli"] == pytest.approx(1.0)
+        # The long window still remembers the burst: multi-window alert
+        # keeps burning until the budget stops draining overall...
+        assert latency["windows"]["60s"]["sli"] < 1.0
+        # ...but the *short* burn being zero means no page fires.
+        assert latency["burning"] is False
+
+    def test_availability_burn_from_rejections(self):
+        registry = MetricsRegistry()
+        engine = self.make_engine(registry)
+        registry.counter("ingest.requests").inc(1000)
+        registry.counter("ingest.rejected_batches").inc(100)
+        status = engine.evaluate()
+        availability = next(
+            o for o in status["objectives"] if o["name"] == "availability"
+        )
+        assert availability["windows"]["10s"]["sli"] == pytest.approx(0.9)
+        # 10% bad against a 0.1% budget: burn rate 100x, alert fires.
+        assert availability["windows"]["10s"]["burn_rate"] == pytest.approx(
+            100.0, rel=1e-6
+        )
+        assert availability["burning"] is True
+        assert status["burning"] is True
+
+    def test_slo_gauges_published_into_registry(self):
+        registry = MetricsRegistry()
+        engine = self.make_engine(registry)
+        engine.evaluate()
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["slo.availability.sli"]["value"] == 1.0
+        assert gauges["slo.availability.burning"]["value"] == 0.0
+        assert "slo.ingest_latency.budget_remaining" in gauges
+        text = registry.to_prometheus_text()
+        assert "repro_slo_availability_sli" in text
+
+    def test_idle_engine_reports_full_budget(self):
+        registry = MetricsRegistry()
+        engine = self.make_engine(registry)
+        status = engine.evaluate()
+        assert status["burning"] is False
+        for objective in status["objectives"]:
+            assert objective["budget_remaining"] == pytest.approx(1.0)
+
+    def test_constructor_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="ascending"):
+            SLOEngine(registry, windows=(60.0, 10.0))
+        duplicated = (
+            SLObjective("same", "availability", 0.9),
+            SLObjective("same", "availability", 0.99),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine(registry, objectives=duplicated)
+
+
+class TestLatencyWaterfall:
+    def fill(self, registry):
+        e2e = registry.histogram("ingest.e2e_seconds")
+        stages = {
+            "ingest.trace_seconds": 0.004,
+            "ingest.enqueue_seconds": 0.001,
+            "shard.queue_wait_seconds": 0.010,
+            "shard.apply_seconds": 0.005,
+        }
+        for _ in range(200):
+            e2e.record(0.025)
+            for name, duration in stages.items():
+                registry.histogram(name).record(duration)
+
+    def test_stage_budgets_sum_to_e2e_percentile(self):
+        registry = MetricsRegistry()
+        self.fill(registry)
+        waterfall = latency_waterfall(registry)
+        total = (
+            sum(waterfall["stage_budgets_seconds"].values())
+            + waterfall["residual_seconds"]
+        )
+        # The acceptance criterion: budgets reconcile with the measured
+        # end-to-end percentile to within 5% (here: exactly).
+        assert total == pytest.approx(waterfall["e2e_seconds"], rel=0.05)
+        assert waterfall["e2e_count"] == 200
+        # queue_wait dominates the instrumented stages (10ms of 20ms).
+        shares = waterfall["stage_shares"]
+        assert shares["queue_wait"] == max(shares.values())
+
+    def test_empty_registry_yields_zero_waterfall(self):
+        waterfall = latency_waterfall(MetricsRegistry())
+        assert waterfall["e2e_seconds"] == 0.0
+        assert waterfall["residual_seconds"] == 0.0
+        assert all(
+            budget == 0.0
+            for budget in waterfall["stage_budgets_seconds"].values()
+        )
+
+    def test_live_service_waterfall_reconciles(self):
+        """End to end: real spans from a real service, stages vs e2e."""
+        from repro.service.server import OccupancyMapService, ServiceConfig
+
+        config = ServiceConfig(
+            resolution=0.1, depth=6, num_shards=2, coalesce=1
+        )
+        with OccupancyMapService(config) as service:
+            import random
+
+            rng = random.Random(7)
+            for _ in range(8):
+                batch = [
+                    (
+                        (
+                            rng.randrange(64),
+                            rng.randrange(64),
+                            rng.randrange(64),
+                        ),
+                        True,
+                    )
+                    for _ in range(50)
+                ]
+                service.submit_observations(batch)
+            service.flush()
+            waterfall = latency_waterfall(service.metrics)
+        assert waterfall["e2e_count"] > 0
+        total = (
+            sum(waterfall["stage_budgets_seconds"].values())
+            + waterfall["residual_seconds"]
+        )
+        assert total == pytest.approx(waterfall["e2e_seconds"], rel=0.05)
