@@ -283,6 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorter steps and a smaller ramp (the CI smoke profile)",
     )
     load.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fleet mode: host N tenants on one service, round-robin "
+        "clients over them, and record the per-step fairness ratio "
+        "(max/min per-tenant served throughput; 0 = single map)",
+    )
+    load.add_argument(
         "--admin-port",
         type=int,
         default=None,
@@ -652,6 +661,7 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         admin_port=args.admin_port,
         admin_hold=args.admin_hold,
+        tenants=args.tenants,
     )
     appended_to = None
     if not args.no_append:
@@ -683,6 +693,12 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
             "no SLO burned on this ramp; capacity (fastest step) "
             f"{report.capacity_scans_per_s:.1f} scans/s "
             f"@ p99 {report.ingest_p99_ms:.1f} ms"
+        )
+    if report.tenants and report.tenant_fairness_ratio is not None:
+        print(
+            f"fleet of {report.tenants} tenant(s): fairness ratio "
+            f"{report.tenant_fairness_ratio:.2f} at the capacity step "
+            "(max/min served throughput; 1.0 = perfectly fair)"
         )
     if appended_to:
         print(f"capacity curve appended to {appended_to}")

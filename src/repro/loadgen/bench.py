@@ -82,6 +82,10 @@ class LoadStep:
     staleness_p99_ms: float
     burning: Tuple[str, ...]
     elapsed_seconds: float
+    #: Fleet mode only (``tenants > 0``): max/min per-tenant served
+    #: observation throughput over the step — 1.0 is perfectly fair,
+    #: ``inf`` means some offered-to tenant was fully starved.
+    tenant_fairness: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -96,6 +100,7 @@ class LoadStep:
             "staleness_p99_ms": self.staleness_p99_ms,
             "burning": list(self.burning),
             "elapsed_seconds": self.elapsed_seconds,
+            "tenant_fairness": self.tenant_fairness,
         }
 
 
@@ -115,6 +120,10 @@ class LoadBenchReport:
     elapsed_seconds: float = 0.0
     quick: bool = False
     num_procs: Optional[int] = None
+    #: Fleet mode: tenant count (0 = classic single-map bench) and the
+    #: fairness ratio at the step that defined capacity (pre-knee).
+    tenants: int = 0
+    tenant_fairness_ratio: Optional[float] = None
 
     @property
     def saturated(self) -> bool:
@@ -134,6 +143,8 @@ class LoadBenchReport:
             "capacity_scans_per_s": self.capacity_scans_per_s,
             "ingest_p99_ms": self.ingest_p99_ms,
             "elapsed_seconds": self.elapsed_seconds,
+            "tenants": self.tenants,
+            "tenant_fairness_ratio": self.tenant_fairness_ratio,
             "capacity_curve": [step.to_dict() for step in self.steps],
         }
 
@@ -151,33 +162,48 @@ class LoadBenchReport:
             workers=self.workers, num_procs=self.num_procs
         )
         env["kernel"] = self.kernel
-        return {
+        metrics: Dict[str, object] = {
+            "capacity_scans_per_s": {
+                "value": self.capacity_scans_per_s,
+                "unit": "scans/s",
+                "direction": "higher",
+                "samples": [self.capacity_scans_per_s],
+            },
+            "ingest_p99_ms": {
+                "value": self.ingest_p99_ms,
+                "unit": "ms",
+                "direction": "lower",
+                "samples": [self.ingest_p99_ms],
+            },
+        }
+        if self.tenants and self.tenant_fairness_ratio is not None:
+            # max/min per-tenant served throughput at the capacity step;
+            # gate with perf-check --metrics tenant_fairness_ratio.
+            metrics["tenant_fairness_ratio"] = {
+                "value": self.tenant_fairness_ratio,
+                "unit": "ratio",
+                "direction": "lower",
+                "samples": [self.tenant_fairness_ratio],
+            }
+        entry = {
             "timestamp": time.time(),
             "kind": "load-bench",
             "quick": self.quick,
             "repeats": 1,
             "elapsed_seconds": self.elapsed_seconds,
             "env": env,
-            "metrics": {
-                "capacity_scans_per_s": {
-                    "value": self.capacity_scans_per_s,
-                    "unit": "scans/s",
-                    "direction": "higher",
-                    "samples": [self.capacity_scans_per_s],
-                },
-                "ingest_p99_ms": {
-                    "value": self.ingest_p99_ms,
-                    "unit": "ms",
-                    "direction": "lower",
-                    "samples": [self.ingest_p99_ms],
-                },
-            },
+            "metrics": metrics,
             "capacity_curve": [step.to_dict() for step in self.steps],
         }
+        if self.tenants:
+            entry["tenants"] = self.tenants
+        return entry
 
     def table(self) -> str:
-        rows = [
-            [
+        fleet = self.tenants > 0
+        rows = []
+        for step in self.steps:
+            row = [
                 step.clients,
                 f"{step.offered_scans_per_s:.0f}",
                 f"{step.achieved_scans_per_s:.1f}",
@@ -186,20 +212,25 @@ class LoadBenchReport:
                 f"{step.staleness_p99_ms:.1f}",
                 ",".join(step.burning) or "-",
             ]
-            for step in self.steps
+            if fleet:
+                row.append(
+                    "-"
+                    if step.tenant_fairness is None
+                    else f"{step.tenant_fairness:.2f}"
+                )
+            rows.append(row)
+        headers = [
+            "clients",
+            "offered/s",
+            "achieved/s",
+            "avail",
+            "p99 ms",
+            "stale p99 ms",
+            "burning",
         ]
-        return format_table(
-            [
-                "clients",
-                "offered/s",
-                "achieved/s",
-                "avail",
-                "p99 ms",
-                "stale p99 ms",
-                "burning",
-            ],
-            rows,
-        )
+        if fleet:
+            headers.append("fairness")
+        return format_table(headers, rows)
 
 
 class _ClientStats:
@@ -212,7 +243,7 @@ class _ClientStats:
 
 
 def _client_loop(
-    service: OccupancyMapService,
+    submit,
     batches: Sequence[Sequence],
     offset: int,
     rate: float,
@@ -224,7 +255,9 @@ def _client_loop(
 
     The schedule is absolute (``start + k / rate``): a slow submission
     does not push later ones back, it eats into their slack — the
-    defining property of an open-loop generator.
+    defining property of an open-loop generator.  ``submit`` takes one
+    observation batch and returns a receipt with a ``rejected`` count
+    (the service's or a tenant registry's).
     """
     interval = 1.0 / rate
     start = time.perf_counter()
@@ -236,7 +269,7 @@ def _client_loop(
             if delay > 0 and stop.wait(timeout=delay):
                 return
             observations = batches[(offset + k) % len(batches)]
-            receipt = service.submit_observations(observations)
+            receipt = submit(observations)
             stats.submitted += 1
             if receipt.rejected:
                 stats.rejected += 1
@@ -245,6 +278,41 @@ def _client_loop(
             k += 1
     except BaseException as error:  # surfaced by the driver, not lost
         errors.append(error)
+
+
+def _tenant_submit(registry, name: str):
+    """A client submit function bound to one tenant."""
+
+    def submit(observations):
+        return registry.submit_observations(name, observations)
+
+    return submit
+
+
+def _fairness_ratio(
+    registry,
+    served_before: Dict[str, int],
+    offered_to: "set",
+) -> float:
+    """Max/min per-tenant served observations over one step.
+
+    Computed only over tenants the step's clients actually offered load
+    to (a ramp rung with fewer clients than tenants leaves some tenants
+    legitimately idle).  1.0 is perfectly fair; ``inf`` means a tenant
+    that was offered load got nothing served — starvation.
+    """
+    served = [
+        registry.get(name).served_observations - served_before[name]
+        for name in offered_to
+    ]
+    if not served:
+        return 1.0
+    low, high = min(served), max(served)
+    if high <= 0:
+        return 1.0
+    if low <= 0:
+        return float("inf")
+    return high / low
 
 
 def _state(service: OccupancyMapService) -> Dict[str, object]:
@@ -318,6 +386,7 @@ def run_load_bench(
     stop_after_knee: int = 1,
     admin_port: Optional[int] = None,
     admin_hold: float = 0.0,
+    tenants: int = 0,
 ) -> LoadBenchReport:
     """Ramp open-loop clients until an SLO burns; return the curve.
 
@@ -339,7 +408,17 @@ def run_load_bench(
             friends) for the duration of the run; ``admin_hold`` keeps
             it (and the service) up that many seconds after the ramp so
             an external prober can scrape a *loaded* service.
+        tenants: fleet mode — host this many tenants on the service
+            (one :class:`~repro.tenancy.TenantRegistry`), round-robin
+            the clients over them, and record per-step **fairness**:
+            max/min per-tenant served observation throughput, computed
+            over the tenants the step actually offered load to.  The
+            registry feeds the same ingest SLO surface, so knee
+            detection works unchanged; ``0`` is the classic
+            single-map bench.
     """
+    if tenants < 0:
+        raise ValueError(f"tenants must be >= 0, got {tenants}")
     if step_seconds <= 0:
         raise ValueError(f"step_seconds must be positive, got {step_seconds}")
     if rate_per_client <= 0:
@@ -396,9 +475,25 @@ def run_load_bench(
         rate_per_client=rate_per_client,
         quick=quick,
         num_procs=num_procs,
+        tenants=tenants,
     )
     bench_start = time.perf_counter()
     with OccupancyMapService(config) as service:
+        registry = None
+        tenant_names: List[str] = []
+        if tenants:
+            from repro.tenancy import TenantQuota, TenantRegistry
+
+            registry = TenantRegistry(service)
+            tenant_names = [f"fleet-{index}" for index in range(tenants)]
+            for name in tenant_names:
+                # Queue-slot quota mirrors the service's own per-shard
+                # capacity; rate stays unlimited so the open-loop ramp
+                # (not the bucket) decides offered load.
+                registry.create(
+                    name,
+                    quota=TenantQuota(queue_slots=queue_capacity * shards),
+                )
         admin = (
             service.serve_admin(port=admin_port)
             if admin_port is not None
@@ -411,11 +506,27 @@ def run_load_bench(
                 stop = threading.Event()
                 errors: List[BaseException] = []
                 tallies = [_ClientStats() for _ in range(clients)]
+                if registry is not None:
+                    served_before = {
+                        name: registry.get(name).served_observations
+                        for name in tenant_names
+                    }
+                    submits = [
+                        _tenant_submit(
+                            registry, tenant_names[index % tenants]
+                        )
+                        for index in range(clients)
+                    ]
+                else:
+                    served_before = {}
+                    submits = [
+                        service.submit_observations for _ in range(clients)
+                    ]
                 threads = [
                     threading.Thread(
                         target=_client_loop,
                         args=(
-                            service,
+                            submits[index],
                             traced,
                             index,
                             rate_per_client,
@@ -437,12 +548,23 @@ def run_load_bench(
                     thread.join()
                 if errors:
                     raise errors[0]
+                if registry is not None:
+                    registry.flush()
                 service.flush()  # drain so the window owns its backlog
                 elapsed = time.perf_counter() - step_start
                 after = _state(service)
                 availability, p99_ms, stale_ms, burning = _evaluate_step(
                     before, after, chosen
                 )
+                fairness = None
+                if registry is not None:
+                    offered_to = {
+                        tenant_names[index % tenants]
+                        for index in range(clients)
+                    }
+                    fairness = _fairness_ratio(
+                        registry, served_before, offered_to
+                    )
                 submitted = sum(t.submitted for t in tallies)
                 accepted = sum(t.accepted for t in tallies)
                 step = LoadStep(
@@ -459,6 +581,7 @@ def run_load_bench(
                     staleness_p99_ms=stale_ms,
                     burning=burning,
                     elapsed_seconds=elapsed,
+                    tenant_fairness=fairness,
                 )
                 report.steps.append(step)
                 if burning:
@@ -475,13 +598,17 @@ def run_load_bench(
         finally:
             if admin is not None:
                 admin.close()
+            if registry is not None:
+                registry.close()
     clean = [step for step in report.steps if not step.burning]
     if clean:
         best = max(clean, key=lambda step: step.achieved_scans_per_s)
         report.capacity_scans_per_s = best.achieved_scans_per_s
         report.ingest_p99_ms = best.p99_ms
+        report.tenant_fairness_ratio = best.tenant_fairness
     elif report.steps:
         report.capacity_scans_per_s = report.steps[0].achieved_scans_per_s
         report.ingest_p99_ms = report.steps[0].p99_ms
+        report.tenant_fairness_ratio = report.steps[0].tenant_fairness
     report.elapsed_seconds = time.perf_counter() - bench_start
     return report

@@ -71,6 +71,15 @@ RecoverySource = Callable[
     Tuple[Optional[ShardCheckpoint], List[List[Tuple[VoxelKey, bool]]]],
 ]
 
+#: ``tenant_recovery_source`` signature: (tenant slot, shard id) ->
+#: (checkpoint, journal tail) for that tenant's shard pipeline.  The
+#: tenant registry installs this so a respawned process lazily regains
+#: every tenant's state, not just the default map's.
+TenantRecoverySource = Callable[
+    [int, int],
+    Tuple[Optional[ShardCheckpoint], List[List[Tuple[VoxelKey, bool]]]],
+]
+
 
 def _empty_recovery(shard_id: int):
     return None, []
@@ -140,6 +149,10 @@ class ProcessShardedMap:
         self.relay_tracer = None
         #: Checkpoint + journal-tail provider for lazy sibling restore.
         self.recovery_source: RecoverySource = _empty_recovery
+        #: Same, but per tenant slot (installed by the tenant registry;
+        #: ``None`` means tenant pipelines respawn empty until their
+        #: registry drives an absolute restore).
+        self.tenant_recovery_source: Optional[TenantRecoverySource] = None
         self.fault_plan = FaultPlan()
         self.supervisor = ShardProcessSupervisor(
             num_shards=num_shards,
@@ -152,13 +165,19 @@ class ProcessShardedMap:
         self._locks: List[threading.RLock] = [
             threading.RLock() for _ in range(num_shards)
         ]
-        #: Journal entries confirmed applied per shard — the replay
-        #: horizon for lazy sibling restore (see module docstring).
-        self._applied = [0] * num_shards
-        #: Process generation each shard's state was last installed into.
-        self._restored_gen = [
-            self.supervisor.generation(shard) for shard in range(num_shards)
-        ]
+        #: Journal entries confirmed applied per ``(shard, tenant)`` —
+        #: the replay horizon for lazy sibling restore (see module
+        #: docstring).  Tenant slot 0 is the default single-tenant map.
+        self._applied: Dict[Tuple[int, int], int] = {
+            (shard, 0): 0 for shard in range(num_shards)
+        }
+        #: Process generation each ``(shard, tenant)`` pipeline's state
+        #: was last installed into; a respawn bumps the generation, so
+        #: the next touch of each slot notices and lazily restores it.
+        self._restored_gen: Dict[Tuple[int, int], int] = {
+            (shard, 0): self.supervisor.generation(shard)
+            for shard in range(num_shards)
+        }
         self._close_lock = threading.Lock()
         self._closed = False
 
@@ -241,13 +260,18 @@ class ProcessShardedMap:
     # Requests + readiness.
     # ------------------------------------------------------------------
 
-    def _ensure_ready(self, shard_id: int, respawn: bool = True) -> None:
-        """Make a shard's process hold that shard's state (lock held).
+    def _ensure_ready(
+        self, shard_id: int, respawn: bool = True, tenant: int = 0
+    ) -> None:
+        """Make a shard's process hold one slot's state (lock held).
 
         With ``respawn`` a dead process is relaunched first; without it
         (the read paths), a dead process raises ``ShardProcessDied`` so
         callers degrade to "unknown" instead of resurrecting a process
-        behind the service's recovery accounting.
+        behind the service's recovery accounting.  Restores are lazy
+        *per (shard, tenant) slot*: a respawn bumps the process
+        generation, and each slot is rebuilt the next time traffic
+        touches it.
         """
         if respawn:
             generation = self.supervisor.ensure_alive(shard_id)
@@ -257,18 +281,27 @@ class ProcessShardedMap:
                     f"worker process for shard {shard_id} is not running"
                 )
             generation = self.supervisor.generation(shard_id)
-        if self._restored_gen[shard_id] == generation:
+        slot = (shard_id, tenant)
+        if self._restored_gen.get(slot) == generation:
             return
-        checkpoint, tail = self.recovery_source(shard_id)
+        if tenant == 0:
+            checkpoint, tail = self.recovery_source(shard_id)
+        elif self.tenant_recovery_source is not None:
+            checkpoint, tail = self.tenant_recovery_source(tenant, shard_id)
+        else:
+            checkpoint, tail = None, []
         upto = checkpoint.upto if checkpoint is not None else 0
         blob = checkpoint.blob if checkpoint is not None else None
-        # Replay only what this shard had *applied*: the journal gains
+        # Replay only what this slot had *applied*: the journal gains
         # an entry before its apply, and an in-flight entry belongs to
         # the service's own restore (full tail), not the lazy one.
-        replay = tail[: max(0, self._applied[shard_id] - upto)]
-        self._send_restore(shard_id, blob, upto, replay)
-        self._applied[shard_id] = upto + len(replay)
-        self._restored_gen[shard_id] = generation
+        replay = tail[: max(0, self._applied.get(slot, 0) - upto)]
+        if blob is not None or replay or self._applied.get(slot, 0):
+            self._send_restore(shard_id, blob, upto, replay, tenant=tenant)
+        # A brand-new slot with nothing to install skips the round trip:
+        # the worker creates the empty pipeline lazily on first command.
+        self._applied[slot] = upto + len(replay)
+        self._restored_gen[slot] = generation
 
     def _send_restore(
         self,
@@ -276,27 +309,37 @@ class ProcessShardedMap:
         blob: Optional[bytes],
         upto: int,
         batches: Sequence[Sequence[Tuple[VoxelKey, bool]]],
+        tenant: int = 0,
     ) -> None:
         reply = self.supervisor.request(
             shard_id,
             codec.MSG_RESTORE,
             codec.encode_restore(blob, upto, batches),
             parent_span=_wire_parent(),
+            tenant=tenant,
         )
         _body, events = codec.decode_reply(reply.payload)
         self._replay(events)
 
     def _exchange(
-        self, shard_id: int, msg_type: int, payload: bytes = b""
+        self,
+        shard_id: int,
+        msg_type: int,
+        payload: bytes = b"",
+        tenant: int = 0,
     ) -> bytes:
-        """Ready-the-shard + one request; returns the reply body.
+        """Ready-the-slot + one request; returns the reply body.
 
         Caller holds the shard lock.  Relayed telemetry is replayed
         before returning.
         """
-        self._ensure_ready(shard_id)
+        self._ensure_ready(shard_id, tenant=tenant)
         reply = self.supervisor.request(
-            shard_id, msg_type, payload, parent_span=_wire_parent()
+            shard_id,
+            msg_type,
+            payload,
+            parent_span=_wire_parent(),
+            tenant=tenant,
         )
         body, events = codec.decode_reply(reply.payload)
         self._replay(events)
@@ -345,7 +388,10 @@ class ProcessShardedMap:
         return record
 
     def apply_to_shard(
-        self, shard_id: int, observations: List[Tuple[VoxelKey, bool]]
+        self,
+        shard_id: int,
+        observations: List[Tuple[VoxelKey, bool]],
+        tenant: int = 0,
     ) -> float:
         """Ship one shard's slice to its process; returns busy seconds.
 
@@ -354,6 +400,8 @@ class ProcessShardedMap:
         where multi-core speedup comes from.  Raises
         :class:`ShardProcessDied` into the service's existing
         ``InjectedCrash`` recovery path when the process is gone.
+        ``tenant`` selects which of the shard's per-tenant pipelines the
+        batch lands in (0 = the default map).
         """
         if self.fault_plan.check("octree.update", shard=shard_id) == "drop":
             return 0.0
@@ -364,14 +412,16 @@ class ProcessShardedMap:
             observations=len(observations),
         ) as span:
             with self._locks[shard_id]:
-                self._ensure_ready(shard_id)
+                self._ensure_ready(shard_id, tenant=tenant)
                 reply = self.supervisor.request(
                     shard_id,
                     codec.MSG_APPLY,
                     codec.encode_observations(observations),
                     parent_span=span.span_id,
+                    tenant=tenant,
                 )
-                self._applied[shard_id] += 1
+                slot = (shard_id, tenant)
+                self._applied[slot] = self._applied.get(slot, 0) + 1
                 body, events = codec.decode_reply(reply.payload)
         self._replay(events)
         return codec.decode_busy_seconds(body)
@@ -425,21 +475,51 @@ class ProcessShardedMap:
         shard_id: int,
         checkpoint: Optional[ShardCheckpoint],
         tail: Sequence[Sequence[Tuple[VoxelKey, bool]]],
+        tenant: int = 0,
     ) -> None:
         """Service-driven exact restore: checkpoint + *full* journal tail.
 
         Unlike the lazy sibling restore, the tail here includes the
         entry that was in flight when the process died — rebuilding is
         absolute (the child replaces the whole pipeline), so repeated
-        restores never double-apply.
+        restores never double-apply.  With ``tenant`` set this is also
+        the tenant lifecycle's restore-after-evict path.
         """
         with self._locks[shard_id]:
             generation = self.supervisor.ensure_alive(shard_id)
             upto = checkpoint.upto if checkpoint is not None else 0
             blob = checkpoint.blob if checkpoint is not None else None
-            self._send_restore(shard_id, blob, upto, list(tail))
-            self._applied[shard_id] = upto + len(tail)
-            self._restored_gen[shard_id] = generation
+            self._send_restore(shard_id, blob, upto, list(tail), tenant=tenant)
+            slot = (shard_id, tenant)
+            self._applied[slot] = upto + len(tail)
+            self._restored_gen[slot] = generation
+
+    def drop_tenant(self, tenant: int) -> None:
+        """Free one tenant's pipelines on every shard (eviction).
+
+        Dead processes are skipped — they hold no state to free, and the
+        slot bookkeeping is cleared either way so a later re-create
+        starts from a blank horizon.
+        """
+        if tenant == 0:
+            raise ValueError("tenant slot 0 (the default map) cannot be dropped")
+        for shard_id in range(self.num_shards):
+            with self._locks[shard_id]:
+                slot = (shard_id, tenant)
+                try:
+                    if self.supervisor.alive(shard_id):
+                        reply = self.supervisor.request(
+                            shard_id,
+                            codec.MSG_DROP_TENANT,
+                            parent_span=_wire_parent(),
+                            tenant=tenant,
+                        )
+                        _body, events = codec.decode_reply(reply.payload)
+                        self._replay(events)
+                except ShardProcessDied:
+                    pass
+                self._applied.pop(slot, None)
+                self._restored_gen.pop(slot, None)
 
     # ------------------------------------------------------------------
     # Query path.
@@ -452,23 +532,35 @@ class ProcessShardedMap:
         return key_to_coord(key, self.resolution, self.depth)
 
     def _query_shard(
-        self, shard_id: int, keys: Sequence[VoxelKey]
+        self, shard_id: int, keys: Sequence[VoxelKey], tenant: int = 0
     ) -> List[Optional[float]]:
         """Batched point queries against one shard; dead -> all unknown."""
         try:
             with self._locks[shard_id]:
-                self._ensure_ready(shard_id, respawn=False)
+                self._ensure_ready(shard_id, respawn=False, tenant=tenant)
                 reply = self.supervisor.request(
                     shard_id,
                     codec.MSG_QUERY_MANY,
                     codec.encode_keys(keys),
                     parent_span=_wire_parent(),
+                    tenant=tenant,
                 )
                 body, events = codec.decode_reply(reply.payload)
         except ShardProcessDied:
             return [None] * len(keys)
         self._replay(events)
         return codec.decode_values(body)
+
+    def query_keys_in_shard(
+        self, shard_id: int, keys: Sequence[VoxelKey], tenant: int = 0
+    ) -> List[Optional[float]]:
+        """Point-query keys already routed to one shard (tenant-aware).
+
+        The tenant layer routes with per-tenant salted routers, so it
+        cannot use :meth:`query_keys` (which routes with the default
+        router); it pre-partitions and asks each shard directly.
+        """
+        return self._query_shard(shard_id, keys, tenant=tenant)
 
     def query_keys(
         self, keys: Sequence[VoxelKey]
@@ -586,18 +678,21 @@ class ProcessShardedMap:
     # Global snapshot export.
     # ------------------------------------------------------------------
 
-    def shard_snapshot_blob(self, shard_id: int) -> bytes:
-        """One shard's authoritative tree as serialize-v2 bytes.
+    def shard_snapshot_blob(self, shard_id: int, tenant: int = 0) -> bytes:
+        """One shard slot's authoritative tree as serialize-v2 bytes.
 
         The child exports it (octree merged with its cache overlay) —
-        this is the payload crash-recovery checkpoints store verbatim.
+        this is the payload crash-recovery checkpoints (and tenant
+        persist/evict snapshots) store verbatim.
         """
         with self._locks[shard_id]:
-            return self._exchange(shard_id, codec.MSG_SNAPSHOT)
+            return self._exchange(shard_id, codec.MSG_SNAPSHOT, tenant=tenant)
 
-    def shard_snapshot_tree(self, shard_id: int) -> OccupancyOctree:
-        """One shard's authoritative tree: octree + cache overlay."""
-        return tree_from_bytes(self.shard_snapshot_blob(shard_id))
+    def shard_snapshot_tree(
+        self, shard_id: int, tenant: int = 0
+    ) -> OccupancyOctree:
+        """One shard slot's authoritative tree: octree + cache overlay."""
+        return tree_from_bytes(self.shard_snapshot_blob(shard_id, tenant))
 
     def snapshot(self) -> OccupancyOctree:
         """Export one octree holding the whole map's current answers.

@@ -38,6 +38,7 @@ __all__ = [
     "Frame",
     "MSG_APPLY",
     "MSG_BOX_QUERY",
+    "MSG_DROP_TENANT",
     "MSG_ERROR",
     "MSG_FINALIZE",
     "MSG_OK",
@@ -71,8 +72,10 @@ _MAGIC = b"RMPC"
 
 #: Wire protocol version; a mismatched worker fails the handshake loudly
 #: instead of misparsing frames.  v2 added the trace-context field
-#: (``parent_span``) to the fixed header.
-WIRE_VERSION = 2
+#: (``parent_span``) to the fixed header; v3 adds the tenant slot (u32,
+#: 0 = the default single-tenant map) so one worker process hosts many
+#: tenants' shard pipelines side by side.
+WIRE_VERSION = 3
 
 # Request types (parent -> worker).
 MSG_APPLY = 1
@@ -84,6 +87,7 @@ MSG_STATS = 6
 MSG_FINALIZE = 7
 MSG_PING = 8
 MSG_SHUTDOWN = 9
+MSG_DROP_TENANT = 10
 # Reply types (worker -> parent).
 MSG_OK = 20
 MSG_ERROR = 21
@@ -98,12 +102,14 @@ _NAMES = {
     MSG_FINALIZE: "FINALIZE",
     MSG_PING: "PING",
     MSG_SHUTDOWN: "SHUTDOWN",
+    MSG_DROP_TENANT: "DROP_TENANT",
     MSG_OK: "OK",
     MSG_ERROR: "ERROR",
 }
 
-# magic, version, type, shard, seq, payload length, parent span id.
-_HEADER = struct.Struct("<4sBBiIIQ")
+# magic, version, type, shard, seq, payload length, parent span id,
+# tenant slot.
+_HEADER = struct.Struct("<4sBBiIIQI")
 _CRC = struct.Struct("<I")
 _U32 = struct.Struct("<I")
 _F64 = struct.Struct("<d")
@@ -126,7 +132,10 @@ class Frame:
     ``parent_span`` is the sender's active span id (0 = none): the
     trace context that lets a worker process parent its spans under the
     request span that crossed the pipe, so process-mode waterfalls join
-    into one tree.
+    into one tree.  ``tenant`` is the tenant slot the command targets
+    (0 = the default single-tenant map); it rides the fixed header next
+    to the trace context so every command addresses one tenant's shard
+    pipeline without touching the payload formats.
     """
 
     type: int
@@ -134,6 +143,7 @@ class Frame:
     seq: int
     payload: bytes
     parent_span: int = 0
+    tenant: int = 0
 
 
 def encode_frame(
@@ -142,6 +152,7 @@ def encode_frame(
     seq: int,
     payload: bytes = b"",
     parent_span: int = 0,
+    tenant: int = 0,
 ) -> bytes:
     """Frame one message: header + payload + CRC-32 trailer."""
     if msg_type not in _NAMES:
@@ -154,6 +165,7 @@ def encode_frame(
         seq,
         len(payload),
         parent_span & 0xFFFFFFFFFFFFFFFF,
+        tenant & 0xFFFFFFFF,
     )
     body = head + payload
     return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
@@ -171,7 +183,7 @@ def decode_frame(data: bytes) -> Frame:
             f"corrupt frame: CRC-32 mismatch "
             f"(stored {stored_crc:#010x}, computed {actual_crc:#010x})"
         )
-    magic, version, msg_type, shard, seq, length, parent_span = (
+    magic, version, msg_type, shard, seq, length, parent_span, tenant = (
         _HEADER.unpack_from(body, 0)
     )
     if magic != _MAGIC:
@@ -191,6 +203,7 @@ def decode_frame(data: bytes) -> Frame:
         seq=seq,
         payload=payload,
         parent_span=parent_span,
+        tenant=tenant,
     )
 
 

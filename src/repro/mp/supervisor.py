@@ -258,12 +258,16 @@ class ShardProcessSupervisor:
         payload: bytes = b"",
         timeout: Optional[float] = None,
         parent_span: int = 0,
+        tenant: int = 0,
     ) -> codec.Frame:
         """One atomic framed exchange with the process hosting a shard.
 
         ``parent_span`` rides the frame header as wire trace context:
         the worker parents its spans under that id, so process-mode
         request waterfalls join into one span tree (0 = no context).
+        ``tenant`` is the tenant slot the command addresses (0 = the
+        default single-tenant map); it selects which of the shard's
+        per-tenant pipelines executes the command worker-side.
 
         Raises :class:`ShardProcessDied` when the process is gone (or
         misses the reply deadline — it is then killed, so "slow" and
@@ -281,7 +285,12 @@ class ShardProcessSupervisor:
                 )
             seq = next(self._seqs[proc_index])
             frame = codec.encode_frame(
-                msg_type, shard_id, seq, payload, parent_span=parent_span
+                msg_type,
+                shard_id,
+                seq,
+                payload,
+                parent_span=parent_span,
+                tenant=tenant,
             )
             try:
                 worker.conn.send_bytes(frame)

@@ -31,7 +31,7 @@ import os
 import signal
 import threading
 import traceback
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import CacheConfig
 from repro.core.octocache import OctoCacheMap
@@ -128,7 +128,14 @@ def _build_cache_config(config: Dict[str, Any]) -> Optional[CacheConfig]:
 
 
 class _ShardWorker:
-    """Per-process state: one pipeline per assigned shard."""
+    """Per-process state: one pipeline per assigned ``(shard, tenant)``.
+
+    Tenant slot 0 (the default single-tenant map) gets its pipelines
+    eagerly, exactly as before wire v3; non-zero tenant slots are
+    created lazily on first touch (apply/restore/query) and torn down
+    with ``DROP_TENANT`` — eviction must release the worker-side memory,
+    not just the parent's bookkeeping.
+    """
 
     def __init__(self, config: Dict[str, Any]) -> None:
         self.resolution = float(config["resolution"])
@@ -138,8 +145,8 @@ class _ShardWorker:
         self.params = _build_params(config)
         self.cache_config = _build_cache_config(config)
         self.shard_ids = [int(shard) for shard in config["shard_ids"]]
-        self.pipelines: Dict[int, OctoCacheMap] = {
-            shard: self._make_pipeline() for shard in self.shard_ids
+        self.pipelines: Dict[Tuple[int, int], OctoCacheMap] = {
+            (shard, 0): self._make_pipeline() for shard in self.shard_ids
         }
 
     def _make_pipeline(self) -> OctoCacheMap:
@@ -152,36 +159,39 @@ class _ShardWorker:
             kernel=self.kernel,
         )
 
-    def pipeline(self, shard: int) -> OctoCacheMap:
-        try:
-            return self.pipelines[shard]
-        except KeyError:
+    def pipeline(self, shard: int, tenant: int) -> OctoCacheMap:
+        if shard not in self.shard_ids:
             raise ValueError(
                 f"shard {shard} is not assigned to this worker "
                 f"(owns {self.shard_ids})"
-            ) from None
+            )
+        slot = (shard, tenant)
+        existing = self.pipelines.get(slot)
+        if existing is None:
+            existing = self.pipelines[slot] = self._make_pipeline()
+        return existing
 
     # -- commands ------------------------------------------------------
 
-    def apply(self, shard: int, payload: bytes) -> bytes:
+    def apply(self, shard: int, tenant: int, payload: bytes) -> bytes:
         observations = codec.decode_observations(payload)
-        pipeline = self.pipeline(shard)
+        pipeline = self.pipeline(shard, tenant)
         batch = ScanBatch(observations=observations, num_rays=0)
         record = pipeline.insert_batch(batch)
         return codec.encode_busy_seconds(
             pipeline.record_busy_seconds(record)
         )
 
-    def query_many(self, shard: int, payload: bytes) -> bytes:
-        pipeline = self.pipeline(shard)
+    def query_many(self, shard: int, tenant: int, payload: bytes) -> bytes:
+        pipeline = self.pipeline(shard, tenant)
         keys = codec.decode_keys(payload)
         return codec.encode_values(
             [pipeline.query_key(key) for key in keys]
         )
 
-    def box_query(self, shard: int, payload: bytes) -> bytes:
+    def box_query(self, shard: int, tenant: int, payload: bytes) -> bytes:
         min_key, max_key = codec.decode_keys(payload)
-        pipeline = self.pipeline(shard)
+        pipeline = self.pipeline(shard, tenant)
 
         def in_box(key: VoxelKey) -> bool:
             return all(
@@ -207,8 +217,8 @@ class _ShardWorker:
         )
         return codec.encode_keys(sorted(occupied))
 
-    def snapshot(self, shard: int) -> bytes:
-        pipeline = self.pipeline(shard)
+    def snapshot(self, shard: int, tenant: int) -> bytes:
+        pipeline = self.pipeline(shard, tenant)
         tree = OccupancyOctree(
             resolution=self.resolution, depth=self.depth, params=self.params
         )
@@ -217,19 +227,19 @@ class _ShardWorker:
             tree.set_leaf(key, value)
         return tree_to_bytes(tree)
 
-    def restore(self, shard: int, payload: bytes) -> bytes:
+    def restore(self, shard: int, tenant: int, payload: bytes) -> bytes:
         blob, upto, batches = codec.decode_restore(payload)
         checkpoint = (
             ShardCheckpoint(blob=blob, upto=upto) if blob is not None else None
         )
-        self.pipeline(shard)  # validate ownership before replacing
-        self.pipelines[shard] = restore_pipeline(
+        self.pipeline(shard, tenant)  # validate ownership before replacing
+        self.pipelines[(shard, tenant)] = restore_pipeline(
             self._make_pipeline, checkpoint, batches
         )
         return codec.encode_json({"replayed": len(batches)})
 
-    def stats(self, shard: int) -> bytes:
-        pipeline = self.pipeline(shard)
+    def stats(self, shard: int, tenant: int) -> bytes:
+        pipeline = self.pipeline(shard, tenant)
         return codec.encode_json(
             {
                 "hit_ratio": pipeline.hit_ratio,
@@ -240,9 +250,16 @@ class _ShardWorker:
             }
         )
 
-    def finalize(self, shard: int) -> bytes:
-        self.pipeline(shard).finalize()
+    def finalize(self, shard: int, tenant: int) -> bytes:
+        self.pipeline(shard, tenant).finalize()
         return b""
+
+    def drop_tenant(self, shard: int, tenant: int) -> bytes:
+        """Free a tenant's pipeline on this shard (eviction)."""
+        if tenant == 0:
+            raise ValueError("tenant slot 0 (the default map) cannot be dropped")
+        dropped = self.pipelines.pop((shard, tenant), None) is not None
+        return codec.encode_json({"dropped": dropped})
 
 
 def shard_worker_main(conn, config_blob: bytes) -> None:
@@ -281,6 +298,7 @@ def shard_worker_main(conn, config_blob: bytes) -> None:
         codec.MSG_SNAPSHOT: worker.snapshot,
         codec.MSG_STATS: worker.stats,
         codec.MSG_FINALIZE: worker.finalize,
+        codec.MSG_DROP_TENANT: worker.drop_tenant,
     }
     while True:
         try:
@@ -316,9 +334,11 @@ def shard_worker_main(conn, config_blob: bytes) -> None:
                 if frame.type == codec.MSG_PING:
                     body = b""
                 elif frame.type in handlers:
-                    body = handlers[frame.type](frame.shard, frame.payload)
+                    body = handlers[frame.type](
+                        frame.shard, frame.tenant, frame.payload
+                    )
                 elif frame.type in no_payload:
-                    body = no_payload[frame.type](frame.shard)
+                    body = no_payload[frame.type](frame.shard, frame.tenant)
                 else:
                     raise ValueError(
                         f"unexpected message {codec.message_name(frame.type)}"

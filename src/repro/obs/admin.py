@@ -26,6 +26,12 @@ operational routes a scraper/orchestrator expects:
 - ``GET /snapshot`` — the full JSON operational state: metrics registry
   snapshot, per-shard queue depths, health, and the per-shard voxel-cache
   ``stats_dict()`` (hit ratios, residency, evictions).
+- ``GET /tenants`` — the tenant fleet (see ``docs/tenancy.md``): one
+  entry per tenant with lifecycle state, quota configuration, served /
+  rejected counts, and change-log cursors.  ``200`` with an empty fleet
+  when no :class:`~repro.tenancy.TenantRegistry` is mounted; ``503``
+  once the admin server is closing (a registry mid-eviction must not be
+  walked by a scraper).
 
 Typical use::
 
@@ -134,11 +140,33 @@ class _AdminHandler(BaseHTTPRequestHandler):
                     admin.service.stats_dict(), indent=2, default=str
                 ).encode() + b"\n"
                 self._reply(200, "application/json", body)
+            elif route == "/tenants":
+                if admin.closed:
+                    # A request already in flight when close() lands must
+                    # not walk a registry that may be mid-eviction.
+                    body = b'{"error": "admin server closing"}\n'
+                    self._reply(503, "application/json", body)
+                else:
+                    registry = getattr(
+                        admin.service, "tenant_registry", None
+                    )
+                    if registry is None:
+                        payload: Dict[str, object] = {
+                            "enabled": False,
+                            "tenants": {},
+                        }
+                    else:
+                        payload = registry.tenants_dict()
+                    body = json.dumps(
+                        payload, indent=2, default=str
+                    ).encode() + b"\n"
+                    self._reply(200, "application/json", body)
             else:
                 self._reply(
                     404,
                     "text/plain",
-                    b"routes: /metrics /healthz /readyz /slo /snapshot\n",
+                    b"routes: /metrics /healthz /readyz /slo /snapshot"
+                    b" /tenants\n",
                 )
         except BrokenPipeError:  # client went away mid-reply
             pass
@@ -169,6 +197,11 @@ class AdminServer:
             front before exposing it wider).
         port: TCP port; ``0`` picks an ephemeral one (see :attr:`port`).
         namespace: metric-name prefix in the Prometheus text.
+        start: start serving immediately (the default).  Pass ``False``
+            to bind the socket but defer :meth:`start` — and note that
+            :meth:`close` stays safe on a server whose ``serve_forever``
+            never ran (``shutdown()`` would otherwise block forever
+            waiting for a loop that never started).
 
     The listener starts in the constructor; requests are handled on
     daemon threads, so an abandoned server never blocks interpreter exit.
@@ -180,18 +213,36 @@ class AdminServer:
         host: str = "127.0.0.1",
         port: int = 0,
         namespace: str = "repro",
+        start: bool = True,
     ) -> None:
         self.service = service
         self.namespace = namespace
         self._httpd = ThreadingHTTPServer((host, port), _AdminHandler)
         self._httpd.daemon_threads = True
         self._httpd.admin = self  # type: ignore[attr-defined]
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._serving = False
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-admin",
             daemon=True,
         )
-        self._thread.start()
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        """Enter the serve loop (idempotent; no-op after :meth:`close`)."""
+        with self._close_lock:
+            if self._closed or self._serving:
+                return
+            self._serving = True
+            self._thread.start()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun (requests get 503s)."""
+        return self._closed
 
     @property
     def host(self) -> str:
@@ -207,10 +258,27 @@ class AdminServer:
         return f"http://{self.host}:{self.port}"
 
     def close(self) -> None:
-        """Stop accepting requests and release the socket.  Idempotent."""
-        self._httpd.shutdown()
+        """Stop accepting requests and release the socket.  Idempotent.
+
+        Safe to call twice (the second call returns immediately), safe
+        concurrently (one caller tears down, the rest return), safe with
+        a request in flight (handlers run on daemon threads and finish
+        against their already-accepted connection), and safe when
+        ``serve_forever`` never ran (``shutdown()`` is skipped — calling
+        it would block forever on the loop's never-set exit event).
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            serving = self._serving
+        if serving:
+            # shutdown() waits for serve_forever to exit its poll loop;
+            # only valid when that loop is (or will be) running.
+            self._httpd.shutdown()
         self._httpd.server_close()
-        self._thread.join(timeout=5.0)
+        if serving:
+            self._thread.join(timeout=5.0)
 
     def __enter__(self) -> "AdminServer":
         return self

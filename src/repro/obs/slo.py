@@ -36,6 +36,7 @@ the human view from the same numbers.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -412,6 +413,15 @@ def latency_waterfall(
 
     e2e = window_for(_LATENCY_HISTOGRAM)
     percentile = e2e.percentile(fraction)
+    # The windowed percentile is honest about saturation now: mass above
+    # the last finite bucket bound yields ``inf``.  A waterfall of
+    # infinities decomposes into nothing useful, so budget against the
+    # best finite stand-in (top bound or the exact window mean, whichever
+    # is larger) and flag the saturation explicitly.
+    saturated = math.isinf(percentile)
+    if saturated:
+        top_bound = e2e.bounds[-1] if e2e.bounds else 0.0
+        percentile = max(top_bound, e2e.mean)
     raw = {
         stage: window_for(histogram)
         for stage, histogram in WATERFALL_STAGES
@@ -438,6 +448,7 @@ def latency_waterfall(
     return {
         "percentile": fraction,
         "e2e_seconds": percentile,
+        "e2e_saturated": saturated,
         "e2e_count": e2e.count,
         "stage_budgets_seconds": budgets,
         "stage_shares": shares,

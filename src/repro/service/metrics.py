@@ -187,14 +187,33 @@ class HistogramWindow:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    @property
+    def overflow(self) -> int:
+        """Windowed values above the last finite bound (the +Inf bucket).
+
+        These are in ``count`` but in no finite bucket; any percentile
+        whose rank lands here is unbounded, not ``bounds[-1]``.
+        """
+        return max(0, self.count - sum(self.bucket_counts))
+
+    @property
+    def saturated(self) -> bool:
+        """True when the window holds values beyond the last finite bound."""
+        return self.overflow > 0
+
     def fraction_le(self, threshold: float) -> float:
         """Fraction of windowed values ``<= threshold``.
 
         Linear-interpolates within the bucket containing ``threshold``;
         an empty window returns 1.0 (no events means no bad events — the
-        SLI convention for idle windows).
+        SLI convention for idle windows).  Mass above the last finite
+        bound counts as ``> threshold`` for every finite threshold (the
+        conservative reading — those values are known only to be large),
+        and as covered for ``threshold = inf``.
         """
         if self.count <= 0:
+            return 1.0
+        if threshold == float("inf"):
             return 1.0
         covered = 0.0
         lower = 0.0
@@ -211,15 +230,20 @@ class HistogramWindow:
     def percentile(self, fraction: float) -> float:
         """Bucket-interpolated percentile, ``fraction`` in [0, 1].
 
-        Values beyond the last finite bound clamp to that bound (the
-        same saturation Prometheus applies to the ``+Inf`` bucket);
-        0.0 when the window is empty.
+        Mass above the last finite bound lives in an explicit ``+Inf``
+        bucket: a rank that lands there returns ``inf`` rather than a
+        fake finite ``bounds[-1]`` (a burning p99 must not read as
+        exactly the top bound forever).  Check :attr:`saturated` /
+        :attr:`overflow` to distinguish "p99 is unbounded" from "p99 is
+        at the top bound".  Returns 0.0 when the window is empty.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if self.count <= 0:
             return 0.0
         rank = fraction * self.count
+        if rank > sum(self.bucket_counts):
+            return float("inf")
         running = 0
         lower = 0.0
         for bound, bucket in zip(self.bounds, self.bucket_counts):
@@ -258,7 +282,13 @@ class HistogramState:
         self.sum = total
 
     def since(self, earlier: Optional["HistogramState"]) -> HistogramWindow:
-        """The exact distribution recorded after ``earlier`` (reset-safe)."""
+        """The exact distribution recorded after ``earlier`` (reset-safe).
+
+        Resets are detected from the *counts only* (count went backwards
+        or the bucket layout changed); the sum delta passes through
+        unclamped, because negative-valued samples legitimately shrink
+        the sum and clamping them at zero would corrupt the window mean.
+        """
         if (
             earlier is None
             or earlier.bounds != self.bounds
@@ -275,7 +305,7 @@ class HistogramState:
             self.bounds,
             counts,
             self.count - earlier.count,
-            max(0.0, self.sum - earlier.sum),
+            self.sum - earlier.sum,
         )
 
 
@@ -329,7 +359,12 @@ class Histogram:
                 self._since_kept = 0
                 self._samples.append(value)
                 if len(self._samples) >= self._max_samples:
-                    self._samples = self._samples[::2]
+                    # Keep the *odd* indices: the retained samples are then
+                    # spaced exactly 2x the old stride apart ending at the
+                    # just-appended value, so thinning stays uniform and the
+                    # observed tail survives.  (``[::2]`` would pin index 0
+                    # forever and immediately drop the newest sample.)
+                    self._samples = self._samples[1::2]
                     self._stride *= 2
 
     @property

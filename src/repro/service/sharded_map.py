@@ -122,6 +122,12 @@ class ShardedMap:
         self.shards: List[OctoCacheMap] = [
             self.make_shard_pipeline() for _ in range(num_shards)
         ]
+        #: Tenant-slot pipelines, keyed ``(shard_id, tenant)`` with
+        #: ``tenant >= 1`` (slot 0 is the default map in :attr:`shards`).
+        #: Created lazily under the shard lock; the tenant layer places
+        #: each tenant's voxels with its own salted router, so slices
+        #: arriving here are already partitioned per tenant.
+        self._tenant_shards: Dict[Tuple[int, int], OctoCacheMap] = {}
         self._locks: List[threading.RLock] = [
             threading.RLock() for _ in range(num_shards)
         ]
@@ -157,7 +163,9 @@ class ShardedMap:
             kernel=self.kernel,
         )
 
-    def replace_shard(self, shard_id: int, pipeline: OctoCacheMap) -> None:
+    def replace_shard(
+        self, shard_id: int, pipeline: OctoCacheMap, tenant: int = 0
+    ) -> None:
         """Swap in a rebuilt shard pipeline (under the shard lock).
 
         Until this call the old pipeline keeps serving queries — stale
@@ -165,13 +173,44 @@ class ShardedMap:
         off-lock and swaps atomically at the end.
         """
         with self._locks[shard_id]:
-            self.shards[shard_id] = pipeline
+            if tenant == 0:
+                self.shards[shard_id] = pipeline
+            else:
+                self._tenant_shards[(shard_id, tenant)] = pipeline
+
+    def _shard_pipeline(self, shard_id: int, tenant: int) -> OctoCacheMap:
+        """The pipeline for one ``(shard, tenant)`` slot (lazily created).
+
+        Must be called under ``self._locks[shard_id]``.
+        """
+        if tenant == 0:
+            return self.shards[shard_id]
+        slot = (shard_id, tenant)
+        pipeline = self._tenant_shards.get(slot)
+        if pipeline is None:
+            pipeline = self.make_shard_pipeline()
+            self._tenant_shards[slot] = pipeline
+        return pipeline
+
+    def drop_tenant(self, tenant: int) -> None:
+        """Discard every shard slice owned by ``tenant``.
+
+        The tenant layer persists the slices first (evict = persist +
+        drop); this just frees the memory.  Slot 0 — the default map —
+        cannot be dropped.
+        """
+        if tenant == 0:
+            raise ValueError("tenant slot 0 (the default map) cannot be dropped")
+        for shard_id in range(self.num_shards):
+            with self._locks[shard_id]:
+                self._tenant_shards.pop((shard_id, tenant), None)
 
     def restore_shard(
         self,
         shard_id: int,
         checkpoint: Optional[ShardCheckpoint],
         tail: Sequence[Sequence[Tuple[VoxelKey, bool]]],
+        tenant: int = 0,
     ) -> None:
         """Rebuild one shard exactly from a checkpoint + journal tail.
 
@@ -180,10 +219,11 @@ class ShardedMap:
         same method by shipping a ``RESTORE`` command to the worker
         process).  The rebuild runs off-lock — the old pipeline keeps
         serving stale-but-consistent queries — and the replacement is
-        swapped in atomically.
+        swapped in atomically.  With ``tenant != 0`` the rebuilt
+        pipeline lands in that tenant's slot instead of the default map.
         """
         pipeline = restore_pipeline(self.make_shard_pipeline, checkpoint, tail)
-        self.replace_shard(shard_id, pipeline)
+        self.replace_shard(shard_id, pipeline, tenant=tenant)
 
     # ------------------------------------------------------------------
     # Update path.
@@ -233,13 +273,17 @@ class ShardedMap:
         return record
 
     def apply_to_shard(
-        self, shard_id: int, observations: List[Tuple[VoxelKey, bool]]
+        self,
+        shard_id: int,
+        observations: List[Tuple[VoxelKey, bool]],
+        tenant: int = 0,
     ) -> float:
         """Run one shard's cache-insert → evict → octree-update cycle.
 
         Returns the shard's busy seconds for the slice.  Takes the shard
         lock, so ingestion workers and queriers serialise per shard while
-        different shards proceed in parallel.
+        different shards proceed in parallel.  ``tenant != 0`` applies
+        the slice to that tenant's pipeline on the same shard lock.
         """
         if self.fault_plan.check("octree.update", shard=shard_id) == "drop":
             return 0.0
@@ -253,13 +297,33 @@ class ShardedMap:
             with self._locks[shard_id]:
                 # Resolve the pipeline under the lock: recovery may have
                 # swapped in a rebuilt one since the caller routed here.
-                shard = self.shards[shard_id]
+                shard = self._shard_pipeline(shard_id, tenant)
                 batch_record: BatchRecord = shard.insert_batch(batch)
         return shard.record_busy_seconds(batch_record)
 
+    def query_keys_in_shard(
+        self,
+        shard_id: int,
+        keys: Sequence[VoxelKey],
+        tenant: int = 0,
+    ) -> List[Optional[float]]:
+        """Log-odds for pre-routed keys against one shard slot.
+
+        The tenant layer routes with per-tenant salted routers, so it
+        pre-partitions keys itself and reads each partition through this
+        entry point (the default-router :meth:`query_key` would route a
+        tenant's key to the wrong shard).
+        """
+        with self._locks[shard_id]:
+            shard = self._shard_pipeline(shard_id, tenant)
+            return [shard.query_key(key) for key in keys]
+
     def finalize(self) -> None:
-        """Flush every shard cache into its octree."""
+        """Flush every shard cache into its octree (tenant slots too)."""
         for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                shard.finalize()
+        for (shard_id, _tenant), shard in list(self._tenant_shards.items()):
             with self._locks[shard_id]:
                 shard.finalize()
 
@@ -392,31 +456,34 @@ class ShardedMap:
     # Global snapshot export.
     # ------------------------------------------------------------------
 
-    def shard_snapshot_tree(self, shard_id: int) -> OccupancyOctree:
-        """One shard's authoritative tree: octree + cache overlay.
+    def shard_snapshot_tree(
+        self, shard_id: int, tenant: int = 0
+    ) -> OccupancyOctree:
+        """One shard slot's authoritative tree: octree + cache overlay.
 
         This is the per-shard slice of :meth:`snapshot` — the exact
         accumulated values the shard would answer queries with right
         now — and the payload crash-recovery checkpoints serialise.
+        ``tenant != 0`` exports that tenant's slice of the shard.
         """
         tree = OccupancyOctree(
             resolution=self.resolution, depth=self.depth, params=self.params
         )
         with self._locks[shard_id]:
-            shard = self.shards[shard_id]
+            shard = self._shard_pipeline(shard_id, tenant)
             merge_tree(tree, shard.octree, strategy="overwrite")
             for key, value in shard.cache.iter_cells():
                 tree.set_leaf(key, value)
         return tree
 
-    def shard_snapshot_blob(self, shard_id: int) -> bytes:
-        """One shard's authoritative tree as serialize-v2 bytes.
+    def shard_snapshot_blob(self, shard_id: int, tenant: int = 0) -> bytes:
+        """One shard slot's authoritative tree as serialize-v2 bytes.
 
         The checkpoint payload :class:`CheckpointStore` stores verbatim
         (``write_snapshot_blob``); the process backend answers this from
         the worker process without an extra decode/encode round trip.
         """
-        return tree_to_bytes(self.shard_snapshot_tree(shard_id))
+        return tree_to_bytes(self.shard_snapshot_tree(shard_id, tenant=tenant))
 
     def snapshot(self) -> OccupancyOctree:
         """Export one octree holding the whole map's current answers.

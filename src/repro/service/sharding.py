@@ -37,6 +37,15 @@ class ShardRouter:
             still spans few enough blocks that shard caches keep their
             locality.  Fewer levels = coarser blocks (more per-shard
             locality, worse balance on concentrated scenes).
+        salt: a 64-bit value XORed into the prefix before the mix.
+            Distinct salts give distinct-but-deterministic placements of
+            the same spatial blocks — this is how the tenant layer
+            consistent-hashes ``(tenant_id, voxel_key)`` onto the shared
+            shard pool: each tenant routes with
+            ``salt = stable_hash(tenant_id)``, so identically shaped
+            maps from different tenants do not all pile their hot
+            blocks onto the same shards.  ``salt=0`` (default) is the
+            single-tenant layout, unchanged.
 
     Raises:
         ValueError: when the tree is too shallow to give the modulo room
@@ -52,6 +61,7 @@ class ShardRouter:
         num_shards: int,
         depth: int,
         prefix_levels: "int | None" = None,
+        salt: int = 0,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -85,6 +95,7 @@ class ShardRouter:
         self.num_shards = num_shards
         self.depth = depth
         self.prefix_levels = prefix_levels
+        self.salt = salt & 0xFFFFFFFFFFFFFFFF
         self._shift = 3 * (depth - prefix_levels)
 
     def prefix_of(self, key: VoxelKey) -> int:
@@ -105,9 +116,13 @@ class ShardRouter:
         to single axes (a flat indoor scene barely varies its z bits, so
         ``prefix % n`` would collapse onto a fraction of the shards),
         whereas the mixed high bits depend on every axis.  Same prefix →
-        same shard still holds, which is all disjointness needs.
+        same shard still holds, which is all disjointness needs.  The
+        per-router ``salt`` lands before the multiply, so it perturbs
+        every output bit rather than just shifting the modulo.
         """
-        mixed = (self.prefix_of(key) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        mixed = (
+            (self.prefix_of(key) ^ self.salt) * 0x9E3779B97F4A7C15
+        ) & 0xFFFFFFFFFFFFFFFF
         return (mixed >> 32) % self.num_shards
 
     def partition(

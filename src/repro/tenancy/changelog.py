@@ -1,0 +1,162 @@
+"""Streaming map-diff subscriptions: a bounded per-tenant change log.
+
+Fleet consumers (a teleop viewer, a shared-world aggregator) want *what
+changed since I last looked*, not a full snapshot per poll.  Each tenant
+keeps one :class:`ChangeLog` — a bounded ring of leaf deltas
+``(cursor, voxel_key, log_odds)`` appended by the shard dispatchers as
+batches are applied — and any number of :class:`Subscription` cursors
+reading from it.
+
+Cursors are monotone: ``since(cursor)`` returns every delta recorded
+after it plus the new cursor.  The ring is bounded, so a subscriber that
+falls further behind than ``capacity`` deltas is told so explicitly
+(``truncated=True`` — resync from a snapshot, then resume streaming)
+instead of silently missing updates.
+
+Delta capture costs one keyed read per written voxel, so the registry
+only records deltas while the tenant has at least one live subscriber —
+an unobserved tenant pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional, Tuple
+
+from repro.octree.key import VoxelKey
+
+__all__ = ["ChangeLog", "MapDelta", "Subscription"]
+
+
+class MapDelta(NamedTuple):
+    """One observed leaf change.
+
+    ``value`` is the voxel's accumulated log-odds *after* the batch that
+    touched it was applied (``None`` would mean unknown, which an apply
+    never produces).  ``cursor`` is the delta's position in the tenant's
+    change history — strictly increasing, never reused.
+    """
+
+    cursor: int
+    key: VoxelKey
+    value: float
+
+
+class ChangeLog:
+    """A bounded ring of :class:`MapDelta` with monotone read cursors."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: Deque[MapDelta] = deque(maxlen=capacity)
+        self._next_cursor = 1
+        self._subscribers = 0
+
+    # ------------------------------------------------------------------
+    # Writer side (shard dispatchers).
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while at least one subscription is open.
+
+        The registry checks this before paying the post-apply read that
+        delta capture costs.
+        """
+        with self._lock:
+            return self._subscribers > 0
+
+    def record(self, changes: List[Tuple[VoxelKey, float]]) -> None:
+        """Append one applied batch's ``(key, post-value)`` deltas."""
+        with self._lock:
+            for key, value in changes:
+                self._ring.append(MapDelta(self._next_cursor, key, value))
+                self._next_cursor += 1
+
+    # ------------------------------------------------------------------
+    # Reader side (subscriptions).
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        """The cursor a brand-new subscriber starts from (sees only
+        deltas recorded after this call)."""
+        with self._lock:
+            return self._next_cursor - 1
+
+    def since(self, cursor: int) -> Tuple[List[MapDelta], int, bool]:
+        """Deltas recorded after ``cursor``: ``(deltas, new_cursor, truncated)``.
+
+        ``truncated=True`` means the ring already dropped deltas the
+        cursor had not seen — the subscriber must resync from a snapshot
+        before trusting the stream again.
+        """
+        with self._lock:
+            oldest = self._ring[0].cursor if self._ring else self._next_cursor
+            truncated = cursor < oldest - 1
+            deltas = [d for d in self._ring if d.cursor > cursor]
+            new_cursor = deltas[-1].cursor if deltas else max(cursor, oldest - 1)
+            return deltas, new_cursor, truncated
+
+    def subscribe(self) -> "Subscription":
+        with self._lock:
+            self._subscribers += 1
+            start = self._next_cursor - 1
+        return Subscription(self, start)
+
+    def _unsubscribe(self) -> None:
+        with self._lock:
+            self._subscribers = max(0, self._subscribers - 1)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "subscribers": self._subscribers,
+                "buffered": len(self._ring),
+                "capacity": self.capacity,
+                "head": self._next_cursor - 1,
+            }
+
+
+class Subscription:
+    """One consumer's cursor into a tenant's change log.
+
+    Created by :meth:`ChangeLog.subscribe` (or
+    ``TenantRegistry.subscribe``); use as a context manager or call
+    :meth:`close` so the tenant stops paying for delta capture once
+    nobody is listening.
+    """
+
+    def __init__(self, log: ChangeLog, cursor: int) -> None:
+        self._log: Optional[ChangeLog] = log
+        self.cursor = cursor
+        self.truncated = False
+
+    def poll(self) -> List[MapDelta]:
+        """Deltas since the last poll; advances the cursor.
+
+        Sets :attr:`truncated` when the log overflowed past this
+        cursor — the caller should resync from a snapshot and may then
+        keep polling (the flag stays up until read and reset by the
+        caller).
+        """
+        if self._log is None:
+            raise RuntimeError("subscription is closed")
+        deltas, self.cursor, truncated = self._log.since(self.cursor)
+        if truncated:
+            self.truncated = True
+        return deltas
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log._unsubscribe()
+            self._log = None
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

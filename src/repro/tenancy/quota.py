@@ -1,0 +1,122 @@
+"""Per-tenant admission control: token buckets and quota shapes.
+
+A tenant's quota has two axes, matching the two ways one tenant can
+crowd out another on a shared shard pool:
+
+- **queue slots** bound how much *accepted-but-unapplied* work a tenant
+  may have in flight (one slot per enqueued shard slice), mirroring the
+  service's own per-shard capacity reservation; and
+- **scans per second** bound the tenant's *admission rate* with a token
+  bucket, so a tenant replaying a log at memory speed is throttled to
+  its contracted rate instead of monopolising the dispatchers.
+
+Both checks happen at submit time and both are all-or-nothing: a
+rejected submission leaves the tenant's map byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TenantQuota", "TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate <= 0`` disables the bucket (every acquire succeeds) — the
+    "unlimited" quota.  The clock is injectable so tests can drive the
+    refill deterministically.
+
+    Thread-safe; ``try_acquire`` never blocks (admission control rejects,
+    it does not queue — queueing is the slots semaphore's job).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate > 0 and burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now; never blocks."""
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens + 1e-9 >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (after refill)."""
+        if self.rate <= 0:
+            return float("inf")
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission-control contract.
+
+    Attributes:
+        queue_slots: max enqueued-but-unapplied shard slices the tenant
+            may hold at once (the fleet analogue of the service's
+            ``queue_capacity``).
+        scans_per_sec: sustained scan admission rate; ``0`` means
+            unlimited.
+        burst: token-bucket capacity — scans the tenant may submit
+            back-to-back before the rate limit bites (defaults to the
+            per-second rate, minimum 1).
+    """
+
+    queue_slots: int = 16
+    scans_per_sec: float = 0.0
+    burst: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.queue_slots < 1:
+            raise ValueError(
+                f"queue_slots must be >= 1, got {self.queue_slots}"
+            )
+        if self.scans_per_sec < 0:
+            raise ValueError(
+                f"scans_per_sec must be >= 0, got {self.scans_per_sec}"
+            )
+        if self.burst < 0:
+            raise ValueError(f"burst must be >= 0, got {self.burst}")
+
+    def make_bucket(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> TokenBucket:
+        burst = self.burst or max(1.0, self.scans_per_sec)
+        return TokenBucket(self.scans_per_sec, burst, clock=clock)
+
+    def to_dict(self) -> dict:
+        return {
+            "queue_slots": self.queue_slots,
+            "scans_per_sec": self.scans_per_sec,
+            "burst": self.burst or max(1.0, self.scans_per_sec),
+        }

@@ -1,0 +1,688 @@
+"""``TenantRegistry``: many occupancy maps on one shared shard pool.
+
+A fleet operator runs *one* OctoCache service and hosts every robot's
+map in it.  The registry multiplexes tenants onto the service's existing
+shards rather than dedicating shards per tenant:
+
+- **Placement** — each tenant routes with its own salted
+  :class:`~repro.service.sharding.ShardRouter`
+  (``salt = tenant_salt(name)``), so ``(tenant, voxel)`` is
+  consistent-hashed onto the shared pool and identically shaped maps
+  from different robots do not pile their hot blocks onto the same
+  shards.  On a shard, each tenant owns a private ``(shard, tenant)``
+  pipeline slot (see :meth:`ShardedMap.apply_to_shard` /
+  :meth:`ProcessShardedMap.apply_to_shard`), so tenants never share
+  voxel state.
+- **Fairness** — one dispatcher thread per shard drains per-tenant
+  deques round-robin (deficit round robin with a one-slice quantum): a
+  tenant replaying a log at memory speed gets one slice per turn, same
+  as a tenant trickling live scans.
+- **Quotas** — submissions pass a per-tenant token bucket (scans/s) and
+  an all-or-nothing queue-slot reservation (one slot per target shard
+  slice); a rejected submission leaves the tenant's map byte-identical.
+- **Lifecycle** — every accepted slice is journaled into the tenant's
+  own :class:`~repro.resilience.recovery.CheckpointStore` *before* it is
+  applied; ``persist`` snapshots each shard slice (CRC'd serialize-v2),
+  ``evict`` persists then frees the tenant's memory, and ``restore``
+  rebuilds the map bit-exactly from snapshot + journal-tail replay —
+  the same recovery machinery shard crashes already use, pointed at a
+  tenant.  On the process backend the registry also installs itself as
+  ``map.tenant_recovery_source``, so a SIGKILLed worker process lazily
+  rebuilds every tenant slot it hosted from the tenant journals.
+- **Streaming** — subscribers get leaf deltas since their cursor
+  (:mod:`repro.tenancy.changelog`); capture costs one keyed read per
+  written voxel and is skipped while a tenant has no subscribers.
+
+Per-tenant counters land in the service's own
+:class:`~repro.service.metrics.MetricsRegistry` under
+``tenant.<what>.<name>`` (the per-shard ``queue_depth.shard<i>``
+convention, extended to tenants), so ``/metrics`` exports them with no
+exposition changes; ``/tenants`` (:mod:`repro.obs.admin`) serves
+:meth:`TenantRegistry.tenants_dict`.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.octree.key import VoxelKey
+from repro.octree.merge import merge_tree
+from repro.octree.tree import OccupancyOctree
+from repro.resilience.recovery import CheckpointStore
+from repro.service.sharding import ShardRouter
+from repro.tenancy.changelog import ChangeLog, Subscription
+from repro.tenancy.quota import TenantQuota
+
+__all__ = [
+    "Tenant",
+    "TenantQuotaExceeded",
+    "TenantReceipt",
+    "TenantRegistry",
+    "TenantState",
+    "tenant_salt",
+]
+
+
+def tenant_salt(name: str) -> int:
+    """A stable 64-bit routing salt for one tenant id.
+
+    blake2b keyed by nothing and truncated to 8 bytes: stable across
+    processes and Python versions (unlike ``hash()``), so an evicted
+    tenant restored on a fresh service lands its voxels on the same
+    shards it journaled them for.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class TenantState(str, enum.Enum):
+    """Lifecycle of one tenant.
+
+    ``ACTIVE`` accepts scans and answers queries; ``EVICTED`` holds only
+    the durable snapshot + journal (no shard memory) until
+    :meth:`TenantRegistry.restore` rebuilds it bit-exactly.
+    """
+
+    ACTIVE = "active"
+    EVICTED = "evicted"
+
+
+class TenantQuotaExceeded(RuntimeError):
+    """A ``must_accept`` submission was rejected by the tenant's quota.
+
+    All-or-nothing: when this raises, nothing was enqueued and the
+    tenant's map is untouched.
+    """
+
+
+@dataclass(frozen=True)
+class TenantReceipt:
+    """What happened to one tenant-scoped submission.
+
+    ``reason`` is empty on acceptance, else ``"rate"`` (token bucket) or
+    ``"slots"`` (queue-slot quota) — the axis that rejected it.
+    """
+
+    observations: int
+    enqueued: int
+    rejected: int
+    reason: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.rejected == 0
+
+
+class _SlotPool:
+    """A counted pool supporting atomic multi-slot reservation.
+
+    ``threading.Semaphore`` cannot reserve N slots atomically, and
+    all-or-nothing admission needs exactly that: either every target
+    shard slice gets a slot or none does.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._free = capacity
+        self._lock = threading.Lock()
+
+    def try_reserve(self, count: int) -> bool:
+        with self._lock:
+            if self._free >= count:
+                self._free -= count
+                return True
+            return False
+
+    def release(self, count: int = 1) -> None:
+        with self._lock:
+            self._free = min(self.capacity, self._free + count)
+
+    @property
+    def free(self) -> int:
+        with self._lock:
+            return self._free
+
+
+class Tenant:
+    """One hosted map: routing, durability, quota, and accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        slot: int,
+        router: ShardRouter,
+        store: CheckpointStore,
+        quota: TenantQuota,
+        changelog_capacity: int,
+    ) -> None:
+        self.name = name
+        self.slot = slot
+        self.router = router
+        self.store = store
+        self.quota = quota
+        self.bucket = quota.make_bucket()
+        self.slots = _SlotPool(quota.queue_slots)
+        self.state = TenantState.ACTIVE
+        self.changelog = ChangeLog(changelog_capacity)
+        #: Enqueued-but-unapplied shard slices (guarded by the registry's
+        #: flush condition variable).
+        self.outstanding = 0
+        self.submitted_observations = 0
+        self.served_observations = 0
+        self.rejected_observations = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        num_shards = self.router.num_shards
+        return {
+            "slot": self.slot,
+            "state": self.state.value,
+            "submitted_observations": self.submitted_observations,
+            "served_observations": self.served_observations,
+            "rejected_observations": self.rejected_observations,
+            "pending_slices": self.outstanding,
+            "quota": self.quota.to_dict(),
+            "queue_slots_free": self.slots.free,
+            "changelog": self.changelog.stats(),
+            "journal_entries": sum(
+                self.store.journal_length(shard) for shard in range(num_shards)
+            ),
+        }
+
+
+class TenantRegistry:
+    """Hosts many tenants' maps on one service's shared shard pool.
+
+    Args:
+        service: a running
+            :class:`~repro.service.server.OccupancyMapService`; the
+            registry shares its map backend (both worker backends work),
+            its metrics registry, and — once constructed — announces
+            itself as ``service.tenant_registry`` so the admin server's
+            ``/tenants`` route finds it.
+        default_quota: quota for tenants created without an explicit one.
+        changelog_capacity: per-tenant change-log ring size (deltas).
+        checkpoint_dir: when set, tenant snapshots are persisted under
+            ``<dir>/tenant-<slot>/shard-<i>.oct``.
+
+    Typical use::
+
+        registry = TenantRegistry(service)
+        registry.create("robot-7")
+        registry.submit_observations("robot-7", batch.observations)
+        registry.flush("robot-7")
+        registry.evict("robot-7")      # persist + free shard memory
+        registry.restore("robot-7")    # bit-exact rebuild
+    """
+
+    def __init__(
+        self,
+        service,
+        default_quota: Optional[TenantQuota] = None,
+        changelog_capacity: int = 65536,
+        checkpoint_dir: Optional[str] = None,
+    ) -> None:
+        self.service = service
+        self.map = service.map
+        self.metrics = service.metrics
+        self.num_shards = service.config.num_shards
+        self.default_quota = default_quota or TenantQuota()
+        self.changelog_capacity = changelog_capacity
+        self.checkpoint_dir = checkpoint_dir
+        self._tenants: Dict[str, Tenant] = {}
+        self._by_slot: Dict[int, Tenant] = {}
+        self._next_slot = 1
+        self._lock = threading.RLock()
+        self._cv = threading.Condition()
+        self._errors: List[BaseException] = []
+        self._stopped = False
+        self._closed = False
+        # Per-shard dispatch state: a deque of slices per (tenant) slot,
+        # and an "active ring" of slots with pending work.  The ring is
+        # the round-robin: dispatchers take one slice per slot per turn.
+        self._shard_cvs = [threading.Condition() for _ in range(self.num_shards)]
+        self._pending: List[Dict[int, Deque[List[Tuple[VoxelKey, bool]]]]] = [
+            {} for _ in range(self.num_shards)
+        ]
+        self._rings: List[Deque[int]] = [deque() for _ in range(self.num_shards)]
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                args=(shard_id,),
+                name=f"octocache-tenant-shard-{shard_id}",
+                daemon=True,
+            )
+            for shard_id in range(self.num_shards)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+        # Process backend: a SIGKILLed worker lazily rebuilds the tenant
+        # slots it hosted from the tenant journals, exactly like the
+        # default map's sibling-shard restore.
+        if hasattr(self.map, "tenant_recovery_source"):
+            self.map.tenant_recovery_source = self._tenant_recovery_state
+        service.tenant_registry = self
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def create(
+        self, name: str, quota: Optional[TenantQuota] = None
+    ) -> Tenant:
+        """Admit a new tenant (fresh empty map, ACTIVE)."""
+        self._check_open()
+        with self._lock:
+            if name in self._tenants:
+                raise ValueError(f"tenant {name!r} already exists")
+            slot = self._next_slot
+            self._next_slot += 1
+            directory = None
+            if self.checkpoint_dir is not None:
+                import os
+
+                directory = os.path.join(self.checkpoint_dir, f"tenant-{slot}")
+            tenant = Tenant(
+                name=name,
+                slot=slot,
+                router=ShardRouter(
+                    self.num_shards,
+                    self.service.config.depth,
+                    salt=tenant_salt(name),
+                ),
+                store=CheckpointStore(self.num_shards, directory=directory),
+                quota=quota or self.default_quota,
+                changelog_capacity=self.changelog_capacity,
+            )
+            self._tenants[name] = tenant
+            self._by_slot[slot] = tenant
+        self.metrics.state(f"tenant_state.{name}", initial="active")
+        self.metrics.gauge("tenant.count").set(len(self._tenants))
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {name!r}")
+        return tenant
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def persist(self, name: str) -> int:
+        """Checkpoint every shard slice of one tenant; returns the number
+        of shards snapshotted.
+
+        Drains the tenant's pending slices first, so each snapshot
+        covers exactly the journal entries applied so far.  A shard
+        whose snapshot fails (e.g. its worker process just died) is
+        skipped — its previous checkpoint stays valid and recovery just
+        replays a longer journal tail, so ``persist`` degrades to
+        journal-only durability instead of failing the tenant.
+        """
+        tenant = self._require_active(name)
+        self.flush(name)
+        written = 0
+        for shard_id in range(self.num_shards):
+            upto = tenant.store.journal_length(shard_id)
+            try:
+                blob = self.map.shard_snapshot_blob(shard_id, tenant=tenant.slot)
+                tenant.store.write_snapshot_blob(shard_id, blob, upto)
+                written += 1
+            except Exception:
+                self.metrics.counter("tenant.persist_failures").inc()
+        self.metrics.counter(f"tenant.persists.{name}").inc()
+        return written
+
+    def evict(self, name: str) -> None:
+        """Persist one tenant, then free every shard slice it owns.
+
+        The evicted tenant keeps only its durable snapshot + journal;
+        :meth:`restore` rebuilds the exact map.  Queries and submissions
+        against an evicted tenant raise until then.
+        """
+        tenant = self._require_active(name)
+        self.persist(name)
+        tenant.state = TenantState.EVICTED
+        self.map.drop_tenant(tenant.slot)
+        self.metrics.state(f"tenant_state.{name}").set("evicted")
+        self.metrics.counter(f"tenant.evictions.{name}").inc()
+
+    def restore(self, name: str) -> None:
+        """Rebuild an evicted tenant bit-exactly from its checkpoints.
+
+        Per shard: latest snapshot + the journal tail it doesn't cover,
+        through the same :func:`restore_pipeline` replay shard-crash
+        recovery uses — so the restored map answers every query exactly
+        as it did at eviction.
+        """
+        tenant = self.get(name)
+        if tenant.state is TenantState.ACTIVE:
+            raise RuntimeError(f"tenant {name!r} is active; nothing to restore")
+        for shard_id in range(self.num_shards):
+            checkpoint, tail = tenant.store.recovery_state(shard_id)
+            if checkpoint is None and not tail:
+                continue
+            self.map.restore_shard(
+                shard_id, checkpoint, tail, tenant=tenant.slot
+            )
+        tenant.state = TenantState.ACTIVE
+        self.metrics.state(f"tenant_state.{name}").set("active")
+        self.metrics.counter(f"tenant.restores.{name}").inc()
+
+    def _tenant_recovery_state(self, slot: int, shard_id: int):
+        """``map.tenant_recovery_source`` hook (process backend): the
+        snapshot + journal tail that rebuilds one tenant's shard slice
+        after its worker process died."""
+        with self._lock:
+            tenant = self._by_slot.get(slot)
+        if tenant is None:
+            return None, []
+        return tenant.store.recovery_state(shard_id)
+
+    # ------------------------------------------------------------------
+    # Ingest path.
+    # ------------------------------------------------------------------
+
+    def submit_observations(
+        self,
+        name: str,
+        observations: Sequence[Tuple[VoxelKey, bool]],
+        must_accept: bool = False,
+    ) -> TenantReceipt:
+        """Admit one pre-traced scan into a tenant's map.
+
+        Admission is all-or-nothing per scan: one token from the
+        tenant's rate bucket, then one queue slot per non-empty target
+        shard slice reserved atomically.  Either everything is enqueued
+        or nothing is; with ``must_accept`` a rejection raises
+        :class:`TenantQuotaExceeded` instead of returning a receipt.
+        """
+        self._check_open()
+        tenant = self._require_active(name)
+        total = len(observations)
+        tenant.submitted_observations += total
+        self.metrics.counter(f"tenant.submitted.{name}").inc(total)
+        # The registry shares the service's ingest SLO surface: these
+        # are the same counters/histograms load-bench and /slo evaluate,
+        # so the knee detector works identically in fleet mode.
+        self.service.tracer.count("ingest.requests", category="service")
+        if not tenant.bucket.try_acquire(1.0):
+            return self._reject(tenant, total, "rate", must_accept)
+        parts = tenant.router.partition(observations)
+        targets = [
+            (shard_id, part) for shard_id, part in enumerate(parts) if part
+        ]
+        if not targets:
+            return TenantReceipt(observations=total, enqueued=0, rejected=0)
+        if not tenant.slots.try_reserve(len(targets)):
+            return self._reject(tenant, total, "slots", must_accept)
+        with self._cv:
+            tenant.outstanding += len(targets)
+        submitted_at = time.perf_counter()
+        for shard_id, part in targets:
+            with self._shard_cvs[shard_id]:
+                queue = self._pending[shard_id].get(tenant.slot)
+                if queue is None:
+                    queue = deque()
+                    self._pending[shard_id][tenant.slot] = queue
+                    self._rings[shard_id].append(tenant.slot)
+                queue.append((part, submitted_at))
+                self._shard_cvs[shard_id].notify()
+        self.metrics.gauge(f"tenant.pending.{name}").set(tenant.outstanding)
+        return TenantReceipt(observations=total, enqueued=total, rejected=0)
+
+    def _reject(
+        self, tenant: Tenant, total: int, reason: str, must_accept: bool
+    ) -> TenantReceipt:
+        tenant.rejected_observations += total
+        self.metrics.counter(f"tenant.rejected.{tenant.name}").inc(total)
+        self.metrics.counter(f"tenant.rejected_scans.{tenant.name}").inc()
+        self.service.tracer.count("ingest.rejected_batches", category="service")
+        if must_accept:
+            raise TenantQuotaExceeded(
+                f"tenant {tenant.name!r} quota rejected the scan "
+                f"({reason}); nothing was enqueued"
+            )
+        return TenantReceipt(
+            observations=total, enqueued=0, rejected=total, reason=reason
+        )
+
+    def _dispatch_loop(self, shard_id: int) -> None:
+        cv = self._shard_cvs[shard_id]
+        pending = self._pending[shard_id]
+        ring = self._rings[shard_id]
+        while True:
+            with cv:
+                while not ring and not self._stopped:
+                    cv.wait()
+                if not ring:
+                    return  # stopped and drained
+                slot = ring.popleft()
+                part, submitted_at = pending[slot].popleft()
+                if pending[slot]:
+                    ring.append(slot)  # one slice per turn: round robin
+                else:
+                    del pending[slot]
+            self._apply_slice(shard_id, slot, part, submitted_at)
+
+    def _apply_slice(
+        self,
+        shard_id: int,
+        slot: int,
+        part: List[Tuple[VoxelKey, bool]],
+        submitted_at: float,
+    ) -> None:
+        with self._lock:
+            tenant = self._by_slot.get(slot)
+        try:
+            if tenant is None or tenant.state is not TenantState.ACTIVE:
+                return
+            # Journal before applying — same invariant as the service's
+            # shard workers, so a crash mid-apply (or mid-evict) rebuilds
+            # the slice from the tenant journal.
+            tenant.store.append(shard_id, part)
+            self.map.apply_to_shard(shard_id, part, tenant=slot)
+            applied_at = time.perf_counter()
+            # Same span names the service's shard workers emit, so the
+            # fleet's end-to-end/freshness latency lands in the very
+            # histograms the SLO engine and load-bench evaluate.
+            for span_name in ("ingest.e2e", "ingest.freshness"):
+                self.service.tracer.record_span(
+                    span_name,
+                    "service",
+                    start=submitted_at,
+                    duration=max(0.0, applied_at - submitted_at),
+                    shard=shard_id,
+                    observations=len(part),
+                    tenant=tenant.name,
+                )
+            tenant.served_observations += len(part)
+            self.metrics.counter(f"tenant.served.{tenant.name}").inc(len(part))
+            if tenant.changelog.active:
+                self._capture_deltas(shard_id, tenant, part)
+        except BaseException as error:
+            with self._cv:
+                self._errors.append(error)
+        finally:
+            if tenant is not None:
+                tenant.slots.release(1)
+                with self._cv:
+                    tenant.outstanding -= 1
+                    self._cv.notify_all()
+                self.metrics.gauge(f"tenant.pending.{tenant.name}").set(
+                    tenant.outstanding
+                )
+            else:
+                with self._cv:
+                    self._cv.notify_all()
+
+    def _capture_deltas(
+        self,
+        shard_id: int,
+        tenant: Tenant,
+        part: List[Tuple[VoxelKey, bool]],
+    ) -> None:
+        """Record ``(key, post-apply value)`` for each voxel the slice
+        touched — the accumulated value a query would answer right now,
+        which is what subscribers replicate."""
+        keys: List[VoxelKey] = []
+        seen = set()
+        for key, _occupied in part:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        values = self.map.query_keys_in_shard(
+            shard_id, keys, tenant=tenant.slot
+        )
+        tenant.changelog.record(
+            [
+                (key, value)
+                for key, value in zip(keys, values)
+                if value is not None
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Query path and subscriptions.
+    # ------------------------------------------------------------------
+
+    def query_key(self, name: str, key: VoxelKey) -> Optional[float]:
+        """Log-odds occupancy of one voxel in one tenant's map."""
+        tenant = self._require_active(name)
+        shard_id = tenant.router.shard_of(key)
+        return self.map.query_keys_in_shard(
+            shard_id, [key], tenant=tenant.slot
+        )[0]
+
+    def query_keys(
+        self, name: str, keys: Sequence[VoxelKey]
+    ) -> List[Optional[float]]:
+        """Batch keyed query against one tenant's map (order preserved)."""
+        tenant = self._require_active(name)
+        parts: Dict[int, List[Tuple[int, VoxelKey]]] = {}
+        for index, key in enumerate(keys):
+            parts.setdefault(tenant.router.shard_of(key), []).append(
+                (index, key)
+            )
+        answers: List[Optional[float]] = [None] * len(keys)
+        for shard_id, indexed in parts.items():
+            values = self.map.query_keys_in_shard(
+                shard_id, [key for _i, key in indexed], tenant=tenant.slot
+            )
+            for (index, _key), value in zip(indexed, values):
+                answers[index] = value
+        return answers
+
+    def snapshot(self, name: str) -> OccupancyOctree:
+        """One tenant's whole map as a single octree (union of its
+        per-shard authoritative trees — disjoint by routing)."""
+        tenant = self._require_active(name)
+        tree = OccupancyOctree(
+            resolution=self.service.config.resolution,
+            depth=self.service.config.depth,
+            params=self.map.params,
+        )
+        for shard_id in range(self.num_shards):
+            merge_tree(
+                tree,
+                self.map.shard_snapshot_tree(shard_id, tenant=tenant.slot),
+                strategy="overwrite",
+            )
+        return tree
+
+    def subscribe(self, name: str) -> Subscription:
+        """Open a map-diff stream on one tenant (see ``changelog.py``).
+
+        Delta capture starts with the first subscription and stops with
+        the last close, so unobserved tenants pay nothing.
+        """
+        return self.get(name).changelog.subscribe()
+
+    # ------------------------------------------------------------------
+    # Barriers, introspection, shutdown.
+    # ------------------------------------------------------------------
+
+    def flush(self, name: Optional[str] = None) -> None:
+        """Wait until a tenant's (or every tenant's) slices are applied.
+
+        Raises the first dispatcher error, like the service's ``flush``.
+        """
+        with self._cv:
+            while not self._errors:
+                if name is None:
+                    with self._lock:
+                        tenants = list(self._tenants.values())
+                    busy = any(t.outstanding > 0 for t in tenants)
+                else:
+                    busy = self.get(name).outstanding > 0
+                if not busy:
+                    break
+                self._cv.wait()
+        self._raise_errors()
+
+    def _raise_errors(self) -> None:
+        with self._cv:
+            if not self._errors:
+                return
+            errors, self._errors = self._errors, []
+        raise RuntimeError(
+            f"{len(errors)} tenant dispatcher error(s); first: {errors[0]!r}"
+        ) from errors[0]
+
+    def tenants_dict(self) -> Dict[str, object]:
+        """JSON-able fleet state (the admin server's ``/tenants`` body)."""
+        with self._lock:
+            tenants = dict(self._tenants)
+        return {
+            "enabled": True,
+            "count": len(tenants),
+            "tenants": {
+                name: tenant.to_dict() for name, tenant in sorted(tenants.items())
+            },
+        }
+
+    def _require_active(self, name: str) -> Tenant:
+        tenant = self.get(name)
+        if tenant.state is not TenantState.ACTIVE:
+            raise RuntimeError(
+                f"tenant {name!r} is {tenant.state.value}; restore it first"
+            )
+        return tenant
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("tenant registry is closed")
+
+    def close(self) -> None:
+        """Drain pending slices, stop the dispatchers.  Idempotent.
+
+        Does not close the underlying service (the registry is a guest
+        on it) and does not evict tenants — close then reopen loses only
+        the in-memory maps of tenants never persisted.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stopped = True
+        for cv in self._shard_cvs:
+            with cv:
+                cv.notify_all()
+        for thread in self._dispatchers:
+            thread.join(timeout=10.0)
+        if getattr(self.service, "tenant_registry", None) is self:
+            self.service.tenant_registry = None
+
+    def __enter__(self) -> "TenantRegistry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

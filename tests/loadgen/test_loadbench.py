@@ -84,6 +84,49 @@ class TestRamp:
         assert report.capacity_scans_per_s > 0.0
 
 
+class TestFleetMode:
+    def test_tenant_ramp_records_fairness(self):
+        report = run_tiny(client_steps=(2, 4), tenants=2)
+        assert report.tenants == 2
+        for step in report.steps:
+            assert step.tenant_fairness is not None
+            assert step.tenant_fairness >= 1.0
+        assert report.tenant_fairness_ratio is not None
+        # Identical clients over identical tenants: near-perfect fairness.
+        assert report.tenant_fairness_ratio < 1.5
+
+    def test_fairness_skips_tenants_with_no_offered_load(self):
+        # 1 client over 2 tenants: only fleet-0 gets traffic, and the
+        # idle tenant must not read as starvation (ratio inf).
+        report = run_tiny(client_steps=(1,), tenants=2)
+        assert report.steps[0].tenant_fairness == pytest.approx(1.0)
+
+    def test_fleet_entry_carries_the_fairness_metric(self):
+        report = run_tiny(tenants=2)
+        entry = report.to_bench_entry()
+        assert entry["tenants"] == 2
+        assert set(entry["metrics"]) == {
+            "capacity_scans_per_s",
+            "ingest_p99_ms",
+            "tenant_fairness_ratio",
+        }
+        assert entry["metrics"]["tenant_fairness_ratio"]["direction"] == "lower"
+        json.dumps(entry)
+
+    def test_single_map_entry_shape_is_unchanged(self):
+        report = run_tiny()
+        entry = report.to_bench_entry()
+        assert "tenants" not in entry
+        assert set(entry["metrics"]) == {
+            "capacity_scans_per_s",
+            "ingest_p99_ms",
+        }
+
+    def test_validation_rejects_negative_tenants(self):
+        with pytest.raises(ValueError, match="tenants"):
+            run_tiny(tenants=-1)
+
+
 class TestReportShapes:
     def test_to_dict_carries_the_full_curve(self):
         report = run_tiny()

@@ -30,6 +30,19 @@ class TestFrames:
         )
         assert codec.decode_frame(data).parent_span == parent
 
+    def test_tenant_round_trip(self):
+        data = codec.encode_frame(codec.MSG_APPLY, 1, 2, b"obs", tenant=4242)
+        frame = codec.decode_frame(data)
+        assert frame.tenant == 4242
+        # Default (single-tenant) traffic rides slot 0.
+        assert codec.decode_frame(codec.encode_frame(codec.MSG_PING, 0, 1)).tenant == 0
+
+    def test_drop_tenant_frame_round_trip(self):
+        data = codec.encode_frame(codec.MSG_DROP_TENANT, 2, 9, tenant=7)
+        frame = codec.decode_frame(data)
+        assert frame.type == codec.MSG_DROP_TENANT
+        assert frame.tenant == 7
+
     def test_empty_payload_round_trip(self):
         frame = codec.decode_frame(codec.encode_frame(codec.MSG_PING, 0, 1))
         assert frame.type == codec.MSG_PING
@@ -54,12 +67,13 @@ class TestFrames:
         import zlib
 
         head = struct.pack(
-            "<4sBBiIIQ",
+            "<4sBBiIIQI",
             b"RMPC",
             codec.WIRE_VERSION + 1,
             codec.MSG_PING,
             0,
             1,
+            0,
             0,
             0,
         )

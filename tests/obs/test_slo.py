@@ -73,11 +73,64 @@ class TestHistogramWindows:
         empty = hist.state_snapshot().since(None)
         assert empty.percentile(0.99) == 0.0
         assert empty.fraction_le(1.0) == 1.0
-        hist.record(100.0)  # beyond the last bound -> overflow bucket
+        hist.record(100.0)  # beyond the last bound -> explicit +Inf bucket
         window = hist.state_snapshot().since(None)
-        assert window.percentile(0.99) == window.bounds[-1]
+        assert window.percentile(0.99) == float("inf")
         with pytest.raises(ValueError):
             window.percentile(1.5)
+
+    def test_over_top_mass_is_an_explicit_inf_bucket(self):
+        # Regression: values above the last finite bound were in
+        # ``count`` but in no bucket, so percentile() returned
+        # ``bounds[-1]`` for any high fraction (a burning p99 read as
+        # exactly the top bound forever) and fraction_le under-reported
+        # even for an infinite threshold.
+        registry = MetricsRegistry()
+        hist = registry.histogram("sat_seconds")
+        for _ in range(90):
+            hist.record(0.015)
+        for _ in range(10):
+            hist.record(100.0)  # way beyond the 10s top bound
+        window = hist.state_snapshot().since(None)
+        assert window.overflow == 10
+        assert window.saturated
+        # p50 is still finite (rank lands in the 0.015 bucket) ...
+        assert window.percentile(0.5) < 1.0
+        # ... but p99 lands in the +Inf bucket: unbounded, not 10s.
+        assert window.percentile(0.99) == float("inf")
+        # Conservative for finite thresholds, total for an infinite one.
+        assert window.fraction_le(window.bounds[-1]) == pytest.approx(0.9)
+        assert window.fraction_le(float("inf")) == 1.0
+
+    def test_unsaturated_window_keeps_finite_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("fin_seconds")
+        for _ in range(100):
+            hist.record(0.015)
+        window = hist.state_snapshot().since(None)
+        assert not window.saturated
+        assert window.overflow == 0
+        assert window.percentile(1.0) <= window.bounds[-1]
+
+    def test_negative_sum_delta_passes_through(self):
+        # Regression: ``since`` clamped the sum delta at zero, so a
+        # window of legitimately negative-valued samples reported a
+        # corrupted (zero) sum and mean instead of the true ones.
+        registry = MetricsRegistry()
+        hist = registry.histogram("signed_values")
+        hist.record(5.0)
+        earlier = hist.state_snapshot()
+        hist.record(-2.0)
+        hist.record(-3.0)
+        window = hist.state_snapshot().since(earlier)
+        assert window.count == 2
+        assert window.sum == pytest.approx(-5.0)
+        assert window.mean == pytest.approx(-2.5)
+        # The reset heuristic still keys off counts: an earlier state
+        # with a *larger count* means a restart, full-cumulative fallback.
+        fresh = MetricsRegistry().histogram("signed_values")
+        fresh.record(1.0)
+        assert fresh.state_snapshot().since(hist.state_snapshot()).count == 1
 
 
 class TestObjectives:

@@ -152,6 +152,34 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().percentile(1.5)
 
+    def test_thinning_tracks_the_observed_tail(self):
+        # Regression: thinning with [::2] pinned sample index 0 forever
+        # and could drop the just-appended sample, so percentile(1.0)
+        # lagged the observed maximum right after a thin.  On a monotone
+        # ramp of 3x max_samples values, every append instant must leave
+        # the newest value as the reservoir tail.
+        hist = Histogram(max_samples=8)
+        for i in range(1, 25):
+            hist.record(float(i))
+            if hist._since_kept == 0:  # an append (maybe thin) instant
+                assert hist.percentile(1.0) == float(i), (
+                    f"tail lost after recording {i}: {sorted(hist._samples)}"
+                )
+
+    def test_thinning_is_uniform(self):
+        # After two thins of an 8-cap reservoir fed 1..24, the retained
+        # samples must be evenly spaced at the final stride (no region
+        # of the run over- or under-represented).
+        hist = Histogram(max_samples=8)
+        for i in range(1, 25):
+            hist.record(float(i))
+        samples = sorted(hist._samples)
+        diffs = {
+            round(late - early)
+            for early, late in zip(samples, samples[1:])
+        }
+        assert diffs == {hist._stride}, (samples, hist._stride)
+
 
 class TestRegistry:
     def test_create_on_first_use_returns_same_object(self):

@@ -1,0 +1,64 @@
+"""Map-diff streaming: monotone cursors over a bounded delta ring."""
+
+from repro.tenancy import ChangeLog
+
+
+class TestChangeLog:
+    def test_cursors_are_monotone_and_complete(self):
+        log = ChangeLog(capacity=100)
+        sub = log.subscribe()
+        log.record([((1, 1, 1), 0.5), ((2, 2, 2), -0.4)])
+        first = sub.poll()
+        assert [d.key for d in first] == [(1, 1, 1), (2, 2, 2)]
+        assert [d.cursor for d in first] == [1, 2]
+        log.record([((3, 3, 3), 0.85)])
+        second = sub.poll()
+        assert [d.key for d in second] == [(3, 3, 3)]
+        assert second[0].cursor == 3
+        # Nothing new: an empty poll, cursor unchanged.
+        assert sub.poll() == []
+        assert sub.cursor == 3
+        assert not sub.truncated
+
+    def test_new_subscriber_starts_at_head(self):
+        log = ChangeLog()
+        log.record([((9, 9, 9), 1.0)])
+        sub = log.subscribe()
+        assert sub.poll() == []  # history before subscribing is not replayed
+        log.record([((8, 8, 8), 2.0)])
+        assert [d.key for d in sub.poll()] == [(8, 8, 8)]
+
+    def test_overflow_reports_truncation(self):
+        log = ChangeLog(capacity=4)
+        sub = log.subscribe()
+        log.record([((i, 0, 0), float(i)) for i in range(10)])
+        deltas = sub.poll()
+        # Only the last `capacity` deltas survive, and the gap is loud.
+        assert [d.key for d in deltas] == [(i, 0, 0) for i in range(6, 10)]
+        assert sub.truncated
+        # After a resync the stream continues cleanly.
+        sub.truncated = False
+        log.record([((42, 0, 0), 3.0)])
+        assert [d.key for d in sub.poll()] == [(42, 0, 0)]
+        assert not sub.truncated
+
+    def test_subscriber_count_gates_capture(self):
+        log = ChangeLog()
+        assert not log.active
+        first = log.subscribe()
+        second = log.subscribe()
+        assert log.active
+        first.close()
+        assert log.active
+        second.close()
+        assert not log.active
+
+    def test_independent_cursors(self):
+        log = ChangeLog()
+        slow = log.subscribe()
+        fast = log.subscribe()
+        log.record([((1, 2, 3), 0.1)])
+        assert len(fast.poll()) == 1
+        log.record([((4, 5, 6), 0.2)])
+        assert len(fast.poll()) == 1
+        assert len(slow.poll()) == 2  # the slow reader still sees everything

@@ -1,0 +1,71 @@
+"""Admission control: token buckets and quota shapes."""
+
+import pytest
+
+from repro.tenancy import TenantQuota, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        # The full burst is available immediately...
+        assert all(bucket.try_acquire() for _ in range(3))
+        # ...then the bucket is dry until the clock refills it.
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_zero_rate_is_unlimited(self):
+        bucket = TokenBucket(rate=0.0)
+        assert all(bucket.try_acquire() for _ in range(10_000))
+        assert bucket.available == float("inf")
+
+    def test_rejects_without_blocking(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        # No clock advance: the second acquire must fail instantly, not
+        # wait for a refill.
+        assert not bucket.try_acquire()
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(queue_slots=0)
+        with pytest.raises(ValueError):
+            TenantQuota(scans_per_sec=-1)
+        with pytest.raises(ValueError):
+            TenantQuota(burst=-0.5)
+
+    def test_default_burst_tracks_rate(self):
+        assert TenantQuota(scans_per_sec=25.0).to_dict()["burst"] == 25.0
+        # Unlimited-rate tenants still get a sane bucket shape.
+        assert TenantQuota().to_dict()["burst"] == 1.0
+
+    def test_make_bucket_uses_quota_shape(self):
+        clock = FakeClock()
+        bucket = TenantQuota(scans_per_sec=4.0, burst=2.0).make_bucket(
+            clock=clock
+        )
+        assert bucket.rate == 4.0
+        assert bucket.burst == 2.0
