@@ -100,6 +100,23 @@ class VoxelGridPipeline(MappingSystem):
         """Dense footprint: every cell, observed or not."""
         return int(self._grid.nbytes)
 
+    def memory_breakdown(self, exact: bool = False):
+        """Footprint as a :class:`MemoryReport`: one dense ``grid`` leaf.
+
+        ``numpy`` reports the array's exact allocation, so the default
+        and ``exact=True`` paths are the same number — the kwarg exists
+        for :class:`repro.memsight.report.MemoryMeter` parity.
+        """
+        from repro.memsight.report import MemoryReport
+
+        side = self._grid.shape[0]
+        return MemoryReport(
+            "voxelgrid",
+            children=[
+                MemoryReport("grid", int(self._grid.nbytes), side**3)
+            ],
+        )
+
     def observed_voxels(self) -> int:
         """Number of cells carrying an actual observation."""
         return int(np.count_nonzero(self._grid != self._UNKNOWN))

@@ -10,6 +10,7 @@ Subcommands mirror the main experiment families, plus the service layer::
     python -m repro trace-bench --chrome-trace out.trace.json
     python -m repro chaos-bench --crash-shard 0 --report-out chaos.json
     python -m repro load-bench  --quick --json
+    python -m repro mem-bench   --quick --tenants 3
     python -m repro perf-bench  --quick
     python -m repro perf-check  --baseline benchmarks/perf_baseline.json
 
@@ -319,6 +320,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the BENCH series append (exploratory runs)",
     )
     load.add_argument(
+        "--json", action="store_true", help="emit the report dict as JSON"
+    )
+
+    mem = sub.add_parser(
+        "mem-bench",
+        help="grow maps and validate the hierarchical byte accounting",
+    )
+    _add_bench_workload_args(mem, include_batches=False)
+    mem.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload (the CI smoke profile)",
+    )
+    mem.add_argument(
+        "--shards", type=int, default=2, help="service shard count"
+    )
+    mem.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        metavar="N",
+        help="fleet size for the attribution / evict-to-zero stage "
+        "(0 skips it)",
+    )
+    mem.add_argument(
+        "--growth-steps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="how many drift checkpoints the ingest is split into",
+    )
+    mem.add_argument(
+        "--out",
+        default=None,
+        metavar="BENCH.JSON",
+        help="append to this file instead of benchmarks/BENCH_<host>.json",
+    )
+    mem.add_argument(
+        "--no-append",
+        action="store_true",
+        help="skip the BENCH series append (exploratory runs)",
+    )
+    mem.add_argument(
         "--json", action="store_true", help="emit the report dict as JSON"
     )
 
@@ -772,6 +816,73 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     return 0 if report.recovered_exactly else 1
 
 
+def _cmd_mem_bench(args: argparse.Namespace) -> int:
+    from repro.memsight.bench import run_mem_bench
+    from repro.obs.perf import append_bench_entry, bench_path_for_host
+
+    report = run_mem_bench(
+        dataset_name=args.dataset,
+        quick=args.quick,
+        resolution=args.resolution,
+        depth=args.depth,
+        shards=args.shards,
+        workers=args.workers,
+        num_procs=args.num_procs,
+        tenants=args.tenants,
+        growth_steps=args.growth_steps,
+    )
+    appended_to = None
+    if not args.no_append:
+        appended_to = args.out or bench_path_for_host("benchmarks")
+        append_bench_entry(report.to_bench_entry(), appended_to)
+    if args.json:
+        import json
+
+        payload = report.to_dict()
+        payload["appended_to"] = appended_to
+        print(json.dumps(payload, indent=2))
+        return 0 if report.ok else 1
+    print(
+        f"mem-bench: {report.dataset} through {args.shards} shard(s), "
+        f"{report.workers} workers, {report.tenants} tenant(s)"
+    )
+    print()
+    print(report.table())
+    print()
+    rows = [
+        ["bytes / voxel", f"{report.bytes_per_voxel:.2f}"],
+        ["accounting drift", f"{report.mem_accounting_drift:g} B"],
+        ["evict released", f"{report.evict_released_bytes} B"],
+        ["evict residual", f"{report.evict_residual_bytes} B"],
+        ["post-restore drift", f"{report.restore_drift_bytes} B"],
+        [
+            "accounted / traced",
+            "-"
+            if report.traced_ratio is None
+            else f"{report.traced_ratio:.3f}",
+        ],
+        ["pressure", report.pressure_level],
+        ["wall-clock", f"{report.elapsed_seconds:.2f}s"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if report.tenant_bytes:
+        print()
+        print(
+            format_table(
+                ["tenant", "attributed bytes"],
+                [
+                    [name, nbytes]
+                    for name, nbytes in sorted(report.tenant_bytes.items())
+                ],
+            )
+        )
+    if appended_to:
+        print(f"\nentry appended to {appended_to}")
+    if not report.ok:
+        print("\nACCOUNTING DRIFT — incremental counters disagree with recount")
+    return 0 if report.ok else 1
+
+
 def _cmd_perf_bench(args: argparse.Namespace) -> int:
     from repro.obs.perf import append_bench_entry, bench_path_for_host, run_perf_bench
 
@@ -872,6 +983,7 @@ _COMMANDS = {
     "trace-bench": _cmd_trace_bench,
     "chaos-bench": _cmd_chaos_bench,
     "load-bench": _cmd_load_bench,
+    "mem-bench": _cmd_mem_bench,
     "perf-bench": _cmd_perf_bench,
     "perf-check": _cmd_perf_check,
 }

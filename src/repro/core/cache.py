@@ -476,6 +476,45 @@ class VoxelCache:
 
         return self._resident * CELL_BYTES
 
+    def recount_resident(self) -> int:
+        """Resident cells recounted by walking every bucket (exact path).
+
+        Must always equal :attr:`resident_voxels` (the incrementally
+        maintained counter) — the memsight drift gate checks exactly that.
+        """
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def memory_breakdown(self, exact: bool = False):
+        """Hierarchical footprint: resident cells + index + bucket array.
+
+        With ``exact=True`` the resident count comes from a full bucket
+        walk instead of the incremental ``_resident`` counter; the two
+        reports must agree byte-for-byte (``MemoryReport.drift_bytes``).
+        """
+        from repro.core.config import CELL_BYTES
+        from repro.memsight.costs import BUCKET_SLOT_BYTES, INDEX_ENTRY_BYTES
+        from repro.memsight.report import MemoryReport
+
+        resident = self.recount_resident() if exact else self._resident
+        index_entries = len(self._cell_index)
+        num_buckets = self.config.num_buckets
+        return MemoryReport(
+            "cache",
+            children=[
+                MemoryReport(
+                    "resident_cells", resident * CELL_BYTES, resident
+                ),
+                MemoryReport(
+                    "morton_index",
+                    index_entries * INDEX_ENTRY_BYTES,
+                    index_entries,
+                ),
+                MemoryReport(
+                    "buckets", num_buckets * BUCKET_SLOT_BYTES, num_buckets
+                ),
+            ],
+        )
+
     def bucket_sizes(self) -> List[int]:
         """Cell count per bucket (for occupancy/collision diagnostics)."""
         return [len(bucket) for bucket in self._buckets]

@@ -158,6 +158,24 @@ class OctoCacheMap(MappingSystem):
         """Insert-path cache hit ratio (the paper's Fig. 23 metric)."""
         return self.cache.stats.hit_ratio
 
+    # ------------------------------------------------------------------
+    # Memory accounting (repro.memsight).
+    # ------------------------------------------------------------------
+
+    def memory_breakdown(
+        self, exact: bool = False, deep: bool = False, name: str = "pipeline"
+    ):
+        """Cache + octree footprint as one :class:`MemoryReport` subtree."""
+        from repro.memsight.report import MemoryReport
+
+        return MemoryReport(
+            name,
+            children=[
+                self.cache.memory_breakdown(exact=exact),
+                self._tree.memory_breakdown(exact=exact, deep=deep),
+            ],
+        )
+
 
 class OctoCacheRTMap(OctoCacheMap):
     """OctoCache-RT: the cache behind duplicate-free ray tracing (§5).

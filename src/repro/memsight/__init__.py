@@ -1,0 +1,60 @@
+"""Memory observability: deterministic hierarchical byte accounting.
+
+The latency side of the stack is fully instrumented (spans, the
+attribution waterfall, ``/slo``); :mod:`repro.memsight` is the byte
+side.  Every stateful structure answers ``memory_breakdown()`` with a
+:class:`MemoryReport` — a tree of ``component → (bytes, object count)``
+— maintained from counters the hot path already keeps (cache residency,
+octree node counts, journal lengths), so producing a report costs O(1)
+per structure and ingest pays nothing new beyond a handful of integer
+increments.
+
+Three consumers sit on top:
+
+- rollups published as ``mem.*`` gauges through the service's
+  :class:`~repro.service.metrics.MetricsRegistry` (Prometheus text via
+  ``/metrics``) with per-tenant attribution as ``tenant.mem_bytes.<name>``;
+- the ``/memory`` admin route serving the full drill-down tree next to
+  process RSS;
+- :class:`PressureMonitor`, which turns configurable soft/hard
+  watermarks over total and per-tenant footprint into a
+  ``mem_pressure`` state gauge, JSON log events on transitions, and an
+  advisory ``on_pressure`` hook (observation only — enforcement/spill is
+  the ROADMAP item-5 PR).
+
+Accounting is *modeled*, not ``sys.getsizeof``: the byte constants in
+:mod:`repro.memsight.costs` mirror the paper's 7-bytes-per-cell /
+16-bytes-per-node bookkeeping, so the numbers are deterministic across
+hosts and Python versions and agree with the paper's figures by
+construction.  ``python -m repro mem-bench`` cross-checks the
+incremental counters against an exact recount (must match to the byte)
+and against ``tracemalloc``/RSS growth (bounded ratio — CPython object
+overhead sits on top of the model).
+"""
+
+from repro.memsight.costs import (
+    BUCKET_SLOT_BYTES,
+    COUNT_BYTES,
+    DELTA_BYTES,
+    INDEX_ENTRY_BYTES,
+    OBS_BYTES,
+    SPAN_BYTES,
+)
+from repro.memsight.pressure import PressureConfig, PressureMonitor
+from repro.memsight.report import MemoryMeter, MemoryReport
+from repro.memsight.rss import peak_rss_bytes, process_rss_bytes
+
+__all__ = [
+    "BUCKET_SLOT_BYTES",
+    "COUNT_BYTES",
+    "DELTA_BYTES",
+    "INDEX_ENTRY_BYTES",
+    "MemoryMeter",
+    "MemoryReport",
+    "OBS_BYTES",
+    "PressureConfig",
+    "PressureMonitor",
+    "SPAN_BYTES",
+    "peak_rss_bytes",
+    "process_rss_bytes",
+]

@@ -1,0 +1,47 @@
+"""Modeled per-object byte costs for deterministic accounting.
+
+These mirror the paper's own bookkeeping style (7 bytes per cache cell,
+16 bytes per octree node — both imported from where they already live)
+rather than CPython object sizes: the reports must be identical across
+hosts, Python versions, and allocator states, and must agree with the
+figures the benchmarks regenerate.  ``mem-bench`` separately bounds the
+real-process cost (``tracemalloc``/RSS) as a multiple of the model.
+
+Every constant is the cost of one *entry* of the named kind; component
+bytes are always ``count * constant`` (snapshots are the exception —
+their blob length is exact).
+"""
+
+from repro.core.config import CELL_BYTES
+from repro.octree.tree import NODE_BYTES
+
+__all__ = [
+    "BUCKET_SLOT_BYTES",
+    "CELL_BYTES",
+    "COUNT_BYTES",
+    "DELTA_BYTES",
+    "INDEX_ENTRY_BYTES",
+    "NODE_BYTES",
+    "OBS_BYTES",
+    "SPAN_BYTES",
+]
+
+#: One queued/journaled observation: a packed voxel key (3 × 2-byte
+#: coords) plus the occupied flag — the same 7-byte shape as a cache
+#: cell's key+flag half.
+OBS_BYTES = 7
+
+#: One change-log delta: 8-byte cursor + packed key (6) + float32 value.
+DELTA_BYTES = 18
+
+#: One Morton-index entry: 8-byte code + 8-byte cell reference.
+INDEX_ENTRY_BYTES = 16
+
+#: One bucket header slot in the cache's bucket array.
+BUCKET_SLOT_BYTES = 8
+
+#: One retained span in a tracer ring sink (ids, times, small attrs).
+SPAN_BYTES = 64
+
+#: One aggregated counter key in a tracer ring sink.
+COUNT_BYTES = 32

@@ -1,0 +1,209 @@
+"""Memory pressure: watermarks over measured footprint.
+
+:class:`PressureMonitor` turns a :class:`PressureConfig` (soft/hard byte
+watermarks over the total footprint and over any single tenant's) into:
+
+- a ``mem_pressure`` :class:`~repro.service.metrics.StateGauge`
+  (``ok`` → ``soft_pressure`` → ``hard_pressure``);
+- one JSON log event per transition (span-correlated when emitted under
+  an open span and the :mod:`repro.obs.logging` handler is installed);
+- an advisory ``on_pressure(level, tenant_levels)`` hook — the tenancy
+  layer wires it to flag over-budget tenants in ``/tenants``.
+
+Advisory only: nothing here sheds load or spills subtrees.  Enforcement
+lands against these signals in the ROADMAP item-5 PR.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+__all__ = ["PressureConfig", "PressureDecision", "PressureMonitor"]
+
+_LOG = logging.getLogger("repro.memsight")
+
+#: Ordered severity; index compares levels.
+LEVELS = ("ok", "soft_pressure", "hard_pressure")
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    """Byte watermarks; ``None`` disables that check.
+
+    ``soft`` fires an early warning, ``hard`` means the footprint has
+    crossed the budget the operator configured.  Tenant watermarks apply
+    to each tenant's attributed footprint individually.
+    """
+
+    soft_bytes: Optional[int] = None
+    hard_bytes: Optional[int] = None
+    tenant_soft_bytes: Optional[int] = None
+    tenant_hard_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "soft_bytes",
+            "hard_bytes",
+            "tenant_soft_bytes",
+            "tenant_hard_bytes",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if (
+            self.soft_bytes is not None
+            and self.hard_bytes is not None
+            and self.soft_bytes > self.hard_bytes
+        ):
+            raise ValueError(
+                f"soft_bytes ({self.soft_bytes}) exceeds hard_bytes "
+                f"({self.hard_bytes})"
+            )
+        if (
+            self.tenant_soft_bytes is not None
+            and self.tenant_hard_bytes is not None
+            and self.tenant_soft_bytes > self.tenant_hard_bytes
+        ):
+            raise ValueError(
+                f"tenant_soft_bytes ({self.tenant_soft_bytes}) exceeds "
+                f"tenant_hard_bytes ({self.tenant_hard_bytes})"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            value is not None
+            for value in (
+                self.soft_bytes,
+                self.hard_bytes,
+                self.tenant_soft_bytes,
+                self.tenant_hard_bytes,
+            )
+        )
+
+
+def _classify(
+    value: int, soft: Optional[int], hard: Optional[int]
+) -> str:
+    if hard is not None and value >= hard:
+        return "hard_pressure"
+    if soft is not None and value >= soft:
+        return "soft_pressure"
+    return "ok"
+
+
+@dataclass(frozen=True)
+class PressureDecision:
+    """One evaluation's verdict (what ``/memory`` publishes)."""
+
+    level: str
+    total_level: str
+    total_bytes: int
+    tenant_levels: Dict[str, str]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "total_level": self.total_level,
+            "total_bytes": self.total_bytes,
+            "tenants": dict(self.tenant_levels),
+        }
+
+
+class PressureMonitor:
+    """Evaluates watermarks; drives the gauge, log, and advisory hook.
+
+    Args:
+        config: the watermarks.
+        metrics: optional :class:`MetricsRegistry`; when given, owns the
+            ``mem_pressure`` state gauge.
+        on_pressure: advisory callback ``(level, tenant_levels)`` fired
+            on every evaluation whose *overall* level or tenant flag set
+            changed (including back to ``ok``, so flags clear).
+    """
+
+    def __init__(
+        self,
+        config: PressureConfig,
+        metrics=None,
+        on_pressure: Optional[Callable[[str, Dict[str, str]], None]] = None,
+    ) -> None:
+        self.config = config
+        self.on_pressure = on_pressure
+        self._lock = threading.Lock()
+        self._level = "ok"
+        self._tenant_levels: Dict[str, str] = {}
+        self._gauge = (
+            metrics.state("mem_pressure", initial="ok")
+            if metrics is not None
+            else None
+        )
+
+    @property
+    def level(self) -> str:
+        with self._lock:
+            return self._level
+
+    @property
+    def tenant_levels(self) -> Dict[str, str]:
+        """Tenants currently over a watermark (``name → level``)."""
+        with self._lock:
+            return dict(self._tenant_levels)
+
+    def evaluate(
+        self,
+        total_bytes: int,
+        tenant_bytes: Optional[Mapping[str, int]] = None,
+    ) -> PressureDecision:
+        """Classify one measured footprint; fire side effects on change."""
+        config = self.config
+        total_level = _classify(
+            total_bytes, config.soft_bytes, config.hard_bytes
+        )
+        tenant_levels: Dict[str, str] = {}
+        for name, nbytes in (tenant_bytes or {}).items():
+            level = _classify(
+                nbytes, config.tenant_soft_bytes, config.tenant_hard_bytes
+            )
+            if level != "ok":
+                tenant_levels[name] = level
+        worst_tenant = max(
+            (LEVELS.index(level) for level in tenant_levels.values()),
+            default=0,
+        )
+        overall = LEVELS[max(LEVELS.index(total_level), worst_tenant)]
+        with self._lock:
+            changed = (
+                overall != self._level
+                or tenant_levels != self._tenant_levels
+            )
+            previous = self._level
+            self._level = overall
+            self._tenant_levels = dict(tenant_levels)
+        if self._gauge is not None:
+            self._gauge.set(overall)
+        if changed:
+            log = _LOG.warning if overall != "ok" else _LOG.info
+            log(
+                "memory pressure transition",
+                extra={
+                    "from": previous,
+                    "to": overall,
+                    "total_bytes": total_bytes,
+                    "tenants_over": sorted(tenant_levels),
+                },
+            )
+            if self.on_pressure is not None:
+                try:
+                    self.on_pressure(overall, dict(tenant_levels))
+                except Exception:  # pragma: no cover - advisory hook
+                    _LOG.warning("on_pressure hook failed", exc_info=True)
+        return PressureDecision(
+            level=overall,
+            total_level=total_level,
+            total_bytes=total_bytes,
+            tenant_levels=tenant_levels,
+        )

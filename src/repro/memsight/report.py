@@ -1,0 +1,195 @@
+"""The :class:`MemoryReport` tree and the :class:`MemoryMeter` protocol.
+
+A report is a tree of components: each node carries the bytes and object
+count attributed *directly* to that component (``nbytes`` / ``count``)
+plus child components.  ``total_bytes`` folds the subtree.  Reports are
+plain data — JSON-able with :meth:`MemoryReport.to_dict`, rebuildable
+with :meth:`MemoryReport.from_dict` (that is how worker processes ship
+their breakdowns over the wire), and mergeable with
+:meth:`MemoryReport.merged` (that is how per-shard slots roll up into a
+per-tenant total).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["MemoryMeter", "MemoryReport"]
+
+
+class MemoryReport:
+    """One component's footprint: direct bytes/count plus children.
+
+    Attributes:
+        name: component label, unique among siblings by convention.
+        nbytes: bytes attributed directly to this component (children
+            excluded — fold with :attr:`total_bytes`).
+        count: object count behind ``nbytes`` (cells, nodes, entries…);
+            0 when the component is a pure grouping node.
+        children: sub-component reports.
+    """
+
+    __slots__ = ("name", "nbytes", "count", "children")
+
+    def __init__(
+        self,
+        name: str,
+        nbytes: int = 0,
+        count: int = 0,
+        children: Optional[Sequence["MemoryReport"]] = None,
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes} for {name!r}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count} for {name!r}")
+        self.name = name
+        self.nbytes = int(nbytes)
+        self.count = int(count)
+        self.children: List[MemoryReport] = list(children or [])
+
+    # ------------------------------------------------------------------
+    # Folds and lookups.
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of this component plus its whole subtree."""
+        return self.nbytes + sum(child.total_bytes for child in self.children)
+
+    @property
+    def total_count(self) -> int:
+        """Object count of this component plus its whole subtree."""
+        return self.count + sum(child.total_count for child in self.children)
+
+    def child(self, name: str) -> Optional["MemoryReport"]:
+        """The direct child named ``name`` (first match), or ``None``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def find(self, path: str) -> Optional["MemoryReport"]:
+        """Resolve a ``"a/b/c"`` slash path from this node, or ``None``."""
+        node: Optional[MemoryReport] = self
+        for part in path.split("/"):
+            if node is None:
+                return None
+            node = node.child(part)
+        return node
+
+    def walk(self) -> Iterator["MemoryReport"]:
+        """Yield this node then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaf_totals(self) -> Dict[str, int]:
+        """``slash/path → total_bytes`` for every *leaf* component.
+
+        The flat view drift checks compare: two reports agree exactly
+        when their leaf totals are equal key-for-key and byte-for-byte.
+        """
+        totals: Dict[str, int] = {}
+
+        def visit(node: MemoryReport, prefix: str) -> None:
+            path = f"{prefix}/{node.name}" if prefix else node.name
+            if not node.children:
+                totals[path] = totals.get(path, 0) + node.nbytes
+                return
+            if node.nbytes:
+                totals[path] = totals.get(path, 0) + node.nbytes
+            for child in node.children:
+                visit(child, path)
+
+        visit(self, "")
+        return totals
+
+    def drift_bytes(self, other: "MemoryReport") -> int:
+        """Summed absolute per-leaf difference against ``other``.
+
+        Zero iff the two reports attribute identical bytes to identical
+        components — the mem-bench ``mem_accounting_drift`` metric is
+        this fold of the incremental report against the exact recount.
+        """
+        mine = self.leaf_totals()
+        theirs = other.leaf_totals()
+        drift = 0
+        for path in set(mine) | set(theirs):
+            drift += abs(mine.get(path, 0) - theirs.get(path, 0))
+        return drift
+
+    # ------------------------------------------------------------------
+    # Serialisation (admin routes, the mp wire, bench reports).
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "bytes": self.nbytes,
+            "total_bytes": self.total_bytes,
+        }
+        if self.count:
+            out["count"] = self.count
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MemoryReport":
+        return cls(
+            name=str(data["name"]),
+            nbytes=int(data.get("bytes", 0)),
+            count=int(data.get("count", 0)),
+            children=[
+                cls.from_dict(child) for child in data.get("children", [])
+            ],
+        )
+
+    def merged(self, other: "MemoryReport", name: Optional[str] = None) -> "MemoryReport":
+        """Component-wise sum of two reports (children matched by name).
+
+        Children present on only one side pass through; the merged node
+        keeps ``name`` (defaulting to this report's).  Used to roll one
+        tenant's per-shard slot reports into a single attribution tree.
+        """
+        merged = MemoryReport(
+            name or self.name,
+            self.nbytes + other.nbytes,
+            self.count + other.count,
+        )
+        theirs = {child.name: child for child in other.children}
+        for child in self.children:
+            match = theirs.pop(child.name, None)
+            merged.children.append(
+                child.merged(match) if match is not None else child
+            )
+        merged.children.extend(theirs.values())
+        return merged
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable tree (the ``mem-bench`` text report)."""
+        pad = "  " * indent
+        suffix = f"  ({self.count} objs)" if self.count else ""
+        lines = [f"{pad}{self.name}: {self.total_bytes} B{suffix}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryReport({self.name!r}, total={self.total_bytes}B, "
+            f"children={len(self.children)})"
+        )
+
+
+class MemoryMeter:
+    """Protocol: a structure that can account for its own bytes.
+
+    Implementors return a fresh :class:`MemoryReport` from counters they
+    maintain incrementally (O(1) per call); passing ``exact=True`` must
+    recount by walking the underlying storage instead — the two must
+    agree byte-for-byte, which is what the drift gate checks.
+    """
+
+    def memory_breakdown(self, exact: bool = False) -> MemoryReport:
+        raise NotImplementedError

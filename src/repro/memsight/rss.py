@@ -1,0 +1,55 @@
+"""Process-level memory from the OS: current RSS and peak RSS.
+
+Stdlib only.  Current RSS comes from ``/proc/self/statm`` (Linux); the
+peak from ``resource.getrusage`` (POSIX).  Both return ``None`` where
+the source is unavailable rather than guessing — callers render the
+field as absent, not zero.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+__all__ = ["peak_rss_bytes", "process_rss_bytes"]
+
+_PAGE_SIZE: Optional[int] = None
+
+
+def _page_size() -> int:
+    global _PAGE_SIZE
+    if _PAGE_SIZE is None:
+        try:
+            _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+        except (ValueError, OSError, AttributeError):
+            _PAGE_SIZE = 4096
+    return _PAGE_SIZE
+
+
+def process_rss_bytes() -> Optional[int]:
+    """This process's current resident set size, or ``None``."""
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _page_size()
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """This process's lifetime peak RSS, or ``None``.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS — normalised
+    to bytes here.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if usage <= 0:
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(usage)
+    return int(usage) * 1024

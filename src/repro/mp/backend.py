@@ -178,6 +178,12 @@ class ProcessShardedMap:
             (shard, 0): self.supervisor.generation(shard)
             for shard in range(num_shards)
         }
+        #: Last relayed byte rollup per ``(shard, tenant)`` slot: every
+        #: apply/restore/drop reply piggybacks the worker-side
+        #: :class:`~repro.memsight.report.MemoryReport` (as a dict), so
+        #: scrape-time attribution costs no extra round trip.
+        self._mem_slots: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        self._mem_lock = threading.Lock()
         self._close_lock = threading.Lock()
         self._closed = False
 
@@ -246,6 +252,16 @@ class ProcessShardedMap:
                 )
             elif kind == "count":
                 target.count(event["n"], event["v"], category=event["c"])
+            elif kind == "mem":
+                # Worker-side byte rollup for one (shard, tenant) slot;
+                # ``r = None`` means the slot was dropped.
+                slot = (int(event["sh"]), int(event["tn"]))
+                report = event.get("r")
+                with self._mem_lock:
+                    if report is None:
+                        self._mem_slots.pop(slot, None)
+                    else:
+                        self._mem_slots[slot] = report
 
     def _on_process_death(
         self, proc_index: int, shard_ids: List[int], generation: int
@@ -520,6 +536,10 @@ class ProcessShardedMap:
                     pass
                 self._applied.pop(slot, None)
                 self._restored_gen.pop(slot, None)
+                # Live workers relay the removal themselves; dead ones
+                # can't, so drop the cached attribution explicitly.
+                with self._mem_lock:
+                    self._mem_slots.pop(slot, None)
 
     # ------------------------------------------------------------------
     # Query path.
@@ -719,6 +739,88 @@ class ProcessShardedMap:
         """One shard's pipeline stats, fetched from its process."""
         with self._locks[shard_id]:
             return codec.decode_json(self._exchange(shard_id, codec.MSG_STATS))
+
+    def memory_breakdown(self, exact: bool = False, deep: bool = False):
+        """Per-shard, per-tenant-slot footprint (``MemoryMeter``).
+
+        The default assembles the rollups each worker relayed with its
+        last reply — zero IPC, current as of the last applied batch.
+        ``exact`` (or ``deep``) asks every live shard's process to
+        recount by walking its storage (one ``MEM`` round trip per
+        shard); a dead process falls back to its cached rollup.
+        """
+        from repro.memsight.report import MemoryReport
+
+        with self._mem_lock:
+            cached = dict(self._mem_slots)
+        shards = []
+        for shard_id in range(self.num_shards):
+            slots: Optional[Dict[str, Any]] = None
+            if exact or deep:
+                try:
+                    slots = self._fetch_mem(shard_id, exact, deep)
+                except ShardProcessDied:
+                    slots = None
+            elif (shard_id, 0) not in cached:
+                # No rollup relayed yet (nothing applied to this shard):
+                # seed the cache with one round trip so incremental and
+                # exact reports agree on untouched shards too.
+                try:
+                    slots = self._fetch_mem(shard_id, False, False)
+                    with self._mem_lock:
+                        for tenant, report in slots.items():
+                            slot = (shard_id, int(tenant))
+                            self._mem_slots.setdefault(slot, report)
+                except ShardProcessDied:
+                    slots = None
+            if slots is not None:
+                slot_reports = [
+                    MemoryReport.from_dict(slots[tenant])
+                    for tenant in sorted(slots, key=int)
+                ]
+            else:
+                slot_reports = [
+                    MemoryReport.from_dict(cached[(sid, tenant)])
+                    for sid, tenant in sorted(cached)
+                    if sid == shard_id
+                ]
+            shards.append(
+                MemoryReport(f"shard{shard_id}", children=slot_reports)
+            )
+        return MemoryReport("map", children=shards)
+
+    def _fetch_mem(
+        self, shard_id: int, exact: bool, deep: bool
+    ) -> Dict[str, Any]:
+        """One ``MEM`` round trip: every slot's breakdown for a shard."""
+        payload = codec.encode_json({"exact": exact, "deep": deep})
+        with self._locks[shard_id]:
+            self._ensure_ready(shard_id, respawn=False)
+            reply = self.supervisor.request(
+                shard_id,
+                codec.MSG_MEM,
+                payload,
+                parent_span=_wire_parent(),
+            )
+            body, events = codec.decode_reply(reply.payload)
+        self._replay(events)
+        return codec.decode_json(body)["slots"]
+
+    def tenant_memory_bytes(self) -> Dict[int, int]:
+        """Attributed bytes per tenant slot, from the relayed rollups.
+
+        Slot 0 is the default single-tenant map.  Mirrors
+        :meth:`ShardedMap.tenant_memory_bytes` so the service's
+        attribution path is backend-agnostic.
+        """
+        with self._mem_lock:
+            cached = dict(self._mem_slots)
+        totals: Dict[int, int] = {}
+        for (_shard, tenant), report in cached.items():
+            totals[tenant] = totals.get(tenant, 0) + int(
+                report.get("total_bytes", 0)
+            )
+        return totals
 
     def hit_ratios(self) -> List[float]:
         """Per-shard insert-path cache hit ratios."""

@@ -41,6 +41,7 @@ __all__ = [
     "MSG_DROP_TENANT",
     "MSG_ERROR",
     "MSG_FINALIZE",
+    "MSG_MEM",
     "MSG_OK",
     "MSG_PING",
     "MSG_QUERY_MANY",
@@ -88,6 +89,7 @@ MSG_FINALIZE = 7
 MSG_PING = 8
 MSG_SHUTDOWN = 9
 MSG_DROP_TENANT = 10
+MSG_MEM = 11
 # Reply types (worker -> parent).
 MSG_OK = 20
 MSG_ERROR = 21
@@ -103,6 +105,7 @@ _NAMES = {
     MSG_PING: "PING",
     MSG_SHUTDOWN: "SHUTDOWN",
     MSG_DROP_TENANT: "DROP_TENANT",
+    MSG_MEM: "MEM",
     MSG_OK: "OK",
     MSG_ERROR: "ERROR",
 }

@@ -97,6 +97,11 @@ class _RelaySink:
                 }
             )
 
+    def push(self, event: Dict[str, Any]) -> None:
+        """Buffer a non-telemetry relay event (memory rollups)."""
+        with self._lock:
+            self._events.append(event)
+
     def drain(self) -> List[Dict[str, Any]]:
         with self._lock:
             events, self._events = self._events, []
@@ -137,7 +142,9 @@ class _ShardWorker:
     not just the parent's bookkeeping.
     """
 
-    def __init__(self, config: Dict[str, Any]) -> None:
+    def __init__(
+        self, config: Dict[str, Any], relay: Optional[_RelaySink] = None
+    ) -> None:
         self.resolution = float(config["resolution"])
         self.depth = int(config["depth"])
         self.max_range = float(config["max_range"])
@@ -145,6 +152,7 @@ class _ShardWorker:
         self.params = _build_params(config)
         self.cache_config = _build_cache_config(config)
         self.shard_ids = [int(shard) for shard in config["shard_ids"]]
+        self.relay = relay
         self.pipelines: Dict[Tuple[int, int], OctoCacheMap] = {
             (shard, 0): self._make_pipeline() for shard in self.shard_ids
         }
@@ -171,6 +179,39 @@ class _ShardWorker:
             existing = self.pipelines[slot] = self._make_pipeline()
         return existing
 
+    # -- memory accounting ---------------------------------------------
+
+    def _slot_name(self, tenant: int) -> str:
+        return "default" if tenant == 0 else f"tenant{tenant}"
+
+    def _mem_report(
+        self, shard: int, tenant: int, exact: bool = False, deep: bool = False
+    ):
+        pipeline = self.pipelines.get((shard, tenant))
+        if pipeline is None:
+            return None
+        return pipeline.memory_breakdown(
+            exact=exact, deep=deep, name=self._slot_name(tenant)
+        )
+
+    def _relay_mem(self, shard: int, tenant: int) -> None:
+        """Piggyback a slot's byte rollup onto the next reply.
+
+        ``r = None`` tells the parent the slot is gone (drop path), so
+        its cached attribution disappears with the state.
+        """
+        if self.relay is None:
+            return
+        report = self._mem_report(shard, tenant)
+        self.relay.push(
+            {
+                "k": "mem",
+                "sh": shard,
+                "tn": tenant,
+                "r": None if report is None else report.to_dict(),
+            }
+        )
+
     # -- commands ------------------------------------------------------
 
     def apply(self, shard: int, tenant: int, payload: bytes) -> bytes:
@@ -178,6 +219,7 @@ class _ShardWorker:
         pipeline = self.pipeline(shard, tenant)
         batch = ScanBatch(observations=observations, num_rays=0)
         record = pipeline.insert_batch(batch)
+        self._relay_mem(shard, tenant)
         return codec.encode_busy_seconds(
             pipeline.record_busy_seconds(record)
         )
@@ -236,6 +278,7 @@ class _ShardWorker:
         self.pipelines[(shard, tenant)] = restore_pipeline(
             self._make_pipeline, checkpoint, batches
         )
+        self._relay_mem(shard, tenant)
         return codec.encode_json({"replayed": len(batches)})
 
     def stats(self, shard: int, tenant: int) -> bytes:
@@ -247,11 +290,34 @@ class _ShardWorker:
                 "octree_nodes": pipeline.octree.num_nodes,
                 "batches": len(pipeline.batches),
                 "cache": pipeline.cache.stats_dict(),
+                "memory": pipeline.memory_breakdown().to_dict(),
             }
         )
 
+    def mem(self, shard: int, tenant: int, payload: bytes) -> bytes:
+        """Every slot's breakdown for one shard (``MEM`` command).
+
+        The payload selects ``exact`` (recount by walking storage) and
+        ``deep`` (per-depth octree drill-down); the addressed tenant is
+        ignored — one round trip returns the whole shard's slots.
+        """
+        options = codec.decode_json(payload) if payload else {}
+        exact = bool(options.get("exact", False))
+        deep = bool(options.get("deep", False))
+        slots: Dict[str, Any] = {}
+        for (slot_shard, slot_tenant) in sorted(self.pipelines):
+            if slot_shard != shard:
+                continue
+            report = self._mem_report(
+                shard, slot_tenant, exact=exact, deep=deep
+            )
+            if report is not None:
+                slots[str(slot_tenant)] = report.to_dict()
+        return codec.encode_json({"slots": slots})
+
     def finalize(self, shard: int, tenant: int) -> bytes:
         self.pipeline(shard, tenant).finalize()
+        self._relay_mem(shard, tenant)
         return b""
 
     def drop_tenant(self, shard: int, tenant: int) -> bytes:
@@ -259,6 +325,7 @@ class _ShardWorker:
         if tenant == 0:
             raise ValueError("tenant slot 0 (the default map) cannot be dropped")
         dropped = self.pipelines.pop((shard, tenant), None) is not None
+        self._relay_mem(shard, tenant)
         return codec.encode_json({"dropped": dropped})
 
 
@@ -287,12 +354,13 @@ def shard_worker_main(conn, config_blob: bytes) -> None:
     # global tracer and feed parent-copied sinks nobody reads.
     set_tracer(Tracer(enabled=True, sinks=[relay]))
     config = codec.decode_json(config_blob)
-    worker = _ShardWorker(config)
+    worker = _ShardWorker(config, relay=relay)
     handlers = {
         codec.MSG_APPLY: worker.apply,
         codec.MSG_QUERY_MANY: worker.query_many,
         codec.MSG_BOX_QUERY: worker.box_query,
         codec.MSG_RESTORE: worker.restore,
+        codec.MSG_MEM: worker.mem,
     }
     no_payload = {
         codec.MSG_SNAPSHOT: worker.snapshot,

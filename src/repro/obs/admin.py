@@ -28,10 +28,17 @@ operational routes a scraper/orchestrator expects:
   ``stats_dict()`` (hit ratios, residency, evictions).
 - ``GET /tenants`` — the tenant fleet (see ``docs/tenancy.md``): one
   entry per tenant with lifecycle state, quota configuration, served /
-  rejected counts, and change-log cursors.  ``200`` with an empty fleet
-  when no :class:`~repro.tenancy.TenantRegistry` is mounted; ``503``
-  once the admin server is closing (a registry mid-eviction must not be
-  walked by a scraper).
+  rejected counts, change-log cursors, and attributed memory.  ``200``
+  with an empty fleet when no :class:`~repro.tenancy.TenantRegistry` is
+  mounted; ``503`` once the admin server is closing (a registry
+  mid-eviction must not be walked by a scraper).
+- ``GET /memory`` — the hierarchical byte-accounting drill-down (see
+  ``docs/memory.md``): process RSS / peak RSS, the accounted
+  component tree (map → shard → tenant slot → cache/octree, queues,
+  durability, telemetry, tenancy), per-tenant attribution, and the
+  pressure verdict.  ``?exact=1`` recounts by walking storage instead
+  of reading the O(1) counters; ``?deep=1`` adds the per-depth octree
+  breakdown.  Serving this route also refreshes the ``mem.*`` gauges.
 
 Typical use::
 
@@ -51,8 +58,9 @@ import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
+from repro.memsight.rss import peak_rss_bytes, process_rss_bytes
 from repro.obs.exposition import CONTENT_TYPE
 from repro.resilience.recovery import ShardHealth
 
@@ -77,6 +85,8 @@ def liveness(service) -> Dict[str, object]:
         "workers": config.workers,
         "kernel": config.kernel,
         "shards": config.num_shards,
+        "rss_bytes": process_rss_bytes(),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 
@@ -105,14 +115,38 @@ class _AdminHandler(BaseHTTPRequestHandler):
     server_version = "repro-admin"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        route = urlsplit(self.path).path
+        parts = urlsplit(self.path)
+        route = parts.path
         admin: "AdminServer" = self.server.admin  # type: ignore[attr-defined]
         try:
             if route == "/metrics":
+                try:
+                    # Refresh the mem.* gauges so every scrape carries a
+                    # current footprint; never fail the scrape over it.
+                    admin.service.refresh_memory_metrics()
+                except Exception:
+                    _LOG.debug("memory refresh failed", exc_info=True)
                 body = admin.service.metrics.to_prometheus_text(
                     namespace=admin.namespace
                 ).encode()
                 self._reply(200, CONTENT_TYPE, body)
+            elif route == "/memory":
+                params = parse_qs(parts.query)
+
+                def flag(name: str) -> bool:
+                    return params.get(name, ["0"])[0].lower() in (
+                        "1",
+                        "true",
+                        "yes",
+                    )
+
+                body = json.dumps(
+                    admin.service.memory_dict(
+                        exact=flag("exact"), deep=flag("deep")
+                    ),
+                    indent=2,
+                ).encode() + b"\n"
+                self._reply(200, "application/json", body)
             elif route == "/healthz":
                 body = json.dumps(
                     liveness(admin.service), indent=2
@@ -166,7 +200,7 @@ class _AdminHandler(BaseHTTPRequestHandler):
                     404,
                     "text/plain",
                     b"routes: /metrics /healthz /readyz /slo /snapshot"
-                    b" /tenants\n",
+                    b" /tenants /memory\n",
                 )
         except BrokenPipeError:  # client went away mid-reply
             pass
@@ -189,7 +223,8 @@ class _AdminHandler(BaseHTTPRequestHandler):
 
 
 class AdminServer:
-    """Serve ``/metrics`` ``/healthz`` ``/readyz`` ``/slo`` ``/snapshot``.
+    """Serve ``/metrics`` ``/healthz`` ``/readyz`` ``/slo`` ``/snapshot``
+    ``/tenants`` ``/memory``.
 
     Args:
         service: the :class:`~repro.service.OccupancyMapService` to expose.

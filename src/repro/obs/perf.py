@@ -46,6 +46,12 @@ too noisy to gate on):
   fastest SLO-clean throughput step and its end-to-end p99.  The floor
   gate that catches "still correct, but the machine saturates at half
   the load it used to".
+- ``bytes_per_voxel`` / ``mem_accounting_drift`` — the memory
+  observability gate (:func:`repro.memsight.bench.run_mem_bench`):
+  accounted map bytes per distinct observed voxel, and the worst
+  incremental-vs-exact-recount disagreement across growth, tenant
+  churn, eviction, and restore.  Drift is baselined at exactly zero —
+  a single leaked or double-counted byte in the O(1) counters fails.
 
 ``append_bench_entry`` writes each run into an append-only
 ``BENCH_<host>.json`` time series (with an environment fingerprint, so
@@ -99,6 +105,8 @@ _DEFAULT_TOLERANCE = {
     "simcache_hit_ratio": 0.10,
     "capacity_scans_per_s": 0.45,
     "ingest_p99_ms": 0.45,
+    "bytes_per_voxel": 0.45,
+    "mem_accounting_drift": 0.0,
 }
 
 _DIRECTIONS = {
@@ -114,6 +122,8 @@ _DIRECTIONS = {
     "trace_overhead_ratio": "lower",
     "capacity_scans_per_s": "higher",
     "ingest_p99_ms": "lower",
+    "bytes_per_voxel": "lower",
+    "mem_accounting_drift": "lower",
 }
 
 _UNITS = {
@@ -129,6 +139,8 @@ _UNITS = {
     "trace_overhead_ratio": "x",
     "capacity_scans_per_s": "scans/s",
     "ingest_p99_ms": "ms",
+    "bytes_per_voxel": "B/voxel",
+    "mem_accounting_drift": "bytes",
 }
 
 
@@ -509,6 +521,28 @@ def _capacity_samples(
     return [report.capacity_scans_per_s], [report.ingest_p99_ms]
 
 
+def _mem_samples(
+    dataset_name: str, quick: bool, resolution: float, depth: int
+):
+    """One mem-bench pass → ``(bytes_per_voxel, mem_accounting_drift)``.
+
+    Single samples, not median-of-N: both numbers are deterministic
+    functions of the workload (modeled byte constants, not wall clock),
+    so repeats would measure nothing but the suite's patience.
+    """
+    from repro.memsight.bench import run_mem_bench
+
+    report = run_mem_bench(
+        dataset_name=dataset_name,
+        quick=quick,
+        resolution=resolution,
+        depth=depth,
+        tenants=2,
+        growth_steps=2,
+    )
+    return [report.bytes_per_voxel], [report.mem_accounting_drift]
+
+
 def run_perf_bench(
     dataset_name: str = "fr079_corridor",
     quick: bool = False,
@@ -609,6 +643,11 @@ def run_perf_bench(
     )
     _record(run, "capacity_scans_per_s", capacities)
     _record(run, "ingest_p99_ms", p99s)
+    bytes_per_voxel, mem_drift = _mem_samples(
+        dataset_name, quick, resolution, depth
+    )
+    _record(run, "bytes_per_voxel", bytes_per_voxel)
+    _record(run, "mem_accounting_drift", mem_drift)
     run.elapsed_seconds = time.perf_counter() - suite_start
     return run
 

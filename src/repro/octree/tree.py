@@ -574,6 +574,69 @@ class OccupancyOctree:
         """Estimated memory footprint using OctoMap's compact node size."""
         return self._num_nodes * NODE_BYTES
 
+    def node_census(self) -> List[Tuple[int, int]]:
+        """Exact per-depth ``(leaf, interior)`` node counts via a walk.
+
+        Depth 0 is the root.  The summed census must equal
+        :attr:`num_nodes` (the counter ``_alloc``/``_try_prune``
+        maintain incrementally) — the memsight drift gate checks that.
+        """
+        census: List[List[int]] = []
+        if self._root is None:
+            return []
+        stack: List[Tuple[OctreeNode, int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            while len(census) <= depth:
+                census.append([0, 0])
+            if node.children is None:
+                census[depth][0] += 1
+                continue
+            census[depth][1] += 1
+            for child in node.children:
+                if child is not None:
+                    stack.append((child, depth + 1))
+        return [(leaf, interior) for leaf, interior in census]
+
+    def recount_nodes(self) -> int:
+        """Total allocated nodes recounted by walking the tree (exact)."""
+        return sum(leaf + interior for leaf, interior in self.node_census())
+
+    def memory_breakdown(self, exact: bool = False, deep: bool = False):
+        """Hierarchical footprint at :data:`NODE_BYTES` per node.
+
+        The default is O(1) — ``nodes`` carries the incrementally
+        maintained count.  ``exact=True`` recounts by walking the tree
+        (same report shape, so drift against the default is meaningful).
+        ``deep=True`` swaps the flat ``nodes`` leaf for a per-depth
+        drill-down split into leaf vs interior nodes (always walked).
+        """
+        from repro.memsight.report import MemoryReport
+
+        if deep:
+            depths = []
+            for depth, (leaves, interior) in enumerate(self.node_census()):
+                children = []
+                if leaves:
+                    children.append(
+                        MemoryReport("leaf", leaves * NODE_BYTES, leaves)
+                    )
+                if interior:
+                    children.append(
+                        MemoryReport(
+                            "interior", interior * NODE_BYTES, interior
+                        )
+                    )
+                if children:
+                    depths.append(
+                        MemoryReport(f"depth{depth:02d}", children=children)
+                    )
+            nodes = MemoryReport("nodes", children=depths)
+        else:
+            count = self.recount_nodes() if exact else self._num_nodes
+            nodes = MemoryReport("nodes", count * NODE_BYTES, count)
+        return MemoryReport("octree", children=[nodes])
+
     def iter_leaves(self) -> Iterator[Tuple[VoxelKey, int, float]]:
         """Yield ``(min_key, level, value)`` for every leaf node.
 

@@ -106,6 +106,13 @@ class CheckpointStore:
         self._checkpoints: List[Optional[ShardCheckpoint]] = [
             None for _ in range(num_shards)
         ]
+        #: Absolute index of each journal's first *retained* entry:
+        #: :meth:`compact` drops snapshot-covered entries but journal
+        #: positions (``upto``, append indices) stay absolute forever.
+        self._bases: List[int] = [0 for _ in range(num_shards)]
+        #: Observations across retained entries, maintained on append/
+        #: compact — the O(1) counter behind :meth:`memory_breakdown`.
+        self._journal_obs: List[int] = [0 for _ in range(num_shards)]
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -123,11 +130,39 @@ class CheckpointStore:
         with self._locks[shard_id]:
             journal = self._journals[shard_id]
             journal.append(entry)
-            return len(journal) - 1
+            self._journal_obs[shard_id] += len(entry)
+            return self._bases[shard_id] + len(journal) - 1
 
     def journal_length(self, shard_id: int) -> int:
+        """Absolute journal length (compacted prefix included)."""
         with self._locks[shard_id]:
-            return len(self._journals[shard_id])
+            return self._bases[shard_id] + len(self._journals[shard_id])
+
+    def compact(self, shard_id: int) -> int:
+        """Drop journal entries the latest snapshot already covers.
+
+        Entries below ``checkpoint.upto`` can never be replayed again
+        (recovery always starts from the newest snapshot), so dropping
+        them returns their memory while keeping absolute journal
+        positions intact via the shard's base offset.  Returns the
+        number of entries dropped (0 when there is no snapshot or
+        nothing to drop).
+        """
+        with self._locks[shard_id]:
+            checkpoint = self._checkpoints[shard_id]
+            if checkpoint is None:
+                return 0
+            drop = checkpoint.upto - self._bases[shard_id]
+            if drop <= 0:
+                return 0
+            journal = self._journals[shard_id]
+            dropped = journal[:drop]
+            del journal[:drop]
+            self._bases[shard_id] = checkpoint.upto
+            self._journal_obs[shard_id] -= sum(
+                len(entry) for entry in dropped
+            )
+            return len(dropped)
 
     # ------------------------------------------------------------------
     # Snapshots.
@@ -159,11 +194,11 @@ class CheckpointStore:
         self.fault_plan.check("snapshot.write", shard=shard_id)
         checkpoint = ShardCheckpoint(blob=blob, upto=upto)
         with self._locks[shard_id]:
-            if upto > len(self._journals[shard_id]):
+            length = self._bases[shard_id] + len(self._journals[shard_id])
+            if upto > length:
                 raise ValueError(
                     f"snapshot claims {upto} journal entries but shard "
-                    f"{shard_id} only journaled "
-                    f"{len(self._journals[shard_id])}"
+                    f"{shard_id} only journaled {length}"
                 )
             self._checkpoints[shard_id] = checkpoint
         if self.directory is not None:
@@ -187,15 +222,24 @@ class CheckpointStore:
         with self._locks[shard_id]:
             checkpoint = self._checkpoints[shard_id]
             start = checkpoint.upto if checkpoint is not None else 0
-            tail = [list(entry) for entry in self._journals[shard_id][start:]]
+            # ``start`` is absolute; compaction never outruns the newest
+            # snapshot, so ``start - base`` is non-negative in practice
+            # (clamped defensively anyway).
+            offset = max(0, start - self._bases[shard_id])
+            tail = [
+                list(entry) for entry in self._journals[shard_id][offset:]
+            ]
         return checkpoint, tail
 
     def stats(self, shard_id: int) -> dict:
         """JSON-able durability state for one shard."""
         with self._locks[shard_id]:
             checkpoint = self._checkpoints[shard_id]
+            live = len(self._journals[shard_id])
             return {
-                "journal_entries": len(self._journals[shard_id]),
+                "journal_entries": self._bases[shard_id] + live,
+                "journal_live_entries": live,
+                "journal_base": self._bases[shard_id],
                 "snapshot_upto": (
                     checkpoint.upto if checkpoint is not None else 0
                 ),
@@ -203,6 +247,49 @@ class CheckpointStore:
                     len(checkpoint.blob) if checkpoint is not None else 0
                 ),
             }
+
+    # ------------------------------------------------------------------
+    # Memory accounting (repro.memsight).
+    # ------------------------------------------------------------------
+
+    def memory_breakdown(self, exact: bool = False):
+        """Durability footprint: retained journal entries + snapshots.
+
+        Journal bytes use the modeled :data:`OBS_BYTES` per retained
+        observation (``exact=True`` recounts by walking the entries;
+        the default reads the O(1) counters).  Snapshot bytes are exact
+        blob lengths either way.
+        """
+        from repro.memsight.costs import OBS_BYTES
+        from repro.memsight.report import MemoryReport
+
+        shards = []
+        for shard_id in range(len(self._journals)):
+            with self._locks[shard_id]:
+                if exact:
+                    obs = sum(
+                        len(entry) for entry in self._journals[shard_id]
+                    )
+                else:
+                    obs = self._journal_obs[shard_id]
+                checkpoint = self._checkpoints[shard_id]
+                blob_bytes = (
+                    len(checkpoint.blob) if checkpoint is not None else 0
+                )
+            shards.append(
+                MemoryReport(
+                    f"shard{shard_id}",
+                    children=[
+                        MemoryReport("journal", obs * OBS_BYTES, obs),
+                        MemoryReport(
+                            "snapshot",
+                            blob_bytes,
+                            1 if blob_bytes else 0,
+                        ),
+                    ],
+                )
+            )
+        return MemoryReport("durability", children=shards)
 
 
 def restore_pipeline(

@@ -58,6 +58,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CacheConfig
 from repro.kernels import validate_kernel
+from repro.memsight.costs import OBS_BYTES
+from repro.memsight.pressure import PressureConfig, PressureMonitor
+from repro.memsight.report import MemoryReport
+from repro.memsight.rss import peak_rss_bytes, process_rss_bytes
 from repro.octree.key import VoxelKey
 from repro.octree.occupancy import OccupancyParams
 from repro.octree.rayquery import RayHit
@@ -146,6 +150,11 @@ class ServiceConfig:
             journaling, and recovery semantics are identical.
         num_procs: worker process count for ``workers="process"``
             (default: one per shard); shards are assigned round-robin.
+        mem_soft_bytes / mem_hard_bytes: total-footprint pressure
+            watermarks (accounted bytes, see ``docs/memory.md``);
+            ``None`` disables that check.
+        tenant_mem_soft_bytes / tenant_mem_hard_bytes: per-tenant
+            watermarks applied to each tenant's attributed footprint.
     """
 
     resolution: float
@@ -168,6 +177,19 @@ class ServiceConfig:
     checkpoint_dir: Optional[str] = None
     workers: str = "thread"
     num_procs: Optional[int] = None
+    mem_soft_bytes: Optional[int] = None
+    mem_hard_bytes: Optional[int] = None
+    tenant_mem_soft_bytes: Optional[int] = None
+    tenant_mem_hard_bytes: Optional[int] = None
+
+    def pressure_config(self) -> PressureConfig:
+        """The watermark fields as a validated :class:`PressureConfig`."""
+        return PressureConfig(
+            soft_bytes=self.mem_soft_bytes,
+            hard_bytes=self.mem_hard_bytes,
+            tenant_soft_bytes=self.tenant_mem_soft_bytes,
+            tenant_hard_bytes=self.tenant_mem_hard_bytes,
+        )
 
     def __post_init__(self) -> None:
         if self.resolution <= 0:
@@ -219,6 +241,8 @@ class ServiceConfig:
                     f"num_procs must be in [1, num_shards="
                     f"{self.num_shards}], got {self.num_procs}"
                 )
+        # Validates the watermark fields (non-negative, soft <= hard).
+        self.pressure_config()
 
 
 @dataclass(frozen=True)
@@ -345,6 +369,16 @@ class OccupancyMapService:
         ]
         self._outstanding_cv = threading.Condition()
         self._outstanding = 0
+        # Observations sitting in each shard's queue right now — the
+        # O(1) counters behind the ``queues`` memory component
+        # (incremented at enqueue, decremented at dequeue, both under
+        # ``_outstanding_cv`` which those paths already take).
+        self._queued_obs: List[int] = [0] * config.num_shards
+        #: Watermark evaluation over the accounted footprint; advisory
+        #: (gauge + log + hook), refreshed by scrapes and benches.
+        self.pressure = PressureMonitor(
+            config.pressure_config(), metrics=self.metrics
+        )
         self._errors: List[BaseException] = []
         self._close_lock = threading.RLock()
         self._closed = False
@@ -598,6 +632,7 @@ class OccupancyMapService:
     ) -> None:
         with self._outstanding_cv:
             self._outstanding += 1
+            self._queued_obs[shard_id] += len(part)
         # Items carry their enqueue timestamp plus the request context
         # (span id + client-submit stamp) so the worker can emit the
         # slice's queue-wait and end-to-end spans parented to the
@@ -668,6 +703,10 @@ class OccupancyMapService:
             # Dequeued sub-batches free their reserved slots immediately:
             # queue_capacity bounds *queued* work, not in-flight work.
             self._slots[shard_id].release(len(parts))
+            with self._outstanding_cv:
+                self._queued_obs[shard_id] -= sum(
+                    len(part) for part, _ts, _ctx in parts
+                )
             depth_gauge.set(shard_queue.qsize())
             dequeued_at = time.perf_counter()
             for part, enqueued_at, (request_id, _submitted_at) in parts:
@@ -1117,6 +1156,101 @@ class OccupancyMapService:
     # Observability.
     # ------------------------------------------------------------------
 
+    def memory_report(
+        self, exact: bool = False, deep: bool = False
+    ) -> MemoryReport:
+        """The service's hierarchical footprint (``docs/memory.md``).
+
+        Components: the sharded ``map`` (per-shard, per-tenant-slot
+        cache + octree), the ingest ``queues`` (buffered observations),
+        ``durability`` (retained journal entries + snapshot blobs),
+        ``telemetry`` (buffering tracer sinks), and — when a tenant
+        registry is mounted — ``tenancy`` (change-log rings, per-tenant
+        journals).  The default reads incrementally-maintained counters
+        (O(shards + tenants)); ``exact=True`` recounts every component
+        by walking its storage — the drift gate compares the two.
+        ``deep=True`` adds the per-depth octree drill-down.
+        """
+        children = [self.map.memory_breakdown(exact=exact, deep=deep)]
+        shard_reports = []
+        for shard_id in range(self.config.num_shards):
+            if exact:
+                items = list(self._queues[shard_id].queue)
+                obs = sum(
+                    len(item[0]) for item in items if item is not _STOP
+                )
+            else:
+                obs = max(0, self._queued_obs[shard_id])
+            shard_reports.append(
+                MemoryReport(f"shard{shard_id}", obs * OBS_BYTES, obs)
+            )
+        children.append(MemoryReport("queues", children=shard_reports))
+        children.append(self.store.memory_breakdown(exact=exact))
+        children.append(self.tracer.memory_breakdown(exact=exact))
+        registry = getattr(self, "tenant_registry", None)
+        if registry is not None and hasattr(registry, "memory_breakdown"):
+            children.append(registry.memory_breakdown(exact=exact))
+        return MemoryReport("service", children=children)
+
+    def tenant_memory_bytes(self) -> Dict[str, int]:
+        """Attributed footprint per tenant name (empty without tenancy)."""
+        registry = getattr(self, "tenant_registry", None)
+        if registry is None or not hasattr(registry, "tenant_memory_bytes"):
+            return {}
+        return registry.tenant_memory_bytes()
+
+    def refresh_memory_metrics(
+        self, exact: bool = False, deep: bool = False
+    ):
+        """Measure the footprint, publish ``mem.*`` gauges, evaluate
+        pressure.
+
+        Returns ``(report, decision)``.  Called by the ``/memory`` and
+        ``/metrics`` admin routes (and the mem bench), so the gauges are
+        fresh at every scrape while the ingest hot path pays only for
+        counter increments.
+        """
+        report = self.memory_report(exact=exact, deep=deep)
+        total = report.total_bytes
+        self.metrics.gauge("mem.total_bytes").set(total)
+        for component in report.children:
+            self.metrics.gauge(f"mem.{component.name}_bytes").set(
+                component.total_bytes
+            )
+        map_report = report.child("map")
+        if map_report is not None:
+            for shard in map_report.children:
+                self.metrics.gauge(f"mem.shard_bytes.{shard.name}").set(
+                    shard.total_bytes
+                )
+        rss = process_rss_bytes()
+        if rss is not None:
+            self.metrics.gauge("mem.process_rss_bytes").set(rss)
+        tenant_bytes = self.tenant_memory_bytes()
+        for name, nbytes in tenant_bytes.items():
+            self.metrics.gauge(f"tenant.mem_bytes.{name}").set(nbytes)
+        decision = self.pressure.evaluate(total, tenant_bytes)
+        return report, decision
+
+    def memory_dict(
+        self, exact: bool = False, deep: bool = False
+    ) -> Dict[str, object]:
+        """The ``/memory`` route body: RSS, pressure, and the full tree."""
+        report, decision = self.refresh_memory_metrics(
+            exact=exact, deep=deep
+        )
+        out: Dict[str, object] = {
+            "accounted_bytes": report.total_bytes,
+            "process_rss_bytes": process_rss_bytes(),
+            "peak_rss_bytes": peak_rss_bytes(),
+            "pressure": decision.to_dict(),
+            "report": report.to_dict(),
+        }
+        tenants = self.tenant_memory_bytes()
+        if tenants:
+            out["tenants"] = tenants
+        return out
+
     def stats_dict(self) -> Dict[str, object]:
         """JSON-able service state: metrics plus per-shard map stats.
 
@@ -1145,12 +1279,21 @@ class OccupancyMapService:
                     **durability,
                 }
             )
+        report = self.memory_report()
         return {
             "metrics": self.metrics.to_dict(),
             "shards": shards,
             "cache_totals": aggregate_cache_stats(
                 entry["cache"] for entry in shards
             ),
+            "memory": {
+                "accounted_bytes": report.total_bytes,
+                "components": {
+                    component.name: component.total_bytes
+                    for component in report.children
+                },
+                "pressure": self.pressure.level,
+            },
             "ready": self.ready(),
         }
 

@@ -554,6 +554,66 @@ class ShardedMap:
         """Sum of per-batch modeled costs (max-over-shards execution)."""
         return sum(record.modeled_cost for record in self.records)
 
+    # ------------------------------------------------------------------
+    # Memory accounting (repro.memsight).
+    # ------------------------------------------------------------------
+
+    def memory_breakdown(self, exact: bool = False, deep: bool = False):
+        """Per-shard, per-tenant-slot footprint tree.
+
+        Shape::
+
+            map
+            ├── shard0
+            │   ├── default        (slot 0's cache + octree)
+            │   └── tenant<slot>   (one per live tenant slice)
+            └── shard1 ...
+
+        Each shard is read under its own lock (per-shard consistent,
+        matching the snapshot guarantee).  ``exact`` recounts each
+        pipeline's storage; ``deep`` adds the octree depth drill-down.
+        """
+        from repro.memsight.report import MemoryReport
+
+        by_shard: Dict[int, List] = {}
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                by_shard[shard_id] = [
+                    shard.memory_breakdown(
+                        exact=exact, deep=deep, name="default"
+                    )
+                ]
+        for (shard_id, tenant), shard in sorted(self._tenant_shards.items()):
+            with self._locks[shard_id]:
+                by_shard.setdefault(shard_id, []).append(
+                    shard.memory_breakdown(
+                        exact=exact, deep=deep, name=f"tenant{tenant}"
+                    )
+                )
+        return MemoryReport(
+            "map",
+            children=[
+                MemoryReport(f"shard{shard_id}", children=slots)
+                for shard_id, slots in sorted(by_shard.items())
+            ],
+        )
+
+    def tenant_memory_bytes(self) -> Dict[int, int]:
+        """Footprint per tenant slot, summed across shards (slot 0 =
+        the default map).  The tenancy layer joins these to tenant names
+        for ``tenant.mem_bytes.<name>`` attribution."""
+        totals: Dict[int, int] = {0: 0}
+        for shard_id, shard in enumerate(self.shards):
+            with self._locks[shard_id]:
+                totals[0] += shard.memory_breakdown().total_bytes
+        for (shard_id, tenant), shard in list(self._tenant_shards.items()):
+            with self._locks[shard_id]:
+                totals[tenant] = (
+                    totals.get(tenant, 0)
+                    + shard.memory_breakdown().total_bytes
+                )
+        return totals
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedMap(res={self.resolution}, depth={self.depth}, "

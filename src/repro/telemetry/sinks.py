@@ -98,6 +98,27 @@ class RingBufferSink(SpanSink):
             self._counts.clear()
             self.dropped = 0
 
+    def memory_breakdown(self, exact: bool = False):
+        """Retained spans/counters at modeled per-record costs.
+
+        The ring is a bounded deque, so the retained length *is* the
+        incremental counter — ``exact`` recounts the same thing (the
+        drift gate covers sinks for free).
+        """
+        from repro.memsight.costs import COUNT_BYTES, SPAN_BYTES
+        from repro.memsight.report import MemoryReport
+
+        with self._lock:
+            num_spans = len(self._spans)
+            num_counts = len(self._counts)
+        return MemoryReport(
+            "ring_buffer",
+            children=[
+                MemoryReport("spans", num_spans * SPAN_BYTES, num_spans),
+                MemoryReport("counts", num_counts * COUNT_BYTES, num_counts),
+            ],
+        )
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)

@@ -316,6 +316,21 @@ class Tracer:
     def disable(self) -> None:
         self.enabled = False
 
+    def memory_breakdown(self, exact: bool = False):
+        """Footprint of every attached sink that can account for itself.
+
+        Sinks without a ``memory_breakdown`` method (metrics bridges,
+        forwarders — they buffer nothing) are skipped.
+        """
+        from repro.memsight.report import MemoryReport
+
+        children = []
+        for sink in self.sinks:
+            breakdown = getattr(sink, "memory_breakdown", None)
+            if breakdown is not None:
+                children.append(breakdown(exact=exact))
+        return MemoryReport("telemetry", children=children)
+
     # ------------------------------------------------------------------
     # Span production.
     # ------------------------------------------------------------------

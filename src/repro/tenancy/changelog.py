@@ -76,6 +76,30 @@ class ChangeLog:
                 self._ring.append(MapDelta(self._next_cursor, key, value))
                 self._next_cursor += 1
 
+    def clear(self) -> None:
+        """Empty the ring (tenant eviction frees its streaming buffer).
+
+        Cursors stay monotone — they are history positions, not ring
+        indices — so a subscriber that resumes after a clear is told
+        ``truncated=True`` and resyncs from a snapshot instead of
+        silently missing the dropped deltas.
+        """
+        with self._lock:
+            self._ring.clear()
+
+    def memory_breakdown(self, exact: bool = False):
+        """Ring footprint at :data:`DELTA_BYTES` per buffered delta.
+
+        The ring *is* the counter (a bounded deque), so the incremental
+        and exact paths read the same length.
+        """
+        from repro.memsight.costs import DELTA_BYTES
+        from repro.memsight.report import MemoryReport
+
+        with self._lock:
+            buffered = len(self._ring)
+        return MemoryReport("changelog", buffered * DELTA_BYTES, buffered)
+
     # ------------------------------------------------------------------
     # Reader side (subscriptions).
     # ------------------------------------------------------------------

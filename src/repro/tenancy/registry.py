@@ -51,6 +51,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.memsight.report import MemoryReport
 from repro.octree.key import VoxelKey
 from repro.octree.merge import merge_tree
 from repro.octree.tree import OccupancyOctree
@@ -194,6 +195,23 @@ class Tenant:
             ),
         }
 
+    def memory_breakdown(self, exact: bool = False) -> MemoryReport:
+        """Registry-owned state: the tenant's journals + changelog ring.
+
+        Map slot bytes are deliberately *not* here — they already live
+        under the map component (``map/shard<i>/tenant<slot>``), and a
+        component tree must not double-count.  Per-tenant attribution
+        that combines both views is
+        :meth:`TenantRegistry.tenant_memory_bytes`.
+        """
+        return MemoryReport(
+            f"tenant{self.slot}",
+            children=[
+                self.store.memory_breakdown(exact=exact),
+                self.changelog.memory_breakdown(exact=exact),
+            ],
+        )
+
 
 class TenantRegistry:
     """Hosts many tenants' maps on one service's shared shard pool.
@@ -266,6 +284,13 @@ class TenantRegistry:
         # default map's sibling-shard restore.
         if hasattr(self.map, "tenant_recovery_source"):
             self.map.tenant_recovery_source = self._tenant_recovery_state
+        #: Advisory per-tenant pressure flags (name -> level) from the
+        #: service's PressureMonitor; surfaced in ``/tenants``.  The
+        #: hook only *observes* — nothing is shed or evicted here.
+        self._pressure_flags: Dict[str, str] = {}
+        pressure = getattr(service, "pressure", None)
+        if pressure is not None:
+            pressure.on_pressure = self._on_pressure
         service.tenant_registry = self
 
     # ------------------------------------------------------------------
@@ -344,7 +369,11 @@ class TenantRegistry:
     def evict(self, name: str) -> None:
         """Persist one tenant, then free every shard slice it owns.
 
-        The evicted tenant keeps only its durable snapshot + journal;
+        The evicted tenant keeps only its durable snapshot (plus the
+        journal tail of any shard whose snapshot failed): map slots are
+        dropped, journals are compacted below the checkpoint, and the
+        changelog ring is cleared (subscribers see ``truncated`` and
+        resync).  Its in-memory footprint returns to the baseline —
         :meth:`restore` rebuilds the exact map.  Queries and submissions
         against an evicted tenant raise until then.
         """
@@ -352,6 +381,9 @@ class TenantRegistry:
         self.persist(name)
         tenant.state = TenantState.EVICTED
         self.map.drop_tenant(tenant.slot)
+        for shard_id in range(self.num_shards):
+            tenant.store.compact(shard_id)
+        tenant.changelog.clear()
         self.metrics.state(f"tenant_state.{name}").set("evicted")
         self.metrics.counter(f"tenant.evictions.{name}").inc()
 
@@ -637,16 +669,83 @@ class TenantRegistry:
             f"{len(errors)} tenant dispatcher error(s); first: {errors[0]!r}"
         ) from errors[0]
 
+    def memory_breakdown(self, exact: bool = False) -> MemoryReport:
+        """The ``tenancy`` component: per-tenant journals + changelogs.
+
+        Tenant *map* bytes live under the map component's per-shard
+        tenant slots; this node carries only what the registry itself
+        owns, so summing the service's component tree never counts a
+        byte twice.
+        """
+        with self._lock:
+            tenants = sorted(
+                self._tenants.values(), key=lambda tenant: tenant.slot
+            )
+        return MemoryReport(
+            "tenancy",
+            children=[tenant.memory_breakdown(exact=exact) for tenant in tenants],
+        )
+
+    def tenant_memory_bytes(self) -> Dict[str, int]:
+        """Attributed footprint per tenant name: map slots across every
+        shard plus the tenant's journals and changelog ring.
+
+        This is the view the pressure monitor's per-tenant watermarks
+        and the ``tenant.mem_bytes.<name>`` gauges evaluate.
+        """
+        try:
+            slot_bytes = self.map.tenant_memory_bytes()
+        except Exception:
+            slot_bytes = {}
+        with self._lock:
+            tenants = list(self._tenants.items())
+        return {
+            name: int(slot_bytes.get(tenant.slot, 0))
+            + tenant.memory_breakdown().total_bytes
+            for name, tenant in tenants
+        }
+
+    def _on_pressure(self, level: str, tenant_levels: Dict[str, str]) -> None:
+        """Advisory hook from the service's :class:`PressureMonitor`:
+        remember which tenants are over their watermark so ``/tenants``
+        can surface the flag.  Observation only — no shedding here."""
+        with self._lock:
+            self._pressure_flags = dict(tenant_levels)
+
     def tenants_dict(self) -> Dict[str, object]:
-        """JSON-able fleet state (the admin server's ``/tenants`` body)."""
+        """JSON-able fleet state (the admin server's ``/tenants`` body).
+
+        Each entry carries a ``memory`` rollup (map slots + journals +
+        changelog, in bytes) and — when the pressure monitor has flagged
+        the tenant — a ``memory_pressure`` level.
+        """
         with self._lock:
             tenants = dict(self._tenants)
+            flags = dict(self._pressure_flags)
+        try:
+            slot_bytes = self.map.tenant_memory_bytes()
+        except Exception:
+            slot_bytes = {}
+        entries: Dict[str, object] = {}
+        for name, tenant in sorted(tenants.items()):
+            entry = tenant.to_dict()
+            map_bytes = int(slot_bytes.get(tenant.slot, 0))
+            registry_report = tenant.memory_breakdown()
+            durable = registry_report.child("durability")
+            changelog = registry_report.child("changelog")
+            entry["memory"] = {
+                "map_bytes": map_bytes,
+                "journal_bytes": durable.total_bytes if durable else 0,
+                "changelog_bytes": changelog.total_bytes if changelog else 0,
+                "total_bytes": map_bytes + registry_report.total_bytes,
+            }
+            if name in flags:
+                entry["memory_pressure"] = flags[name]
+            entries[name] = entry
         return {
             "enabled": True,
             "count": len(tenants),
-            "tenants": {
-                name: tenant.to_dict() for name, tenant in sorted(tenants.items())
-            },
+            "tenants": entries,
         }
 
     def _require_active(self, name: str) -> Tenant:
@@ -678,6 +777,9 @@ class TenantRegistry:
                 cv.notify_all()
         for thread in self._dispatchers:
             thread.join(timeout=10.0)
+        pressure = getattr(self.service, "pressure", None)
+        if pressure is not None and pressure.on_pressure == self._on_pressure:
+            pressure.on_pressure = None
         if getattr(self.service, "tenant_registry", None) is self:
             self.service.tenant_registry = None
 

@@ -1,0 +1,160 @@
+"""The ``/memory`` admin route and the memory fields on its siblings."""
+
+import json
+import random
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.admin import AdminServer
+from repro.service.server import OccupancyMapService, ServiceConfig
+from repro.tenancy.registry import TenantRegistry
+
+BACKENDS = ("thread", "process")
+
+
+def make_service(workers="thread"):
+    return OccupancyMapService(
+        ServiceConfig(
+            resolution=0.2,
+            depth=8,
+            num_shards=2,
+            workers=workers,
+            snapshot_interval=0,
+        )
+    )
+
+
+def ingest(service, seed=41, batches=3, size=50):
+    rng = random.Random(seed)
+    for _ in range(batches):
+        service.submit_observations(
+            [
+                (
+                    (rng.randrange(256), rng.randrange(256), rng.randrange(256)),
+                    rng.random() < 0.7,
+                )
+                for _ in range(size)
+            ],
+            must_accept=True,
+        )
+    service.flush()
+
+
+def fetch(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+@pytest.mark.parametrize("workers", BACKENDS)
+class TestMemoryRoute:
+    def test_serves_the_drill_down_tree(self, workers):
+        with make_service(workers) as service:
+            ingest(service)
+            with AdminServer(service) as admin:
+                status, body = fetch(admin.url + "/memory")
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["accounted_bytes"] > 0
+                assert payload["pressure"]["level"] == "ok"
+                report = payload["report"]
+                assert report["name"] == "service"
+                components = {
+                    child["name"] for child in report["children"]
+                }
+                assert {"map", "queues", "durability", "telemetry"} <= (
+                    components
+                )
+                map_child = next(
+                    c for c in report["children"] if c["name"] == "map"
+                )
+                shard_names = {c["name"] for c in map_child["children"]}
+                assert shard_names == {"shard0", "shard1"}
+
+    def test_exact_flag_recounts_identically(self, workers):
+        with make_service(workers) as service:
+            ingest(service)
+            with AdminServer(service) as admin:
+                _status, default_body = fetch(admin.url + "/memory")
+                _status, exact_body = fetch(admin.url + "/memory?exact=1")
+                default = json.loads(default_body)
+                exact = json.loads(exact_body)
+                assert (
+                    default["accounted_bytes"] == exact["accounted_bytes"]
+                )
+
+    def test_deep_flag_adds_octree_depths(self, workers):
+        from repro.core.config import CacheConfig
+
+        # A tiny cache forces evictions into the octree so the per-depth
+        # drill-down has nodes to show.
+        config = ServiceConfig(
+            resolution=0.2,
+            depth=8,
+            num_shards=2,
+            workers=workers,
+            snapshot_interval=0,
+            cache_config=CacheConfig(num_buckets=16, bucket_threshold=2),
+        )
+        with OccupancyMapService(config) as service:
+            ingest(service, batches=4, size=80)
+            with AdminServer(service) as admin:
+                _status, body = fetch(admin.url + "/memory?deep=1")
+                assert '"depth' in body  # per-depth octree children
+
+
+class TestMemoryEverywhere:
+    def test_metrics_scrape_carries_mem_gauges(self):
+        with make_service() as service:
+            ingest(service)
+            with AdminServer(service) as admin:
+                _status, body = fetch(admin.url + "/metrics")
+                assert "repro_mem_total_bytes" in body
+                assert "repro_mem_map_bytes" in body
+                assert "repro_mem_pressure" in body
+
+    def test_healthz_reports_rss(self):
+        with make_service() as service:
+            with AdminServer(service) as admin:
+                _status, body = fetch(admin.url + "/healthz")
+                health = json.loads(body)
+                assert "rss_bytes" in health
+                assert "peak_rss_bytes" in health
+
+    def test_snapshot_embeds_the_memory_rollup(self):
+        with make_service() as service:
+            ingest(service)
+            stats = service.stats_dict()
+            memory = stats["memory"]
+            assert memory["accounted_bytes"] > 0
+            assert "map" in memory["components"]
+            assert memory["pressure"] == "ok"
+
+    def test_tenants_route_carries_memory_and_tenant_gauges(self):
+        with make_service() as service:
+            with TenantRegistry(service) as registry:
+                registry.create("robot-a")
+                registry.submit_observations(
+                    "robot-a", [((1, 1, 1), True)], must_accept=True
+                )
+                registry.flush()
+                with AdminServer(service) as admin:
+                    _status, body = fetch(admin.url + "/tenants")
+                    entry = json.loads(body)["tenants"]["robot-a"]
+                    assert entry["memory"]["map_bytes"] > 0
+                    assert entry["memory"]["total_bytes"] >= (
+                        entry["memory"]["map_bytes"]
+                    )
+                    _status, metrics = fetch(admin.url + "/metrics")
+                    assert "repro_tenant_mem_bytes_robot_a" in metrics
+
+    def test_404_mentions_the_memory_route(self):
+        with make_service() as service:
+            with AdminServer(service) as admin:
+                status, body = fetch(admin.url + "/nope")
+                assert status == 404
+                assert "/memory" in body

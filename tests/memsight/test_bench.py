@@ -1,0 +1,120 @@
+"""mem-bench end to end: drift gate, series entry, perf-check wiring."""
+
+import json
+
+import pytest
+
+from repro.memsight.bench import run_mem_bench
+from repro.obs.perf import append_bench_entry, check_regressions
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_mem_bench(quick=True, tenants=2, growth_steps=2)
+
+
+class TestRun:
+    def test_quick_run_passes_the_drift_gate(self, report):
+        assert report.ok
+        assert report.mem_accounting_drift == 0
+        assert report.evict_residual_bytes == 0
+        assert report.restore_drift_bytes == 0
+
+    def test_growth_steps_are_monotone(self, report):
+        accounted = [step.accounted_bytes for step in report.steps]
+        assert accounted == sorted(accounted)
+        voxels = [step.distinct_voxels for step in report.steps]
+        assert voxels == sorted(voxels)
+
+    def test_bytes_per_voxel_is_sane(self, report):
+        # 7 B cell + 16 B index entry is the per-voxel floor; bucket
+        # slots and octree nodes amortize on top.  Triple digits means
+        # the model broke.
+        assert 20.0 < report.bytes_per_voxel < 500.0
+
+    def test_tracemalloc_ratio_recorded_on_thread_backend(self, report):
+        assert report.traced_ratio is not None
+        assert 0.005 <= report.traced_ratio <= 2.0
+
+    def test_tenant_attribution_covers_the_fleet(self, report):
+        assert len(report.tenant_bytes) == 2
+        assert all(nbytes > 0 for nbytes in report.tenant_bytes.values())
+        assert report.evict_released_bytes > 0
+
+
+class TestSeriesEntry:
+    def test_entry_shape_matches_the_series_contract(self, report):
+        entry = report.to_bench_entry()
+        assert entry["kind"] == "mem-bench"
+        metrics = entry["metrics"]
+        assert set(metrics) == {"bytes_per_voxel", "mem_accounting_drift"}
+        for info in metrics.values():
+            assert {"value", "unit", "direction", "samples"} <= set(info)
+        json.dumps(entry)  # must be serialisable as-is
+
+    def test_entry_appends_and_gates(self, report, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        assert append_bench_entry(report.to_bench_entry(), str(path)) == 1
+        baseline = {
+            "metrics": {
+                "bytes_per_voxel": {
+                    "value": 94.0,
+                    "direction": "lower",
+                    "tolerance": 0.2,
+                },
+                "mem_accounting_drift": {
+                    "value": 0.0,
+                    "direction": "lower",
+                    "tolerance": 0.0,
+                },
+            }
+        }
+        entry = json.loads(path.read_text())[-1]
+        result = check_regressions(
+            entry,
+            baseline,
+            only=["bytes_per_voxel", "mem_accounting_drift"],
+        )
+        assert result.ok
+
+    def test_nonzero_drift_would_fail_the_gate(self, report):
+        entry = report.to_bench_entry()
+        entry["metrics"]["mem_accounting_drift"]["value"] = 1.0
+        baseline = {
+            "metrics": {
+                "mem_accounting_drift": {
+                    "value": 0.0,
+                    "direction": "lower",
+                    "tolerance": 0.0,
+                }
+            }
+        }
+        result = check_regressions(
+            entry, baseline, only=["mem_accounting_drift"]
+        )
+        assert not result.ok
+
+
+class TestCli:
+    def test_mem_bench_subcommand_runs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "series.json"
+        code = main(
+            [
+                "mem-bench",
+                "--quick",
+                "--tenants",
+                "2",
+                "--growth-steps",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "bytes / voxel" in printed
+        assert "accounting drift" in printed
+        series = json.loads(out.read_text())
+        assert series[-1]["kind"] == "mem-bench"

@@ -1,0 +1,140 @@
+"""Regression: ``TenantRegistry.evict`` returns the footprint to baseline.
+
+An evicted tenant must stop costing memory: its per-shard map slots are
+dropped, its journal entries are compacted below the checkpoint, and its
+changelog ring is cleared.  Only the snapshot blobs — the durable copy
+eviction exists to keep — may remain.  Historically the slots were
+dropped but journals and rings kept growing; this pins the full
+return-to-baseline under both worker backends.
+"""
+
+import random
+
+import pytest
+
+from repro.service.server import OccupancyMapService, ServiceConfig
+from repro.tenancy.registry import TenantRegistry
+
+BACKENDS = ("thread", "process")
+
+
+def make_service(workers):
+    return OccupancyMapService(
+        ServiceConfig(
+            resolution=0.2,
+            depth=8,
+            num_shards=2,
+            workers=workers,
+            snapshot_interval=0,
+        )
+    )
+
+
+def random_batches(seed, batches=4, size=50):
+    rng = random.Random(seed)
+    return [
+        [
+            (
+                (rng.randrange(256), rng.randrange(256), rng.randrange(256)),
+                rng.random() < 0.7,
+            )
+            for _ in range(size)
+        ]
+        for _ in range(batches)
+    ]
+
+
+def grow(registry, name, seed, subscribe=False):
+    sub = registry.subscribe(name) if subscribe else None
+    for batch in random_batches(seed):
+        registry.submit_observations(name, batch, must_accept=True)
+    registry.flush(name)
+    if sub is not None:
+        sub.close()
+
+
+@pytest.mark.parametrize("workers", BACKENDS)
+class TestEvictReturnsToBaseline:
+    def test_map_slots_journals_and_rings_reach_zero(self, workers):
+        with make_service(workers) as service:
+            with TenantRegistry(service) as registry:
+                tenant = registry.create("robot-a")
+                grow(registry, "robot-a", seed=21, subscribe=True)
+
+                assert service.map.tenant_memory_bytes().get(tenant.slot, 0) > 0
+                assert tenant.changelog.memory_breakdown().total_bytes > 0
+                report = tenant.memory_breakdown(exact=True)
+                assert report.child("durability").find(
+                    "shard0/journal"
+                ).total_bytes + report.child("durability").find(
+                    "shard1/journal"
+                ).total_bytes > 0
+
+                registry.evict("robot-a")
+
+                # Map slots: gone from every shard.
+                assert (
+                    service.map.tenant_memory_bytes().get(tenant.slot, 0) == 0
+                )
+                # Journals + changelog: zero (exact recount agrees).
+                residual = tenant.memory_breakdown(exact=True)
+                leaves = residual.leaf_totals()
+                nonzero = {
+                    path: nbytes
+                    for path, nbytes in leaves.items()
+                    if nbytes and "snapshot" not in path
+                }
+                assert nonzero == {}
+                # Snapshots remain — they are the durable copy.
+                assert any(
+                    nbytes
+                    for path, nbytes in leaves.items()
+                    if "snapshot" in path
+                )
+
+    def test_service_total_returns_to_pre_tenant_level(self, workers):
+        with make_service(workers) as service:
+            with TenantRegistry(service) as registry:
+                registry.create("robot-a")
+                before = service.memory_report().total_bytes
+                snapshot_bytes_before = _snapshot_bytes(service)
+                grow(registry, "robot-a", seed=22)
+                grown = service.memory_report().total_bytes
+                assert grown > before
+
+                registry.evict("robot-a")
+                after = service.memory_report(exact=True).total_bytes
+                snapshot_growth = _snapshot_bytes(service) - (
+                    snapshot_bytes_before
+                )
+                # Everything the tenant grew is released except the
+                # durable snapshot blobs written by the evict's persist.
+                assert after == before + snapshot_growth
+
+    def test_restore_then_evict_again_still_returns(self, workers):
+        with make_service(workers) as service:
+            with TenantRegistry(service) as registry:
+                tenant = registry.create("robot-a")
+                grow(registry, "robot-a", seed=23)
+                registry.evict("robot-a")
+                registry.restore("robot-a")
+                grow(registry, "robot-a", seed=24)
+                registry.evict("robot-a")
+                residual = tenant.memory_breakdown(exact=True)
+                assert not any(
+                    nbytes
+                    for path, nbytes in residual.leaf_totals().items()
+                    if nbytes and "snapshot" not in path
+                )
+                assert (
+                    service.map.tenant_memory_bytes().get(tenant.slot, 0) == 0
+                )
+
+
+def _snapshot_bytes(service):
+    report = service.memory_report(exact=True)
+    return sum(
+        nbytes
+        for path, nbytes in report.leaf_totals().items()
+        if "snapshot" in path
+    )

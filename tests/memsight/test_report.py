@@ -1,0 +1,117 @@
+"""MemoryReport tree algebra: totals, paths, drift, round trips."""
+
+import pytest
+
+from repro.memsight.report import MemoryMeter, MemoryReport
+
+
+def sample_tree():
+    return MemoryReport(
+        "service",
+        children=[
+            MemoryReport(
+                "map",
+                children=[
+                    MemoryReport(
+                        "shard0",
+                        children=[
+                            MemoryReport("cells", 700, 100),
+                            MemoryReport("index", 1600, 100),
+                        ],
+                    ),
+                    MemoryReport("shard1", children=[MemoryReport("cells", 70, 10)]),
+                ],
+            ),
+            MemoryReport("queues", 56, 8),
+        ],
+    )
+
+
+class TestTotals:
+    def test_total_bytes_sums_the_subtree(self):
+        tree = sample_tree()
+        assert tree.total_bytes == 700 + 1600 + 70 + 56
+        assert tree.child("map").total_bytes == 700 + 1600 + 70
+
+    def test_total_count_sums_the_subtree(self):
+        assert sample_tree().total_count == 100 + 100 + 10 + 8
+
+    def test_interior_own_bytes_still_count(self):
+        tree = MemoryReport(
+            "root", 10, 1, children=[MemoryReport("leaf", 5, 1)]
+        )
+        assert tree.total_bytes == 15
+
+
+class TestPaths:
+    def test_child_and_find(self):
+        tree = sample_tree()
+        assert tree.child("queues").nbytes == 56
+        assert tree.child("missing") is None
+        assert tree.find("map/shard0/index").nbytes == 1600
+        assert tree.find("map/nope/index") is None
+
+    def test_leaf_totals_flattens_every_leaf(self):
+        totals = sample_tree().leaf_totals()
+        assert totals["service/map/shard0/cells"] == 700
+        assert totals["service/map/shard0/index"] == 1600
+        assert totals["service/map/shard1/cells"] == 70
+        assert totals["service/queues"] == 56
+
+    def test_walk_visits_every_node(self):
+        names = {node.name for node in sample_tree().walk()}
+        assert {"service", "map", "shard0", "cells", "queues"} <= names
+
+
+class TestDrift:
+    def test_identical_trees_have_zero_drift(self):
+        assert sample_tree().drift_bytes(sample_tree()) == 0
+
+    def test_drift_sums_absolute_leaf_differences(self):
+        a = sample_tree()
+        b = sample_tree()
+        b.find("map/shard0/cells").nbytes = 707  # +7
+        b.child("queues").nbytes = 49  # -7
+        assert a.drift_bytes(b) == 14
+
+    def test_missing_leaf_counts_as_full_drift(self):
+        a = sample_tree()
+        b = sample_tree()
+        b.child("map").children[1].children.clear()
+        assert a.drift_bytes(b) == 70
+
+
+class TestRoundTrips:
+    def test_dict_round_trip_preserves_the_tree(self):
+        tree = sample_tree()
+        clone = MemoryReport.from_dict(tree.to_dict())
+        assert clone.leaf_totals() == tree.leaf_totals()
+        assert clone.total_count == tree.total_count
+        assert tree.drift_bytes(clone) == 0
+
+    def test_to_dict_embeds_subtree_totals(self):
+        data = sample_tree().to_dict()
+        assert data["total_bytes"] == sample_tree().total_bytes
+        map_dict = next(
+            child for child in data["children"] if child["name"] == "map"
+        )
+        assert map_dict["total_bytes"] == 700 + 1600 + 70
+
+    def test_merged_sums_matching_components(self):
+        merged = sample_tree().merged(sample_tree())
+        assert merged.total_bytes == 2 * sample_tree().total_bytes
+        assert merged.find("map/shard0/cells").nbytes == 1400
+
+    def test_render_mentions_every_component(self):
+        text = sample_tree().render()
+        for name in ("service", "map", "shard0", "cells", "queues"):
+            assert name in text
+
+
+class TestProtocol:
+    def test_meter_protocol_raises_unimplemented(self):
+        class Bare(MemoryMeter):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Bare().memory_breakdown()

@@ -1,0 +1,134 @@
+"""Cross-check the modeled accounting against the Python allocator.
+
+The modeled constants (7 B cells, 16 B nodes…) answer "what would this
+map cost in the paper's packed layout", not "what does CPython allocate"
+— so the check is *correlation within a bounded ratio*, never equality:
+accounted growth must move with ``tracemalloc`` growth while ingesting,
+shrink on evict, and return on restore.  Thread backend only: the
+tracer cannot see worker-process heaps.
+"""
+
+import random
+import tracemalloc
+
+import pytest
+
+from repro.memsight.rss import peak_rss_bytes, process_rss_bytes
+from repro.service.server import OccupancyMapService, ServiceConfig
+from repro.tenancy.registry import TenantRegistry
+
+# The modeled packed layout is far denser than CPython objects; the
+# accounted/traced ratio just has to stay in a sane band, not near 1.
+MIN_RATIO = 0.005
+MAX_RATIO = 2.0
+
+
+def make_service():
+    return OccupancyMapService(
+        ServiceConfig(
+            resolution=0.2,
+            depth=8,
+            num_shards=2,
+            workers="thread",
+            snapshot_interval=0,
+        )
+    )
+
+
+def random_batches(seed, batches=6, size=80):
+    rng = random.Random(seed)
+    return [
+        [
+            (
+                (rng.randrange(256), rng.randrange(256), rng.randrange(256)),
+                rng.random() < 0.7,
+            )
+            for _ in range(size)
+        ]
+        for _ in range(batches)
+    ]
+
+
+@pytest.fixture
+def traced():
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    yield
+    if not was_tracing:
+        tracemalloc.stop()
+
+
+class TestIngestGrowth:
+    def test_accounted_growth_tracks_traced_growth(self, traced):
+        with make_service() as service:
+            base_accounted = service.memory_report().total_bytes
+            base_traced, _peak = tracemalloc.get_traced_memory()
+            for batch in random_batches(seed=31):
+                service.submit_observations(batch, must_accept=True)
+            service.flush()
+            accounted = service.memory_report().total_bytes - base_accounted
+            now_traced, _peak = tracemalloc.get_traced_memory()
+            traced_growth = now_traced - base_traced
+            assert accounted > 0
+            assert traced_growth > 0
+            ratio = accounted / traced_growth
+            assert MIN_RATIO <= ratio <= MAX_RATIO, (
+                f"accounted {accounted} B vs traced {traced_growth} B "
+                f"(ratio {ratio:.4f}) left the sanity band"
+            )
+
+    def test_growth_is_monotone_with_workload(self, traced):
+        with make_service() as service:
+            accounted = []
+            for batch in random_batches(seed=32, batches=4):
+                service.submit_observations(batch, must_accept=True)
+                service.flush()
+                accounted.append(service.memory_report().total_bytes)
+            assert accounted == sorted(accounted)
+            assert accounted[-1] > accounted[0]
+
+
+class TestEvictRestore:
+    def test_evict_shrinks_and_restore_regrows(self, traced):
+        with make_service() as service:
+            with TenantRegistry(service) as registry:
+                registry.create("robot-a")
+                for batch in random_batches(seed=33):
+                    registry.submit_observations(
+                        "robot-a", batch, must_accept=True
+                    )
+                registry.flush()
+                grown = service.tenant_memory_bytes()["robot-a"]
+
+                registry.evict("robot-a")
+                evicted = service.tenant_memory_bytes()["robot-a"]
+                assert evicted < grown
+
+                registry.restore("robot-a")
+                restored = service.tenant_memory_bytes()["robot-a"]
+                # The map slots are back (snapshot blobs also persist,
+                # so restored ≥ the map share that was dropped).
+                assert restored > evicted
+                # And the accounting is still exact after the cycle.
+                assert (
+                    service.memory_report().drift_bytes(
+                        service.memory_report(exact=True)
+                    )
+                    == 0
+                )
+
+
+class TestRss:
+    def test_process_rss_is_positive_on_linux(self):
+        rss = process_rss_bytes()
+        if rss is None:
+            pytest.skip("no /proc/self/statm on this platform")
+        assert rss > 1024 * 1024  # a CPython process is at least 1 MiB
+
+    def test_peak_rss_at_least_current(self):
+        rss = process_rss_bytes()
+        peak = peak_rss_bytes()
+        if rss is None or peak is None:
+            pytest.skip("rss probes unavailable")
+        assert peak >= rss * 0.5  # peak is process-lifetime, same scale

@@ -29,6 +29,8 @@ REQUIRED_METRICS = {
     "vector_map_agreement",
     "capacity_scans_per_s",
     "ingest_p99_ms",
+    "bytes_per_voxel",
+    "mem_accounting_drift",
 }
 
 
@@ -53,6 +55,8 @@ class TestSuite:
         assert quick_run.metrics["vector_map_agreement"] == 1.0
         assert quick_run.metrics["capacity_scans_per_s"] > 0
         assert quick_run.metrics["ingest_p99_ms"] > 0
+        assert quick_run.metrics["bytes_per_voxel"] > 0
+        assert quick_run.metrics["mem_accounting_drift"] == 0.0
         assert quick_run.env["multicore_procs"] >= 1
         assert quick_run.env["host"]
         assert quick_run.quick is True
